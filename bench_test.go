@@ -1,0 +1,333 @@
+// Benchmarks: one per reproduced experiment (E1–E15, see DESIGN.md §4 and
+// EXPERIMENTS.md). Each benchmark times the core operation the paper's
+// claim is about; `go run ./cmd/unnbench` prints the corresponding full
+// tables.
+package unn_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"unn"
+	"unn/internal/constructions"
+	"unn/internal/experiments"
+	"unn/internal/geom"
+	"unn/internal/nonzero"
+	"unn/internal/quantify"
+	"unn/internal/uncertain"
+)
+
+func randQueries(n int, side float64, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]geom.Point, n)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return qs
+}
+
+// E1 / Theorem 2.5: exact vertex census of V≠0 on random disks.
+func BenchmarkE1_DiskComplexityCensus_n24(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	disks := constructions.RandomDisks(rng, 24, 40, 0.5, 2.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{}, 0)
+	}
+}
+
+// E2 / Theorem 2.7: census on the Ω(n³) mixed-radius construction.
+func BenchmarkE2_LowerBoundMixed_m3(b *testing.B) {
+	disks := constructions.LowerBoundMixed(3)
+	n := len(disks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{}, 32*n*n)
+	}
+}
+
+// E3 / Theorem 2.8: census on the Ω(n³) equal-radius construction.
+func BenchmarkE3_LowerBoundEqual_m4(b *testing.B) {
+	disks := constructions.LowerBoundEqual(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{Grid: 4096}, 1<<15)
+	}
+}
+
+// E4 / Theorem 2.10: census on the Ω(n²) disjoint construction.
+func BenchmarkE4_LowerBoundDisjoint_m8(b *testing.B) {
+	disks := constructions.LowerBoundDisjoint(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{Grid: 4096}, 1<<15)
+	}
+}
+
+// E5 / Theorem 2.14: building the exact discrete V≠0 diagram.
+func BenchmarkE5_DiscreteDiagramBuild_n8k3(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := constructions.RandomDiscrete(rng, 8, 3, 30, 2.5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unn.BuildDiscreteDiagram(pts, unn.DiagramOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6 / Theorems 2.11 & 3.1: the three ways to answer NN≠0 over disks.
+func BenchmarkE6_DiagramQuery_n32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	disks := constructions.RandomDisks(rng, 32, 40, 0.5, 2.0)
+	diag, err := unn.BuildDiskDiagram(disks, unn.DiagramOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 40, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diag.Query(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkE6_TwoStageDiskQuery_n32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	disks := constructions.RandomDisks(rng, 32, 40, 0.5, 2.0)
+	ts := unn.NewTwoStageDisks(disks)
+	qs := randQueries(256, 40, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Query(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkE6_BruteQuery_n32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	disks := constructions.RandomDisks(rng, 32, 40, 0.5, 2.0)
+	qs := randQueries(256, 40, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonzero.BruteDisks(disks, qs[i%len(qs)])
+	}
+}
+
+// E7 / Theorem 3.2: the discrete two-stage structure at N = 3200.
+func BenchmarkE7_TwoStageDiscreteQuery_N3200(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pts := constructions.RandomDiscrete(rng, 800, 4, 100, 1.5, 1)
+	ts := unn.NewTwoStageDiscrete(pts)
+	qs := randQueries(256, 100, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Query(qs[i%len(qs)])
+	}
+}
+
+// E8 / Lemma 4.1, Theorem 4.2: building and querying V_Pr.
+func BenchmarkE8_VPrBuild_N12(b *testing.B) {
+	pts := constructions.VPrLowerBound(6, rand.New(rand.NewSource(7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unn.BuildVPr(pts, unn.VPrOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_VPrQuery_N12(b *testing.B) {
+	pts := constructions.VPrLowerBound(6, rand.New(rand.NewSource(7)))
+	v, err := unn.BuildVPr(pts, unn.VPrOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 4, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Query(qs[i%len(qs)])
+	}
+}
+
+// E9 / Theorem 4.3: Monte-Carlo queries, kd-tree vs Delaunay backends.
+func BenchmarkE9_MCQuery_KDTree_s800(b *testing.B) {
+	benchMCQuery(b, quantify.MCKDTree)
+}
+
+func BenchmarkE9_MCQuery_Delaunay_s800(b *testing.B) {
+	benchMCQuery(b, quantify.MCDelaunay)
+}
+
+func benchMCQuery(b *testing.B, backend quantify.MCBackend) {
+	rng := rand.New(rand.NewSource(9))
+	pts := constructions.RandomDiscrete(rng, 20, 4, 30, 2, 1)
+	upts := nonzero.DiscreteAsUncertain(pts)
+	mc, err := quantify.NewMonteCarlo(upts, 800, quantify.MCOptions{Backend: backend, Rng: rng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 30, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Query(qs[i%len(qs)])
+	}
+}
+
+// E10 / Theorem 4.5: instantiating + preprocessing continuous points.
+func BenchmarkE10_ContinuousMCBuild_n10s200(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	var pts []uncertain.Point
+	for i := 0; i < 10; i++ {
+		d := geom.DiskAt(rng.Float64()*30, rng.Float64()*30, 1+rng.Float64())
+		pts = append(pts, uncertain.NewTruncGauss(d, d.R/2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quantify.NewMonteCarlo(pts, 200, quantify.MCOptions{Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11 / Theorem 4.7: spiral search vs the exact sweep at N = 16000.
+func BenchmarkE11_SpiralQuery_N16000(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	pts := constructions.RandomDiscrete(rng, 4000, 4, 200, 1.5, 8)
+	sp, err := unn.NewSpiral(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 200, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Query(qs[i%len(qs)], 0.05)
+	}
+}
+
+func BenchmarkE11_ExactQuery_N16000(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	pts := constructions.RandomDiscrete(rng, 4000, 4, 200, 1.5, 8)
+	qs := randQueries(64, 200, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quantify.ExactAt(pts, qs[i%len(qs)])
+	}
+}
+
+// E12 / §4.3 Remark (i): exact evaluation on the adversarial instance.
+func BenchmarkE12_RemarkExact(b *testing.B) {
+	pts, q := constructions.RemarkInstance(0.01, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quantify.ExactAt(pts, q)
+	}
+}
+
+// E13 / Figure 1: the closed-form distance cdf of a uniform disk.
+func BenchmarkE13_UniformDiskCDF(b *testing.B) {
+	u := uncertain.UniformDisk{D: geom.DiskAt(0, 0, 5)}
+	q := geom.Pt(6, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.DistCDF(q, 5+10*float64(i%100)/100)
+	}
+}
+
+// E14 / §1.2: expected-distance NN queries ([AESZ12] semantics).
+func BenchmarkE14_ExpectedNNQuery_n1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	pts := constructions.RandomDiscrete(rng, 1000, 4, 100, 2, 1)
+	ix, err := unn.NewExpectedIndex(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 100, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.NNExpected(qs[i%len(qs)])
+	}
+}
+
+// E15 / Theorem 2.5: full V≠0 diagram construction over disks.
+func BenchmarkE15_DiskDiagramBuild_n16(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	disks := constructions.RandomDisks(rng, 16, 40, 0.5, 2.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unn.BuildDiskDiagram(disks, unn.DiagramOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard: the experiment registry stays in sync with the benchmarks above.
+func TestExperimentRegistryCovered(t *testing.T) {
+	if len(experiments.All) != 15 {
+		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
+	}
+}
+
+// E6 extension: the trapezoidal-map querier (the literal Theorem 2.11
+// structure) on the same workload as the slab-based diagram.
+func BenchmarkE6_TrapMapQuery_n32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	disks := constructions.RandomDisks(rng, 32, 40, 0.5, 2.0)
+	diag, err := unn.BuildDiskDiagram(disks, unn.DiagramOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tq, err := unn.NewTrapQuerier(diag, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 40, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tq.Query(qs[i%len(qs)])
+	}
+}
+
+// E9 extension: parallel Monte-Carlo construction.
+func BenchmarkE9_MCBuildParallel_s800(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pts := constructions.RandomDiscrete(rng, 20, 4, 30, 2, 1)
+	upts := nonzero.DiscreteAsUncertain(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quantify.NewMonteCarloParallel(upts, 800, quantify.MCOptions{Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11 extension: quadtree retrieval backend (§4.3 Remark ii, [Har11]).
+func BenchmarkE11_SpiralQuadtreeQuery_N16000(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	pts := constructions.RandomDiscrete(rng, 4000, 4, 200, 1.5, 8)
+	sp, err := unn.NewSpiralQuadtree(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 200, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Query(qs[i%len(qs)], 0.05)
+	}
+}
+
+// E6 extension: the L∞ two-stage structure (remark after Theorem 3.1).
+func BenchmarkE6_TwoStageLinfQuery_n32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	squares := make([]unn.Square, 32)
+	for i := range squares {
+		squares[i] = unn.Square{
+			C: geom.Pt(rng.Float64()*40, rng.Float64()*40),
+			R: 0.5 + rng.Float64()*1.5,
+		}
+	}
+	ts := unn.NewTwoStageLinf(squares)
+	qs := randQueries(256, 40, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Query(qs[i%len(qs)])
+	}
+}

@@ -1,0 +1,60 @@
+// Command unnbench regenerates every experiment table of EXPERIMENTS.md:
+// one table per reproduced theorem/figure of the paper.
+//
+// Usage:
+//
+//	unnbench                 # run every experiment (full sweeps)
+//	unnbench -quick          # CI-sized sweeps
+//	unnbench -exp E2,E11     # selected experiments
+//	unnbench -list           # list experiments and claims
+//	unnbench -seed 42        # reproducible workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unn/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		exp   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed  = flag.Int64("seed", 0, "workload seed (0 = default)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	var ids []string
+	if *exp == "" {
+		for _, e := range experiments.All {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		run, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unnbench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		tab := run(opt)
+		if _, err := tab.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "unnbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command unnviz renders diagrams of the library to SVG: the nonzero
+// Voronoi diagram V≠0(P) of a random disk or discrete instance, or the
+// bisector arrangement refining the probabilistic Voronoi diagram V_Pr.
+//
+// Usage:
+//
+//	unnviz -kind disks    -n 8  -o vneq0_disks.svg
+//	unnviz -kind discrete -n 6 -k 3 -o vneq0_discrete.svg
+//	unnviz -kind vpr      -n 4 -k 2 -o vpr.svg
+//	unnviz -kind lowerbound -m 3 -o lb.svg   # Theorem 2.8 construction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+	"unn/internal/nonzero"
+	"unn/internal/quantify"
+	"unn/internal/svg"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "disks", "disks | discrete | vpr | lowerbound")
+		n    = flag.Int("n", 8, "number of uncertain points")
+		k    = flag.Int("k", 3, "locations per discrete point")
+		m    = flag.Int("m", 3, "size parameter of the lower-bound construction")
+		seed = flag.Int64("seed", 1, "workload seed")
+		out  = flag.String("o", "", "output file (default stdout)")
+		px   = flag.Float64("px", 900, "image width in pixels")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch *kind {
+	case "disks":
+		disks := constructions.RandomDisks(rng, *n, 40, 1, 4)
+		renderDisks(w, disks, *px)
+	case "lowerbound":
+		disks := constructions.LowerBoundEqual(*m)
+		renderDisks(w, disks, *px)
+	case "discrete":
+		pts := constructions.RandomDiscrete(rng, *n, *k, 30, 2.5, 1)
+		diag, err := nonzero.BuildDiscreteDiagram(pts, nonzero.DiagramOptions{})
+		if err != nil {
+			fail(err)
+		}
+		view := boxAround(diag)
+		c := svg.New(view, *px)
+		drawArrangement(c, diag, view)
+		for i, p := range pts {
+			for _, l := range p.Locs {
+				c.Dot(l, 3, svg.Palette(i))
+			}
+		}
+		if _, err := c.WriteTo(w); err != nil {
+			fail(err)
+		}
+	case "vpr":
+		pts := constructions.RandomDiscrete(rng, *n, *k, 20, 2, 1)
+		v, err := quantify.BuildVPr(pts, quantify.VPrOptions{})
+		if err != nil {
+			fail(err)
+		}
+		bb := geom.EmptyRect()
+		for _, p := range pts {
+			bb = bb.Union(p.Support())
+		}
+		view := bb.Inflate(bb.Diag() / 2)
+		c := svg.New(view, *px)
+		for _, e := range v.Arr.Edges {
+			if s, ok := v.Arr.Seg(e).ClipToRect(view); ok {
+				c.Line(s, "#999", 0.6)
+			}
+		}
+		for i, p := range pts {
+			for _, l := range p.Locs {
+				c.Dot(l, 3.5, svg.Palette(i))
+			}
+		}
+		if _, err := c.WriteTo(w); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown -kind %q", *kind))
+	}
+}
+
+func renderDisks(w *os.File, disks []geom.Disk, px float64) {
+	diag, err := nonzero.BuildDiskDiagram(disks, nonzero.DiagramOptions{})
+	if err != nil {
+		fail(err)
+	}
+	view := boxAround(diag)
+	c := svg.New(view, px)
+	drawArrangement(c, diag, view)
+	for i, d := range disks {
+		c.Circle(d, svg.Palette(i), "", 1.4)
+		c.Dot(d.C, 2, svg.Palette(i))
+	}
+	if _, err := c.WriteTo(w); err != nil {
+		fail(err)
+	}
+}
+
+func boxAround(diag *nonzero.Diagram) geom.Rect {
+	// Use the data region plus a modest margin rather than the full
+	// working box, which is mostly empty.
+	b := diag.Box
+	shrink := b.Width() * 0.35
+	return geom.Rect{
+		Min: geom.Pt(b.Min.X+shrink, b.Min.Y+shrink),
+		Max: geom.Pt(b.Max.X-shrink, b.Max.Y-shrink),
+	}
+}
+
+func drawArrangement(c *svg.Canvas, diag *nonzero.Diagram, view geom.Rect) {
+	for _, e := range diag.Arr.Edges {
+		if s, ok := diag.Arr.Seg(e).ClipToRect(view); ok {
+			c.Line(s, svg.Palette(e.Curve), 1)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "unnviz: %v\n", err)
+	os.Exit(1)
+}

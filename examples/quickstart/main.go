@@ -1,0 +1,90 @@
+// Quickstart: every query type of the library on a small instance.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"unn"
+)
+
+func main() {
+	// Three uncertain points: a delivery courier whose last GPS fixes
+	// disagree, a second courier, and a parked one that is almost certain.
+	courierA, err := unn.NewDiscrete(
+		[]unn.Point{unn.Pt(0, 0), unn.Pt(2, 1), unn.Pt(1, -1)},
+		[]float64{0.5, 0.3, 0.2},
+	)
+	check(err)
+	// (Coordinates chosen tie-free: locations of different couriers at the
+	// exact same distance from q are a measure-zero event that Eq. (2)'s
+	// "≤" handles pessimistically.)
+	courierB, err := unn.NewDiscrete(
+		[]unn.Point{unn.Pt(6, 0.3), unn.Pt(5, 2)},
+		[]float64{0.6, 0.4},
+	)
+	check(err)
+	parked, err := unn.NewDiscrete(
+		[]unn.Point{unn.Pt(3, 6), unn.Pt(3.1, 6.1)},
+		[]float64{0.9, 0.1},
+	)
+	check(err)
+	pts := []*unn.Discrete{courierA, courierB, parked}
+	names := []string{"courierA", "courierB", "parked"}
+	q := unn.Pt(3, 1) // the customer
+
+	// 1. Nonzero nearest neighbors (Lemma 2.1 oracle).
+	fmt.Println("NN≠0(q): points that can possibly be the nearest neighbor")
+	for _, i := range unn.NonzeroNN(unn.FromDiscrete(pts), q) {
+		fmt.Printf("  %s\n", names[i])
+	}
+
+	// 2. Exact quantification probabilities (Eq. (2)).
+	fmt.Println("\nexact π_i(q):")
+	for i, p := range unn.ExactProbabilities(pts, q) {
+		fmt.Printf("  %-9s %.4f\n", names[i], p)
+	}
+
+	// 3. The same through the V≠0 diagram (point location, Thm 2.11)…
+	diag, err := unn.BuildDiscreteDiagram(pts, unn.DiagramOptions{})
+	check(err)
+	fmt.Printf("\nV≠0 diagram: %d vertices, %d edges, %d faces; query -> %v\n",
+		diag.Stats().V, diag.Stats().E, diag.Stats().F, diag.Query(q))
+
+	// …and through the near-linear two-stage structure (Thm 3.2).
+	ts := unn.NewTwoStageDiscrete(pts)
+	fmt.Printf("two-stage structure          query -> %v\n", ts.Query(q))
+
+	// 4. Monte-Carlo estimation (Thm 4.3).
+	s := unn.MCRoundsPerQuery(len(pts), 0.02, 0.01)
+	mc, err := unn.NewMonteCarlo(unn.FromDiscrete(pts), s, unn.MCOptions{
+		Rng: rand.New(rand.NewSource(1)),
+	})
+	check(err)
+	fmt.Printf("\nMonte Carlo (s=%d rounds): %v\n", s, mc.Query(q))
+
+	// 5. Spiral search (Thm 4.7).
+	sp, err := unn.NewSpiral(pts)
+	check(err)
+	probs, m := sp.Query(q, 0.02)
+	fmt.Printf("spiral search (ε=0.02, retrieved %d locations): %v\n", m, probs)
+
+	// 6. Threshold and top-k queries.
+	fmt.Printf("\nthreshold τ=0.25: %v\n", unn.Threshold(unn.SpiralEstimator{S: sp}, q, 0.25))
+	fmt.Printf("top-2:            %v\n", unn.TopK(unn.SpiralEstimator{S: sp}, q, 2, 0.02))
+
+	// 7. Expected-distance NN (the PODS 2012 semantics).
+	ix, err := unn.NewExpectedIndex(pts)
+	check(err)
+	enn, ed := ix.NNExpected(q)
+	fmt.Printf("\nexpected-distance NN: %s (E d = %.3f)\n", names[enn], ed)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

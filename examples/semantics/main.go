@@ -1,0 +1,83 @@
+// Semantics: why quantification probabilities, not expected distances.
+// §1.2 of the paper (following [YTX+10]) notes that the expected-distance
+// NN of the PODS 2012 companion paper "is not a good indicator under
+// large uncertainty". This example builds the canonical two-point
+// illustration and then reproduces the §4.3 Remark (i) instance showing
+// that even computing π by dropping low-weight locations is unsound.
+//
+//	go run ./examples/semantics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unn"
+)
+
+func main() {
+	// A compact point at distance ~10.1, and a spread-out point with
+	// locations at distances 2 (weight 0.55) and 22 (weight 0.45):
+	//   E d(compact) ≈ 10.1 < E d(spread) = 11 → expected-NN: compact;
+	//   π(spread) = 0.55 > π(compact) = 0.45  → most-likely NN: spread.
+	q := unn.Pt(0, 0)
+	compact, err := unn.NewDiscrete(
+		[]unn.Point{unn.Pt(10, 0), unn.Pt(10.2, 0.2)}, []float64{0.5, 0.5})
+	check(err)
+	spread, err := unn.NewDiscrete(
+		[]unn.Point{unn.Pt(0, 2), unn.Pt(0, 22)}, []float64{0.55, 0.45})
+	check(err)
+	pts := []*unn.Discrete{compact, spread}
+	names := []string{"compact", "spread"}
+
+	ix, err := unn.NewExpectedIndex(pts)
+	check(err)
+	enn, ed := ix.NNExpected(q)
+	pi := unn.ExactProbabilities(pts, q)
+	best := 0
+	if pi[1] > pi[0] {
+		best = 1
+	}
+	fmt.Println("two-point illustration (§1.2):")
+	for i := range pts {
+		fmt.Printf("  %-8s E d = %5.2f   π = %.2f\n", names[i], ix.ExpectedDist(q, i), pi[i])
+	}
+	fmt.Printf("  expected-distance NN: %s (E d = %.2f)\n", names[enn], ed)
+	fmt.Printf("  most-likely NN:       %s (π = %.2f)\n", names[best], pi[best])
+	if enn != best {
+		fmt.Println("  → the two semantics disagree, as §1.2 warns.")
+	}
+
+	// §4.3 Remark (i): dropping locations with weight < ε/k is unsound.
+	fmt.Println("\nlight-location pruning counterexample (§4.3 Remark i):")
+	// Far locations are staggered so no exact ties occur, and the far
+	// mass of P1/P2 lies beyond everyone else's so it never wins.
+	eps := 0.01
+	p1, err := unn.NewDiscrete(
+		[]unn.Point{unn.Pt(1, 0), unn.Pt(3e4, 0)}, []float64{3 * eps, 1 - 3*eps})
+	check(err)
+	var mid []*unn.Discrete
+	const half = 20
+	for i := 0; i < half; i++ {
+		p, err := unn.NewDiscrete(
+			[]unn.Point{unn.Pt(0, 1.001+0.001*float64(i)), unn.Pt(1e4+float64(i), 100)},
+			[]float64{2.0 / (2 * half), 1 - 2.0/(2*half)})
+		check(err)
+		mid = append(mid, p)
+	}
+	p2, err := unn.NewDiscrete(
+		[]unn.Point{unn.Pt(2, 0), unn.Pt(2e4, 0)}, []float64{5 * eps, 1 - 5*eps})
+	check(err)
+	all := append(append([]*unn.Discrete{p1}, mid...), p2)
+	pi = unn.ExactProbabilities(all, q)
+	naive := 5 * eps * (1 - 3*eps) // what you get after dropping the light middle points
+	fmt.Printf("  π(P1) = %.4f (≈ 3ε)\n", pi[0])
+	fmt.Printf("  π(P2) = %.4f (< 2ε)\n", pi[len(all)-1])
+	fmt.Printf("  π̂(P2) with light points dropped = %.4f (> 4ε) — order inverted\n", naive)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Sensorfield: continuous uncertainty. A field of environmental sensors
+// was dropped from the air; each sensor's true position is known only up
+// to a disk (GPS fix radius), with a truncated-Gaussian prior inside it
+// (the paper's §1: "sensor databases ... the location of data is
+// imprecise"). For a reading request at point q we ask which sensors can
+// possibly be the closest one (NN≠0, which depends only on the disks) and
+// with what probability (Monte Carlo over the Gaussian priors).
+//
+//	go run ./examples/sensorfield
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"unn"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// 40 sensors scattered over a 100×100m field.
+	const n = 40
+	disks := make([]unn.Disk, n)
+	priors := make([]unn.Uncertain, n)
+	for i := range disks {
+		disks[i] = unn.DiskAt(rng.Float64()*100, rng.Float64()*100, 2+rng.Float64()*6)
+		priors[i] = unn.NewTruncGauss(disks[i], disks[i].R/2)
+	}
+
+	// Near-linear NN≠0 structure (Theorem 3.1 two-stage plan).
+	ts := unn.NewTwoStageDisks(disks)
+
+	// Full V≠0 diagram for comparison (Theorem 2.5 construction).
+	diag, err := unn.BuildDiskDiagram(disks, unn.DiagramOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := diag.Stats()
+	fmt.Printf("V≠0(P): %d vertices, %d edges, %d faces (n=%d sensors)\n", st.V, st.E, st.F, n)
+	census := unn.CountDiskComplexity(disks, 0)
+	fmt.Printf("exact vertex census: %d breakpoints + %d crossings = %d vertices (O(n³)=%d)\n\n",
+		census.Breakpoints, census.Crossings, census.Vertices(), n*n*n)
+
+	// Monte-Carlo index over the Gaussian priors (Theorem 4.5: works for
+	// continuous pdfs by direct instantiation).
+	s := unn.MCRoundsPerQuery(n, 0.05, 0.05)
+	mc, err := unn.NewMonteCarlo(priors, s, unn.MCOptions{Rng: rng})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range []unn.Point{unn.Pt(50, 50), unn.Pt(10, 85), unn.Pt(95, 5)} {
+		cands := ts.Query(q)
+		if got := diag.Query(q); len(got) != len(cands) {
+			log.Fatalf("structures disagree at %v: %v vs %v", q, got, cands)
+		}
+		fmt.Printf("query %v: %d candidate sensors %v\n", q, len(cands), cands)
+		fmt.Printf("  π estimates (s=%d rounds):", s)
+		for _, pr := range mc.Query(q) {
+			if pr.P >= 0.05 {
+				fmt.Printf("  s%d:%.2f", pr.I, pr.P)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,347 @@
+// Package arrgn builds planar arrangements of segments and answers point
+// location queries on them.
+//
+// It is the subdivision machinery behind the nonzero Voronoi diagram
+// V≠0(P) (Section 2 of the paper) and the probabilistic Voronoi diagram
+// V_Pr(P) (Section 4.1): input curves are delivered as segment chains
+// tagged with a curve index, all pairwise intersections are computed
+// (grid-accelerated, with an all-pairs reference implementation used in
+// tests), segments are split at intersection points, and the resulting
+// 1-skeleton supports
+//
+//   - combinatorial complexity statistics via the Euler relation
+//     V − E + F = 1 + C, and
+//   - slab-based point location whose per-cell labels are stored as
+//     symmetric-difference chains, following the persistent-structure
+//     approach the paper takes from [DSST89] (each gap stores only its
+//     diff against the gap above; full label sets exist only at slab
+//     tops).
+package arrgn
+
+import (
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+)
+
+// InSeg is an input segment tagged with the curve it belongs to.
+type InSeg struct {
+	S     geom.Segment
+	Curve int
+}
+
+// Edge is a split sub-segment between two arrangement vertices.
+type Edge struct {
+	A, B  int // vertex indices, lexicographically A < B
+	Curve int
+}
+
+// Arrangement is the 1-skeleton of the subdivision induced by the input
+// segments: vertices are endpoints and pairwise intersection points
+// (snapped at tolerance), edges are maximal sub-segments between them.
+type Arrangement struct {
+	Verts []geom.Point
+	Edges []Edge
+	Tol   float64
+}
+
+// Seg returns the geometric segment of edge e.
+func (a *Arrangement) Seg(e Edge) geom.Segment {
+	return geom.Seg(a.Verts[e.A], a.Verts[e.B])
+}
+
+// Build computes the arrangement of the given segments. tol is the
+// vertex-snapping tolerance (points closer than tol are identified).
+func Build(segs []InSeg, tol float64) *Arrangement {
+	return buildWith(segs, tol, forCandidatePairs)
+}
+
+// BuildBrute is Build with all-pairs intersection testing; it is the
+// quadratic reference implementation used to validate the other paths.
+func BuildBrute(segs []InSeg, tol float64) *Arrangement {
+	return buildWith(segs, tol, allPairs)
+}
+
+func allPairs(segs []InSeg, fn func(i, j int)) {
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			fn(i, j)
+		}
+	}
+}
+
+// emit splits every segment at its recorded cut parameters, snaps the
+// resulting endpoints into shared vertices and assembles the edge list.
+func emit(segs []InSeg, cuts [][]float64, tol float64) *Arrangement {
+	arr := &Arrangement{Tol: tol}
+	snap := newSnapper(tol)
+	for i, s := range segs {
+		ts := append(cuts[i], 0, 1)
+		sort.Float64s(ts)
+		prev := -1
+		var prevT float64 = math.Inf(-1)
+		for _, t := range ts {
+			if t-prevT < 1e-14 {
+				continue
+			}
+			v := snap.id(arr, s.S.At(t))
+			if prev >= 0 && prev != v {
+				a, b := prev, v
+				if arr.Verts[b].Less(arr.Verts[a]) {
+					a, b = b, a
+				}
+				arr.Edges = append(arr.Edges, Edge{A: a, B: b, Curve: s.Curve})
+			}
+			prev, prevT = v, t
+		}
+	}
+	arr.dedupeEdges()
+	return arr
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+func paramOn(s geom.Segment, p geom.Point) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Norm2()
+	if l2 == 0 {
+		return 0
+	}
+	return clamp01(p.Sub(s.A).Dot(d) / l2)
+}
+
+func addOverlapCuts(segs []InSeg, cuts [][]float64, i, j int) {
+	si, sj := segs[i].S, segs[j].S
+	for _, p := range []geom.Point{sj.A, sj.B} {
+		if si.DistToPoint(p) < 1e-12 {
+			cuts[i] = append(cuts[i], paramOn(si, p))
+		}
+	}
+	for _, p := range []geom.Point{si.A, si.B} {
+		if sj.DistToPoint(p) < 1e-12 {
+			cuts[j] = append(cuts[j], paramOn(sj, p))
+		}
+	}
+}
+
+func (a *Arrangement) dedupeEdges() {
+	type key struct{ a, b, c int }
+	seen := make(map[key]bool, len(a.Edges))
+	out := a.Edges[:0]
+	for _, e := range a.Edges {
+		k := key{e.A, e.B, e.Curve}
+		if e.A == e.B || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	a.Edges = out
+}
+
+// forCandidatePairs calls fn(i, j), i<j, for every pair of segments whose
+// bounding boxes share a grid cell. Each pair is reported once.
+func forCandidatePairs(segs []InSeg, fn func(i, j int)) {
+	n := len(segs)
+	if n < 2 {
+		return
+	}
+	bb := geom.EmptyRect()
+	total := 0.0
+	for _, s := range segs {
+		bb = bb.Union(s.S.Bounds())
+		total += s.S.Len()
+	}
+	avg := total / float64(n)
+	cell := math.Max(avg, math.Max(bb.Width(), bb.Height())/(2*math.Sqrt(float64(n))+1))
+	if cell <= 0 || math.IsNaN(cell) || math.IsInf(cell, 0) {
+		cell = 1
+	}
+	type cellKey struct{ cx, cy int }
+	grid := make(map[cellKey][]int)
+	for i, s := range segs {
+		b := s.S.Bounds()
+		x0 := int(math.Floor(b.Min.X / cell))
+		x1 := int(math.Floor(b.Max.X / cell))
+		y0 := int(math.Floor(b.Min.Y / cell))
+		y1 := int(math.Floor(b.Max.Y / cell))
+		for cx := x0; cx <= x1; cx++ {
+			for cy := y0; cy <= y1; cy++ {
+				k := cellKey{cx, cy}
+				grid[k] = append(grid[k], i)
+			}
+		}
+	}
+	seen := make(map[int64]bool)
+	for _, ids := range grid {
+		for ai := 0; ai < len(ids); ai++ {
+			for bi := ai + 1; bi < len(ids); bi++ {
+				i, j := ids[ai], ids[bi]
+				if i > j {
+					i, j = j, i
+				}
+				key := int64(i)*int64(n) + int64(j)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if segs[i].S.Bounds().Overlaps(segs[j].S.Bounds()) {
+					fn(i, j)
+				}
+			}
+		}
+	}
+}
+
+// snapper identifies nearby points (within tol) with a single vertex id.
+type snapper struct {
+	tol  float64
+	grid map[[2]int64][]int
+}
+
+func newSnapper(tol float64) *snapper {
+	return &snapper{tol: tol, grid: make(map[[2]int64][]int)}
+}
+
+func (s *snapper) id(arr *Arrangement, p geom.Point) int {
+	cx := int64(math.Floor(p.X / s.tol))
+	cy := int64(math.Floor(p.Y / s.tol))
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			for _, vi := range s.grid[[2]int64{cx + dx, cy + dy}] {
+				if arr.Verts[vi].NearEq(p, s.tol) {
+					return vi
+				}
+			}
+		}
+	}
+	vi := len(arr.Verts)
+	arr.Verts = append(arr.Verts, p)
+	s.grid[[2]int64{cx, cy}] = append(s.grid[[2]int64{cx, cy}], vi)
+	return vi
+}
+
+// Stats is the combinatorial complexity of the arrangement: vertices,
+// edges, faces (via Euler's relation, counting the outer face) and
+// connected components of the 1-skeleton.
+type Stats struct {
+	V, E, F, C int
+}
+
+// Complexity returns V+E+F, the total complexity measure used by the
+// paper for Voronoi diagram sizes.
+func (s Stats) Complexity() int { return s.V + s.E + s.F }
+
+// Stats computes the arrangement's combinatorial statistics. Isolated
+// vertices are not produced by Build, so V counts endpoints and
+// intersections; F follows from Euler's formula for planar graphs with C
+// components: V − E + F = 1 + C.
+func (a *Arrangement) Stats() Stats {
+	v, e := len(a.Verts), len(a.Edges)
+	// Union-find over vertices.
+	parent := make([]int, v)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, ed := range a.Edges {
+		ra, rb := find(ed.A), find(ed.B)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	comp := map[int]bool{}
+	used := make([]bool, v)
+	for _, ed := range a.Edges {
+		used[ed.A], used[ed.B] = true, true
+	}
+	nv := 0
+	for i := 0; i < v; i++ {
+		if used[i] {
+			nv++
+			comp[find(i)] = true
+		}
+	}
+	c := len(comp)
+	f := e - nv + 1 + c
+	return Stats{V: nv, E: e, F: f, C: c}
+}
+
+// BuildSweep is Build with candidate pairs generated by an x-sweep
+// (sort segments by min-x, maintain the active set whose x-intervals
+// overlap, and test y-overlapping pairs). It is the O((n+k) log n)-style
+// verifier for the grid path; tests require Build, BuildBrute and
+// BuildSweep to produce identical arrangements.
+func BuildSweep(segs []InSeg, tol float64) *Arrangement {
+	return buildWith(segs, tol, forSweepPairs)
+}
+
+func buildWith(segs []InSeg, tol float64, pairs func([]InSeg, func(i, j int))) *Arrangement {
+	n := len(segs)
+	cuts := make([][]float64, n)
+	pairs(segs, func(i, j int) {
+		x := segs[i].S.Intersect(segs[j].S)
+		if !x.OK {
+			return
+		}
+		if x.Overlap {
+			addOverlapCuts(segs, cuts, i, j)
+			return
+		}
+		cuts[i] = append(cuts[i], clamp01(x.T))
+		cuts[j] = append(cuts[j], paramOn(segs[j].S, x.P))
+	})
+	return emit(segs, cuts, tol)
+}
+
+// forSweepPairs reports every pair of segments whose bounding boxes
+// overlap, via a sweep over x with an active list.
+func forSweepPairs(segs []InSeg, fn func(i, j int)) {
+	n := len(segs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	minX := func(i int) float64 { return segs[i].S.Bounds().Min.X }
+	maxX := func(i int) float64 { return segs[i].S.Bounds().Max.X }
+	sort.Slice(order, func(a, b int) bool { return minX(order[a]) < minX(order[b]) })
+	var active []int
+	for _, i := range order {
+		xi := minX(i)
+		// Retire segments that ended before xi.
+		keep := active[:0]
+		for _, j := range active {
+			if maxX(j) >= xi {
+				keep = append(keep, j)
+			}
+		}
+		active = keep
+		bi := segs[i].S.Bounds()
+		for _, j := range active {
+			if bi.Overlaps(segs[j].S.Bounds()) {
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				fn(a, b)
+			}
+		}
+		active = append(active, i)
+	}
+}

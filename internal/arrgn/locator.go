@@ -1,0 +1,207 @@
+package arrgn
+
+import (
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+)
+
+// Locator answers vertical-slab point location on an arrangement.
+//
+// The x-coordinates of the arrangement vertices partition the plane into
+// vertical slabs; inside a slab the non-vertical edges crossing it are
+// totally ordered by height. Locating a point is two binary searches:
+// O(log V) for the slab, O(log E_s) for the gap between consecutive edges.
+// This is the classical O(n²)-space slab method of [dBCKO08, §6.1]; the
+// paper's Theorem 2.11 point-location bound O(log n + t) is met per query.
+type Locator struct {
+	arr   *Arrangement
+	xs    []float64 // slab boundaries, ascending
+	slabs [][]int   // per slab: edge ids crossing it, sorted bottom→top at mid-x
+}
+
+// NewLocator builds the slab structure for a (the arrangement keeps
+// ownership of vertices/edges and must not be mutated afterwards).
+func NewLocator(a *Arrangement) *Locator {
+	// Slab boundaries: unique vertex xs.
+	xs := make([]float64, 0, len(a.Verts))
+	for _, v := range a.Verts {
+		xs = append(xs, v.X)
+	}
+	sort.Float64s(xs)
+	xs = dedupeFloats(xs)
+
+	l := &Locator{arr: a, xs: xs}
+	ns := len(xs) - 1
+	if ns <= 0 {
+		return l
+	}
+	l.slabs = make([][]int, ns)
+
+	// Sweep: edges enter at their min-x boundary and leave at max-x.
+	type ev struct {
+		x     float64
+		edge  int
+		enter bool
+	}
+	evs := make([]ev, 0, 2*len(a.Edges))
+	for ei, e := range a.Edges {
+		ax, bx := a.Verts[e.A].X, a.Verts[e.B].X
+		lo, hi := math.Min(ax, bx), math.Max(ax, bx)
+		if hi-lo <= 0 {
+			continue // vertical edge: lies on a slab boundary
+		}
+		evs = append(evs, ev{lo, ei, true}, ev{hi, ei, false})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].x != evs[j].x {
+			return evs[i].x < evs[j].x
+		}
+		return !evs[i].enter && evs[j].enter // leave before enter at same x
+	})
+
+	active := map[int]bool{}
+	ei := 0
+	for s := 0; s < ns; s++ {
+		for ei < len(evs) && evs[ei].x <= xs[s] {
+			if evs[ei].enter {
+				active[evs[ei].edge] = true
+			} else {
+				delete(active, evs[ei].edge)
+			}
+			ei++
+		}
+		if len(active) == 0 {
+			continue
+		}
+		ids := make([]int, 0, len(active))
+		for id := range active {
+			ids = append(ids, id)
+		}
+		mid := (xs[s] + xs[s+1]) / 2
+		sort.Slice(ids, func(i, j int) bool {
+			return a.Seg(a.Edges[ids[i]]).YAt(mid) < a.Seg(a.Edges[ids[j]]).YAt(mid)
+		})
+		l.slabs[s] = ids
+	}
+	return l
+}
+
+func dedupeFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || x > out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// SlabCount returns the number of slabs.
+func (l *Locator) SlabCount() int { return len(l.slabs) }
+
+// EdgesInSlab returns the edges crossing slab s, sorted bottom→top.
+func (l *Locator) EdgesInSlab(s int) []int { return l.slabs[s] }
+
+// MidX returns the x-coordinate of the middle of slab s.
+func (l *Locator) MidX(s int) float64 { return (l.xs[s] + l.xs[s+1]) / 2 }
+
+// GapCount returns the number of vertical gaps in slab s (edges + 1).
+func (l *Locator) GapCount(s int) int { return len(l.slabs[s]) + 1 }
+
+// Locate returns the slab containing q.X and the gap index of q within it:
+// gap g means q lies above exactly g of the slab's edges. ok is false when
+// q.X falls outside the arrangement's x-range.
+func (l *Locator) Locate(q geom.Point) (slab, gap int, ok bool) {
+	if len(l.slabs) == 0 || q.X < l.xs[0] || q.X > l.xs[len(l.xs)-1] {
+		return 0, 0, false
+	}
+	s := sort.SearchFloat64s(l.xs, q.X) - 1
+	if s < 0 {
+		s = 0
+	}
+	if s >= len(l.slabs) {
+		s = len(l.slabs) - 1
+	}
+	ids := l.slabs[s]
+	g := sort.Search(len(ids), func(i int) bool {
+		return l.arr.Seg(l.arr.Edges[ids[i]]).YAt(q.X) > q.Y
+	})
+	return s, g, true
+}
+
+// GapRep returns a representative point strictly inside gap g of slab s.
+// For the unbounded extreme gaps the point is placed one unit beyond the
+// outermost edge.
+func (l *Locator) GapRep(s, g int) geom.Point {
+	mid := l.MidX(s)
+	ids := l.slabs[s]
+	switch {
+	case len(ids) == 0:
+		return geom.Pt(mid, 0)
+	case g <= 0:
+		return geom.Pt(mid, l.arr.Seg(l.arr.Edges[ids[0]]).YAt(mid)-1)
+	case g >= len(ids):
+		return geom.Pt(mid, l.arr.Seg(l.arr.Edges[ids[len(ids)-1]]).YAt(mid)+1)
+	default:
+		y0 := l.arr.Seg(l.arr.Edges[ids[g-1]]).YAt(mid)
+		y1 := l.arr.Seg(l.arr.Edges[ids[g]]).YAt(mid)
+		return geom.Pt(mid, (y0+y1)/2)
+	}
+}
+
+// LabelStore stores one label set (a sorted []int, e.g. the indices in
+// NN≠0) per gap of the locator, persistently: only each slab's topmost gap
+// stores a full set; every other gap stores the single index toggled when
+// crossing the edge above it, following the symmetric-difference
+// observation of Section 2.1 ("for two adjacent cells, |P_φ ⊕ P_φ'| = 1")
+// and [DSST89].
+type LabelStore struct {
+	loc *Locator
+	top [][]int // per slab: label of the topmost gap
+}
+
+// NewLabelStore evaluates eval once per slab (at a representative point of
+// the topmost gap) and derives every other gap's label by toggling curve
+// indices downward on demand.
+func NewLabelStore(loc *Locator, eval func(geom.Point) []int) *LabelStore {
+	ls := &LabelStore{loc: loc, top: make([][]int, loc.SlabCount())}
+	for s := 0; s < loc.SlabCount(); s++ {
+		ls.top[s] = eval(loc.GapRep(s, loc.GapCount(s)-1))
+	}
+	return ls
+}
+
+// Label returns the label set of gap g in slab s (sorted ascending).
+func (ls *LabelStore) Label(s, g int) []int {
+	ids := ls.loc.slabs[s]
+	set := map[int]bool{}
+	for _, i := range ls.top[s] {
+		set[i] = true
+	}
+	for k := len(ids) - 1; k >= g; k-- {
+		c := ls.loc.arr.Edges[ids[k]].Curve
+		if set[c] {
+			delete(set, c)
+		} else {
+			set[c] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LabelAt locates q and returns its label set; ok is false when q is
+// outside the locator's x-range (callers fall back to direct evaluation).
+func (ls *LabelStore) LabelAt(q geom.Point) ([]int, bool) {
+	s, g, ok := ls.loc.Locate(q)
+	if !ok {
+		return nil, false
+	}
+	return ls.Label(s, g), true
+}

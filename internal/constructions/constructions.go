@@ -1,0 +1,209 @@
+// Package constructions generates the paper's lower-bound instances and
+// the random workloads used by the experiment harness.
+//
+// The lower-bound families reproduce, coordinate for coordinate, the
+// constructions of Theorem 2.7 (Figure 5), Theorem 2.8 (Figure 6),
+// Theorem 2.10 (Figure 8) and Lemma 4.1 — the paper's "figures" are these
+// constructions, and the experiments verify that the diagrams built on
+// them exhibit the claimed Ω(n³), Ω(n²) and Ω(n⁴) growth.
+package constructions
+
+import (
+	"math"
+	"math/rand"
+
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+// LowerBoundMixed is the Θ(n³) construction of Theorem 2.7 / Figure 5:
+// n = 4m disks — two families of m giant disks (radius R = 8n²) flanking
+// the y-axis on the x-axis, staggered by ω = 1/n², plus 2m unit disks
+// stacked on the y-axis. Every triple (i, j, k) contributes two vertices
+// to V≠0, for 4m³ = n³/16 crossing vertices in total.
+func LowerBoundMixed(m int) []geom.Disk {
+	n := 4 * m
+	R := 8 * float64(n) * float64(n)
+	omega := 1 / (float64(n) * float64(n))
+	var disks []geom.Disk
+	for i := 1; i <= m; i++ {
+		disks = append(disks, geom.DiskAt(-R-1.5-float64(i-1)*omega, 0, R))
+	}
+	for j := 1; j <= m; j++ {
+		disks = append(disks, geom.DiskAt(R+1.5+float64(j-1)*omega, 0, R))
+	}
+	for k := 1; k <= 2*m; k++ {
+		disks = append(disks, geom.DiskAt(0, float64(4*(k-m)-2), 1))
+	}
+	return disks
+}
+
+// LowerBoundMixedExpected returns the number of crossing vertices the
+// Theorem 2.7 construction guarantees: 2 per (i, j, k) triple.
+func LowerBoundMixedExpected(m int) int { return 2 * m * m * 2 * m }
+
+// LowerBoundEqual is the Θ(n³) equal-radius construction of Theorem 2.8 /
+// Figure 6: n = 3m unit disks — two staggered families on the x-axis
+// around ±2 and one family on the arc (2−2cos kθ, 2 sin kθ) with
+// θ = π/(2(m+1)). Every triple contributes one vertex, m³ = n³/27 total.
+func LowerBoundEqual(m int) []geom.Disk {
+	theta := math.Pi / 2 / float64(m+1)
+	omega := 1e-4 / float64(m+1)
+	var disks []geom.Disk
+	for i := 1; i <= m; i++ {
+		disks = append(disks, geom.DiskAt(-2-float64(i-1)*omega, 0, 1))
+	}
+	for j := 1; j <= m; j++ {
+		disks = append(disks, geom.DiskAt(2+float64(j-1)*omega, 0, 1))
+	}
+	for k := 1; k <= m; k++ {
+		a := float64(k) * theta
+		disks = append(disks, geom.DiskAt(2-2*math.Cos(a), 2*math.Sin(a), 1))
+	}
+	return disks
+}
+
+// LowerBoundEqualExpected returns the guaranteed vertex count m³ of the
+// Theorem 2.8 construction.
+func LowerBoundEqualExpected(m int) int { return m * m * m }
+
+// LowerBoundDisjoint is the Ω(n²) construction of Theorem 2.10 /
+// Figure 8: n = 2m disjoint unit disks centered at (4(i−m)−2, 0). Every
+// pair (i, j) with j−i ≥ 2 determines two vertices of V≠0.
+func LowerBoundDisjoint(m int) []geom.Disk {
+	var disks []geom.Disk
+	for i := 1; i <= 2*m; i++ {
+		disks = append(disks, geom.DiskAt(float64(4*(i-m)-2), 0, 1))
+	}
+	return disks
+}
+
+// LowerBoundDisjointExpected counts the pairs (i, j), j−i ≥ 2, times two.
+func LowerBoundDisjointExpected(m int) int {
+	n := 2 * m
+	// pairs with j-i >= 2: C(n,2) - (n-1)
+	return 2 * (n*(n-1)/2 - (n - 1))
+}
+
+// VPrLowerBound is the Ω(n⁴) instance of Lemma 4.1, de-degenerated: each
+// P_i has two locations with probability 1/2 — p_i near the unit circle
+// (radial jitter makes all bisectors distinct while keeping every
+// pairwise bisector crossing near the origin) and p'_i far away near
+// (100, 0) (tiny stagger removes the coincident-location degeneracy).
+func VPrLowerBound(n int, rng *rand.Rand) []*uncertain.Discrete {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x4a1))
+	}
+	pts := make([]*uncertain.Discrete, n)
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * (float64(i) + 0.13*rng.Float64()) / float64(n)
+		rad := 1 + 0.05*rng.Float64()
+		near := geom.Dir(ang).Scale(rad)
+		far := geom.Pt(100+1e-3*float64(i), 0)
+		d, err := uncertain.NewDiscrete([]geom.Point{near, far}, []float64{0.5, 0.5})
+		if err != nil {
+			panic(err)
+		}
+		pts[i] = d
+	}
+	return pts
+}
+
+// RandomDisks draws n disks with centers uniform in a side×side square
+// and radii uniform in [rMin, rMax].
+func RandomDisks(rng *rand.Rand, n int, side, rMin, rMax float64) []geom.Disk {
+	disks := make([]geom.Disk, n)
+	for i := range disks {
+		disks[i] = geom.DiskAt(
+			rng.Float64()*side, rng.Float64()*side,
+			rMin+rng.Float64()*(rMax-rMin),
+		)
+	}
+	return disks
+}
+
+// DisjointDisks draws n pairwise-disjoint disks with radius ratio at most
+// lambda (radii in [1, lambda]), by dart throwing in a square sized for
+// ~25% packing density.
+func DisjointDisks(rng *rand.Rand, n int, lambda float64) []geom.Disk {
+	if lambda < 1 {
+		lambda = 1
+	}
+	avgR := (1 + lambda) / 2
+	side := math.Sqrt(float64(n)*math.Pi*avgR*avgR) * 2
+	var disks []geom.Disk
+	for len(disks) < n {
+		d := geom.DiskAt(rng.Float64()*side, rng.Float64()*side, 1+rng.Float64()*(lambda-1))
+		ok := true
+		for _, e := range disks {
+			if d.C.Dist(e.C) <= d.R+e.R {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			disks = append(disks, d)
+		}
+	}
+	return disks
+}
+
+// RandomDiscrete draws n discrete uncertain points, each with k locations
+// Gaussian-scattered (sd sigma) around a uniform center in a side×side
+// square; weights are uniform in [0.5, 1.5] before normalization, unless
+// spread > 1, in which case they span the given spread ratio.
+func RandomDiscrete(rng *rand.Rand, n, k int, side, sigma, spread float64) []*uncertain.Discrete {
+	pts := make([]*uncertain.Discrete, n)
+	for i := range pts {
+		c := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		locs := make([]geom.Point, k)
+		w := make([]float64, k)
+		for j := range locs {
+			locs[j] = c.Add(geom.Pt(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma))
+			if spread > 1 {
+				w[j] = math.Pow(spread, rng.Float64())
+			} else {
+				w[j] = 0.5 + rng.Float64()
+			}
+		}
+		d, err := uncertain.NewDiscrete(locs, w)
+		if err != nil {
+			panic(err)
+		}
+		pts[i] = d
+	}
+	return pts
+}
+
+// RemarkInstance reproduces the adversarial example of §4.3 Remark (i),
+// which shows that dropping locations of weight < ε/k can distort the
+// quantification probabilities by more than 2ε. The returned slice holds
+// n/2+2 uncertain points; the query is the origin.
+//
+//	P_1: location at distance 1 with weight 3ε (rest of the mass far away);
+//	P_3..P_{n/2+2}: one location each at distances just above 1, weight 2/n;
+//	P_2: location at distance 2 with weight 5ε (rest far away).
+func RemarkInstance(eps float64, n int) ([]*uncertain.Discrete, geom.Point) {
+	// The far locations are staggered (all distinct, the P_1 and P_2 far
+	// locations farthest of all) so that no exact distance ties occur and
+	// the far mass never wins: every far location has all of the middle
+	// points' full mass strictly closer, killing its η factor.
+	mk := func(nearDist, w float64, dir float64, far geom.Point) *uncertain.Discrete {
+		loc := geom.Dir(dir).Scale(nearDist)
+		d, err := uncertain.NewDiscrete(
+			[]geom.Point{loc, far}, []float64{w, 1 - w})
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	var pts []*uncertain.Discrete
+	pts = append(pts, mk(1, 3*eps, 0, geom.Pt(3e4, 0)))
+	for i := 0; i < n/2; i++ {
+		dir := 2 * math.Pi * float64(i+1) / float64(n/2+2)
+		pts = append(pts, mk(1+1e-3*float64(i+1), 2/float64(n), dir,
+			geom.Pt(1e4+float64(i), 0)))
+	}
+	pts = append(pts, mk(2, 5*eps, math.Pi/3, geom.Pt(2e4, 0)))
+	return pts, geom.Pt(0, 0)
+}

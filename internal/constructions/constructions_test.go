@@ -1,0 +1,160 @@
+package constructions
+
+import (
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+	"unn/internal/nonzero"
+	"unn/internal/quantify"
+)
+
+// The Theorem 2.7 construction must actually exhibit its guaranteed
+// vertex count: 4m³ crossings between the γ curves of the two giant-disk
+// families.
+func TestLowerBoundMixedRealizesCubicVertices(t *testing.T) {
+	for _, m := range []int{2, 3} {
+		disks := LowerBoundMixed(m)
+		if len(disks) != 4*m {
+			t.Fatalf("m=%d: %d disks", m, len(disks))
+		}
+		want := LowerBoundMixedExpected(m)
+		// Angular resolution must separate vertices ~4 units apart seen
+		// from centers ~R away: grid ≳ 2πR/4.
+		n := 4 * m
+		grid := 4 * 8 * n * n // ≈ 2πR with R = 8n²
+		c := nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{}, grid)
+		if c.Crossings < want {
+			t.Fatalf("m=%d: %d crossings < guaranteed %d", m, c.Crossings, want)
+		}
+	}
+}
+
+func TestLowerBoundEqualRealizesCubicVertices(t *testing.T) {
+	for _, m := range []int{3, 4} {
+		disks := LowerBoundEqual(m)
+		if len(disks) != 3*m {
+			t.Fatalf("m=%d: %d disks", m, len(disks))
+		}
+		want := LowerBoundEqualExpected(m)
+		c := nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{Grid: 4096}, 1<<15)
+		if c.Crossings < want {
+			t.Fatalf("m=%d: %d crossings < guaranteed %d", m, c.Crossings, want)
+		}
+	}
+}
+
+func TestLowerBoundDisjointRealizesQuadraticVertices(t *testing.T) {
+	for _, m := range []int{3, 5} {
+		disks := LowerBoundDisjoint(m)
+		// Disjointness.
+		for i := range disks {
+			for j := i + 1; j < len(disks); j++ {
+				if disks[i].Intersects(disks[j]) {
+					t.Fatalf("disks %d and %d intersect", i, j)
+				}
+			}
+		}
+		want := LowerBoundDisjointExpected(m)
+		c := nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{Grid: 4096}, 1<<15)
+		if c.Crossings < want {
+			t.Fatalf("m=%d: %d crossings < guaranteed %d", m, c.Crossings, want)
+		}
+	}
+}
+
+func TestVPrLowerBoundGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cells := make([]int, 0, 2)
+	for _, n := range []int{4, 6} {
+		pts := VPrLowerBound(n, rng)
+		v, err := quantify.BuildVPr(pts, quantify.VPrOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, v.DistinctCells())
+	}
+	// 6⁴/4⁴ ≈ 5; demand at least cubic-ish growth to catch regressions.
+	if float64(cells[1]) < 2.5*float64(cells[0]) {
+		t.Fatalf("V_Pr cells grew too slowly: %v", cells)
+	}
+}
+
+// The §4.3 Remark (i) instance: dropping the light middle points flips
+// the apparent order of π_1 and π_2.
+func TestRemarkInstance(t *testing.T) {
+	eps := 0.01
+	n := 40
+	pts, q := RemarkInstance(eps, n)
+	pi := quantify.ExactAt(pts, q)
+	// π_1 ≈ 3ε and exceeds π_2 < 2ε.
+	if pi[0] < 2.5*eps {
+		t.Fatalf("π_1 = %v, want ≈ 3ε", pi[0])
+	}
+	last := len(pi) - 1
+	if pi[last] >= 2*eps {
+		t.Fatalf("π_2 = %v, want < 2ε", pi[last])
+	}
+	if pi[0] <= pi[last] {
+		t.Fatal("true order must have π_1 > π_2")
+	}
+	// Naive estimate that ignores the light points: ˆπ_2 = 5ε(1−3ε) > 4ε,
+	// wrongly exceeding π_1.
+	naive := 5 * eps * (1 - 3*eps)
+	if naive <= 4*eps {
+		t.Fatalf("naive estimate %v not > 4ε", naive)
+	}
+	if naive <= pi[0] {
+		t.Fatal("instance fails to exhibit the inversion")
+	}
+}
+
+func TestDisjointDisksRespectLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	disks := DisjointDisks(rng, 30, 3)
+	lo, hi := disks[0].R, disks[0].R
+	for _, d := range disks {
+		if d.R < lo {
+			lo = d.R
+		}
+		if d.R > hi {
+			hi = d.R
+		}
+	}
+	if hi/lo > 3 {
+		t.Fatalf("radius ratio %v > λ", hi/lo)
+	}
+	for i := range disks {
+		for j := i + 1; j < len(disks); j++ {
+			if disks[i].Intersects(disks[j]) {
+				t.Fatal("disks not disjoint")
+			}
+		}
+	}
+}
+
+func TestRandomWorkloadShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	disks := RandomDisks(rng, 25, 100, 1, 5)
+	if len(disks) != 25 {
+		t.Fatal("disk count")
+	}
+	for _, d := range disks {
+		if d.R < 1 || d.R > 5 {
+			t.Fatalf("radius %v out of range", d.R)
+		}
+	}
+	pts := RandomDiscrete(rng, 10, 4, 100, 2, 50)
+	if len(pts) != 10 || pts[0].K() != 4 {
+		t.Fatal("discrete shape")
+	}
+	for _, p := range pts {
+		if p.SpreadRatio() > 51 {
+			t.Fatalf("spread %v exceeds requested", p.SpreadRatio())
+		}
+	}
+	q := geom.Pt(50, 50)
+	if got := nonzero.Brute(nonzero.DiscreteAsUncertain(pts), q); len(got) == 0 {
+		t.Fatal("no nonzero NN on random workload")
+	}
+}

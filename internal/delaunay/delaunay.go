@@ -1,0 +1,344 @@
+// Package delaunay implements an incremental Delaunay triangulation
+// (Bowyer–Watson with walking point location) over points in the plane,
+// with exact orientation/in-circle predicates from internal/geom.
+//
+// The Monte-Carlo quantification structure of Section 4.2 preprocesses
+// each random instantiation R_j of the uncertain points into "the Voronoi
+// diagram Vor(R_j) ... for point-location queries"; nearest-neighbor
+// queries against a Delaunay triangulation (walk + greedy descent) are the
+// standard dual formulation of exactly that primitive. The library also
+// offers a kd-tree backend for the same job; benchmark E9 compares them.
+package delaunay
+
+import (
+	"fmt"
+	"math"
+
+	"unn/internal/geom"
+)
+
+// Triangulation is a Delaunay triangulation of a fixed point set.
+type Triangulation struct {
+	pts   []geom.Point // [0..2] are the super-triangle vertices
+	tris  []tri
+	alive []bool
+	// vertTri[v] is some live triangle incident to vertex v.
+	vertTri []int32
+	lastTri int32
+	nSuper  int
+}
+
+type tri struct {
+	v [3]int32 // CCW vertices
+	n [3]int32 // n[i] = neighbor across edge (v[i], v[(i+1)%3]); -1 if none
+}
+
+// New builds the Delaunay triangulation of pts. Exact duplicate points
+// are merged into a single vertex.
+func New(pts []geom.Point) *Triangulation {
+	// Super-triangle comfortably containing everything.
+	bb := geom.EmptyRect()
+	for _, p := range pts {
+		bb = bb.Extend(p)
+	}
+	if bb.IsEmpty() {
+		bb = geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	}
+	c := bb.Center()
+	r := math.Max(bb.Diag(), 1) * 16
+	t := &Triangulation{nSuper: 3}
+	t.pts = append(t.pts,
+		geom.Pt(c.X-2*r, c.Y-r),
+		geom.Pt(c.X+2*r, c.Y-r),
+		geom.Pt(c.X, c.Y+2*r),
+	)
+	t.tris = append(t.tris, tri{v: [3]int32{0, 1, 2}, n: [3]int32{-1, -1, -1}})
+	t.alive = append(t.alive, true)
+	t.vertTri = []int32{0, 0, 0}
+	for _, p := range pts {
+		t.insert(p)
+	}
+	return t
+}
+
+// NumVertices returns the number of distinct real (non-super) vertices.
+func (t *Triangulation) NumVertices() int { return len(t.pts) - t.nSuper }
+
+// Point returns the coordinates of real vertex i (0-based among real
+// vertices).
+func (t *Triangulation) Point(i int) geom.Point { return t.pts[i+t.nSuper] }
+
+func (t *Triangulation) insert(p geom.Point) {
+	loc, on := t.locate(p)
+	_ = on
+	// Merge exact duplicates.
+	for _, vi := range t.tris[loc].v {
+		if t.pts[vi].Eq(p) {
+			return
+		}
+	}
+	// Collect the cavity: triangles whose circumcircle strictly contains p.
+	cavity := map[int32]bool{loc: true}
+	stack := []int32{loc}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range t.tris[cur].n {
+			if nb < 0 || cavity[nb] {
+				continue
+			}
+			tv := t.tris[nb].v
+			if geom.InCircle(t.pts[tv[0]], t.pts[tv[1]], t.pts[tv[2]], p) > 0 {
+				cavity[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	// Boundary edges of the cavity, as (a, b, outsideNeighbor).
+	type bEdge struct {
+		a, b, out int32
+	}
+	var boundary []bEdge
+	for ti := range cavity {
+		tr := t.tris[ti]
+		for i := 0; i < 3; i++ {
+			nb := tr.n[i]
+			if nb < 0 || !cavity[nb] {
+				boundary = append(boundary, bEdge{tr.v[i], tr.v[(i+1)%3], nb})
+			}
+		}
+	}
+	// Retire cavity triangles.
+	for ti := range cavity {
+		t.alive[ti] = false
+	}
+	// New vertex.
+	pv := int32(len(t.pts))
+	t.pts = append(t.pts, p)
+	t.vertTri = append(t.vertTri, -1)
+	// One new triangle per boundary edge.
+	newTris := make([]int32, len(boundary))
+	for i, be := range boundary {
+		ti := int32(len(t.tris))
+		t.tris = append(t.tris, tri{v: [3]int32{be.a, be.b, pv}, n: [3]int32{be.out, -1, -1}})
+		t.alive = append(t.alive, true)
+		newTris[i] = ti
+		if be.out >= 0 {
+			// Fix the outside neighbor's back-pointer.
+			out := &t.tris[be.out]
+			for k := 0; k < 3; k++ {
+				if out.v[k] == be.b && out.v[(k+1)%3] == be.a {
+					out.n[k] = ti
+				}
+			}
+		}
+	}
+	// Link the new fan: neighbor across (b, pv) is the new triangle whose
+	// first edge starts at b; across (pv, a) the one ending at a.
+	startAt := map[int32]int32{}
+	for i, be := range boundary {
+		startAt[be.a] = newTris[i]
+	}
+	for i, be := range boundary {
+		ti := newTris[i]
+		t.tris[ti].n[1] = startAt[be.b] // across (b, pv)
+		// across (pv, a): triangle whose edge (a', b') has b' == a.
+	}
+	endAt := map[int32]int32{}
+	for i, be := range boundary {
+		endAt[be.b] = newTris[i]
+	}
+	for i, be := range boundary {
+		t.tris[newTris[i]].n[2] = endAt[be.a]
+	}
+	for i, be := range boundary {
+		t.vertTri[be.a] = newTris[i]
+		t.vertTri[be.b] = newTris[i]
+	}
+	t.vertTri[pv] = newTris[0]
+	t.lastTri = newTris[0]
+}
+
+// locate walks from the last-touched triangle to one containing p.
+func (t *Triangulation) locate(p geom.Point) (int32, bool) {
+	cur := t.lastTri
+	if cur < 0 || !t.alive[cur] {
+		for i := len(t.tris) - 1; i >= 0; i-- {
+			if t.alive[i] {
+				cur = int32(i)
+				break
+			}
+		}
+	}
+	for steps := 0; steps < 4*len(t.tris)+64; steps++ {
+		tr := t.tris[cur]
+		moved := false
+		for i := 0; i < 3; i++ {
+			a, b := t.pts[tr.v[i]], t.pts[tr.v[(i+1)%3]]
+			if geom.Orient2D(a, b, p) < 0 {
+				nb := tr.n[i]
+				if nb < 0 {
+					// Outside the super-triangle; should not happen.
+					return cur, false
+				}
+				cur = nb
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			t.lastTri = cur
+			return cur, true
+		}
+	}
+	panic(fmt.Sprintf("delaunay: walk did not terminate at %v", p))
+}
+
+// Nearest returns the index (among real vertices) of the nearest vertex
+// to q and its distance. ok is false if the triangulation has no real
+// vertices.
+func (t *Triangulation) Nearest(q geom.Point) (int, float64, bool) {
+	if t.NumVertices() == 0 {
+		return 0, 0, false
+	}
+	loc, _ := t.locate(q)
+	// Seed with the closest real vertex of the containing triangle, or any
+	// real vertex if the triangle touches only super vertices.
+	cur := int32(-1)
+	bd := math.Inf(1)
+	for _, vi := range t.tris[loc].v {
+		if vi < int32(t.nSuper) {
+			continue
+		}
+		if d := t.pts[vi].Dist(q); d < bd {
+			cur, bd = vi, d
+		}
+	}
+	if cur < 0 {
+		cur = int32(t.nSuper)
+		bd = t.pts[cur].Dist(q)
+	}
+	// Greedy descent over Delaunay neighbors.
+	for {
+		improved := false
+		for _, u := range t.vertexNeighbors(cur) {
+			if u < int32(t.nSuper) {
+				continue
+			}
+			if d := t.pts[u].Dist(q); d < bd {
+				cur, bd = u, d
+				improved = true
+			}
+		}
+		if !improved {
+			return int(cur) - t.nSuper, bd, true
+		}
+	}
+}
+
+// vertexNeighbors returns the Delaunay neighbors of vertex v by rotating
+// around it. The super-triangle guarantees every real vertex has a closed
+// fan.
+func (t *Triangulation) vertexNeighbors(v int32) []int32 {
+	start := t.vertTri[v]
+	if start < 0 || !t.alive[start] {
+		// Rare fallback: scan for any live triangle containing v.
+		for i, tr := range t.tris {
+			if !t.alive[i] {
+				continue
+			}
+			if tr.v[0] == v || tr.v[1] == v || tr.v[2] == v {
+				start = int32(i)
+				t.vertTri[v] = start
+				break
+			}
+		}
+		if start < 0 || !t.alive[start] {
+			return nil
+		}
+	}
+	var out []int32
+	cur := start
+	for {
+		tr := t.tris[cur]
+		i := 0
+		for ; i < 3; i++ {
+			if tr.v[i] == v {
+				break
+			}
+		}
+		out = append(out, tr.v[(i+1)%3])
+		// Rotate CCW around v: next triangle shares edge (v, v_{i+2}).
+		next := tr.n[(i+2)%3]
+		if next < 0 {
+			// Open fan (v is a super vertex on the boundary): walk the other way.
+			break
+		}
+		if next == start {
+			break
+		}
+		cur = next
+	}
+	return out
+}
+
+// Triangles calls fn for every live triangle with real-vertex indices
+// only (triangles touching the super-triangle are skipped).
+func (t *Triangulation) Triangles(fn func(a, b, c int)) {
+	for i, tr := range t.tris {
+		if !t.alive[i] {
+			continue
+		}
+		if tr.v[0] < int32(t.nSuper) || tr.v[1] < int32(t.nSuper) || tr.v[2] < int32(t.nSuper) {
+			continue
+		}
+		fn(int(tr.v[0])-t.nSuper, int(tr.v[1])-t.nSuper, int(tr.v[2])-t.nSuper)
+	}
+}
+
+// Validate checks the Delaunay empty-circumcircle property across every
+// internal edge and the mutual consistency of neighbor pointers. It
+// returns the first violation found.
+func (t *Triangulation) Validate() error {
+	for i, tr := range t.tris {
+		if !t.alive[i] {
+			continue
+		}
+		a, b, c := t.pts[tr.v[0]], t.pts[tr.v[1]], t.pts[tr.v[2]]
+		if geom.Orient2D(a, b, c) <= 0 {
+			return fmt.Errorf("triangle %d not CCW", i)
+		}
+		for e := 0; e < 3; e++ {
+			nb := tr.n[e]
+			if nb < 0 {
+				continue
+			}
+			if !t.alive[nb] {
+				return fmt.Errorf("triangle %d has dead neighbor %d", i, nb)
+			}
+			// Find the vertex of nb opposite to the shared edge.
+			va, vb := tr.v[e], tr.v[(e+1)%3]
+			ntr := t.tris[nb]
+			opp := int32(-1)
+			back := false
+			for k := 0; k < 3; k++ {
+				if ntr.v[k] != va && ntr.v[k] != vb {
+					opp = ntr.v[k]
+				}
+				if ntr.v[k] == vb && ntr.v[(k+1)%3] == va {
+					if ntr.n[k] != int32(i) {
+						return fmt.Errorf("neighbor back-pointer broken at tri %d edge %d", i, e)
+					}
+					back = true
+				}
+			}
+			if !back {
+				return fmt.Errorf("triangles %d and %d do not share edge (%d,%d)", i, nb, va, vb)
+			}
+			if opp >= 0 && geom.InCircle(a, b, c, t.pts[opp]) > 0 {
+				return fmt.Errorf("Delaunay violation between triangles %d and %d", i, nb)
+			}
+		}
+	}
+	return nil
+}

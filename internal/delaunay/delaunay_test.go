@@ -1,0 +1,178 @@
+package delaunay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+)
+
+func randPts(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+	}
+	return pts
+}
+
+func TestValidateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 10, 100, 500} {
+		tr := New(randPts(rng, n))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.NumVertices() != n {
+			t.Fatalf("n=%d: NumVertices=%d", n, tr.NumVertices())
+		}
+	}
+}
+
+func TestValidateGridWithDegeneracies(t *testing.T) {
+	// A regular grid maximizes cocircular quadruples.
+	var pts []geom.Point
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			pts = append(pts, geom.Pt(float64(i), float64(j)))
+		}
+	}
+	tr := New(pts)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumVertices() != 64 {
+		t.Fatalf("NumVertices=%d", tr.NumVertices())
+	}
+}
+
+func TestCollinearInput(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geom.Pt(float64(i), 2*float64(i)))
+	}
+	tr := New(pts)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// NN queries must still work.
+	idx, _, ok := tr.Nearest(geom.Pt(5.1, 10.3))
+	if !ok || idx != 5 {
+		t.Fatalf("NN on collinear input: idx=%d ok=%v", idx, ok)
+	}
+}
+
+func TestDuplicatesMerged(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(2, 2), geom.Pt(1, 1)}
+	tr := New(pts)
+	if tr.NumVertices() != 2 {
+		t.Fatalf("NumVertices=%d want 2", tr.NumVertices())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(400)
+		pts := randPts(rng, n)
+		tr := New(pts)
+		for k := 0; k < 100; k++ {
+			q := geom.Pt(rng.Float64()*140-70, rng.Float64()*140-70)
+			gi, gd, ok := tr.Nearest(q)
+			if !ok {
+				t.Fatal("not ok")
+			}
+			wd := math.Inf(1)
+			for _, p := range pts {
+				wd = math.Min(wd, p.Dist(q))
+			}
+			if math.Abs(gd-wd) > 1e-9 {
+				t.Fatalf("trial %d: NN dist %v want %v (idx %d)", trial, gd, wd, gi)
+			}
+			if d := tr.Point(gi).Dist(q); math.Abs(d-gd) > 1e-12 {
+				t.Fatalf("returned index inconsistent with distance")
+			}
+		}
+	}
+}
+
+func TestTrianglesCallback(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(1, 1)}
+	tr := New(pts)
+	count := 0
+	tr.Triangles(func(a, b, c int) {
+		count++
+		for _, v := range []int{a, b, c} {
+			if v < 0 || v >= 4 {
+				t.Fatalf("vertex index %d out of range", v)
+			}
+		}
+	})
+	if count != 2 {
+		t.Fatalf("triangle count %d want 2", count)
+	}
+}
+
+// Incremental structure invariant under permutations: the Delaunay
+// triangulation is unique for points in general position, so the edge set
+// must not depend on insertion order.
+func TestOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randPts(rng, 60)
+	edges := func(tr *Triangulation) map[[2]int]bool {
+		es := map[[2]int]bool{}
+		tr.Triangles(func(a, b, c int) {
+			for _, e := range [][2]int{{a, b}, {b, c}, {c, a}} {
+				if e[0] > e[1] {
+					e[0], e[1] = e[1], e[0]
+				}
+				es[e] = true
+			}
+		})
+		return es
+	}
+	t1 := New(pts)
+	perm := rng.Perm(len(pts))
+	shuffled := make([]geom.Point, len(pts))
+	inv := make([]int, len(pts))
+	for i, j := range perm {
+		shuffled[i] = pts[j]
+		inv[j] = i
+	}
+	t2 := New(shuffled)
+	e1, e2 := edges(t1), edges(t2)
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for e := range e1 {
+		f := [2]int{inv[e[0]], inv[e[1]]}
+		if f[0] > f[1] {
+			f[0], f[1] = f[1], f[0]
+		}
+		if !e2[f] {
+			t.Fatalf("edge %v missing after permutation", e)
+		}
+	}
+}
+
+func BenchmarkBuild1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPts(rng, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(pts)
+	}
+}
+
+func BenchmarkNearest1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	tr := New(randPts(rng, 1000))
+	qs := randPts(rng, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(qs[i%len(qs)])
+	}
+}

@@ -1,0 +1,204 @@
+// Package envelope computes one-dimensional lower envelopes of families
+// of partial real functions over an interval, with numerically refined
+// breakpoints.
+//
+// It is the engine behind Lemma 2.2 of the paper: each curve γ_i of the
+// nonzero Voronoi diagram is the lower envelope, in polar coordinates
+// around the center c_i, of the pairwise curves γ_ij. Those curves are
+// well-behaved (each pair crosses O(1) times), so a dense scan over the
+// parameter interval followed by bisection refinement recovers the
+// envelope and its breakpoints to within an absolute parameter tolerance.
+// The number of grid samples is chosen by the caller proportionally to
+// the expected envelope complexity (O(n) pieces by the theory of
+// Davenport–Schinzel sequences [SA95]).
+package envelope
+
+import "math"
+
+// Func evaluates one family member at parameter t. Return +Inf where the
+// function is undefined; the envelope treats such points as "absent".
+type Func func(t float64) float64
+
+// Piece is a maximal interval [Lo, Hi] on which a single function J
+// realizes the lower envelope. J == -1 denotes a gap where every function
+// is +Inf.
+type Piece struct {
+	Lo, Hi float64
+	J      int
+}
+
+// Lower computes the lower envelope of fs over [lo, hi]. The interval is
+// scanned at `grid` equally spaced samples; transitions between samples
+// are refined by bisection to parameter tolerance tol. Functions are
+// assumed continuous on their domains with finitely many pairwise
+// crossings; features narrower than one grid step can be missed, so
+// choose grid ≳ 4× the expected number of envelope pieces.
+func Lower(fs []Func, lo, hi float64, grid int, tol float64) []Piece {
+	if grid < 2 {
+		grid = 2
+	}
+	if hi <= lo || len(fs) == 0 {
+		return nil
+	}
+	argmin := func(t float64) int {
+		best, bv := -1, math.Inf(1)
+		for j, f := range fs {
+			if v := f(t); v < bv {
+				best, bv = j, v
+			}
+		}
+		return best
+	}
+
+	// transition locates one changeover in (a, b) given argmin(a)==ja and
+	// argmin(b)!=ja, by bisection on the predicate "argmin == ja". It
+	// returns the breakpoint and the label taking over just after it.
+	transition := func(a, b float64, ja int) (float64, int) {
+		for b-a > tol {
+			m := (a + b) / 2
+			if argmin(m) == ja {
+				a = m
+			} else {
+				b = m
+			}
+		}
+		return (a + b) / 2, argmin(b)
+	}
+
+	step := (hi - lo) / float64(grid)
+	var pieces []Piece
+	cur := argmin(lo)
+	start := lo
+	prevT := lo
+	for i := 1; i <= grid; i++ {
+		t := lo + float64(i)*step
+		if i == grid {
+			t = hi
+		}
+		// Resolve the (possibly chained) transitions between prevT and t.
+		a, ja := prevT, cur
+		for guard := 0; argmin(t) != ja && guard < 16; guard++ {
+			bp, jn := transition(a, t, ja)
+			pieces = append(pieces, Piece{Lo: start, Hi: bp, J: ja})
+			start, a, ja = bp, bp+tol, jn
+			cur = jn
+		}
+		prevT = t
+	}
+	pieces = append(pieces, Piece{Lo: start, Hi: hi, J: cur})
+	return mergePieces(pieces)
+}
+
+func mergePieces(ps []Piece) []Piece {
+	if len(ps) == 0 {
+		return ps
+	}
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if last := &out[len(out)-1]; last.J == p.J && p.Lo <= last.Hi+1e-15 {
+			last.Hi = p.Hi
+		} else {
+			out = append(out, p)
+		}
+	}
+	// Drop zero-width slivers.
+	cleaned := out[:0]
+	for _, p := range out {
+		if p.Hi > p.Lo {
+			cleaned = append(cleaned, p)
+		}
+	}
+	return cleaned
+}
+
+// Eval returns the envelope value at t given its pieces and the family.
+func Eval(pieces []Piece, fs []Func, t float64) float64 {
+	for _, p := range pieces {
+		if t >= p.Lo && t <= p.Hi {
+			if p.J < 0 {
+				return math.Inf(1)
+			}
+			return fs[p.J](t)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Breakpoints returns the interior transition parameters of the envelope
+// (excluding lo and hi).
+func Breakpoints(pieces []Piece) []float64 {
+	var bps []float64
+	for i := 1; i < len(pieces); i++ {
+		bps = append(bps, pieces[i].Lo)
+	}
+	return bps
+}
+
+// SignChanges returns the parameters in (lo, hi) at which f changes sign,
+// located by a grid scan plus bisection to tolerance tol. Tangential
+// touches (no sign change) are not reported. Roots closer together than
+// one grid step may be merged or missed; callers choose grid according to
+// the expected root count.
+func SignChanges(f Func, lo, hi float64, grid int, tol float64) []float64 {
+	if grid < 2 {
+		grid = 2
+	}
+	var roots []float64
+	step := (hi - lo) / float64(grid)
+	const unknown = -2
+	prevSign := unknown
+	prevT := lo
+	zeroAt := math.NaN()
+	for i := 0; i <= grid; i++ {
+		t := lo + float64(i)*step
+		if i == grid {
+			t = hi
+		}
+		v := f(t)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			prevSign, zeroAt = unknown, math.NaN()
+			continue
+		}
+		s := 0
+		if v > 0 {
+			s = 1
+		} else if v < 0 {
+			s = -1
+		}
+		if s == 0 {
+			// Remember where the function first touched zero; whether it is
+			// a root to report depends on the sign on the far side.
+			if math.IsNaN(zeroAt) {
+				zeroAt = t
+			}
+			continue
+		}
+		switch {
+		case prevSign == unknown:
+			// First finite sample of this stretch; nothing to compare.
+		case s != prevSign:
+			if !math.IsNaN(zeroAt) {
+				roots = append(roots, zeroAt)
+			} else {
+				a, b := prevT, t
+				fa := f(a)
+				for b-a > tol {
+					m := (a + b) / 2
+					fm := f(m)
+					if fm == 0 {
+						a, b = m, m
+						break
+					}
+					if (fa < 0) == (fm < 0) {
+						a, fa = m, fm
+					} else {
+						b = m
+					}
+				}
+				roots = append(roots, (a+b)/2)
+			}
+		}
+		prevSign, prevT, zeroAt = s, t, math.NaN()
+	}
+	return roots
+}

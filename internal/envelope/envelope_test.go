@@ -1,0 +1,162 @@
+package envelope
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLowerTwoLines(t *testing.T) {
+	fs := []Func{
+		func(t float64) float64 { return t },     // y = t
+		func(t float64) float64 { return 2 - t }, // y = 2 - t, crossing at t=1
+	}
+	ps := Lower(fs, 0, 2, 64, 1e-12)
+	if len(ps) != 2 {
+		t.Fatalf("pieces = %+v", ps)
+	}
+	if ps[0].J != 0 || ps[1].J != 1 {
+		t.Fatalf("labels = %+v", ps)
+	}
+	if math.Abs(ps[0].Hi-1) > 1e-9 {
+		t.Fatalf("breakpoint %v want 1", ps[0].Hi)
+	}
+}
+
+func TestLowerWithGaps(t *testing.T) {
+	inf := math.Inf(1)
+	fs := []Func{
+		func(t float64) float64 { // defined only on [0, 1]
+			if t > 1 {
+				return inf
+			}
+			return 5
+		},
+		func(t float64) float64 { // defined only on [2, 3]
+			if t < 2 {
+				return inf
+			}
+			return 7
+		},
+	}
+	ps := Lower(fs, 0, 3, 300, 1e-10)
+	if len(ps) != 3 {
+		t.Fatalf("pieces = %+v", ps)
+	}
+	if ps[0].J != 0 || ps[1].J != -1 || ps[2].J != 1 {
+		t.Fatalf("labels = %+v", ps)
+	}
+	if math.Abs(ps[0].Hi-1) > 1e-6 || math.Abs(ps[2].Lo-2) > 1e-6 {
+		t.Fatalf("gap boundaries: %+v", ps)
+	}
+}
+
+func TestLowerChainedTransitions(t *testing.T) {
+	// Three parabolas with minima at 0.3, 0.5, 0.7 — two breakpoints that
+	// fall close together when the grid is coarse.
+	f := func(c float64) Func {
+		return func(t float64) float64 { return (t - c) * (t - c) }
+	}
+	fs := []Func{f(0.3), f(0.5), f(0.7)}
+	ps := Lower(fs, 0, 1, 16, 1e-12)
+	if len(ps) != 3 {
+		t.Fatalf("pieces = %+v", ps)
+	}
+	for i, want := range []int{0, 1, 2} {
+		if ps[i].J != want {
+			t.Fatalf("labels: %+v", ps)
+		}
+	}
+	if math.Abs(ps[0].Hi-0.4) > 1e-9 || math.Abs(ps[1].Hi-0.6) > 1e-9 {
+		t.Fatalf("breakpoints: %+v", ps)
+	}
+}
+
+// Property: the envelope value equals the true pointwise minimum on a
+// dense independent sample, and pieces tile [lo, hi].
+func TestLowerIsPointwiseMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		type par struct{ a, b, c float64 }
+		pars := make([]par, n)
+		fs := make([]Func, n)
+		for i := range fs {
+			p := par{rng.Float64()*2 + 0.1, rng.Float64()*4 - 2, rng.Float64() * 3}
+			pars[i] = p
+			fs[i] = func(t float64) float64 { return p.a*(t-p.b)*(t-p.b) + p.c }
+		}
+		ps := Lower(fs, -3, 3, 512, 1e-12)
+		// Tiling.
+		if ps[0].Lo != -3 || ps[len(ps)-1].Hi != 3 {
+			t.Fatalf("pieces do not span: %+v", ps)
+		}
+		for i := 1; i < len(ps); i++ {
+			if math.Abs(ps[i].Lo-ps[i-1].Hi) > 1e-9 {
+				t.Fatalf("gap between pieces %d and %d", i-1, i)
+			}
+		}
+		for k := 0; k < 500; k++ {
+			x := rng.Float64()*6 - 3
+			want := math.Inf(1)
+			for _, f := range fs {
+				want = math.Min(want, f(x))
+			}
+			got := Eval(ps, fs, x)
+			// Allow slack near breakpoints (within tol of a crossing the
+			// two candidates are equal anyway).
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("Eval(%v) = %v want %v (pieces %+v)", x, got, want, ps)
+			}
+		}
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	ps := []Piece{{0, 1, 0}, {1, 2, 1}, {2, 3, 0}}
+	bps := Breakpoints(ps)
+	if len(bps) != 2 || bps[0] != 1 || bps[1] != 2 {
+		t.Fatalf("bps = %v", bps)
+	}
+}
+
+func TestSignChanges(t *testing.T) {
+	f := func(t float64) float64 { return math.Sin(t) }
+	roots := SignChanges(f, 0.1, 3*math.Pi-0.1, 256, 1e-12)
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v", roots)
+	}
+	if math.Abs(roots[0]-math.Pi) > 1e-9 || math.Abs(roots[1]-2*math.Pi) > 1e-9 {
+		t.Fatalf("roots = %v", roots)
+	}
+	// Tangency (no sign change) must not be reported.
+	g := func(t float64) float64 { v := t - 1; return v * v }
+	if roots := SignChanges(g, 0, 2, 256, 1e-12); len(roots) != 0 {
+		t.Fatalf("tangency reported: %v", roots)
+	}
+	// Function with infinities on part of the domain.
+	h := func(t float64) float64 {
+		if t < 0.5 {
+			return math.Inf(1)
+		}
+		return t - 1
+	}
+	roots = SignChanges(h, 0, 2, 256, 1e-12)
+	if len(roots) != 1 || math.Abs(roots[0]-1) > 1e-9 {
+		t.Fatalf("roots with gap = %v", roots)
+	}
+}
+
+func TestLowerEmptyAndDegenerate(t *testing.T) {
+	if ps := Lower(nil, 0, 1, 16, 1e-9); ps != nil {
+		t.Error("nil family")
+	}
+	fs := []Func{func(float64) float64 { return 1 }}
+	if ps := Lower(fs, 1, 1, 16, 1e-9); ps != nil {
+		t.Error("empty interval")
+	}
+	ps := Lower(fs, 0, 1, 16, 1e-9)
+	if len(ps) != 1 || ps[0].J != 0 {
+		t.Fatalf("constant: %+v", ps)
+	}
+}

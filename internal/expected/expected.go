@@ -1,0 +1,117 @@
+// Package expected implements nearest-neighbor search under the
+// *expected-distance* semantics of the companion PODS 2012 paper
+// "Nearest-neighbor searching under uncertainty" [AESZ12] — the paper
+// whose journal version is titled "Nearest-Neighbor Searching Under
+// Uncertainty I". The supplied paper (part II) discusses this semantics
+// in §1.2: the expected nearest neighbor is computable per point
+// independently, which makes it far easier than quantification
+// probabilities, but it is a poor indicator under large uncertainty
+// (see [YTX+10] and experiment E14).
+//
+// Two metrics are supported, mirroring [AESZ12]'s main cases:
+//
+//   - squared Euclidean: E‖q−P_i‖² = ‖q−c_i‖² + Var(P_i), an exact
+//     reduction to an additively-weighted point problem over centroids
+//     (their linear-size exact structure);
+//   - Euclidean: ED_i(q) = Σ_a w_ia·d(q, p_ia), answered exactly by
+//     best-first search over centroids with the Jensen lower bound
+//     ED_i(q) ≥ d(q, c_i).
+package expected
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+	"unn/internal/kdtree"
+	"unn/internal/uncertain"
+)
+
+// Index answers expected-distance NN queries over discrete uncertain
+// points. Preprocessing is O(N + n log n); space is O(n) beyond the
+// input.
+type Index struct {
+	pts       []*uncertain.Discrete
+	centroids *kdtree.Tree // item: P = centroid, W = Var(P_i), ID = i
+}
+
+// New builds the index.
+func New(pts []*uncertain.Discrete) (*Index, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("expected: empty point set")
+	}
+	items := make([]kdtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = kdtree.Item{P: p.Centroid(), W: p.Variance(), ID: i}
+	}
+	return &Index{pts: pts, centroids: kdtree.New(items)}, nil
+}
+
+// ExpectedDist returns ED_i(q) = Σ_a w_ia d(q, p_ia).
+func (ix *Index) ExpectedDist(q geom.Point, i int) float64 {
+	return ix.pts[i].ExpectedDist(q)
+}
+
+// ExpectedDist2 returns E‖q−P_i‖² via the centroid reduction.
+func (ix *Index) ExpectedDist2(q geom.Point, i int) float64 {
+	return q.Dist2(ix.pts[i].Centroid()) + ix.pts[i].Variance()
+}
+
+// NNSquared returns the point minimizing the expected *squared* distance,
+// exactly: candidates are enumerated by centroid distance d, and the
+// search stops once d² alone exceeds the best d²+Var seen (variances are
+// non-negative, so no farther centroid can win).
+func (ix *Index) NNSquared(q geom.Point) (int, float64) {
+	e := ix.centroids.Enumerate(q)
+	best, bestVal := -1, math.Inf(1)
+	for {
+		nb, ok := e.Next()
+		if !ok || nb.Dist*nb.Dist >= bestVal {
+			break
+		}
+		if v := nb.Dist*nb.Dist + nb.Item.W; v < bestVal {
+			best, bestVal = nb.Item.ID, v
+		}
+	}
+	return best, bestVal
+}
+
+// NNExpected returns the point minimizing the expected Euclidean
+// distance, exactly: by Jensen's inequality ED_i(q) ≥ d(q, c_i), so the
+// centroid-distance enumeration can stop as soon as the next centroid is
+// farther than the best exact expected distance found.
+func (ix *Index) NNExpected(q geom.Point) (int, float64) {
+	e := ix.centroids.Enumerate(q)
+	best, bestVal := -1, math.Inf(1)
+	for {
+		nb, ok := e.Next()
+		if !ok || nb.Dist >= bestVal {
+			break
+		}
+		if v := ix.pts[nb.Item.ID].ExpectedDist(q); v < bestVal {
+			best, bestVal = nb.Item.ID, v
+		}
+	}
+	return best, bestVal
+}
+
+// RankExpected returns all points ordered by increasing expected
+// Euclidean distance — the straightforward expected-distance kNN ranking
+// mentioned in §1.2.
+func (ix *Index) RankExpected(q geom.Point) []int {
+	type pair struct {
+		i int
+		v float64
+	}
+	ps := make([]pair, len(ix.pts))
+	for i := range ix.pts {
+		ps[i] = pair{i, ix.ExpectedDist(q, i)}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].v < ps[b].v })
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		out[i] = p.i
+	}
+	return out
+}

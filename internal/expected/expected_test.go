@@ -1,0 +1,105 @@
+package expected
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+func randPts(rng *rand.Rand, n, k int) []*uncertain.Discrete {
+	pts := make([]*uncertain.Discrete, n)
+	for i := range pts {
+		c := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		locs := make([]geom.Point, k)
+		w := make([]float64, k)
+		for j := range locs {
+			locs[j] = c.Add(geom.Pt(rng.NormFloat64()*2, rng.NormFloat64()*2))
+			w[j] = 0.3 + rng.Float64()
+		}
+		d, _ := uncertain.NewDiscrete(locs, w)
+		pts[i] = d
+	}
+	return pts
+}
+
+func TestNNExpectedMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		pts := randPts(rng, 1+rng.Intn(40), 1+rng.Intn(5))
+		ix, err := New(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 50; k++ {
+			q := geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			gi, gv := ix.NNExpected(q)
+			wi, wv := -1, math.Inf(1)
+			for i, p := range pts {
+				if v := p.ExpectedDist(q); v < wv {
+					wi, wv = i, v
+				}
+			}
+			if gi != wi || math.Abs(gv-wv) > 1e-9 {
+				t.Fatalf("NNExpected: got (%d, %v) want (%d, %v)", gi, gv, wi, wv)
+			}
+		}
+	}
+}
+
+func TestNNSquaredMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		pts := randPts(rng, 1+rng.Intn(40), 1+rng.Intn(5))
+		ix, err := New(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 50; k++ {
+			q := geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			gi, gv := ix.NNSquared(q)
+			wi, wv := -1, math.Inf(1)
+			for i, p := range pts {
+				// Direct E‖q−P‖² without the reduction.
+				v := 0.0
+				for a, l := range p.Locs {
+					v += p.W[a] * q.Dist2(l)
+				}
+				if v < wv {
+					wi, wv = i, v
+				}
+			}
+			if gi != wi || math.Abs(gv-wv) > 1e-6*(1+wv) {
+				t.Fatalf("NNSquared: got (%d, %v) want (%d, %v)", gi, gv, wi, wv)
+			}
+		}
+	}
+}
+
+func TestRankExpected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPts(rng, 20, 3)
+	ix, _ := New(pts)
+	q := geom.Pt(0, 0)
+	rank := ix.RankExpected(q)
+	if len(rank) != 20 {
+		t.Fatalf("rank size %d", len(rank))
+	}
+	for i := 1; i < len(rank); i++ {
+		if ix.ExpectedDist(q, rank[i-1]) > ix.ExpectedDist(q, rank[i])+1e-12 {
+			t.Fatal("rank not sorted by expected distance")
+		}
+	}
+	// The top of the ranking equals NNExpected.
+	if nn, _ := ix.NNExpected(q); nn != rank[0] {
+		t.Fatalf("rank[0]=%d, NNExpected=%d", rank[0], nn)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"unn/internal/constructions"
+	"unn/internal/nonzero"
+)
+
+// E1RandomDiskComplexity measures the exact vertex census of V≠0(P) on
+// random disk instances (Theorem 2.5 upper bound O(n³); open problem (i)
+// of §5 conjectures near-linear behaviour for realistic inputs — the
+// measured exponent quantifies exactly that gap).
+func E1RandomDiskComplexity(opt Options) *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "complexity of V≠0(P), random disks (Theorem 2.5)",
+		Claim:  "O(n³) worst case; random instances are far below the bound",
+		Header: []string{"n", "breakpoints", "crossings", "vertices", "verts/n", "verts/n³"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	ns := []int{8, 16, 24, 32}
+	if !opt.Quick {
+		ns = append(ns, 48, 64)
+	}
+	var xs, ys []float64
+	for _, n := range ns {
+		disks := constructions.RandomDisks(rng, n, 40, 0.5, 2.5)
+		c := nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{}, 0)
+		v := c.Vertices()
+		t.AddRow(itoa(n), itoa(c.Breakpoints), itoa(c.Crossings), itoa(v),
+			ftoa(float64(v)/float64(n)), ftoa(float64(v)/float64(n*n*n)))
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(v))
+	}
+	t.Note("measured growth exponent %.2f (cubic worst case = 3.00)", fitExponent(xs, ys))
+	return t
+}
+
+// E2LowerBoundMixed verifies the Ω(n³) construction of Theorem 2.7 /
+// Figure 5: every triple (i,j,k) contributes two vertices, 4m³ in total.
+func E2LowerBoundMixed(opt Options) *Table {
+	t := &Table{
+		ID:     "E2",
+		Title:  "Ω(n³) lower bound, mixed radii (Theorem 2.7, Figure 5)",
+		Claim:  "the construction realizes ≥ 4m³ = n³/16 crossing vertices",
+		Header: []string{"m", "n", "guaranteed 4m³", "measured crossings", "ratio"},
+	}
+	ms := []int{2, 3, 4}
+	if !opt.Quick {
+		ms = append(ms, 5, 6)
+	}
+	var xs, ys []float64
+	for _, m := range ms {
+		disks := constructions.LowerBoundMixed(m)
+		n := len(disks)
+		grid := 32 * n * n // angular separation ~4/R with R = 8n²
+		c := nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{}, grid)
+		want := constructions.LowerBoundMixedExpected(m)
+		t.AddRow(itoa(m), itoa(n), itoa(want), itoa(c.Crossings),
+			ftoa(float64(c.Crossings)/float64(want)))
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(c.Crossings))
+	}
+	t.Note("growth exponent %.2f (theory: 3.00)", fitExponent(xs, ys))
+	return t
+}
+
+// E3LowerBoundEqual verifies the equal-radius Ω(n³) construction of
+// Theorem 2.8 / Figure 6: m³ guaranteed vertices with unit disks only.
+func E3LowerBoundEqual(opt Options) *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Ω(n³) lower bound, equal radii (Theorem 2.8, Figure 6)",
+		Claim:  "the construction realizes ≥ m³ = n³/27 crossing vertices",
+		Header: []string{"m", "n", "guaranteed m³", "measured crossings", "ratio"},
+	}
+	ms := []int{3, 4, 5}
+	if !opt.Quick {
+		ms = append(ms, 6, 8)
+	}
+	var xs, ys []float64
+	for _, m := range ms {
+		disks := constructions.LowerBoundEqual(m)
+		c := nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{Grid: 4096}, 1<<15)
+		want := constructions.LowerBoundEqualExpected(m)
+		t.AddRow(itoa(m), itoa(len(disks)), itoa(want), itoa(c.Crossings),
+			ftoa(float64(c.Crossings)/float64(want)))
+		xs = append(xs, float64(len(disks)))
+		ys = append(ys, float64(c.Crossings))
+	}
+	t.Note("growth exponent %.2f (theory: 3.00)", fitExponent(xs, ys))
+	return t
+}
+
+// E4DisjointLambda covers Theorem 2.10 / Figure 8 from both sides: the
+// Ω(n²) collinear construction, and an O(λn²) sweep over the radius
+// ratio λ for random disjoint disks.
+func E4DisjointLambda(opt Options) *Table {
+	t := &Table{
+		ID:     "E4",
+		Title:  "disjoint disks: Θ(λn²) (Theorem 2.10, Figure 8)",
+		Claim:  "Ω(n²) for the collinear construction; O(λn²) as λ grows",
+		Header: []string{"workload", "n", "λ", "guaranteed", "vertices", "verts/n²"},
+	}
+	ms := []int{3, 5, 8}
+	if !opt.Quick {
+		ms = append(ms, 12, 16)
+	}
+	var xs, ys []float64
+	for _, m := range ms {
+		disks := constructions.LowerBoundDisjoint(m)
+		c := nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{Grid: 4096}, 1<<15)
+		want := constructions.LowerBoundDisjointExpected(m)
+		n := len(disks)
+		t.AddRow("collinear", itoa(n), "1", itoa(want), itoa(c.Vertices()),
+			ftoa(float64(c.Vertices())/float64(n*n)))
+		xs = append(xs, float64(n))
+		ys = append(ys, float64(c.Vertices()))
+	}
+	t.Note("collinear growth exponent %.2f (theory: 2.00)", fitExponent(xs, ys))
+
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n := 24
+	lambdas := []float64{1, 2, 4}
+	if !opt.Quick {
+		lambdas = append(lambdas, 8, 16)
+	}
+	for _, lam := range lambdas {
+		disks := constructions.DisjointDisks(rng, n, lam)
+		c := nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{}, 0)
+		t.AddRow("random-disjoint", itoa(n), ftoa(lam), "-", itoa(c.Vertices()),
+			ftoa(float64(c.Vertices())/float64(n*n)))
+	}
+	return t
+}
+
+// E5DiscreteComplexity measures the discrete-case diagram of §2.2
+// (Theorem 2.14, O(kn³)): the subdivision is built exactly (all
+// polygonal), so arrangement vertices are genuine V≠0 vertices plus O(n)
+// box artifacts.
+func E5DiscreteComplexity(opt Options) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "complexity of V≠0(P), discrete distributions (Theorem 2.14)",
+		Claim:  "O(kn³); linear in the description complexity k",
+		Header: []string{"n", "k", "V", "E", "F", "V/(k·n³)"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	type cfg struct{ n, k int }
+	cfgs := []cfg{{4, 2}, {6, 2}, {8, 2}, {6, 3}, {6, 4}}
+	if !opt.Quick {
+		cfgs = append(cfgs, cfg{10, 2}, cfg{12, 2}, cfg{6, 6}, cfg{6, 8})
+	}
+	for _, c := range cfgs {
+		pts := constructions.RandomDiscrete(rng, c.n, c.k, 30, 2.5, 1)
+		diag, err := nonzero.BuildDiscreteDiagram(pts, nonzero.DiagramOptions{})
+		if err != nil {
+			t.Note("n=%d k=%d failed: %v", c.n, c.k, err)
+			continue
+		}
+		st := diag.Stats()
+		t.AddRow(itoa(c.n), itoa(c.k), itoa(st.V), itoa(st.E), itoa(st.F),
+			ftoa(float64(st.V)/(float64(c.k)*float64(c.n*c.n*c.n))))
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every driver must run in quick mode, produce a well-formed table, and
+// carry its claim text.
+func TestAllDriversQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are exercised in full runs")
+	}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(Options{Quick: true})
+			if tab == nil {
+				t.Fatal("nil table")
+			}
+			if tab.ID != e.ID {
+				t.Fatalf("ID mismatch: %q vs %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			if tab.Claim == "" {
+				t.Fatal("missing claim")
+			}
+			for _, r := range tab.Rows {
+				if len(r) != len(tab.Header) {
+					t.Fatalf("row width %d != header %d (%v)", len(r), len(tab.Header), r)
+				}
+			}
+			var buf bytes.Buffer
+			if _, err := tab.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatal("render missing ID")
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e9"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestFitExponent(t *testing.T) {
+	xs := []float64{2, 4, 8, 16}
+	ys := []float64{8, 64, 512, 4096} // y = x³
+	if got := fitExponent(xs, ys); got < 2.99 || got > 3.01 {
+		t.Fatalf("exponent %v want 3", got)
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+	"unn/internal/quantify"
+	"unn/internal/uncertain"
+)
+
+// E9MonteCarloError verifies Theorem 4.3: with s rounds the estimation
+// error behaves like sqrt(ln(2n/δ)/2s); the table sweeps s and compares
+// the measured maximum error (over queries, against the exact sweep) with
+// the Chernoff prediction, for both NN backends.
+func E9MonteCarloError(opt Options) *Table {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Monte-Carlo quantification (Theorem 4.3)",
+		Claim:  "max error ≤ ε w.h.p. with s = O(ε⁻² log(N/δ)); error ∝ s^{-1/2}",
+		Header: []string{"s", "predicted ε", "maxErr(kd)", "maxErr(delaunay)", "Q(kd)", "Q(del)"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n, k := 20, 4
+	pts := constructions.RandomDiscrete(rng, n, k, 30, 2, 1)
+	upts := make([]uncertain.Point, n)
+	for i, p := range pts {
+		upts[i] = p
+	}
+	qs := make([]geom.Point, 64)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*30, rng.Float64()*30)
+	}
+	exact := make([][]float64, len(qs))
+	for i, q := range qs {
+		exact[i] = quantify.ExactAt(pts, q)
+	}
+	ss := []int{50, 200, 800}
+	if !opt.Quick {
+		ss = append(ss, 3200)
+	}
+	var xs, ys []float64
+	for _, s := range ss {
+		mcK, err := quantify.NewMonteCarlo(upts, s, quantify.MCOptions{Rng: rand.New(rand.NewSource(opt.seed() + 1))})
+		if err != nil {
+			t.Note("s=%d: %v", s, err)
+			continue
+		}
+		mcD, err := quantify.NewMonteCarlo(upts, s, quantify.MCOptions{
+			Backend: quantify.MCDelaunay,
+			Rng:     rand.New(rand.NewSource(opt.seed() + 1)),
+		})
+		if err != nil {
+			t.Note("s=%d: %v", s, err)
+			continue
+		}
+		errK, errD := 0.0, 0.0
+		for i, q := range qs {
+			errK = math.Max(errK, maxAbs(mcK.QueryDense(q), exact[i]))
+			errD = math.Max(errD, maxAbs(mcD.QueryDense(q), exact[i]))
+		}
+		pred := math.Sqrt(math.Log(2*float64(n)/0.05) / (2 * float64(s)))
+		qK := timePer(len(qs), func(i int) { mcK.Query(qs[i]) })
+		qD := timePer(len(qs), func(i int) { mcD.Query(qs[i]) })
+		t.AddRow(itoa(s), ftoa(pred), ftoa(errK), ftoa(errD), dtoa(qK), dtoa(qD))
+		xs = append(xs, float64(s))
+		ys = append(ys, errK)
+	}
+	t.Note("error decay exponent %.2f in s (theory: -0.50)", fitExponent(xs, ys))
+	return t
+}
+
+// E10ContinuousMC verifies Theorem 4.5 / Lemma 4.4: quantification over
+// continuous pdfs via (a) direct per-round instantiation and (b) the
+// paper's discretize-first reduction with per-point sample size k(α).
+// Both must agree with a fine-discretization reference within ε.
+func E10ContinuousMC(opt Options) *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  "continuous distributions (Theorem 4.5, Lemma 4.4)",
+		Claim:  "discretizing each pdf with k(α) samples changes every π by ≤ αn",
+		Header: []string{"pdf", "perPointSamples", "maxErr vs reference", "target ε"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n := 5
+	var cont []uncertain.Point
+	for i := 0; i < n; i++ {
+		d := geom.DiskAt(rng.Float64()*12, rng.Float64()*12, 0.8+rng.Float64())
+		if i%2 == 0 {
+			cont = append(cont, uncertain.UniformDisk{D: d})
+		} else {
+			cont = append(cont, uncertain.NewTruncGauss(d, d.R/2))
+		}
+	}
+	// Reference: very fine discretization + exact sweep.
+	refK := 3000
+	if opt.Quick {
+		refK = 1500
+	}
+	ref := make([]*uncertain.Discrete, n)
+	for i, p := range cont {
+		ref[i] = uncertain.Discretize(p, refK, rng)
+	}
+	qs := make([]geom.Point, 24)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*12, rng.Float64()*12)
+	}
+	eps := 0.1
+	for _, m := range []int{32, 128, 512} {
+		disc := make([]*uncertain.Discrete, n)
+		for i, p := range cont {
+			disc[i] = uncertain.Discretize(p, m, rng)
+		}
+		worst := 0.0
+		for _, q := range qs {
+			worst = math.Max(worst, maxAbs(quantify.ExactAt(disc, q), quantify.ExactAt(ref, q)))
+		}
+		t.AddRow("mixed disk/gauss", itoa(m), ftoa(worst), ftoa(eps))
+	}
+	t.Note("Theorem 4.5 would prescribe k(ε/2n) = %d samples per point for ε=%.2f, δ=0.1",
+		uncertain.SampleSizeForError(n, eps, 0.1), eps)
+	return t
+}
+
+// E11Spiral measures the spiral-search structure (Theorem 4.7): the
+// retrieval budget m(ρ,ε) vs the spread ρ, the fixed-m vs adaptive
+// retrieval counts, the error guarantee, and the query-time comparison
+// against the exact sweep and Monte Carlo — including where each wins as
+// N grows.
+func E11Spiral(opt Options) *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "spiral search (Theorem 4.7, Lemma 4.6) vs exact vs Monte Carlo",
+		Claim:  "error ≤ ε retrieving m(ρ,ε) = ρk ln(ρ/ε)+k−1 locations; query O(ρk log(ρ/ε) + log N)",
+		Header: []string{"n", "k", "ρ", "m(ρ,ε)", "retr(fix)", "retr(adap)", "maxErr", "spiralQ", "exactQ", "mcQ"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	eps := 0.05
+	type cfg struct {
+		n, k   int
+		spread float64
+	}
+	cfgs := []cfg{{100, 4, 1}, {100, 4, 8}, {100, 4, 32}}
+	if !opt.Quick {
+		cfgs = append(cfgs, cfg{1000, 4, 8}, cfg{4000, 4, 8})
+	}
+	for _, c := range cfgs {
+		pts := constructions.RandomDiscrete(rng, c.n, c.k, 100, 1.5, c.spread)
+		sp, err := quantify.NewSpiral(pts)
+		if err != nil {
+			t.Note("n=%d: %v", c.n, err)
+			continue
+		}
+		upts := make([]uncertain.Point, len(pts))
+		for i, p := range pts {
+			upts[i] = p
+		}
+		s := quantify.RoundsEmpirical(c.n, eps, 0.05)
+		if s > 800 {
+			s = 800 // cap the MC preprocessing cost in the timing table
+		}
+		mc, err := quantify.NewMonteCarlo(upts, s, quantify.MCOptions{Rng: rng})
+		if err != nil {
+			t.Note("mc n=%d: %v", c.n, err)
+			continue
+		}
+		qs := make([]geom.Point, 64)
+		for i := range qs {
+			qs[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		worst := 0.0
+		retrF, retrA := 0, 0
+		for _, q := range qs {
+			probs, m := sp.Query(q, eps)
+			retrF += m
+			_, ma := sp.QueryAdaptive(q, eps)
+			retrA += ma
+			exact := quantify.ExactAt(pts, q)
+			got := make([]float64, len(pts))
+			for _, pr := range probs {
+				got[pr.I] = pr.P
+			}
+			worst = math.Max(worst, maxAbs(got, exact))
+		}
+		sq := timePer(len(qs), func(i int) { sp.Query(qs[i], eps) })
+		eq := timePer(len(qs), func(i int) { quantify.ExactAt(pts, qs[i]) })
+		mq := timePer(len(qs), func(i int) { mc.Query(qs[i]) })
+		t.AddRow(itoa(c.n), itoa(c.k), ftoa(sp.Rho()), itoa(sp.M(eps)),
+			itoa(retrF/len(qs)), itoa(retrA/len(qs)), ftoa(worst),
+			dtoa(sq), dtoa(eq), dtoa(mq))
+	}
+	t.Note("ε = %.2f; spiral wins once N ≫ m(ρ,ε); exact wins at small N; MC pays s=%s rounds",
+		eps, "O(ε⁻² log(n/δ))")
+	return t
+}
+
+// E12Remark reproduces the adversarial example of §4.3 Remark (i):
+// dropping locations lighter than ε/k inverts the apparent NN order.
+func E12Remark(opt Options) *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "why light locations cannot be dropped (§4.3 Remark i)",
+		Claim:  "naive pruning misestimates π₂ by > 2ε and inverts the π₁ vs π₂ order",
+		Header: []string{"quantity", "value"},
+	}
+	eps := 0.01
+	n := 40
+	pts, q := constructions.RemarkInstance(eps, n)
+	pi := quantify.ExactAt(pts, q)
+	last := len(pi) - 1
+	naive := 5 * eps * (1 - 3*eps)
+	t.AddRow("ε", ftoa(eps))
+	t.AddRow("π₁ exact (≈3ε)", ftoa(pi[0]))
+	t.AddRow("π₂ exact (<2ε)", ftoa(pi[last]))
+	t.AddRow("π̂₂ dropping light points (>4ε)", ftoa(naive))
+	t.AddRow("true order", "π₁ > π₂")
+	if naive > pi[0] {
+		t.AddRow("naive order", "π̂₂ > π₁ (inverted)")
+	} else {
+		t.AddRow("naive order", "not inverted (unexpected)")
+	}
+	return t
+}
+
+// E13Figure1 regenerates Figure 1: the distance pdf g_{q,i} for a uniform
+// disk of radius 5 centered at the origin and q = (6,8). Each row is one
+// sample of the curve; the analytic arc-length formula is printed next to
+// the numeric derivative of the lens-area cdf.
+func E13Figure1(opt Options) *Table {
+	t := &Table{
+		ID:     "E13",
+		Title:  "distance pdf g_{q,i} (Figure 1: D = disk(O,5), q = (6,8))",
+		Claim:  "support [5,15], interior maximum; pdf = arc length of ∂B(q,r) in D",
+		Header: []string{"r", "g (numeric)", "g (analytic)", "G (cdf)"},
+	}
+	u := uncertain.UniformDisk{D: geom.DiskAt(0, 0, 5)}
+	q := geom.Pt(6, 8)
+	dq, R := 10.0, 5.0
+	for i := 0; i <= 20; i++ {
+		r := 5 + 10*float64(i)/20
+		gNum := uncertain.DistPDF(u, q, r, 1e-5)
+		cosPhi := (r*r + dq*dq - R*R) / (2 * r * dq)
+		if cosPhi > 1 {
+			cosPhi = 1
+		} else if cosPhi < -1 {
+			cosPhi = -1
+		}
+		gAna := 2 * r * math.Acos(cosPhi) / (math.Pi * R * R)
+		t.AddRow(ftoa(r), ftoa(gNum), ftoa(gAna), ftoa(u.DistCDF(q, r)))
+	}
+	return t
+}

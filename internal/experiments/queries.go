@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+	"unn/internal/nonzero"
+	"unn/internal/quantify"
+	"unn/internal/uncertain"
+)
+
+// E6ContinuousQueries compares the two ways the paper answers NN≠0
+// queries over disks: the V≠0 diagram with point location (Theorem 2.11,
+// O(log n + t) queries but up to cubic space) versus the near-linear
+// two-stage structure (Theorem 3.1), with the O(n) Lemma 2.1 oracle as
+// the baseline. The table shows the space/query trade-off and where the
+// crossover falls.
+func E6ContinuousQueries(opt Options) *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  "NN≠0 queries over disks: diagram vs two-stage vs brute (Thm 2.11 / Thm 3.1)",
+		Claim:  "diagram: O(log n+t) query, large space; two-stage: O(n) space, output-sensitive query",
+		Header: []string{"n", "diagEdges", "diagBuild", "diagQ", "2stageQ", "bruteQ", "avg|out|"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	ns := []int{8, 16, 32}
+	if !opt.Quick {
+		ns = append(ns, 64, 96)
+	}
+	for _, n := range ns {
+		disks := constructions.RandomDisks(rng, n, 40, 0.5, 2.0)
+		var diag *nonzero.Diagram
+		var err error
+		build := timeIt(func() {
+			diag, err = nonzero.BuildDiskDiagram(disks, nonzero.DiagramOptions{
+				FlattenStep: 2 * 3.14159 / 360,
+			})
+		})
+		if err != nil {
+			t.Note("n=%d: %v", n, err)
+			continue
+		}
+		ts := nonzero.NewTwoStageDisks(disks)
+		qs := make([]geom.Point, 256)
+		for i := range qs {
+			qs[i] = geom.Pt(rng.Float64()*40, rng.Float64()*40)
+		}
+		outSz := 0
+		dq := timePer(len(qs), func(i int) { outSz += len(diag.Query(qs[i])) })
+		tq := timePer(len(qs), func(i int) { ts.Query(qs[i]) })
+		bq := timePer(len(qs), func(i int) { nonzero.BruteDisks(disks, qs[i]) })
+		t.AddRow(itoa(n), itoa(diag.Stats().E), dtoa(build), dtoa(dq), dtoa(tq), dtoa(bq),
+			ftoa(float64(outSz)/float64(len(qs))))
+	}
+	t.Note("diagram queries include the persistent-label reconstruction (Thm 2.11: O(log n + t))")
+	return t
+}
+
+// E7DiscreteQueries measures the discrete two-stage structure of
+// Theorem 3.2 as N = nk grows: near-linear space, output-sensitive
+// queries, versus the O(N) brute oracle.
+func E7DiscreteQueries(opt Options) *Table {
+	t := &Table{
+		ID:     "E7",
+		Title:  "NN≠0 queries, discrete distributions (Theorem 3.2 two-stage)",
+		Claim:  "O(N log N) preprocessing, near-linear space, sublinear queries in practice",
+		Header: []string{"n", "k", "N", "build", "2stageQ", "bruteQ", "avg|out|"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	type cfg struct{ n, k int }
+	cfgs := []cfg{{50, 4}, {100, 4}, {200, 4}}
+	if !opt.Quick {
+		cfgs = append(cfgs, cfg{400, 4}, cfg{800, 4}, cfg{200, 8}, cfg{200, 16})
+	}
+	for _, c := range cfgs {
+		pts := constructions.RandomDiscrete(rng, c.n, c.k, 100, 1.5, 1)
+		var ts *nonzero.TwoStageDiscrete
+		build := timeIt(func() { ts = nonzero.NewTwoStageDiscrete(pts) })
+		upts := nonzero.DiscreteAsUncertain(pts)
+		qs := make([]geom.Point, 256)
+		for i := range qs {
+			qs[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		outSz := 0
+		tq := timePer(len(qs), func(i int) { outSz += len(ts.Query(qs[i])) })
+		bq := timePer(len(qs), func(i int) { nonzero.Brute(upts, qs[i]) })
+		t.AddRow(itoa(c.n), itoa(c.k), itoa(c.n*c.k), dtoa(build), dtoa(tq), dtoa(bq),
+			ftoa(float64(outSz)/float64(len(qs))))
+	}
+	return t
+}
+
+// E8VPrGrowth measures the exact probabilistic Voronoi diagram of §4.1:
+// the bisector-line arrangement refining V_Pr(P) grows like Θ(N⁴)
+// (Lemma 4.1), queries run in O(log N + t) (Theorem 4.2), and the Ω(n⁴)
+// construction concentrates distinct cells as predicted.
+func E8VPrGrowth(opt Options) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "exact probabilistic Voronoi diagram V_Pr (Lemma 4.1 / Theorem 4.2)",
+		Claim:  "size Θ(N⁴); O(log N + t) exact queries",
+		Header: []string{"workload", "n", "N", "arrF", "cells", "build", "VPrQ", "exactQ"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	ns := []int{3, 4, 5}
+	if !opt.Quick {
+		ns = append(ns, 6, 8)
+	}
+	var xs, ys []float64
+	run := func(kind string, pts []*uncertain.Discrete, n int) {
+		var v *quantify.VPr
+		var err error
+		build := timeIt(func() { v, err = quantify.BuildVPr(pts, quantify.VPrOptions{}) })
+		if err != nil {
+			t.Note("%s n=%d: %v", kind, n, err)
+			return
+		}
+		N := 0
+		for _, p := range pts {
+			N += p.K()
+		}
+		qs := make([]geom.Point, 128)
+		for i := range qs {
+			qs[i] = geom.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		}
+		vq := timePer(len(qs), func(i int) { v.Query(qs[i]) })
+		eq := timePer(len(qs), func(i int) { quantify.ExactAt(pts, qs[i]) })
+		t.AddRow(kind, itoa(n), itoa(N), itoa(v.Stats().F), itoa(v.DistinctCells()),
+			dtoa(build), dtoa(vq), dtoa(eq))
+		if kind == "lemma4.1" {
+			xs = append(xs, float64(N))
+			ys = append(ys, float64(v.DistinctCells()))
+		}
+	}
+	for _, n := range ns {
+		run("lemma4.1", constructions.VPrLowerBound(n, rng), n)
+	}
+	for _, n := range ns {
+		run("random", constructions.RandomDiscrete(rng, n, 2, 4, 1, 1), n)
+	}
+	t.Note("lemma4.1 distinct-cell growth exponent %.2f (theory: up to 4.00)", fitExponent(xs, ys))
+	return t
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"unn/internal/constructions"
+	"unn/internal/expected"
+	"unn/internal/geom"
+	"unn/internal/nonzero"
+	"unn/internal/quantify"
+)
+
+// E14Semantics contrasts the expected-distance NN of the PODS 2012
+// companion paper [AESZ12] with the quantification-probability NN of this
+// paper. §1.2 (citing [YTX+10]) observes that the expected NN "is not a
+// good indicator under large uncertainty": the table sweeps the
+// uncertainty scale and reports how often the two semantics disagree
+// about the most-likely nearest neighbor.
+func E14Semantics(opt Options) *Table {
+	t := &Table{
+		ID:     "E14",
+		Title:  "expected NN ([AESZ12]) vs probabilistic NN (this paper) — §1.2",
+		Claim:  "the two semantics diverge as uncertainty grows",
+		Header: []string{"sigma", "disagree%", "avg π of ENN choice", "avg max π"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n, k := 12, 4
+	sigmas := []float64{0.2, 1, 3}
+	if !opt.Quick {
+		sigmas = append(sigmas, 8, 16)
+	}
+	for _, sigma := range sigmas {
+		pts := constructions.RandomDiscrete(rng, n, k, 20, sigma, 6)
+		ix, err := expected.New(pts)
+		if err != nil {
+			t.Note("sigma=%v: %v", sigma, err)
+			continue
+		}
+		disagree, piOfENN, piMax := 0, 0.0, 0.0
+		const Q = 200
+		for j := 0; j < Q; j++ {
+			q := geom.Pt(rng.Float64()*20, rng.Float64()*20)
+			enn, _ := ix.NNExpected(q)
+			pi := quantify.ExactAt(pts, q)
+			best, bestV := 0, pi[0]
+			for i, v := range pi {
+				if v > bestV {
+					best, bestV = i, v
+				}
+			}
+			if best != enn {
+				disagree++
+			}
+			piOfENN += pi[enn]
+			piMax += bestV
+		}
+		t.AddRow(ftoa(sigma), ftoa(100*float64(disagree)/Q),
+			ftoa(piOfENN/Q), ftoa(piMax/Q))
+	}
+	return t
+}
+
+// E15BuildScaling measures the V≠0 construction time against the
+// Theorem 2.5 bound O(n² log n + μ): time vs n on random instances, and
+// time vs μ on the Ω(n³) construction where μ dominates.
+func E15BuildScaling(opt Options) *Table {
+	t := &Table{
+		ID:     "E15",
+		Title:  "V≠0 construction time (Theorem 2.5: O(n² log n + μ))",
+		Claim:  "near-quadratic on random inputs; output-dominated on lower-bound inputs",
+		Header: []string{"workload", "n", "segments", "vertices", "time"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	ns := []int{8, 16, 32}
+	if !opt.Quick {
+		ns = append(ns, 64)
+	}
+	var xs, ys []float64
+	for _, n := range ns {
+		disks := constructions.RandomDisks(rng, n, 40, 0.5, 2.0)
+		var diag *nonzero.Diagram
+		var err error
+		d := timeIt(func() {
+			diag, err = nonzero.BuildDiskDiagram(disks, nonzero.DiagramOptions{
+				FlattenStep: 2 * 3.14159 / 360,
+			})
+		})
+		if err != nil {
+			t.Note("n=%d: %v", n, err)
+			continue
+		}
+		st := diag.Stats()
+		t.AddRow("random", itoa(n), itoa(st.E), itoa(st.V), dtoa(d))
+		xs = append(xs, float64(n))
+		ys = append(ys, d.Seconds())
+	}
+	t.Note("random-input time exponent %.2f in n (theory ~2 plus output term)", fitExponent(xs, ys))
+	for _, m := range []int{2, 3} {
+		disks := constructions.LowerBoundEqual(m)
+		var diag *nonzero.Diagram
+		var err error
+		d := timeIt(func() {
+			diag, err = nonzero.BuildDiskDiagram(disks, nonzero.DiagramOptions{})
+		})
+		if err != nil {
+			t.Note("lb m=%d: %v", m, err)
+			continue
+		}
+		st := diag.Stats()
+		t.AddRow("lowerbound-eq", itoa(3*m), itoa(st.E), itoa(st.V), dtoa(d))
+	}
+	return t
+}

@@ -1,0 +1,151 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDiskMinMaxDist(t *testing.T) {
+	d := DiskAt(0, 0, 5)
+	q := Pt(6, 8) // |q| = 10; this is the configuration of Figure 1.
+	if got := d.MinDist(q); math.Abs(got-5) > 1e-12 {
+		t.Errorf("MinDist = %v want 5", got)
+	}
+	if got := d.MaxDist(q); math.Abs(got-15) > 1e-12 {
+		t.Errorf("MaxDist = %v want 15", got)
+	}
+	// Query inside the disk: delta must clamp to 0.
+	if got := d.MinDist(Pt(1, 1)); got != 0 {
+		t.Errorf("MinDist inside = %v want 0", got)
+	}
+}
+
+func TestLensAreaSpecialCases(t *testing.T) {
+	a := DiskAt(0, 0, 2)
+	if got := a.LensArea(DiskAt(10, 0, 1)); got != 0 {
+		t.Errorf("disjoint lens = %v", got)
+	}
+	// Contained disk: lens = area of smaller.
+	if got := a.LensArea(DiskAt(0.5, 0, 1)); math.Abs(got-math.Pi) > 1e-9 {
+		t.Errorf("contained lens = %v want pi", got)
+	}
+	// Identical disks.
+	if got := a.LensArea(a); math.Abs(got-4*math.Pi) > 1e-9 {
+		t.Errorf("self lens = %v want 4pi", got)
+	}
+	// Equal circles of radius r with centers distance d apart have lens
+	// area 2 r^2 cos^-1(d/2r) - (d/2) sqrt(4r^2 - d^2).
+	r := 3.0
+	d := r
+	b := DiskAt(r, 0, r)
+	c := DiskAt(0, 0, r)
+	want := 2*r*r*math.Acos(d/(2*r)) - d/2*math.Sqrt(4*r*r-d*d)
+	if got := b.LensArea(c); math.Abs(got-want) > 1e-9 {
+		t.Errorf("half-overlap lens = %v want %v", got, want)
+	}
+}
+
+// TestLensAreaMonteCarlo cross-checks the closed form against sampling.
+func TestLensAreaMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		d1 := DiskAt(rng.Float64()*4-2, rng.Float64()*4-2, 0.5+rng.Float64()*2)
+		d2 := DiskAt(rng.Float64()*4-2, rng.Float64()*4-2, 0.5+rng.Float64()*2)
+		want := d1.LensArea(d2)
+		// Sample inside d1.
+		const N = 60000
+		in := 0
+		for i := 0; i < N; i++ {
+			p := sampleDisk(rng, d1)
+			if d2.Contains(p) {
+				in++
+			}
+		}
+		got := float64(in) / N * d1.Area()
+		tol := 4 * d1.Area() / math.Sqrt(N) // ~4 sigma
+		if math.Abs(got-want) > tol+1e-9 {
+			t.Errorf("trial %d: MC=%v closed=%v (tol %v)", trial, got, want, tol)
+		}
+	}
+}
+
+func sampleDisk(rng *rand.Rand, d Disk) Point {
+	for {
+		p := Pt(rng.Float64()*2-1, rng.Float64()*2-1)
+		if p.Norm2() <= 1 {
+			return d.C.Add(p.Scale(d.R))
+		}
+	}
+}
+
+func TestIntersectCircle(t *testing.T) {
+	a := DiskAt(0, 0, 5)
+	b := DiskAt(8, 0, 5)
+	p1, p2, n := a.IntersectCircle(b)
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	for _, p := range []Point{p1, p2} {
+		if math.Abs(p.Dist(a.C)-5) > 1e-9 || math.Abs(p.Dist(b.C)-5) > 1e-9 {
+			t.Errorf("intersection %v not on both circles", p)
+		}
+	}
+	// Tangent circles.
+	c := DiskAt(10, 0, 5)
+	q1, q2, n := a.IntersectCircle(c)
+	if n != 1 || !q1.NearEq(Pt(5, 0), 1e-9) || !q2.NearEq(q1, 1e-9) {
+		t.Errorf("tangency: n=%d q1=%v", n, q1)
+	}
+	// Disjoint and nested.
+	if _, _, n := a.IntersectCircle(DiskAt(100, 0, 1)); n != 0 {
+		t.Error("disjoint circles intersect")
+	}
+	if _, _, n := a.IntersectCircle(DiskAt(0, 0, 1)); n != 0 {
+		t.Error("nested circles intersect")
+	}
+}
+
+func TestCircleSegmentIntersections(t *testing.T) {
+	d := DiskAt(0, 0, 1)
+	ts := d.CircleSegmentIntersections(Seg(Pt(-2, 0), Pt(2, 0)))
+	if len(ts) != 2 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	if math.Abs(ts[0]-0.25) > 1e-12 || math.Abs(ts[1]-0.75) > 1e-12 {
+		t.Errorf("ts = %v", ts)
+	}
+	if ts := d.CircleSegmentIntersections(Seg(Pt(-2, 3), Pt(2, 3))); len(ts) != 0 {
+		t.Errorf("miss case: %v", ts)
+	}
+	// Segment starting inside.
+	ts = d.CircleSegmentIntersections(Seg(Pt(0, 0), Pt(2, 0)))
+	if len(ts) != 1 || math.Abs(ts[0]-0.5) > 1e-12 {
+		t.Errorf("inside-out: %v", ts)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectAround(Pt(0, 0), Pt(4, 2), Pt(1, 5))
+	if r.Min != Pt(0, 0) || r.Max != Pt(4, 5) {
+		t.Fatalf("RectAround = %+v", r)
+	}
+	if !r.Contains(Pt(2, 2)) || r.Contains(Pt(-1, 2)) {
+		t.Error("Contains broken")
+	}
+	if got := r.DistToPoint(Pt(7, 9)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("DistToPoint = %v", got)
+	}
+	if got := r.DistToPoint(Pt(2, 2)); got != 0 {
+		t.Errorf("inside dist = %v", got)
+	}
+	if got := r.MaxDistToPoint(Pt(0, 0)); math.Abs(got-r.Min.Dist(Pt(4, 5))) > 1e-12 {
+		t.Errorf("MaxDistToPoint = %v", got)
+	}
+	if !EmptyRect().IsEmpty() {
+		t.Error("EmptyRect not empty")
+	}
+	if got := EmptyRect().Union(r); got != r {
+		t.Error("empty union identity broken")
+	}
+}

@@ -1,0 +1,127 @@
+// Package geom is the planar geometry kernel underlying the uncertain
+// nearest-neighbor library. It provides points, segments, disks,
+// rectangles, convex hulls, smallest enclosing disks, half-plane
+// intersections and the exact orientation/in-circle predicates (with a
+// math/big fallback) that the higher-level structures rely on.
+//
+// Coordinates are float64 throughout. Predicates that decide combinatorial
+// structure (orientation, in-circle) use a floating-point filter with an
+// exact big.Rat fallback, so they are reliable even on the near-degenerate
+// inputs produced by the paper's lower-bound constructions.
+package geom
+
+import "math"
+
+// Eps is the default absolute tolerance used by the non-exact helpers.
+const Eps = 1e-9
+
+// Point is a point (or vector) in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns s * p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// Dot returns the dot product <p, q>.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean norm of p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean norm of p.
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Eq reports whether p and q coincide exactly.
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// NearEq reports whether p and q coincide within tol (absolute, per axis).
+func (p Point) NearEq(q Point, tol float64) bool {
+	return math.Abs(p.X-q.X) <= tol && math.Abs(p.Y-q.Y) <= tol
+}
+
+// Less orders points lexicographically by (X, Y). It is the sweep order
+// used by the arrangement machinery.
+func (p Point) Less(q Point) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	return p.Y < q.Y
+}
+
+// Rot90 returns p rotated by +90 degrees.
+func (p Point) Rot90() Point { return Point{-p.Y, p.X} }
+
+// Unit returns p normalized to unit length; the zero vector is returned
+// unchanged.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return Point{p.X / n, p.Y / n}
+}
+
+// Angle returns the polar angle of p in [0, 2π).
+func (p Point) Angle() float64 {
+	a := math.Atan2(p.Y, p.X)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Dir returns the unit vector with polar angle theta.
+func Dir(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{c, s}
+}
+
+// Lerp returns the affine combination (1-t)p + tq.
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// Midpoint returns the midpoint of p and q.
+func Midpoint(p, q Point) Point {
+	return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2}
+}
+
+// DistLinf returns the Chebyshev (L∞) distance between p and q.
+func (p Point) DistLinf(q Point) float64 {
+	dx, dy := math.Abs(p.X-q.X), math.Abs(p.Y-q.Y)
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// DistL1 returns the Manhattan (L1) distance between p and q.
+func (p Point) DistL1(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// RotL1 maps p to coordinates in which the L1 metric becomes L∞ (and
+// vice versa): d_1(p,q) = d_∞(RotL1(p), RotL1(q)).
+func (p Point) RotL1() Point { return Point{p.X + p.Y, p.X - p.Y} }

@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -1)
+	if got := p.Add(q); got != Pt(4, 1) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Dot(q); got != 1 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -7 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Dist(q); math.Abs(got-math.Sqrt(13)) > 1e-12 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.Dist2(q); got != 13 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestAngleDirRoundTrip(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 1.2, math.Pi, 4.9, 2*math.Pi - 1e-9} {
+		u := Dir(theta)
+		if math.Abs(u.Norm()-1) > 1e-12 {
+			t.Fatalf("Dir(%v) not unit", theta)
+		}
+		if got := u.Angle(); math.Abs(got-theta) > 1e-9 {
+			t.Errorf("Angle(Dir(%v)) = %v", theta, got)
+		}
+	}
+}
+
+func TestLexLess(t *testing.T) {
+	if !Pt(0, 1).Less(Pt(1, 0)) || !Pt(1, 0).Less(Pt(1, 1)) || Pt(1, 1).Less(Pt(1, 1)) {
+		t.Error("lexicographic order broken")
+	}
+}
+
+func TestOrient2DBasic(t *testing.T) {
+	a, b := Pt(0, 0), Pt(1, 0)
+	if Orient2D(a, b, Pt(0.5, 1)) != CounterClockwise {
+		t.Error("want CCW")
+	}
+	if Orient2D(a, b, Pt(0.5, -1)) != Clockwise {
+		t.Error("want CW")
+	}
+	if Orient2D(a, b, Pt(2, 0)) != Collinear {
+		t.Error("want collinear")
+	}
+}
+
+// TestOrient2DNearDegenerate exercises the exact fallback: points that are
+// collinear by construction but where naive arithmetic is unreliable.
+func TestOrient2DNearDegenerate(t *testing.T) {
+	// Classic Kettner et al. failure pattern: tiny perturbations around a
+	// collinear triple at awkward magnitudes.
+	a := Pt(0.5, 0.5)
+	b := Pt(12, 12)
+	c := Pt(24, 24)
+	if Orient2D(a, b, c) != Collinear {
+		t.Error("exactly collinear points misclassified")
+	}
+	// Perturb by one ulp and require a deterministic, consistent answer.
+	cUp := Pt(24, math.Nextafter(24, 25))
+	cDn := Pt(24, math.Nextafter(24, 23))
+	if Orient2D(a, b, cUp) != CounterClockwise {
+		t.Error("one-ulp CCW perturbation missed")
+	}
+	if Orient2D(a, b, cDn) != Clockwise {
+		t.Error("one-ulp CW perturbation missed")
+	}
+}
+
+func TestOrient2DAntisymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := Pt(rng.NormFloat64(), rng.NormFloat64())
+		b := Pt(rng.NormFloat64(), rng.NormFloat64())
+		c := Pt(rng.NormFloat64(), rng.NormFloat64())
+		o1 := Orient2D(a, b, c)
+		if o2 := Orient2D(b, a, c); o2 != -o1 {
+			t.Fatalf("swap not antisymmetric: %v vs %v", o1, o2)
+		}
+		if o3 := Orient2D(c, a, b); o3 != o1 {
+			t.Fatalf("cyclic rotation changed orientation: %v vs %v", o1, o3)
+		}
+	}
+}
+
+func TestInCircleBasic(t *testing.T) {
+	a, b, c := Pt(0, 0), Pt(1, 0), Pt(0, 1) // CCW unit right triangle
+	if InCircle(a, b, c, Pt(0.5, 0.5)) <= 0 {
+		t.Error("interior point not inside")
+	}
+	if InCircle(a, b, c, Pt(5, 5)) >= 0 {
+		t.Error("far point not outside")
+	}
+	if InCircle(a, b, c, Pt(1, 1)) != 0 {
+		t.Error("cocircular point not detected") // circle through the 3 pts has center (.5,.5)
+	}
+}
+
+func TestInCircleMatchesCircumcenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a := Pt(rng.Float64()*10, rng.Float64()*10)
+		b := Pt(rng.Float64()*10, rng.Float64()*10)
+		c := Pt(rng.Float64()*10, rng.Float64()*10)
+		if Orient2D(a, b, c) != CounterClockwise {
+			a, b = b, a
+		}
+		if Orient2D(a, b, c) != CounterClockwise {
+			continue // collinear
+		}
+		d := Pt(rng.Float64()*10, rng.Float64()*10)
+		o, ok := Circumcenter(a, b, c)
+		if !ok {
+			continue
+		}
+		r := o.Dist(a)
+		want := 0
+		if d.Dist(o) < r-1e-7 {
+			want = 1
+		} else if d.Dist(o) > r+1e-7 {
+			want = -1
+		} else {
+			continue // too close to the circle for the float reference
+		}
+		if got := InCircle(a, b, c, d); got != want {
+			t.Fatalf("InCircle=%v want %v (a=%v b=%v c=%v d=%v)", got, want, a, b, c, d)
+		}
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Keep quick's unbounded float64 inputs in a numerically sane range.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Pt(clamp(ax), clamp(ay))
+		b := Pt(clamp(bx), clamp(by))
+		c := Pt(clamp(cx), clamp(cy))
+		o, ok := Circumcenter(a, b, c)
+		if !ok {
+			return true
+		}
+		ra, rb, rc := o.Dist(a), o.Dist(b), o.Dist(c)
+		if math.IsInf(ra, 0) || math.IsNaN(ra) {
+			return true
+		}
+		scale := math.Max(ra, 1)
+		return math.Abs(ra-rb) < 1e-5*scale && math.Abs(ra-rc) < 1e-5*scale
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3)),
+		Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

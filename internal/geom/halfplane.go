@@ -1,0 +1,78 @@
+package geom
+
+// HalfPlane is the closed set {(x,y) : A*x + B*y <= C}.
+type HalfPlane struct {
+	A, B, C float64
+}
+
+// Eval returns A*x + B*y - C; the point is inside iff Eval <= 0.
+func (h HalfPlane) Eval(p Point) float64 { return h.A*p.X + h.B*p.Y - h.C }
+
+// Contains reports whether p lies in the closed half-plane.
+func (h HalfPlane) Contains(p Point) bool { return h.Eval(p) <= 0 }
+
+// HalfPlaneIntersection clips the convex polygon defined by bounds (a
+// large axis-aligned box) against every half-plane and returns the
+// resulting convex polygon in CCW order, or nil if the intersection is
+// empty (within the box). This is Sutherland–Hodgman clipping, O(n*k) for
+// n half-planes and result size k — ample for the O(k²) half-planes per
+// region B_ij in the discrete nonzero-Voronoi pipeline (Lemma 2.13).
+func HalfPlaneIntersection(hs []HalfPlane, bounds Rect) []Point {
+	c := bounds.Corners()
+	poly := []Point{c[0], c[1], c[2], c[3]}
+	for _, h := range hs {
+		poly = clipAgainst(poly, h)
+		if len(poly) == 0 {
+			return nil
+		}
+	}
+	return poly
+}
+
+func clipAgainst(poly []Point, h HalfPlane) []Point {
+	if len(poly) == 0 {
+		return nil
+	}
+	out := make([]Point, 0, len(poly)+2)
+	prev := poly[len(poly)-1]
+	prevIn := h.Eval(prev) <= 0
+	for _, cur := range poly {
+		curIn := h.Eval(cur) <= 0
+		if curIn != prevIn {
+			out = append(out, hpCross(prev, cur, h))
+		}
+		if curIn {
+			out = append(out, cur)
+		}
+		prev, prevIn = cur, curIn
+	}
+	// Remove near-duplicate consecutive vertices to keep polygons clean.
+	return dedupeLoop(out)
+}
+
+func hpCross(p, q Point, h HalfPlane) Point {
+	fp, fq := h.Eval(p), h.Eval(q)
+	t := fp / (fp - fq)
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return Lerp(p, q, t)
+}
+
+func dedupeLoop(poly []Point) []Point {
+	if len(poly) < 2 {
+		return poly
+	}
+	out := poly[:0]
+	for _, p := range poly {
+		if len(out) == 0 || !p.NearEq(out[len(out)-1], 1e-12) {
+			out = append(out, p)
+		}
+	}
+	for len(out) >= 2 && out[len(out)-1].NearEq(out[0], 1e-12) {
+		out = out[:len(out)-1]
+	}
+	return out
+}

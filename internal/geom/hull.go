@@ -1,0 +1,106 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of pts in counterclockwise order
+// (Andrew's monotone chain). Collinear points on the hull boundary are
+// discarded. The input slice is not modified.
+func ConvexHull(pts []Point) []Point {
+	n := len(pts)
+	if n <= 2 {
+		out := make([]Point, n)
+		copy(out, pts)
+		if n == 2 && out[0].Eq(out[1]) {
+			return out[:1]
+		}
+		return out
+	}
+	ps := make([]Point, n)
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) == 1 {
+		return ps
+	}
+
+	hull := make([]Point, 0, 2*len(ps))
+	// Lower hull.
+	for _, p := range ps {
+		for len(hull) >= 2 && Orient2D(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(ps) - 2; i >= 0; i-- {
+		p := ps[i]
+		for len(hull) >= lower && Orient2D(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}
+
+// PolygonArea returns the signed area of the polygon (positive if CCW).
+func PolygonArea(poly []Point) float64 {
+	var a float64
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		a += p.Cross(q)
+	}
+	return a / 2
+}
+
+// PointInConvex reports whether p lies in the closed convex polygon given
+// in CCW order. Runs in O(len(poly)).
+func PointInConvex(poly []Point, p Point) bool {
+	n := len(poly)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return poly[0].Eq(p)
+	}
+	for i := 0; i < n; i++ {
+		if Orient2D(poly[i], poly[(i+1)%n], p) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PointInConvexStrict reports whether p lies strictly inside the convex
+// polygon given in CCW order.
+func PointInConvexStrict(poly []Point, p Point) bool {
+	n := len(poly)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if Orient2D(poly[i], poly[(i+1)%n], p) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Centroid returns the arithmetic mean of pts.
+func Centroid(pts []Point) Point {
+	var c Point
+	for _, p := range pts {
+		c = c.Add(p)
+	}
+	if len(pts) > 0 {
+		c = c.Scale(1 / float64(len(pts)))
+	}
+	return c
+}

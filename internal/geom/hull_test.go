@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1),
+		Pt(0.5, 0.5), Pt(0.25, 0.75), // interior
+		Pt(0.5, 0), // on an edge
+	}
+	h := ConvexHull(pts)
+	if len(h) != 4 {
+		t.Fatalf("hull size %d: %v", len(h), h)
+	}
+	if PolygonArea(h) <= 0 {
+		t.Error("hull not CCW")
+	}
+	if math.Abs(PolygonArea(h)-1) > 1e-12 {
+		t.Errorf("hull area %v", PolygonArea(h))
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); len(h) != 0 {
+		t.Error("nil input")
+	}
+	if h := ConvexHull([]Point{Pt(1, 2)}); len(h) != 1 {
+		t.Error("single point")
+	}
+	if h := ConvexHull([]Point{Pt(1, 2), Pt(1, 2), Pt(1, 2)}); len(h) != 1 {
+		t.Errorf("all-duplicates: %v", h)
+	}
+	// Collinear points: hull is the two extremes.
+	h := ConvexHull([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)})
+	if len(h) != 2 {
+		t.Fatalf("collinear hull: %v", h)
+	}
+}
+
+// Property: every input point lies inside the hull, and hull vertices are
+// input points in convex position.
+func TestConvexHullProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		h := ConvexHull(pts)
+		if len(h) < 3 {
+			continue
+		}
+		for _, p := range pts {
+			if !PointInConvex(h, p) {
+				t.Fatalf("input point %v outside hull", p)
+			}
+		}
+		for i := range h {
+			a, b, c := h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]
+			if Orient2D(a, b, c) != CounterClockwise {
+				t.Fatalf("hull not strictly convex at %d", i)
+			}
+		}
+	}
+}
+
+func TestPointInConvexStrict(t *testing.T) {
+	sq := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if !PointInConvexStrict(sq, Pt(1, 1)) {
+		t.Error("interior not strict-in")
+	}
+	if PointInConvexStrict(sq, Pt(0, 1)) {
+		t.Error("boundary is strict-in")
+	}
+	if !PointInConvex(sq, Pt(0, 1)) {
+		t.Error("boundary not closed-in")
+	}
+	if PointInConvex(sq, Pt(-0.1, 1)) {
+		t.Error("outside is in")
+	}
+}
+
+func TestSmallestEnclosingDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		}
+		d := SmallestEnclosingDisk(pts, rng)
+		// All points contained (with tolerance).
+		for _, p := range pts {
+			if p.Dist(d.C) > d.R*(1+1e-9)+1e-9 {
+				t.Fatalf("point %v outside SEB %v (excess %v)", p, d, p.Dist(d.C)-d.R)
+			}
+		}
+		// Minimality heuristic check: shrinking by 0.5% must exclude a point
+		// (unless all points coincide).
+		if d.R > 1e-9 {
+			shrunk := Disk{d.C, d.R * 0.995}
+			all := true
+			for _, p := range pts {
+				if p.Dist(shrunk.C) > shrunk.R+1e-12 {
+					all = false
+					break
+				}
+			}
+			if all {
+				t.Fatalf("SEB not minimal: radius %v can shrink", d.R)
+			}
+		}
+	}
+}
+
+func TestSmallestEnclosingDiskKnown(t *testing.T) {
+	pts := []Point{Pt(-1, 0), Pt(1, 0), Pt(0, 0.2)}
+	d := SmallestEnclosingDisk(pts, nil)
+	if !d.C.NearEq(Pt(0, 0), 1e-9) || math.Abs(d.R-1) > 1e-9 {
+		t.Errorf("SEB = %+v want unit disk at origin", d)
+	}
+}
+
+func TestHalfPlaneIntersection(t *testing.T) {
+	box := Rect{Pt(-100, -100), Pt(100, 100)}
+	// Unit square via 4 half-planes.
+	hs := []HalfPlane{
+		{A: -1, B: 0, C: 0}, // x >= 0
+		{A: 1, B: 0, C: 1},  // x <= 1
+		{A: 0, B: -1, C: 0}, // y >= 0
+		{A: 0, B: 1, C: 1},  // y <= 1
+	}
+	poly := HalfPlaneIntersection(hs, box)
+	if len(poly) != 4 {
+		t.Fatalf("poly = %v", poly)
+	}
+	if math.Abs(PolygonArea(poly)-1) > 1e-9 {
+		t.Errorf("area = %v", PolygonArea(poly))
+	}
+	// Infeasible system.
+	hs = append(hs, HalfPlane{A: -1, B: 0, C: -5}) // x >= 5
+	if poly := HalfPlaneIntersection(hs, box); poly != nil {
+		t.Errorf("infeasible system gave %v", poly)
+	}
+}
+
+// Property: the clipped polygon is exactly the subset of the box
+// satisfying all constraints — verified by sampling.
+func TestHalfPlaneIntersectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	box := Rect{Pt(-10, -10), Pt(10, 10)}
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(8)
+		hs := make([]HalfPlane, m)
+		for i := range hs {
+			hs[i] = HalfPlane{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64() * 5}
+		}
+		poly := HalfPlaneIntersection(hs, box)
+		for k := 0; k < 200; k++ {
+			p := Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+			margin := math.Inf(-1) // max over constraints of Eval(p)
+			for _, h := range hs {
+				if v := h.Eval(p); v > margin {
+					margin = v
+				}
+			}
+			got := len(poly) >= 3 && PointInConvex(poly, p)
+			if margin < -1e-6 && !got {
+				t.Fatalf("point %v satisfies all constraints but outside polygon", p)
+			}
+			if margin > 1e-6 && got {
+				t.Fatalf("point %v violates a constraint but inside polygon", p)
+			}
+		}
+	}
+}

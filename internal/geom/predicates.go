@@ -1,0 +1,149 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+)
+
+// Orientation constants returned by Orient2D and friends.
+const (
+	Clockwise        = -1
+	Collinear        = 0
+	CounterClockwise = 1
+)
+
+// orientErrBound is the relative rounding-error bound for the 2x2
+// determinant used by Orient2D. If the floating-point determinant exceeds
+// this bound times the magnitude of the summands, its sign is certain.
+// The constant follows Shewchuk's analysis: (3 + 16u) u with u = 2^-53.
+var orientErrBound = (3.0 + 16.0*ulp) * ulp
+
+// inCircleErrBound is the analogous bound for the 4x4 in-circle
+// determinant: (10 + 96u) u.
+var inCircleErrBound = (10.0 + 96.0*ulp) * ulp
+
+const ulp = 1.1102230246251565e-16 // 2^-53
+
+// Orient2D returns the orientation of the triangle (a, b, c):
+// CounterClockwise if c lies to the left of the directed line a->b,
+// Clockwise if to the right, and Collinear otherwise. The result is exact:
+// a floating-point filter decides the easy cases and a big.Rat evaluation
+// decides the rest.
+func Orient2D(a, b, c Point) int {
+	detL := (b.X - a.X) * (c.Y - a.Y)
+	detR := (b.Y - a.Y) * (c.X - a.X)
+	det := detL - detR
+
+	var detSum float64
+	switch {
+	case detL > 0:
+		if detR <= 0 {
+			return sign(det)
+		}
+		detSum = detL + detR
+	case detL < 0:
+		if detR >= 0 {
+			return sign(det)
+		}
+		detSum = -detL - detR
+	default:
+		return sign(-detR)
+	}
+	if math.Abs(det) >= orientErrBound*detSum {
+		return sign(det)
+	}
+	return orient2DExact(a, b, c)
+}
+
+func orient2DExact(a, b, c Point) int {
+	rat := func(x float64) *big.Rat { return new(big.Rat).SetFloat64(x) }
+	t1 := new(big.Rat).Sub(rat(b.X), rat(a.X))
+	t2 := new(big.Rat).Sub(rat(c.Y), rat(a.Y))
+	t3 := new(big.Rat).Sub(rat(b.Y), rat(a.Y))
+	t4 := new(big.Rat).Sub(rat(c.X), rat(a.X))
+	l := new(big.Rat).Mul(t1, t2)
+	r := new(big.Rat).Mul(t3, t4)
+	return l.Cmp(r)
+}
+
+// InCircle reports whether d lies inside the circle through a, b, c.
+// It returns +1 if d is strictly inside, -1 if strictly outside and 0 if
+// cocircular, assuming (a, b, c) is counterclockwise. The result is exact
+// via a floating-point filter with big.Rat fallback.
+func InCircle(a, b, c, d Point) int {
+	adx, ady := a.X-d.X, a.Y-d.Y
+	bdx, bdy := b.X-d.X, b.Y-d.Y
+	cdx, cdy := c.X-d.X, c.Y-d.Y
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	alift := adx*adx + ady*ady
+
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*alift +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*blift +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*clift
+	if math.Abs(det) > inCircleErrBound*permanent {
+		return sign(det)
+	}
+	return inCircleExact(a, b, c, d)
+}
+
+func inCircleExact(a, b, c, d Point) int {
+	rat := func(x float64) *big.Rat { return new(big.Rat).SetFloat64(x) }
+	adx := new(big.Rat).Sub(rat(a.X), rat(d.X))
+	ady := new(big.Rat).Sub(rat(a.Y), rat(d.Y))
+	bdx := new(big.Rat).Sub(rat(b.X), rat(d.X))
+	bdy := new(big.Rat).Sub(rat(b.Y), rat(d.Y))
+	cdx := new(big.Rat).Sub(rat(c.X), rat(d.X))
+	cdy := new(big.Rat).Sub(rat(c.Y), rat(d.Y))
+
+	lift := func(x, y *big.Rat) *big.Rat {
+		xx := new(big.Rat).Mul(x, x)
+		yy := new(big.Rat).Mul(y, y)
+		return xx.Add(xx, yy)
+	}
+	al, bl, cl := lift(adx, ady), lift(bdx, bdy), lift(cdx, cdy)
+
+	m1 := new(big.Rat).Sub(new(big.Rat).Mul(bdx, cdy), new(big.Rat).Mul(cdx, bdy))
+	m2 := new(big.Rat).Sub(new(big.Rat).Mul(cdx, ady), new(big.Rat).Mul(adx, cdy))
+	m3 := new(big.Rat).Sub(new(big.Rat).Mul(adx, bdy), new(big.Rat).Mul(bdx, ady))
+
+	det := new(big.Rat).Mul(al, m1)
+	det.Add(det, new(big.Rat).Mul(bl, m2))
+	det.Add(det, new(big.Rat).Mul(cl, m3))
+	return det.Sign()
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// Circumcenter returns the center of the circle through a, b, c and true,
+// or the zero point and false if the points are (near-)collinear.
+func Circumcenter(a, b, c Point) (Point, bool) {
+	d := 2 * ((a.X-c.X)*(b.Y-c.Y) - (a.Y-c.Y)*(b.X-c.X))
+	if d == 0 {
+		return Point{}, false
+	}
+	al := a.Norm2() - c.Norm2()
+	bl := b.Norm2() - c.Norm2()
+	ux := (al*(b.Y-c.Y) - bl*(a.Y-c.Y)) / d
+	uy := (bl*(a.X-c.X) - al*(b.X-c.X)) / d
+	return Point{ux, uy}, true
+}

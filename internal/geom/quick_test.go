@@ -1,0 +1,136 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func clampQ(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 100)
+}
+
+// Property (testing/quick): segment clipping returns a sub-segment of the
+// input that lies inside the rectangle, and misses only when the segment
+// truly avoids the rectangle.
+func TestQuickClipToRect(t *testing.T) {
+	r := Rect{Min: Pt(-10, -10), Max: Pt(10, 10)}
+	f := func(ax, ay, bx, by float64) bool {
+		s := Seg(Pt(clampQ(ax), clampQ(ay)), Pt(clampQ(bx), clampQ(by)))
+		c, ok := s.ClipToRect(r)
+		if ok {
+			big := r.Inflate(1e-9)
+			if !big.Contains(c.A) || !big.Contains(c.B) {
+				return false
+			}
+			// Clipped endpoints must lie on the original segment.
+			if s.DistToPoint(c.A) > 1e-9*(1+s.Len()) || s.DistToPoint(c.B) > 1e-9*(1+s.Len()) {
+				return false
+			}
+			return true
+		}
+		// No intersection claimed: sampling must confirm.
+		for i := 0; i <= 20; i++ {
+			if r.Contains(s.At(float64(i) / 20)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): the convex hull contains every input point
+// and is convex.
+func TestQuickConvexHull(t *testing.T) {
+	f := func(coords []float64) bool {
+		pts := make([]Point, 0, len(coords)/2)
+		for i := 0; i+1 < len(coords); i += 2 {
+			pts = append(pts, Pt(clampQ(coords[i]), clampQ(coords[i+1])))
+		}
+		h := ConvexHull(pts)
+		if len(h) < 3 {
+			return true
+		}
+		for _, p := range pts {
+			if !PointInConvex(h, p) {
+				return false
+			}
+		}
+		for i := range h {
+			if Orient2D(h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]) != CounterClockwise {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(72))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): the smallest enclosing disk contains all
+// points and is determined by at most three of them (its radius cannot
+// shrink without losing a point).
+func TestQuickSmallestEnclosingDisk(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	f := func(coords []float64) bool {
+		pts := make([]Point, 0, len(coords)/2)
+		for i := 0; i+1 < len(coords); i += 2 {
+			pts = append(pts, Pt(clampQ(coords[i]), clampQ(coords[i+1])))
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		d := SmallestEnclosingDisk(pts, rng)
+		for _, p := range pts {
+			if p.Dist(d.C) > d.R*(1+1e-9)+1e-9 {
+				return false
+			}
+		}
+		if d.R < 1e-9 {
+			return true
+		}
+		shrunk := d.R * 0.99
+		for _, p := range pts {
+			if p.Dist(d.C) > shrunk+1e-12 {
+				return true // some point pins the radius
+			}
+		}
+		return false
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): the circular lens area is symmetric,
+// monotone in either radius, and bounded by the smaller disk's area.
+func TestQuickLensArea(t *testing.T) {
+	f := func(ax, ay, ar, bx, by, br float64) bool {
+		a := DiskAt(clampQ(ax), clampQ(ay), math.Abs(clampQ(ar))+0.1)
+		b := DiskAt(clampQ(bx), clampQ(by), math.Abs(clampQ(br))+0.1)
+		l1, l2 := a.LensArea(b), b.LensArea(a)
+		if math.Abs(l1-l2) > 1e-6*(1+l1) {
+			return false
+		}
+		if l1 < -1e-12 || l1 > math.Min(a.Area(), b.Area())+1e-9 {
+			return false
+		}
+		grown := Disk{C: b.C, R: b.R * 1.1}
+		return a.LensArea(grown) >= l1-1e-9
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(74))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package geom
+
+import "math/rand"
+
+// SmallestEnclosingDisk returns the smallest disk containing all pts
+// (Welzl's randomized algorithm, expected linear time). The result is the
+// exact smallest enclosing disk up to floating-point rounding; a small
+// tolerance is used in the containment tests to keep the recursion stable.
+//
+// The nonzero-NN structures use it as the per-point summary (o_i, rho_i)
+// with the invariants d(q,o_i) <= maxdist_i(q) <= d(q,o_i) + rho_i.
+func SmallestEnclosingDisk(pts []Point, rng *rand.Rand) Disk {
+	if len(pts) == 0 {
+		return Disk{}
+	}
+	ps := make([]Point, len(pts))
+	copy(ps, pts)
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x5eb))
+	}
+	rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+
+	d := Disk{C: ps[0], R: 0}
+	for i := 1; i < len(ps); i++ {
+		if sebContains(d, ps[i]) {
+			continue
+		}
+		d = Disk{C: ps[i], R: 0}
+		for j := 0; j < i; j++ {
+			if sebContains(d, ps[j]) {
+				continue
+			}
+			d = diskFrom2(ps[i], ps[j])
+			for k := 0; k < j; k++ {
+				if sebContains(d, ps[k]) {
+					continue
+				}
+				d = diskFrom3(ps[i], ps[j], ps[k])
+			}
+		}
+	}
+	return d
+}
+
+func sebContains(d Disk, p Point) bool {
+	return d.C.Dist2(p) <= d.R*d.R*(1+1e-12)+1e-24
+}
+
+func diskFrom2(a, b Point) Disk {
+	c := Midpoint(a, b)
+	return Disk{C: c, R: c.Dist(a)}
+}
+
+func diskFrom3(a, b, c Point) Disk {
+	o, ok := Circumcenter(a, b, c)
+	if !ok {
+		// Collinear: the two farthest points determine the disk.
+		d1, d2, d3 := diskFrom2(a, b), diskFrom2(a, c), diskFrom2(b, c)
+		best := d1
+		if d2.R > best.R {
+			best = d2
+		}
+		if d3.R > best.R {
+			best = d3
+		}
+		return best
+	}
+	return Disk{C: o, R: o.Dist(a)}
+}

@@ -1,0 +1,179 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSegIntersectProper(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(2, 2))
+	o := Seg(Pt(0, 2), Pt(2, 0))
+	x := s.Intersect(o)
+	if !x.OK || !x.Proper {
+		t.Fatalf("want proper intersection, got %+v", x)
+	}
+	if !x.P.NearEq(Pt(1, 1), 1e-12) {
+		t.Errorf("P = %v", x.P)
+	}
+	if math.Abs(x.T-0.5) > 1e-12 || math.Abs(x.U-0.5) > 1e-12 {
+		t.Errorf("T=%v U=%v", x.T, x.U)
+	}
+}
+
+func TestSegIntersectEndpointTouch(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(1, 0))
+	o := Seg(Pt(1, 0), Pt(1, 5))
+	x := s.Intersect(o)
+	if !x.OK || x.Proper {
+		t.Fatalf("want non-proper touch, got %+v", x)
+	}
+	if !x.P.NearEq(Pt(1, 0), 1e-12) {
+		t.Errorf("P = %v", x.P)
+	}
+}
+
+func TestSegIntersectDisjointAndParallel(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(1, 0))
+	if x := s.Intersect(Seg(Pt(0, 1), Pt(1, 1))); x.OK {
+		t.Error("parallel disjoint reported as intersecting")
+	}
+	if x := s.Intersect(Seg(Pt(2, -1), Pt(2, 1))); x.OK {
+		t.Error("disjoint reported as intersecting")
+	}
+}
+
+func TestSegIntersectCollinearOverlap(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(2, 0))
+	o := Seg(Pt(1, 0), Pt(3, 0))
+	x := s.Intersect(o)
+	if !x.OK || !x.Overlap {
+		t.Fatalf("want overlap, got %+v", x)
+	}
+	// Collinear but disjoint:
+	if x := s.Intersect(Seg(Pt(3, 0), Pt(4, 0))); x.OK {
+		t.Error("collinear disjoint reported as intersecting")
+	}
+	// Collinear touching at one point:
+	x = s.Intersect(Seg(Pt(2, 0), Pt(4, 0)))
+	if !x.OK || x.Overlap {
+		t.Fatalf("collinear endpoint touch misreported: %+v", x)
+	}
+}
+
+func TestSegIntersectRandomAgainstParametric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		s := Seg(randPt(rng), randPt(rng))
+		o := Seg(randPt(rng), randPt(rng))
+		x := s.Intersect(o)
+		if x.OK && !x.Overlap {
+			// The reported point must lie (nearly) on both segments.
+			if d := s.DistToPoint(x.P); d > 1e-7 {
+				t.Fatalf("P off first segment by %v", d)
+			}
+			if d := o.DistToPoint(x.P); d > 1e-7 {
+				t.Fatalf("P off second segment by %v", d)
+			}
+		}
+		if !x.OK {
+			// Sample both segments and verify no near-coincidence ever occurs.
+			for k := 0; k < 5; k++ {
+				p := s.At(rng.Float64())
+				if o.DistToPoint(p) < 1e-12 {
+					t.Fatalf("missed intersection: %v on both", p)
+				}
+			}
+		}
+	}
+}
+
+func randPt(rng *rand.Rand) Point {
+	return Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	cases := []struct {
+		p Point
+		d float64
+	}{
+		{Pt(5, 3), 3}, {Pt(-4, 3), 5}, {Pt(13, 4), 5}, {Pt(7, 0), 0},
+	}
+	for _, c := range cases {
+		if got := s.DistToPoint(c.p); math.Abs(got-c.d) > 1e-12 {
+			t.Errorf("DistToPoint(%v) = %v want %v", c.p, got, c.d)
+		}
+	}
+	// Degenerate segment.
+	pt := Seg(Pt(1, 1), Pt(1, 1))
+	if got := pt.DistToPoint(Pt(4, 5)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("degenerate DistToPoint = %v", got)
+	}
+}
+
+func TestLineThroughAndBisector(t *testing.T) {
+	l := LineThrough(Pt(0, 0), Pt(1, 1))
+	if math.Abs(l.Side(Pt(2, 2))) > 1e-12 {
+		t.Error("point on line has nonzero side")
+	}
+	b := Bisector(Pt(0, 0), Pt(2, 0))
+	if math.Abs(b.Side(Pt(1, 7))) > 1e-12 {
+		t.Error("bisector misses equidistant point")
+	}
+	if b.Side(Pt(0, 0)) >= 0 {
+		t.Error("bisector orientation: p-side should be negative")
+	}
+	if b.Side(Pt(2, 0)) <= 0 {
+		t.Error("bisector orientation: q-side should be positive")
+	}
+}
+
+func TestLineIntersectLine(t *testing.T) {
+	l := LineThrough(Pt(0, 0), Pt(1, 1))
+	m := LineThrough(Pt(0, 2), Pt(2, 0))
+	p, ok := l.IntersectLine(m)
+	if !ok || !p.NearEq(Pt(1, 1), 1e-12) {
+		t.Errorf("got %v ok=%v", p, ok)
+	}
+	if _, ok := l.IntersectLine(LineThrough(Pt(0, 1), Pt(1, 2))); ok {
+		t.Error("parallel lines reported as intersecting")
+	}
+}
+
+func TestLineClipToRect(t *testing.T) {
+	r := Rect{Pt(0, 0), Pt(10, 10)}
+	l := LineThrough(Pt(-5, 5), Pt(15, 5)) // horizontal through middle
+	s, ok := l.ClipToRect(r)
+	if !ok {
+		t.Fatal("clip missed rectangle")
+	}
+	if math.Abs(s.Len()-10) > 1e-9 {
+		t.Errorf("clipped length %v", s.Len())
+	}
+	// Line that misses the box.
+	if _, ok := LineThrough(Pt(-1, 20), Pt(1, 20)).ClipToRect(r); ok {
+		t.Error("line above box reported as hitting")
+	}
+	// Random lines: clipped endpoints must be inside (slightly inflated) box
+	// and on the line.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		p, q := randPt(rng), randPt(rng)
+		if p.Eq(q) {
+			continue
+		}
+		l := LineThrough(p, q)
+		s, ok := l.ClipToRect(r)
+		if !ok {
+			continue
+		}
+		big := r.Inflate(1e-6)
+		if !big.Contains(s.A) || !big.Contains(s.B) {
+			t.Fatalf("clip outside box: %+v", s)
+		}
+		if math.Abs(l.Side(s.A)) > 1e-6*(1+math.Abs(l.C)) || math.Abs(l.Side(s.B)) > 1e-6*(1+math.Abs(l.C)) {
+			t.Fatalf("clip endpoints off line: %+v", s)
+		}
+	}
+}

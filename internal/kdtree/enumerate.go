@@ -1,0 +1,90 @@
+package kdtree
+
+import (
+	"container/heap"
+
+	"unn/internal/geom"
+)
+
+// Enumerator yields the items of a tree in non-decreasing distance from a
+// fixed query point, lazily. It is the incremental "spiral" retrieval
+// primitive of Section 4.3: the caller pulls exactly as many nearest
+// locations as the error analysis requires (m(ρ,ε) of Theorem 4.7, or an
+// adaptive stopping rule) without committing to k in advance.
+//
+// Each Next call runs in O(log n) amortized heap operations.
+type Enumerator struct {
+	q geom.Point
+	h entryHeap
+}
+
+type entry struct {
+	dist float64
+	nd   *node // nil if this entry is a concrete item
+	item Item
+}
+
+type entryHeap []entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Enumerate returns a fresh enumerator for query point q.
+func (t *Tree) Enumerate(q geom.Point) *Enumerator {
+	e := &Enumerator{q: q}
+	if t.root != nil {
+		e.h = entryHeap{{dist: t.root.bounds.DistToPoint(q), nd: t.root}}
+	}
+	return e
+}
+
+// Next returns the next-closest item and its distance. ok is false once
+// the tree is exhausted.
+func (e *Enumerator) Next() (Neighbor, bool) {
+	for len(e.h) > 0 {
+		top := heap.Pop(&e.h).(entry)
+		if top.nd == nil {
+			return Neighbor{Item: top.item, Dist: top.dist}, true
+		}
+		nd := top.nd
+		if nd.items != nil {
+			for _, it := range nd.items {
+				heap.Push(&e.h, entry{dist: e.q.Dist(it.P), item: it})
+			}
+			continue
+		}
+		heap.Push(&e.h, entry{dist: nd.left.bounds.DistToPoint(e.q), nd: nd.left})
+		heap.Push(&e.h, entry{dist: nd.right.bounds.DistToPoint(e.q), nd: nd.right})
+	}
+	return Neighbor{}, false
+}
+
+// Peek returns the distance of the item Next would return, without
+// consuming it. ok is false if the enumeration is exhausted.
+func (e *Enumerator) Peek() (float64, bool) {
+	for len(e.h) > 0 {
+		if e.h[0].nd == nil {
+			return e.h[0].dist, true
+		}
+		top := heap.Pop(&e.h).(entry)
+		nd := top.nd
+		if nd.items != nil {
+			for _, it := range nd.items {
+				heap.Push(&e.h, entry{dist: e.q.Dist(it.P), item: it})
+			}
+			continue
+		}
+		heap.Push(&e.h, entry{dist: nd.left.bounds.DistToPoint(e.q), nd: nd.left})
+		heap.Push(&e.h, entry{dist: nd.right.bounds.DistToPoint(e.q), nd: nd.right})
+	}
+	return 0, false
+}

@@ -1,0 +1,315 @@
+// Package kdtree implements the planar kd-tree family used throughout the
+// uncertain nearest-neighbor library:
+//
+//   - exact nearest / k-nearest neighbor queries,
+//   - incremental best-first enumeration of points by distance (the
+//     retrieval primitive behind the paper's spiral-search algorithm,
+//     Section 4.3),
+//   - circular range reporting,
+//   - additively-weighted nearest neighbor (min over items of d(q,p)+w),
+//     which evaluates the lower envelope Δ(q) of the paper's Section 2,
+//   - below-threshold weighted reporting (all items with d(q,p)−w < T),
+//     the second stage of the Theorem 3.1 query structure.
+//
+// The implementations are the practical stand-ins for the partition-tree
+// and [KMR+16]/[AC09] structures the paper uses in its theorems; see
+// DESIGN.md §3 for the substitution rationale.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+)
+
+// Item is a point with an additive weight and a caller-supplied ID.
+type Item struct {
+	P  geom.Point
+	W  float64
+	ID int
+}
+
+// Tree is an immutable planar kd-tree over a set of Items.
+type Tree struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	bounds     geom.Rect
+	minW, maxW float64
+	left       *node
+	right      *node
+	items      []Item // leaf payload; nil for internal nodes
+}
+
+const leafSize = 8
+
+// New builds a kd-tree over the given items. The slice is copied; the tree
+// is immutable afterwards and safe for concurrent queries.
+func New(items []Item) *Tree {
+	buf := make([]Item, len(items))
+	copy(buf, items)
+	t := &Tree{n: len(buf)}
+	if len(buf) > 0 {
+		t.root = build(buf)
+	}
+	return t
+}
+
+// FromPoints builds a tree of unweighted points with IDs 0..len-1.
+func FromPoints(pts []geom.Point) *Tree {
+	items := make([]Item, len(pts))
+	for i, p := range pts {
+		items[i] = Item{P: p, ID: i}
+	}
+	return New(items)
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int { return t.n }
+
+// Bounds returns the bounding rectangle of all items.
+func (t *Tree) Bounds() geom.Rect {
+	if t.root == nil {
+		return geom.EmptyRect()
+	}
+	return t.root.bounds
+}
+
+func build(items []Item) *node {
+	nd := &node{bounds: geom.EmptyRect(), minW: math.Inf(1), maxW: math.Inf(-1)}
+	for _, it := range items {
+		nd.bounds = nd.bounds.Extend(it.P)
+		nd.minW = math.Min(nd.minW, it.W)
+		nd.maxW = math.Max(nd.maxW, it.W)
+	}
+	if len(items) <= leafSize {
+		nd.items = items
+		return nd
+	}
+	// Split on the wider axis at the median.
+	byX := nd.bounds.Width() >= nd.bounds.Height()
+	sort.Slice(items, func(i, j int) bool {
+		if byX {
+			return items[i].P.X < items[j].P.X
+		}
+		return items[i].P.Y < items[j].P.Y
+	})
+	mid := len(items) / 2
+	nd.left = build(items[:mid])
+	nd.right = build(items[mid:])
+	return nd
+}
+
+// Neighbor is a query result: an item and its distance to the query.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+// Nearest returns the item closest to q (ignoring weights) and its
+// distance. ok is false for an empty tree.
+func (t *Tree) Nearest(q geom.Point) (Neighbor, bool) {
+	if t.root == nil {
+		return Neighbor{}, false
+	}
+	best := Neighbor{Dist: math.Inf(1)}
+	t.root.nearest(q, &best)
+	return best, true
+}
+
+func (nd *node) nearest(q geom.Point, best *Neighbor) {
+	if nd.bounds.DistToPoint(q) >= best.Dist {
+		return
+	}
+	if nd.items != nil {
+		for _, it := range nd.items {
+			if d := q.Dist(it.P); d < best.Dist {
+				*best = Neighbor{Item: it, Dist: d}
+			}
+		}
+		return
+	}
+	a, b := nd.left, nd.right
+	if b.bounds.DistToPoint(q) < a.bounds.DistToPoint(q) {
+		a, b = b, a
+	}
+	a.nearest(q, best)
+	b.nearest(q, best)
+}
+
+// KNearest returns the k items closest to q in increasing distance order.
+// Ties are broken arbitrarily. If k >= Len, all items are returned.
+func (t *Tree) KNearest(q geom.Point, k int) []Neighbor {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	e := t.Enumerate(q)
+	out := make([]Neighbor, 0, k)
+	for len(out) < k {
+		nb, ok := e.Next()
+		if !ok {
+			break
+		}
+		out = append(out, nb)
+	}
+	return out
+}
+
+// WithinDist calls fn for every item with d(q, p) <= r (or strictly < r if
+// strict). Iteration order is unspecified. fn returning false stops the
+// search early.
+func (t *Tree) WithinDist(q geom.Point, r float64, strict bool, fn func(Item, float64) bool) {
+	if t.root != nil {
+		t.root.within(q, r, strict, fn)
+	}
+}
+
+func (nd *node) within(q geom.Point, r float64, strict bool, fn func(Item, float64) bool) bool {
+	d := nd.bounds.DistToPoint(q)
+	if d > r || (strict && d >= r) {
+		return true
+	}
+	if nd.items != nil {
+		for _, it := range nd.items {
+			dd := q.Dist(it.P)
+			if dd < r || (!strict && dd == r) {
+				if !fn(it, dd) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return nd.left.within(q, r, strict, fn) && nd.right.within(q, r, strict, fn)
+}
+
+// NearestAdditive returns the item minimizing d(q, p) + w over the tree,
+// together with that minimum value. For uncertainty disks (w = radius)
+// this evaluates Δ(q) = min_i Δ_i(q), the lower envelope of maximum
+// distances whose xy-projection is the additively-weighted Voronoi
+// diagram M of Section 2.1.
+func (t *Tree) NearestAdditive(q geom.Point) (Neighbor, float64, bool) {
+	if t.root == nil {
+		return Neighbor{}, 0, false
+	}
+	best := Neighbor{Dist: math.Inf(1)}
+	bestVal := math.Inf(1)
+	t.root.nearestAdd(q, &best, &bestVal)
+	return best, bestVal, true
+}
+
+func (nd *node) nearestAdd(q geom.Point, best *Neighbor, bestVal *float64) {
+	if nd.bounds.DistToPoint(q)+nd.minW >= *bestVal {
+		return
+	}
+	if nd.items != nil {
+		for _, it := range nd.items {
+			d := q.Dist(it.P)
+			if v := d + it.W; v < *bestVal {
+				*best = Neighbor{Item: it, Dist: d}
+				*bestVal = v
+			}
+		}
+		return
+	}
+	a, b := nd.left, nd.right
+	if b.bounds.DistToPoint(q)+b.minW < a.bounds.DistToPoint(q)+a.minW {
+		a, b = b, a
+	}
+	a.nearestAdd(q, best, bestVal)
+	b.nearestAdd(q, best, bestVal)
+}
+
+// ReportBelow calls fn for every item with d(q, p) - w < T. With w = r_i
+// and T = Δ(q) this reports exactly {i : δ_i(q) < Δ(q)} = NN≠0(q)
+// (Lemma 2.1 via Eq. (4)), the second stage of Theorem 3.1.
+func (t *Tree) ReportBelow(q geom.Point, T float64, fn func(Item, float64) bool) {
+	if t.root != nil {
+		t.root.reportBelow(q, T, fn)
+	}
+}
+
+func (nd *node) reportBelow(q geom.Point, T float64, fn func(Item, float64) bool) bool {
+	if nd.bounds.DistToPoint(q)-nd.maxW >= T {
+		return true
+	}
+	if nd.items != nil {
+		for _, it := range nd.items {
+			d := q.Dist(it.P)
+			if d-it.W < T {
+				if !fn(it, d) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return nd.left.reportBelow(q, T, fn) && nd.right.reportBelow(q, T, fn)
+}
+
+// NearestAdditiveLinf is NearestAdditive under the Chebyshev (L∞)
+// metric: it returns the item minimizing d_∞(q,p) + w. Together with
+// ReportBelowLinf it supports the L∞/L1 variant of the two-stage NN≠0
+// structure (the remark after Theorem 3.1: square and diamond
+// uncertainty regions).
+func (t *Tree) NearestAdditiveLinf(q geom.Point) (Neighbor, float64, bool) {
+	if t.root == nil {
+		return Neighbor{}, 0, false
+	}
+	best := Neighbor{Dist: math.Inf(1)}
+	bestVal := math.Inf(1)
+	t.root.nearestAddLinf(q, &best, &bestVal)
+	return best, bestVal, true
+}
+
+func (nd *node) nearestAddLinf(q geom.Point, best *Neighbor, bestVal *float64) {
+	if nd.bounds.DistToPointLinf(q)+nd.minW >= *bestVal {
+		return
+	}
+	if nd.items != nil {
+		for _, it := range nd.items {
+			d := q.DistLinf(it.P)
+			if v := d + it.W; v < *bestVal {
+				*best = Neighbor{Item: it, Dist: d}
+				*bestVal = v
+			}
+		}
+		return
+	}
+	a, b := nd.left, nd.right
+	if b.bounds.DistToPointLinf(q)+b.minW < a.bounds.DistToPointLinf(q)+a.minW {
+		a, b = b, a
+	}
+	a.nearestAddLinf(q, best, bestVal)
+	b.nearestAddLinf(q, best, bestVal)
+}
+
+// ReportBelowLinf calls fn for every item with d_∞(q, p) - w < T — the
+// "report all axis-aligned squares intersecting a query square" step of
+// the L∞ two-stage structure.
+func (t *Tree) ReportBelowLinf(q geom.Point, T float64, fn func(Item, float64) bool) {
+	if t.root != nil {
+		t.root.reportBelowLinf(q, T, fn)
+	}
+}
+
+func (nd *node) reportBelowLinf(q geom.Point, T float64, fn func(Item, float64) bool) bool {
+	if nd.bounds.DistToPointLinf(q)-nd.maxW >= T {
+		return true
+	}
+	if nd.items != nil {
+		for _, it := range nd.items {
+			d := q.DistLinf(it.P)
+			if d-it.W < T {
+				if !fn(it, d) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return nd.left.reportBelowLinf(q, T, fn) && nd.right.reportBelowLinf(q, T, fn)
+}

@@ -1,0 +1,256 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"unn/internal/geom"
+)
+
+func randItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			P:  geom.Pt(rng.Float64()*100-50, rng.Float64()*100-50),
+			W:  rng.Float64() * 5,
+			ID: i,
+		}
+	}
+	return items
+}
+
+func bruteNearest(items []Item, q geom.Point) (Item, float64) {
+	best, bd := Item{}, math.Inf(1)
+	for _, it := range items {
+		if d := q.Dist(it.P); d < bd {
+			best, bd = it, d
+		}
+	}
+	return best, bd
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Fatal("len")
+	}
+	if _, ok := tr.Nearest(geom.Pt(0, 0)); ok {
+		t.Error("Nearest on empty tree")
+	}
+	if _, _, ok := tr.NearestAdditive(geom.Pt(0, 0)); ok {
+		t.Error("NearestAdditive on empty tree")
+	}
+	if _, ok := tr.Enumerate(geom.Pt(0, 0)).Next(); ok {
+		t.Error("Enumerate on empty tree")
+	}
+	tr.WithinDist(geom.Pt(0, 0), 10, false, func(Item, float64) bool {
+		t.Error("WithinDist on empty tree")
+		return true
+	})
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		items := randItems(rng, n)
+		tr := New(items)
+		for k := 0; k < 50; k++ {
+			q := geom.Pt(rng.Float64()*120-60, rng.Float64()*120-60)
+			got, ok := tr.Nearest(q)
+			if !ok {
+				t.Fatal("not ok")
+			}
+			_, want := bruteNearest(items, q)
+			if math.Abs(got.Dist-want) > 1e-12 {
+				t.Fatalf("Nearest dist %v want %v", got.Dist, want)
+			}
+		}
+	}
+}
+
+func TestKNearestMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		items := randItems(rng, n)
+		tr := New(items)
+		q := geom.Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		k := 1 + rng.Intn(n+3)
+		got := tr.KNearest(q, k)
+
+		dists := make([]float64, n)
+		for i, it := range items {
+			dists[i] = q.Dist(it.P)
+		}
+		sort.Float64s(dists)
+		wantLen := k
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("len %d want %d", len(got), wantLen)
+		}
+		for i, nb := range got {
+			if math.Abs(nb.Dist-dists[i]) > 1e-12 {
+				t.Fatalf("k-NN #%d dist %v want %v", i, nb.Dist, dists[i])
+			}
+			if i > 0 && got[i].Dist < got[i-1].Dist {
+				t.Fatal("k-NN not sorted")
+			}
+		}
+	}
+}
+
+func TestEnumerateFullOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 500)
+	tr := New(items)
+	q := geom.Pt(3, -7)
+	e := tr.Enumerate(q)
+	var prev float64 = -1
+	seen := map[int]bool{}
+	count := 0
+	for {
+		// Peek must agree with Next.
+		pd, pok := e.Peek()
+		nb, ok := e.Next()
+		if ok != pok {
+			t.Fatal("Peek/Next disagree on ok")
+		}
+		if !ok {
+			break
+		}
+		if math.Abs(pd-nb.Dist) > 1e-12 {
+			t.Fatalf("Peek %v != Next %v", pd, nb.Dist)
+		}
+		if nb.Dist < prev {
+			t.Fatalf("order violated: %v after %v", nb.Dist, prev)
+		}
+		if seen[nb.Item.ID] {
+			t.Fatalf("duplicate ID %d", nb.Item.ID)
+		}
+		seen[nb.Item.ID] = true
+		prev = nb.Dist
+		count++
+	}
+	if count != len(items) {
+		t.Fatalf("enumerated %d of %d", count, len(items))
+	}
+}
+
+func TestWithinDistMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		items := randItems(rng, 200)
+		tr := New(items)
+		q := geom.Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		r := rng.Float64() * 40
+		for _, strict := range []bool{false, true} {
+			got := map[int]bool{}
+			tr.WithinDist(q, r, strict, func(it Item, d float64) bool {
+				got[it.ID] = true
+				return true
+			})
+			for _, it := range items {
+				d := q.Dist(it.P)
+				want := d <= r
+				if strict {
+					want = d < r
+				}
+				if got[it.ID] != want {
+					t.Fatalf("WithinDist(strict=%v) id=%d d=%v r=%v got=%v",
+						strict, it.ID, d, r, got[it.ID])
+				}
+			}
+		}
+	}
+}
+
+func TestWithinDistEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randItems(rng, 100)
+	tr := New(items)
+	calls := 0
+	tr.WithinDist(geom.Pt(0, 0), 1000, false, func(Item, float64) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop: %d calls", calls)
+	}
+}
+
+func TestNearestAdditiveMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		items := randItems(rng, 1+rng.Intn(300))
+		tr := New(items)
+		for k := 0; k < 30; k++ {
+			q := geom.Pt(rng.Float64()*120-60, rng.Float64()*120-60)
+			_, got, ok := tr.NearestAdditive(q)
+			if !ok {
+				t.Fatal("not ok")
+			}
+			want := math.Inf(1)
+			for _, it := range items {
+				if v := q.Dist(it.P) + it.W; v < want {
+					want = v
+				}
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("NearestAdditive %v want %v", got, want)
+			}
+		}
+	}
+}
+
+func TestReportBelowMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		items := randItems(rng, 200)
+		tr := New(items)
+		q := geom.Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+		T := rng.Float64() * 30
+		got := map[int]bool{}
+		tr.ReportBelow(q, T, func(it Item, d float64) bool {
+			got[it.ID] = true
+			return true
+		})
+		for _, it := range items {
+			want := q.Dist(it.P)-it.W < T
+			if got[it.ID] != want {
+				t.Fatalf("ReportBelow id=%d got=%v want=%v", it.ID, got[it.ID], want)
+			}
+		}
+	}
+}
+
+// Duplicate points must all be retrievable.
+func TestDuplicatePoints(t *testing.T) {
+	items := []Item{
+		{P: geom.Pt(1, 1), ID: 0}, {P: geom.Pt(1, 1), ID: 1},
+		{P: geom.Pt(1, 1), ID: 2}, {P: geom.Pt(5, 5), ID: 3},
+	}
+	tr := New(items)
+	nbs := tr.KNearest(geom.Pt(1, 1), 3)
+	if len(nbs) != 3 {
+		t.Fatalf("got %d", len(nbs))
+	}
+	for _, nb := range nbs {
+		if nb.Dist != 0 {
+			t.Fatalf("dup dist %v", nb.Dist)
+		}
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	tr := FromPoints(pts)
+	nb, _ := tr.Nearest(geom.Pt(1.9, 0))
+	if nb.Item.ID != 2 {
+		t.Fatalf("ID %d", nb.Item.ID)
+	}
+}

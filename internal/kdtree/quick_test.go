@@ -1,0 +1,125 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"unn/internal/geom"
+)
+
+// quickConfig produces bounded, well-conditioned float inputs from
+// testing/quick's unbounded generator.
+func clampCoord(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e3)
+}
+
+// Property (testing/quick): for arbitrary point sets and query points,
+// the tree's nearest neighbor matches a linear scan.
+func TestQuickNearestInvariant(t *testing.T) {
+	f := func(coords []float64, qx, qy float64) bool {
+		if len(coords) < 2 {
+			return true
+		}
+		items := make([]Item, 0, len(coords)/2)
+		for i := 0; i+1 < len(coords); i += 2 {
+			items = append(items, Item{
+				P:  geom.Pt(clampCoord(coords[i]), clampCoord(coords[i+1])),
+				ID: i / 2,
+			})
+		}
+		tr := New(items)
+		q := geom.Pt(clampCoord(qx), clampCoord(qy))
+		got, ok := tr.Nearest(q)
+		if !ok {
+			return len(items) == 0
+		}
+		want := math.Inf(1)
+		for _, it := range items {
+			want = math.Min(want, q.Dist(it.P))
+		}
+		return math.Abs(got.Dist-want) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): enumeration yields every item exactly once in
+// non-decreasing distance order, whatever the input.
+func TestQuickEnumerateInvariant(t *testing.T) {
+	f := func(coords []float64, qx, qy float64) bool {
+		items := make([]Item, 0, len(coords)/2)
+		for i := 0; i+1 < len(coords); i += 2 {
+			items = append(items, Item{
+				P:  geom.Pt(clampCoord(coords[i]), clampCoord(coords[i+1])),
+				ID: i / 2,
+			})
+		}
+		tr := New(items)
+		q := geom.Pt(clampCoord(qx), clampCoord(qy))
+		e := tr.Enumerate(q)
+		prev := -1.0
+		n := 0
+		seen := map[int]bool{}
+		for {
+			nb, ok := e.Next()
+			if !ok {
+				break
+			}
+			if nb.Dist < prev || seen[nb.Item.ID] {
+				return false
+			}
+			seen[nb.Item.ID] = true
+			prev = nb.Dist
+			n++
+		}
+		return n == len(items)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(62))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): NearestAdditive with weights equals the
+// linear-scan minimum of d + w.
+func TestQuickAdditiveInvariant(t *testing.T) {
+	f := func(coords []float64, ws []float64, qx, qy float64) bool {
+		n := len(coords) / 2
+		if n > len(ws) {
+			n = len(ws)
+		}
+		if n == 0 {
+			return true
+		}
+		items := make([]Item, n)
+		for i := 0; i < n; i++ {
+			items[i] = Item{
+				P:  geom.Pt(clampCoord(coords[2*i]), clampCoord(coords[2*i+1])),
+				W:  math.Abs(clampCoord(ws[i])),
+				ID: i,
+			}
+		}
+		tr := New(items)
+		q := geom.Pt(clampCoord(qx), clampCoord(qy))
+		_, got, ok := tr.NearestAdditive(q)
+		if !ok {
+			return false
+		}
+		want := math.Inf(1)
+		for _, it := range items {
+			want = math.Min(want, q.Dist(it.P)+it.W)
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(63))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

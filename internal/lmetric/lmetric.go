@@ -1,0 +1,173 @@
+// Package lmetric implements the L1/L∞ variant of nonzero-NN searching —
+// the remark after Theorem 3.1: "If we use L1 or L∞ metric ... and use
+// disks in L1 or L∞ metric (i.e., a diamond or a square), then an NN≠0
+// query can be answered [by the same two-stage plan]: the first stage
+// remains the same and the second stage reduces to reporting a set of
+// axis-aligned squares that intersect a query axis-aligned square."
+//
+// The L∞ case is native: uncertainty regions are axis-aligned squares
+// (center + radius), δ_i and Δ_i are Chebyshev extreme distances, and the
+// two-stage structure runs on Chebyshev kd-tree queries. The L1 case
+// (diamond regions) reduces to L∞ by the standard 45° rotation
+// p ↦ (x+y, x−y), under which d_1 = d_∞ and diamonds become squares.
+package lmetric
+
+import (
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+	"unn/internal/kdtree"
+)
+
+// Square is an L∞ ball: the axis-aligned square with center C and
+// half-side R. Under the L1 interpretation (see NewTwoStageL1) the same
+// data denotes the diamond {p : d_1(p, C) ≤ R}.
+type Square struct {
+	C geom.Point
+	R float64
+}
+
+// MinDist returns δ(q) = max(d_∞(q,C) − R, 0).
+func (s Square) MinDist(q geom.Point) float64 {
+	return math.Max(q.DistLinf(s.C)-s.R, 0)
+}
+
+// MaxDist returns Δ(q) = d_∞(q,C) + R.
+func (s Square) MaxDist(q geom.Point) float64 { return q.DistLinf(s.C) + s.R }
+
+// BruteLinf is the Lemma 2.1 oracle under the Chebyshev metric: the
+// lemma's proof uses only the triangle inequality, so it holds verbatim
+// for any metric with metric balls as uncertainty regions.
+func BruteLinf(squares []Square, q geom.Point) []int {
+	n := len(squares)
+	if n == 0 {
+		return nil
+	}
+	min1, min2 := math.Inf(1), math.Inf(1)
+	arg1 := -1
+	for i, s := range squares {
+		v := s.MaxDist(q)
+		if v < min1 {
+			min2 = min1
+			min1, arg1 = v, i
+		} else if v < min2 {
+			min2 = v
+		}
+	}
+	var out []int
+	for i, s := range squares {
+		bound := min1
+		if i == arg1 {
+			bound = min2
+		}
+		if s.MinDist(q) < bound || n == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TwoStageLinf answers NN≠0 queries over square (L∞ ball) regions:
+// stage 1 computes Δ_∞(q) by an additively-weighted Chebyshev NN query,
+// stage 2 reports all squares intersecting the open query square of
+// radius Δ_∞(q) — exactly the square-intersects-square reduction of the
+// paper's remark.
+type TwoStageLinf struct {
+	squares []Square
+	tree    *kdtree.Tree
+}
+
+// NewTwoStageLinf preprocesses the squares in O(n log n).
+func NewTwoStageLinf(squares []Square) *TwoStageLinf {
+	items := make([]kdtree.Item, len(squares))
+	for i, s := range squares {
+		items[i] = kdtree.Item{P: s.C, W: s.R, ID: i}
+	}
+	return &TwoStageLinf{squares: squares, tree: kdtree.New(items)}
+}
+
+// Delta returns Δ_∞(q).
+func (t *TwoStageLinf) Delta(q geom.Point) float64 {
+	_, v, ok := t.tree.NearestAdditiveLinf(q)
+	if !ok {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// Query returns NN≠0(q) under L∞, sorted ascending.
+func (t *TwoStageLinf) Query(q geom.Point) []int {
+	n := len(t.squares)
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []int{0}
+	}
+	nb, delta, _ := t.tree.NearestAdditiveLinf(q)
+	if delta <= 0 {
+		return BruteLinf(t.squares, q)
+	}
+	var out []int
+	t.tree.ReportBelowLinf(q, delta, func(it kdtree.Item, d float64) bool {
+		out = append(out, it.ID)
+		return true
+	})
+	if nb.Item.W == 0 { // degenerate certain point at the minimum
+		i := nb.Item.ID
+		min2 := math.Inf(1)
+		for j, s := range t.squares {
+			if j != i {
+				min2 = math.Min(min2, s.MaxDist(q))
+			}
+		}
+		if t.squares[i].MinDist(q) < min2 {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return dedupSorted(out)
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || out[len(out)-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// L1 (diamond regions) via the 45° rotation.
+
+// TwoStageL1 answers NN≠0 queries over diamond (L1 ball) regions by
+// rotating all centers and queries into L∞ coordinates.
+type TwoStageL1 struct {
+	inner *TwoStageLinf
+}
+
+// NewTwoStageL1 preprocesses diamonds given as (center, L1 radius).
+func NewTwoStageL1(diamonds []Square) *TwoStageL1 {
+	rot := make([]Square, len(diamonds))
+	for i, d := range diamonds {
+		rot[i] = Square{C: d.C.RotL1(), R: d.R}
+	}
+	return &TwoStageL1{inner: NewTwoStageLinf(rot)}
+}
+
+// Query returns NN≠0(q) under L1, sorted ascending.
+func (t *TwoStageL1) Query(q geom.Point) []int {
+	return t.inner.Query(q.RotL1())
+}
+
+// BruteL1 is the Lemma 2.1 oracle under the Manhattan metric.
+func BruteL1(diamonds []Square, q geom.Point) []int {
+	rot := make([]Square, len(diamonds))
+	for i, d := range diamonds {
+		rot[i] = Square{C: d.C.RotL1(), R: d.R}
+	}
+	return BruteLinf(rot, q.RotL1())
+}

@@ -1,0 +1,135 @@
+package lmetric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+)
+
+func randSquares(rng *rand.Rand, n int) []Square {
+	sq := make([]Square, n)
+	for i := range sq {
+		sq[i] = Square{
+			C: geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15),
+			R: 0.2 + rng.Float64()*2,
+		}
+	}
+	return sq
+}
+
+func equalSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSquareDistances(t *testing.T) {
+	s := Square{C: geom.Pt(0, 0), R: 2}
+	if got := s.MinDist(geom.Pt(5, 1)); got != 3 {
+		t.Fatalf("MinDist = %v want 3", got)
+	}
+	if got := s.MaxDist(geom.Pt(5, 1)); got != 7 {
+		t.Fatalf("MaxDist = %v want 7", got)
+	}
+	if got := s.MinDist(geom.Pt(1, 1)); got != 0 {
+		t.Fatalf("inside MinDist = %v", got)
+	}
+}
+
+// δ and Δ under L∞ must bracket the distance to every sampled point of
+// the square region.
+func TestExtremeDistancesBracketSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		s := Square{C: geom.Pt(rng.Float64()*10, rng.Float64()*10), R: 0.5 + rng.Float64()}
+		q := geom.Pt(rng.Float64()*20-5, rng.Float64()*20-5)
+		lo, hi := s.MinDist(q), s.MaxDist(q)
+		for k := 0; k < 50; k++ {
+			p := geom.Pt(
+				s.C.X+(rng.Float64()*2-1)*s.R,
+				s.C.Y+(rng.Float64()*2-1)*s.R,
+			)
+			d := q.DistLinf(p)
+			if d < lo-1e-12 || d > hi+1e-12 {
+				t.Fatalf("sample dist %v outside [%v, %v]", d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTwoStageLinfMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		sq := randSquares(rng, 1+rng.Intn(40))
+		ts := NewTwoStageLinf(sq)
+		for k := 0; k < 200; k++ {
+			q := geom.Pt(rng.Float64()*36-18, rng.Float64()*36-18)
+			if got, want := ts.Query(q), BruteLinf(sq, q); !equalSets(got, want) {
+				t.Fatalf("trial %d q=%v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestTwoStageL1MatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		di := randSquares(rng, 1+rng.Intn(40))
+		ts := NewTwoStageL1(di)
+		for k := 0; k < 200; k++ {
+			q := geom.Pt(rng.Float64()*36-18, rng.Float64()*36-18)
+			if got, want := ts.Query(q), BruteL1(di, q); !equalSets(got, want) {
+				t.Fatalf("trial %d q=%v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+// The rotation identity behind the L1 reduction.
+func TestRotL1Identity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for k := 0; k < 1000; k++ {
+		p := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		q := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		if d := math.Abs(p.DistL1(q) - p.RotL1().DistLinf(q.RotL1())); d > 1e-12 {
+			t.Fatalf("rotation identity broken by %v", d)
+		}
+	}
+}
+
+// An L1 diamond membership test: a point is within L1 distance R of C iff
+// the rotated point is within L∞ distance R of the rotated center.
+func TestDiamondMembershipViaRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := Square{C: geom.Pt(1, 2), R: 1.5}
+	for k := 0; k < 500; k++ {
+		p := geom.Pt(rng.Float64()*6-2, rng.Float64()*6-1)
+		in1 := p.DistL1(d.C) <= d.R
+		rot := Square{C: d.C.RotL1(), R: d.R}
+		in2 := p.RotL1().DistLinf(rot.C) <= rot.R
+		if in1 != in2 {
+			t.Fatalf("membership mismatch at %v", p)
+		}
+	}
+}
+
+// Degenerate: zero-radius squares (certain points under L∞).
+func TestLinfCertainPoints(t *testing.T) {
+	sq := []Square{{C: geom.Pt(0, 0)}, {C: geom.Pt(10, 0)}, {C: geom.Pt(5, 5), R: 1}}
+	ts := NewTwoStageLinf(sq)
+	rng := rand.New(rand.NewSource(6))
+	for k := 0; k < 300; k++ {
+		q := geom.Pt(rng.Float64()*12-1, rng.Float64()*12-6)
+		if got, want := ts.Query(q), BruteLinf(sq, q); !equalSets(got, want) {
+			t.Fatalf("q=%v: got %v want %v", q, got, want)
+		}
+	}
+}

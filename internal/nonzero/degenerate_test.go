@@ -1,0 +1,125 @@
+package nonzero
+
+import (
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+// Heavily overlapping disks: every γ_ij between overlapping pairs is
+// empty, yet queries must still be exact everywhere.
+func TestDiskDiagramOverlappingDisks(t *testing.T) {
+	disks := []geom.Disk{
+		geom.DiskAt(0, 0, 3),
+		geom.DiskAt(1, 0, 3),   // overlaps disk 0
+		geom.DiskAt(0.5, 1, 3), // overlaps both
+		geom.DiskAt(20, 0, 1),  // far away
+	}
+	diag, err := BuildDiskDiagram(disks, DiagramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	checked := 0
+	for k := 0; k < 600 && checked < 200; k++ {
+		q := geom.Pt(rng.Float64()*30-5, rng.Float64()*20-10)
+		if nearBoundaryDisks(disks, q, 1e-3) {
+			continue
+		}
+		checked++
+		if got, want := diag.Query(q), BruteDisks(disks, q); !equalSets(got, want) {
+			t.Fatalf("q=%v: got %v want %v", q, got, want)
+		}
+	}
+}
+
+// Identical disks: δ and Δ coincide for the twins; NN≠0 must contain both
+// everywhere both are viable, and all engines must agree.
+func TestIdenticalDisks(t *testing.T) {
+	disks := []geom.Disk{
+		geom.DiskAt(0, 0, 2), geom.DiskAt(0, 0, 2), geom.DiskAt(10, 0, 1),
+	}
+	ts := NewTwoStageDisks(disks)
+	rng := rand.New(rand.NewSource(52))
+	for k := 0; k < 200; k++ {
+		q := geom.Pt(rng.Float64()*20-5, rng.Float64()*10-5)
+		if got, want := ts.Query(q), BruteDisks(disks, q); !equalSets(got, want) {
+			t.Fatalf("q=%v: got %v want %v", q, got, want)
+		}
+	}
+	// Near the twins both must be reported.
+	got := ts.Query(geom.Pt(0.1, 0.1))
+	if len(got) < 2 {
+		t.Fatalf("twins not both reported: %v", got)
+	}
+}
+
+// Queries exactly at disk centers and at location points (vertices of the
+// distance functions) must be answered consistently by all engines.
+func TestQueriesAtSpecialPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	disks := randDisks(rng, 12, 2)
+	ts := NewTwoStageDisks(disks)
+	for _, d := range disks {
+		if got, want := ts.Query(d.C), BruteDisks(disks, d.C); !equalSets(got, want) {
+			t.Fatalf("at center %v: got %v want %v", d.C, got, want)
+		}
+	}
+	pts := randDiscretes(rng, 10, 3)
+	tsd := NewTwoStageDiscrete(pts)
+	upts := DiscreteAsUncertain(pts)
+	for _, p := range pts {
+		for _, l := range p.Locs {
+			if got, want := tsd.Query(l), Brute(upts, l); !equalSets(got, want) {
+				t.Fatalf("at location %v: got %v want %v", l, got, want)
+			}
+		}
+	}
+}
+
+// Single-location (certain) points mixed with multi-location ones.
+func TestMixedCertainUncertain(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	var pts []*uncertain.Discrete
+	for i := 0; i < 20; i++ {
+		k := 1
+		if i%2 == 0 {
+			k = 3
+		}
+		c := geom.Pt(rng.Float64()*30, rng.Float64()*30)
+		locs := make([]geom.Point, k)
+		w := make([]float64, k)
+		for j := range locs {
+			locs[j] = c.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()))
+			w[j] = 1
+		}
+		d, err := uncertain.NewDiscrete(locs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, d)
+	}
+	ts := NewTwoStageDiscrete(pts)
+	upts := DiscreteAsUncertain(pts)
+	for k := 0; k < 300; k++ {
+		q := geom.Pt(rng.Float64()*30, rng.Float64()*30)
+		if got, want := ts.Query(q), Brute(upts, q); !equalSets(got, want) {
+			t.Fatalf("q=%v: got %v want %v", q, got, want)
+		}
+	}
+}
+
+// The diagram builder must reject invalid input rather than misbehave.
+func TestBuilderValidation(t *testing.T) {
+	if _, err := BuildDiskDiagram(nil, DiagramOptions{}); err == nil {
+		t.Error("empty disks accepted")
+	}
+	if _, err := BuildDiskDiagram([]geom.Disk{geom.DiskAt(0, 0, 0)}, DiagramOptions{}); err == nil {
+		t.Error("zero radius accepted by diagram builder")
+	}
+	if _, err := BuildDiscreteDiagram(nil, DiagramOptions{}); err == nil {
+		t.Error("empty discrete accepted")
+	}
+}

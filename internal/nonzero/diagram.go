@@ -1,0 +1,294 @@
+package nonzero
+
+import (
+	"fmt"
+	"math"
+
+	"unn/internal/arrgn"
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+// Diagram is a constructed nonzero Voronoi diagram V≠0(P): the planar
+// subdivision induced by the curves γ_1,…,γ_n inside a working box, with
+// slab point location and persistent per-cell labels (Theorem 2.11).
+// Queries return NN≠0(q) in O(log + t); points outside the box fall back
+// to the O(n) oracle (far-field cells are unbounded, so the fallback is
+// exact and rare for realistic query distributions).
+//
+// Correctness of the toggle labels: every emitted edge lies on a true
+// curve γ_i, and crossing γ_i transversally flips exactly P_i's
+// membership in NN≠0 (Eq. (4)). Each slab's topmost gap is labeled by the
+// exact Lemma 2.1 oracle, and any true crossing above that gap is outside
+// the box and therefore above the oracle-labeled representative. No
+// artificial closure edges are ever emitted.
+type Diagram struct {
+	Arr    *arrgn.Arrangement
+	Loc    *arrgn.Locator
+	Labels *arrgn.LabelStore
+	Box    geom.Rect
+	// Oracle is the exact Lemma 2.1 evaluator used for slab-top seeds and
+	// out-of-range fallback.
+	Oracle func(q geom.Point) []int
+	stats  arrgn.Stats
+}
+
+// Stats returns the combinatorial statistics of the built subdivision
+// (for disk inputs these count the flattened polylines; use
+// CountDiskComplexity for the exact vertex census).
+func (d *Diagram) Stats() arrgn.Stats { return d.stats }
+
+// Query returns NN≠0(q), sorted ascending.
+func (d *Diagram) Query(q geom.Point) []int {
+	if d.Box.Contains(q) {
+		if lbl, ok := d.Labels.LabelAt(q); ok {
+			return lbl
+		}
+	}
+	return d.Oracle(q)
+}
+
+// Cells enumerates one representative point and label per located cell
+// gap. Cells spanning several slabs are visited once per slab.
+func (d *Diagram) Cells(fn func(rep geom.Point, label []int)) {
+	for s := 0; s < d.Loc.SlabCount(); s++ {
+		for g := 0; g < d.Loc.GapCount(s); g++ {
+			fn(d.Loc.GapRep(s, g), d.Labels.Label(s, g))
+		}
+	}
+}
+
+// GuaranteedCells counts the located gaps whose label is a single point —
+// the guaranteed Voronoi diagram of [SE08], where π_i(q) = 1.
+func (d *Diagram) GuaranteedCells() int {
+	count := 0
+	d.Cells(func(_ geom.Point, label []int) {
+		if len(label) == 1 {
+			count++
+		}
+	})
+	return count
+}
+
+// DiagramOptions tunes diagram construction.
+type DiagramOptions struct {
+	Gamma GammaOptions
+	// FlattenStep is the angular step for polyline flattening of the γ
+	// curves (continuous case only; default 2π/720).
+	FlattenStep float64
+	// BoxMargin inflates the instance bounding box to form the working
+	// box; 0 picks 4× the instance diameter. Queries outside the box use
+	// the oracle fallback.
+	BoxMargin float64
+	// SnapTol is the arrangement vertex-snapping tolerance (default
+	// 1e-9 × instance diameter).
+	SnapTol float64
+}
+
+func (o DiagramOptions) resolve(bb geom.Rect) (DiagramOptions, geom.Rect) {
+	diam := math.Max(bb.Diag(), 1)
+	if o.BoxMargin == 0 {
+		o.BoxMargin = 4 * diam
+	}
+	if o.FlattenStep == 0 {
+		o.FlattenStep = 2 * math.Pi / 720
+	}
+	if o.SnapTol == 0 {
+		o.SnapTol = 1e-9 * diam
+	}
+	return o, bb.Inflate(o.BoxMargin)
+}
+
+// BuildDiskDiagram constructs V≠0(P) for disk uncertainty regions
+// (Theorem 2.5: O(n³) complexity, construction by computing each γ_i as a
+// polar lower envelope and overlaying the curves).
+//
+// The γ curves are computed exactly (closed-form hyperbola envelopes with
+// bisection-refined breakpoints) and flattened to dense polylines clipped
+// to the working box.
+func BuildDiskDiagram(disks []geom.Disk, opt DiagramOptions) (*Diagram, error) {
+	n := len(disks)
+	if n == 0 {
+		return nil, fmt.Errorf("nonzero: empty disk set")
+	}
+	for i, d := range disks {
+		if d.R <= 0 {
+			return nil, fmt.Errorf("nonzero: disk %d has non-positive radius %v (degenerate regions need the Brute oracle or TwoStageDisks)", i, d.R)
+		}
+	}
+	bb := geom.EmptyRect()
+	for _, d := range disks {
+		bb = bb.Union(d.Bounds())
+	}
+	opt, box := opt.resolve(bb)
+
+	var segs []arrgn.InSeg
+	for i := 0; i < n; i++ {
+		g := ComputeGamma(disks, i, opt.Gamma)
+		for _, s := range flattenGamma(g, disks, box, opt.FlattenStep) {
+			segs = append(segs, arrgn.InSeg{S: s, Curve: i})
+		}
+	}
+	oracle := func(q geom.Point) []int { return BruteDisks(disks, q) }
+	return assembleDiagram(segs, box, opt.SnapTol, oracle)
+}
+
+// flattenGamma samples γ_i into chords and clips them to the working box.
+// Chords whose both endpoints are far outside the box are dropped; the
+// radius is capped well beyond the box so near-asymptotic branches keep
+// an accurate direction through the box.
+func flattenGamma(g *Gamma, disks []geom.Disk, box geom.Rect, step float64) []geom.Segment {
+	tCap := 8 * (box.Diag() + g.Center.Dist(box.Center()))
+	var out []geom.Segment
+	var prev geom.Point
+	havePrev := false
+	emit := func(p geom.Point) {
+		if havePrev && !prev.Eq(p) {
+			if c, ok := geom.Seg(prev, p).ClipToRect(box); ok && c.Len() > 0 {
+				out = append(out, c)
+			}
+		}
+		prev, havePrev = p, true
+	}
+	for _, piece := range g.Pieces {
+		if piece.J < 0 {
+			havePrev = false // unbounded gap: break the chain
+			continue
+		}
+		span := piece.Hi - piece.Lo
+		steps := int(math.Ceil(span / step))
+		if steps < 1 {
+			steps = 1
+		}
+		for s := 0; s <= steps; s++ {
+			th := piece.Lo + span*float64(s)/float64(steps)
+			t := g.Radius(disks, th)
+			if math.IsInf(t, 0) {
+				havePrev = false
+				continue
+			}
+			if t > tCap {
+				t = tCap
+			}
+			emit(g.Center.Add(geom.Dir(th).Scale(t)))
+		}
+	}
+	return out
+}
+
+func assembleDiagram(segs []arrgn.InSeg, box geom.Rect, tol float64, oracle func(geom.Point) []int) (*Diagram, error) {
+	arr := arrgn.Build(segs, tol)
+	loc := arrgn.NewLocator(arr)
+	labels := arrgn.NewLabelStore(loc, oracle)
+	return &Diagram{
+		Arr:    arr,
+		Loc:    loc,
+		Labels: labels,
+		Box:    box,
+		Oracle: oracle,
+		stats:  arr.Stats(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Discrete case (§2.2).
+
+// BijPolygon returns the convex region B_ij = {x : δ_i(x) ≥ Δ_j(x)} — the
+// locus where P_i is excluded from NN≠0 by P_j — as a convex polygon
+// clipped to bounds (Lemma 2.13: δ_i ≥ Δ_j ⇔ ϕ_i ≥ Φ_j, an intersection
+// of k_i·k_j half-planes f(x,p_ia) ≥ f(x,p_jb) with
+// f(x,p) = ‖p‖² − 2⟨x,p⟩). nil means the region is empty within bounds.
+func BijPolygon(pi, pj *uncertain.Discrete, bounds geom.Rect) []geom.Point {
+	var hs []geom.HalfPlane
+	for _, a := range pi.Locs {
+		for _, b := range pj.Locs {
+			// f(x,a) ≥ f(x,b)  ⇔  2⟨x, a−b⟩ ≤ ‖a‖² − ‖b‖².
+			hs = append(hs, geom.HalfPlane{
+				A: 2 * (a.X - b.X),
+				B: 2 * (a.Y - b.Y),
+				C: a.Norm2() - b.Norm2(),
+			})
+		}
+	}
+	poly := geom.HalfPlaneIntersection(hs, bounds)
+	if len(poly) < 3 {
+		return nil
+	}
+	return poly
+}
+
+// BuildDiscreteDiagram constructs V≠0(P) for discrete uncertain points
+// (Theorem 2.14: complexity O(kn³)). Each γ_i is the boundary of the
+// union ∪_{j≠i} B_ij, computed exactly (all-polygonal); the curves are
+// then overlaid into the global subdivision. Box-clipping artifacts are
+// discarded so that only true γ_i edges participate in labeling.
+func BuildDiscreteDiagram(pts []*uncertain.Discrete, opt DiagramOptions) (*Diagram, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, fmt.Errorf("nonzero: empty point set")
+	}
+	bb := geom.EmptyRect()
+	for _, p := range pts {
+		bb = bb.Union(p.Support())
+	}
+	opt, box := opt.resolve(bb)
+
+	var global []arrgn.InSeg
+	for i := 0; i < n; i++ {
+		for _, s := range unionBoundary(pts, i, box, opt.SnapTol) {
+			global = append(global, arrgn.InSeg{S: s, Curve: i})
+		}
+	}
+	upts := DiscreteAsUncertain(pts)
+	oracle := func(q geom.Point) []int { return Brute(upts, q) }
+	return assembleDiagram(global, box, opt.SnapTol, oracle)
+}
+
+// unionBoundary returns the boundary segments of ∪_{j≠i} B_ij: all
+// polygon edges are mutually split, and a sub-edge survives iff it is not
+// a box-clipping artifact and its midpoint is not strictly inside any
+// other polygon of the union.
+func unionBoundary(pts []*uncertain.Discrete, i int, box geom.Rect, tol float64) []geom.Segment {
+	var polys [][]geom.Point
+	for j := range pts {
+		if j == i {
+			continue
+		}
+		if poly := BijPolygon(pts[i], pts[j], box); poly != nil {
+			polys = append(polys, poly)
+		}
+	}
+	if len(polys) == 0 {
+		return nil
+	}
+	boundaryTol := math.Max(tol, 1e-9) * (1 + box.Diag())
+	var segs []arrgn.InSeg
+	for pi, poly := range polys {
+		for k := range poly {
+			s := geom.Seg(poly[k], poly[(k+1)%len(poly)])
+			if s.OnRectBoundary(box, boundaryTol) {
+				continue // clipping artifact, not part of the true γ_i
+			}
+			segs = append(segs, arrgn.InSeg{S: s, Curve: pi})
+		}
+	}
+	arr := arrgn.Build(segs, tol)
+	var out []geom.Segment
+	for _, e := range arr.Edges {
+		mid := arr.Seg(e).Mid()
+		keep := true
+		for pi, poly := range polys {
+			if pi == e.Curve {
+				continue
+			}
+			if geom.PointInConvexStrict(poly, mid) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, arr.Seg(e))
+		}
+	}
+	return out
+}

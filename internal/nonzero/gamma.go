@@ -1,0 +1,218 @@
+package nonzero
+
+import (
+	"math"
+
+	"unn/internal/envelope"
+	"unn/internal/geom"
+)
+
+// Gamma is the curve γ_i = {x : δ_i(x) = Δ(x)} of one disk, represented
+// exactly in polar coordinates around the disk center: the lower envelope
+// over j≠i of the closed-form hyperbola branches γ_ij (Lemma 2.2). Pieces
+// with J == -1 are directions in which γ_i escapes to infinity (P_i stays
+// a nonzero NN arbitrarily far out in that direction).
+type Gamma struct {
+	I      int
+	Center geom.Point
+	Pieces []envelope.Piece // over θ ∈ [0, 2π); J indexes the *other* disk
+	fs     []envelope.Func
+}
+
+// TijDisk returns the distance t ≥ 0 from c_i along direction u at which
+// δ_i = Δ_j, or +Inf if the ray misses γ_ij. Closed form: with
+// d = c_j − c_i, s = r_i + r_j, b = <u, d>,
+//
+//	t = (|d|² − s²) / (2(b − s)),   valid iff |d| > s and b > s.
+//
+// For overlapping or touching disks (|d| ≤ s) the curve γ_ij is empty:
+// δ_i(x) = Δ_j(x) would force |x−c_j| = t − s ≥ 0 with t ≤ b + ...,
+// impossible unless the disks are strictly separated.
+func TijDisk(di, dj geom.Disk, u geom.Point) float64 {
+	d := dj.C.Sub(di.C)
+	c2 := d.Norm2()
+	s := di.R + dj.R
+	if c2 <= s*s {
+		return math.Inf(1)
+	}
+	b := u.Dot(d)
+	den := 2 * (b - s)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	t := (c2 - s*s) / den
+	if t < s {
+		return math.Inf(1)
+	}
+	return t
+}
+
+// GammaOptions tunes the envelope computation.
+type GammaOptions struct {
+	// Grid is the number of angular samples for the envelope scan
+	// (default max(512, 16n)).
+	Grid int
+	// Tol is the angular bisection tolerance for breakpoints
+	// (default 1e-12).
+	Tol float64
+}
+
+func (o GammaOptions) withDefaults(n int) GammaOptions {
+	if o.Grid == 0 {
+		o.Grid = 512
+		if 16*n > o.Grid {
+			o.Grid = 16 * n
+		}
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-12
+	}
+	return o
+}
+
+// ComputeGamma computes γ_i for disk i of the set.
+func ComputeGamma(disks []geom.Disk, i int, opt GammaOptions) *Gamma {
+	opt = opt.withDefaults(len(disks))
+	di := disks[i]
+	fs := make([]envelope.Func, 0, len(disks)-1)
+	idx := make([]int, 0, len(disks)-1)
+	for j, dj := range disks {
+		if j == i {
+			continue
+		}
+		dj := dj
+		fs = append(fs, func(theta float64) float64 {
+			return TijDisk(di, dj, geom.Dir(theta))
+		})
+		idx = append(idx, j)
+	}
+	pieces := envelope.Lower(fs, 0, 2*math.Pi, opt.Grid, opt.Tol)
+	// Remap envelope labels to disk indices.
+	for pi := range pieces {
+		if pieces[pi].J >= 0 {
+			pieces[pi].J = idx[pieces[pi].J]
+		}
+	}
+	return &Gamma{I: i, Center: di.C, Pieces: pieces, fs: fs}
+}
+
+// At returns the point of γ_i at angle theta and true, or false if γ_i is
+// unbounded (or empty) in that direction.
+func (g *Gamma) At(disks []geom.Disk, theta float64) (geom.Point, bool) {
+	t := g.Radius(disks, theta)
+	if math.IsInf(t, 0) {
+		return geom.Point{}, false
+	}
+	return g.Center.Add(geom.Dir(theta).Scale(t)), true
+}
+
+// Radius returns γ_i's radial distance at angle theta (+Inf if absent).
+func (g *Gamma) Radius(disks []geom.Disk, theta float64) float64 {
+	best := math.Inf(1)
+	di := disks[g.I]
+	for j, dj := range disks {
+		if j == g.I {
+			continue
+		}
+		if t := TijDisk(di, dj, geom.Dir(theta)); t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// Breakpoints returns the number of genuine breakpoints of γ_i: angular
+// transitions between two finite envelope pieces (transitions to/from an
+// unbounded gap are escapes to infinity, not vertices of V≠0).
+func (g *Gamma) Breakpoints() int {
+	if len(g.Pieces) < 2 {
+		return 0
+	}
+	count := 0
+	for k := 1; k < len(g.Pieces); k++ {
+		if g.Pieces[k-1].J >= 0 && g.Pieces[k].J >= 0 {
+			count++
+		}
+	}
+	// Wrap-around transition at θ = 0 ≡ 2π.
+	first, last := g.Pieces[0], g.Pieces[len(g.Pieces)-1]
+	if first.J >= 0 && last.J >= 0 && first.J != last.J {
+		count++
+	}
+	return count
+}
+
+// DiskComplexity is the exact combinatorial census of the vertices of
+// V≠0(P) for disk regions, computed entirely in the polar
+// parameterization (no bounding box, no flattening bias):
+// Breakpoints are the envelope transitions of each γ_i, Crossings the
+// transversal intersections γ_i ∩ γ_j located by sign changes of
+// δ_j(x) − Δ(x) along γ_i.
+type DiskComplexity struct {
+	Breakpoints int
+	Crossings   int
+	// PerPair[i][j] (i<j) is the number of γ_i ∩ γ_j crossings.
+	PerPair map[[2]int]int
+}
+
+// Vertices returns the total vertex count of V≠0(P).
+func (c DiskComplexity) Vertices() int { return c.Breakpoints + c.Crossings }
+
+// CountDiskComplexity runs the census. grid is the angular sampling
+// resolution per curve used for crossing detection (default 4× the
+// envelope grid); crossings closer than one grid step may be missed, so
+// workloads with Θ(n³) vertices should pass a grid ≳ n² samples.
+func CountDiskComplexity(disks []geom.Disk, opt GammaOptions, grid int) DiskComplexity {
+	n := len(disks)
+	opt = opt.withDefaults(n)
+	if grid == 0 {
+		grid = 4 * opt.Grid
+	}
+	out := DiskComplexity{PerPair: map[[2]int]int{}}
+	deltaMin := func(x geom.Point) float64 {
+		best := math.Inf(1)
+		for _, d := range disks {
+			best = math.Min(best, d.MaxDist(x))
+		}
+		return best
+	}
+	for i := 0; i < n; i++ {
+		g := ComputeGamma(disks, i, opt)
+		out.Breakpoints += g.Breakpoints()
+		if n < 2 {
+			continue
+		}
+		// One sweep along γ_i tracking the sign of h_j = δ_j(x) − Δ(x)
+		// for every j > i simultaneously.
+		prevSign := make([]int, n) // 0 = unknown
+		for k := 0; k <= grid; k++ {
+			theta := 2 * math.Pi * float64(k) / float64(grid)
+			x, ok := g.At(disks, theta)
+			if !ok {
+				for j := range prevSign {
+					prevSign[j] = 0
+				}
+				continue
+			}
+			dm := deltaMin(x)
+			for j := i + 1; j < n; j++ {
+				h := disks[j].MinDist(x) - dm
+				s := 0
+				if h > 0 {
+					s = 1
+				} else if h < 0 {
+					s = -1
+				}
+				if s != 0 && prevSign[j] != 0 && s != prevSign[j] {
+					// A transversal γ_i ∩ γ_j crossing between samples.
+					out.Crossings++
+					out.PerPair[[2]int{i, j}]++
+				}
+				if s != 0 {
+					prevSign[j] = s
+				}
+			}
+		}
+	}
+	return out
+}

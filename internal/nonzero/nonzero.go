@@ -1,0 +1,116 @@
+// Package nonzero implements the first half of the paper: nonzero
+// nearest neighbors and the nonzero Voronoi diagram V≠0(P).
+//
+// For a query q, NN≠0(q) = {P_i : π_i(q) > 0} depends only on the
+// uncertainty regions through the extreme distance functions
+// δ_i(q) (minimum distance) and Δ_i(q) (maximum distance):
+//
+//	P_i ∈ NN≠0(q)  ⇔  δ_i(q) < Δ_j(q) for every j ≠ i      (Lemma 2.1)
+//
+// The package provides
+//
+//   - Brute: the O(n)-per-query oracle straight from Lemma 2.1, used as
+//     the ground truth everywhere;
+//   - the continuous (disk-region) pipeline: closed-form polar curves
+//     γ_ij, lower envelopes γ_i (Lemma 2.2), exact complexity counting of
+//     V≠0(P) (Theorems 2.5–2.10), and the arrangement-based diagram with
+//     point location and persistent cell labels (Theorem 2.11);
+//   - the discrete pipeline of §2.2: convex regions B_ij = {δ_i ≥ Δ_j}
+//     from half-plane intersections (Lemma 2.13), union boundaries γ_i,
+//     and the O(kn³) diagram (Theorem 2.14);
+//   - near-linear two-stage query structures in the spirit of
+//     Theorems 3.1/3.2 (kd-tree backed; see DESIGN.md §3 for the
+//     substitution rationale).
+package nonzero
+
+import (
+	"math"
+
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+// Brute returns NN≠0(q) for arbitrary uncertain points by direct
+// application of Lemma 2.1: P_i qualifies iff δ_i(q) < min_{j≠i} Δ_j(q).
+// It runs in O(n) per query (two passes to get the two smallest Δ's) and
+// is exact even in degenerate cases such as zero-radius regions, where
+// the Δ(q)-based test of Eq. (4) needs the second minimum.
+func Brute(pts []uncertain.Point, q geom.Point) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	// Two smallest Δ values.
+	min1, min2 := math.Inf(1), math.Inf(1)
+	arg1 := -1
+	for i, p := range pts {
+		d := p.MaxDist(q)
+		if d < min1 {
+			min2 = min1
+			min1, arg1 = d, i
+		} else if d < min2 {
+			min2 = d
+		}
+	}
+	var out []int
+	for i, p := range pts {
+		bound := min1
+		if i == arg1 {
+			bound = min2 // min over j ≠ i
+		}
+		if p.MinDist(q) < bound || n == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BruteDisks is Brute specialized to disk uncertainty regions.
+func BruteDisks(disks []geom.Disk, q geom.Point) []int {
+	n := len(disks)
+	if n == 0 {
+		return nil
+	}
+	min1, min2 := math.Inf(1), math.Inf(1)
+	arg1 := -1
+	for i, d := range disks {
+		v := d.MaxDist(q)
+		if v < min1 {
+			min2 = min1
+			min1, arg1 = v, i
+		} else if v < min2 {
+			min2 = v
+		}
+	}
+	var out []int
+	for i, d := range disks {
+		bound := min1
+		if i == arg1 {
+			bound = min2
+		}
+		if d.MinDist(q) < bound || n == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DisksAsUncertain wraps disks as uniform uncertain points (the pdf does
+// not matter for NN≠0; see the remark after Eq. (3)).
+func DisksAsUncertain(disks []geom.Disk) []uncertain.Point {
+	out := make([]uncertain.Point, len(disks))
+	for i, d := range disks {
+		out[i] = uncertain.UniformDisk{D: d}
+	}
+	return out
+}
+
+// DiscreteAsUncertain converts a slice of discrete points to the generic
+// interface.
+func DiscreteAsUncertain(pts []*uncertain.Discrete) []uncertain.Point {
+	out := make([]uncertain.Point, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package nonzero
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+func randDisks(rng *rand.Rand, n int, maxR float64) []geom.Disk {
+	disks := make([]geom.Disk, n)
+	for i := range disks {
+		disks[i] = geom.DiskAt(rng.Float64()*20-10, rng.Float64()*20-10, 0.2+rng.Float64()*maxR)
+	}
+	return disks
+}
+
+func randDiscretes(rng *rand.Rand, n, k int) []*uncertain.Discrete {
+	pts := make([]*uncertain.Discrete, n)
+	for i := range pts {
+		c := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		locs := make([]geom.Point, k)
+		w := make([]float64, k)
+		for j := range locs {
+			locs[j] = c.Add(geom.Pt(rng.NormFloat64(), rng.NormFloat64()))
+			w[j] = 0.2 + rng.Float64()
+		}
+		d, err := uncertain.NewDiscrete(locs, w)
+		if err != nil {
+			panic(err)
+		}
+		pts[i] = d
+	}
+	return pts
+}
+
+func equalSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBruteBasics(t *testing.T) {
+	// Single point: always the NN.
+	one := DisksAsUncertain([]geom.Disk{geom.DiskAt(0, 0, 1)})
+	if got := Brute(one, geom.Pt(100, 100)); !equalSets(got, []int{0}) {
+		t.Fatalf("single: %v", got)
+	}
+	// Two distant disks: only the near one qualifies far to its side.
+	disks := []geom.Disk{geom.DiskAt(0, 0, 1), geom.DiskAt(100, 0, 1)}
+	pts := DisksAsUncertain(disks)
+	if got := Brute(pts, geom.Pt(-5, 0)); !equalSets(got, []int{0}) {
+		t.Fatalf("far left: %v", got)
+	}
+	// Near the middle both qualify.
+	if got := Brute(pts, geom.Pt(50, 0)); !equalSets(got, []int{0, 1}) {
+		t.Fatalf("middle: %v", got)
+	}
+	// Certain points (zero radius): a unique closest certain point is the
+	// unique nonzero NN — the Eq. (4) strict test would wrongly drop it.
+	cpts := DisksAsUncertain([]geom.Disk{geom.DiskAt(0, 0, 0), geom.DiskAt(10, 0, 0)})
+	if got := Brute(cpts, geom.Pt(1, 0)); !equalSets(got, []int{0}) {
+		t.Fatalf("certain: %v", got)
+	}
+}
+
+// γ_i correctness: points on the curve satisfy δ_i = Δ, inside points have
+// δ_i < Δ, outside points δ_i > Δ.
+func TestGammaOnCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		disks := randDisks(rng, 2+rng.Intn(8), 2)
+		// Ensure strict separation is possible; overlapping pairs are fine
+		// (γ_ij empty) but we need at least some finite curve.
+		i := rng.Intn(len(disks))
+		g := ComputeGamma(disks, i, GammaOptions{})
+		deltaMin := func(x geom.Point) float64 {
+			best := math.Inf(1)
+			for _, d := range disks {
+				best = math.Min(best, d.MaxDist(x))
+			}
+			return best
+		}
+		for k := 0; k < 200; k++ {
+			theta := rng.Float64() * 2 * math.Pi
+			tRad := g.Radius(disks, theta)
+			if math.IsInf(tRad, 0) {
+				continue
+			}
+			x := disks[i].C.Add(geom.Dir(theta).Scale(tRad))
+			if d := math.Abs(disks[i].MinDist(x) - deltaMin(x)); d > 1e-6 {
+				t.Fatalf("on-curve residual %v at theta=%v", d, theta)
+			}
+			// Slightly inside (radially): member; slightly outside: not.
+			xin := disks[i].C.Add(geom.Dir(theta).Scale(tRad * 0.999))
+			xout := disks[i].C.Add(geom.Dir(theta).Scale(tRad * 1.001))
+			if disks[i].MinDist(xin) >= deltaMin(xin)+1e-12 {
+				t.Fatalf("inside point not member at theta=%v", theta)
+			}
+			if disks[i].MinDist(xout) <= deltaMin(xout)-1e-12 {
+				t.Fatalf("outside point member at theta=%v", theta)
+			}
+		}
+	}
+}
+
+func TestTijDiskClosedForm(t *testing.T) {
+	di := geom.DiskAt(0, 0, 1)
+	dj := geom.DiskAt(10, 0, 1)
+	// Along the center line: t − 1 = (10 − t) + 1 → t = 6.
+	if got := TijDisk(di, dj, geom.Pt(1, 0)); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("t = %v want 6", got)
+	}
+	// Opposite direction: no crossing.
+	if got := TijDisk(di, dj, geom.Pt(-1, 0)); !math.IsInf(got, 1) {
+		t.Fatalf("backward ray t = %v", got)
+	}
+	// Overlapping disks: empty curve.
+	if got := TijDisk(di, geom.DiskAt(1, 0, 1), geom.Pt(1, 0)); !math.IsInf(got, 1) {
+		t.Fatalf("overlap t = %v", got)
+	}
+	// Generic direction: verify the defining equation δ_i = Δ_j.
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 500; k++ {
+		di := geom.DiskAt(rng.Float64()*10-5, rng.Float64()*10-5, 0.1+rng.Float64()*2)
+		dj := geom.DiskAt(rng.Float64()*10-5, rng.Float64()*10-5, 0.1+rng.Float64()*2)
+		u := geom.Dir(rng.Float64() * 2 * math.Pi)
+		tt := TijDisk(di, dj, u)
+		if math.IsInf(tt, 0) {
+			continue
+		}
+		x := di.C.Add(u.Scale(tt))
+		if r := math.Abs(di.MinDist(x) - dj.MaxDist(x)); r > 1e-6 {
+			t.Fatalf("closed form residual %v", r)
+		}
+	}
+}
+
+func TestCountComplexityTwoDisks(t *testing.T) {
+	disks := []geom.Disk{geom.DiskAt(0, 0, 1), geom.DiskAt(10, 0, 1)}
+	c := CountDiskComplexity(disks, GammaOptions{}, 0)
+	if c.Crossings != 0 {
+		t.Fatalf("two disks cannot produce crossings: %+v", c)
+	}
+	if c.Breakpoints != 0 {
+		t.Fatalf("two disks cannot produce breakpoints: %+v", c)
+	}
+}
+
+func TestTwoStageDisksMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		disks := randDisks(rng, 1+rng.Intn(40), 3)
+		ts := NewTwoStageDisks(disks)
+		for k := 0; k < 200; k++ {
+			q := geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			got := ts.Query(q)
+			want := BruteDisks(disks, q)
+			if !equalSets(got, want) {
+				t.Fatalf("trial %d q=%v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestTwoStageDisksDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Mix of certain points (R=0) and disks.
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		disks := make([]geom.Disk, n)
+		for i := range disks {
+			r := 0.0
+			if rng.Intn(2) == 0 {
+				r = rng.Float64() * 2
+			}
+			disks[i] = geom.DiskAt(rng.Float64()*20-10, rng.Float64()*20-10, r)
+		}
+		ts := NewTwoStageDisks(disks)
+		for k := 0; k < 100; k++ {
+			q := geom.Pt(rng.Float64()*24-12, rng.Float64()*24-12)
+			got := ts.Query(q)
+			want := BruteDisks(disks, q)
+			if !equalSets(got, want) {
+				t.Fatalf("degenerate trial %d q=%v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+	// Query exactly at a certain point.
+	disks := []geom.Disk{geom.DiskAt(0, 0, 0), geom.DiskAt(5, 0, 1)}
+	ts := NewTwoStageDisks(disks)
+	if got := ts.Query(geom.Pt(0, 0)); !equalSets(got, BruteDisks(disks, geom.Pt(0, 0))) {
+		t.Fatalf("query at certain point: %v", got)
+	}
+}
+
+func TestTwoStageDiscreteMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		pts := randDiscretes(rng, 1+rng.Intn(25), 1+rng.Intn(5))
+		ts := NewTwoStageDiscrete(pts)
+		upts := DiscreteAsUncertain(pts)
+		for k := 0; k < 150; k++ {
+			q := geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			got := ts.Query(q)
+			want := Brute(upts, q)
+			if !equalSets(got, want) {
+				t.Fatalf("trial %d q=%v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestDiskDiagramMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		disks := randDisks(rng, 3+rng.Intn(8), 2.5)
+		diag, err := BuildDiskDiagram(disks, DiagramOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		for k := 0; k < 600 && checked < 250; k++ {
+			q := geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			// Skip queries too close to a curve: the flattened polylines
+			// are accurate to ~1e-5·diam there.
+			if nearBoundaryDisks(disks, q, 1e-3) {
+				continue
+			}
+			checked++
+			got := diag.Query(q)
+			want := BruteDisks(disks, q)
+			if !equalSets(got, want) {
+				t.Fatalf("trial %d q=%v: got %v want %v", trial, q, got, want)
+			}
+		}
+		if checked < 50 {
+			t.Fatalf("too few robust queries (%d)", checked)
+		}
+	}
+}
+
+// nearBoundaryDisks reports whether q is within eps (relative) of some
+// curve γ_i, i.e. |δ_i(q) − Δ(q)| small.
+func nearBoundaryDisks(disks []geom.Disk, q geom.Point, eps float64) bool {
+	delta := math.Inf(1)
+	for _, d := range disks {
+		delta = math.Min(delta, d.MaxDist(q))
+	}
+	for _, d := range disks {
+		if math.Abs(d.MinDist(q)-delta) < eps*(1+delta) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiskDiagramFallbackOutside(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	disks := randDisks(rng, 5, 2)
+	diag, err := BuildDiskDiagram(disks, DiagramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Way outside the cap: must still answer exactly (oracle fallback).
+	q := geom.Pt(1e9, 1e9)
+	if got := diag.Query(q); !equalSets(got, BruteDisks(disks, q)) {
+		t.Fatalf("far query mismatch")
+	}
+}
+
+func TestBijPolygon(t *testing.T) {
+	// Two certain points: B_ij = {x : d(x,p_i) ≥ d(x,p_j)} is the
+	// half-plane beyond the bisector.
+	pi := uncertain.UniformDiscrete([]geom.Point{geom.Pt(0, 0)})
+	pj := uncertain.UniformDiscrete([]geom.Point{geom.Pt(4, 0)})
+	box := geom.Rect{Min: geom.Pt(-50, -50), Max: geom.Pt(50, 50)}
+	poly := BijPolygon(pi, pj, box)
+	if poly == nil {
+		t.Fatal("empty B_ij")
+	}
+	rng := rand.New(rand.NewSource(9))
+	for k := 0; k < 500; k++ {
+		q := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		in := geom.PointInConvex(poly, q)
+		want := pi.MinDist(q) >= pj.MaxDist(q)
+		margin := math.Abs(pi.MinDist(q) - pj.MaxDist(q))
+		if margin > 1e-9 && in != want {
+			t.Fatalf("q=%v in=%v want=%v", q, in, want)
+		}
+	}
+}
+
+func TestDiscreteDiagramMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 4; trial++ {
+		pts := randDiscretes(rng, 3+rng.Intn(6), 2+rng.Intn(3))
+		diag, err := BuildDiscreteDiagram(pts, DiagramOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		upts := DiscreteAsUncertain(pts)
+		checked := 0
+		for k := 0; k < 600 && checked < 250; k++ {
+			q := geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			if nearBoundaryDiscrete(pts, q, 1e-6) {
+				continue
+			}
+			checked++
+			got := diag.Query(q)
+			want := Brute(upts, q)
+			if !equalSets(got, want) {
+				t.Fatalf("trial %d q=%v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func nearBoundaryDiscrete(pts []*uncertain.Discrete, q geom.Point, eps float64) bool {
+	delta := math.Inf(1)
+	for _, p := range pts {
+		delta = math.Min(delta, p.MaxDist(q))
+	}
+	for _, p := range pts {
+		if math.Abs(p.MinDist(q)-delta) < eps*(1+delta) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiagramCellsAndGuaranteed(t *testing.T) {
+	// Two far-apart disks: near each disk only that disk is a nonzero NN,
+	// so guaranteed cells must exist.
+	disks := []geom.Disk{geom.DiskAt(0, 0, 1), geom.DiskAt(30, 0, 1)}
+	diag, err := BuildDiskDiagram(disks, DiagramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.GuaranteedCells() == 0 {
+		t.Fatal("no guaranteed cells found")
+	}
+	if got := diag.Query(geom.Pt(0, 0)); !equalSets(got, []int{0}) {
+		t.Fatalf("at disk 0: %v", got)
+	}
+	if got := diag.Query(geom.Pt(15, 0.1)); !equalSets(got, []int{0, 1}) {
+		t.Fatalf("midpoint: %v", got)
+	}
+}

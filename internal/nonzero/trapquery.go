@@ -1,0 +1,52 @@
+package nonzero
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unn/internal/geom"
+	"unn/internal/trapmap"
+)
+
+// TrapQuerier answers Diagram queries through a randomized-incremental
+// trapezoidal map ([dBCKO08, Ch. 6]) built over the diagram's edges —
+// the literal point-location structure behind Theorem 2.11, with O(log)
+// expected query depth and O(μ) expected size. Every trapezoid lies
+// inside a single cell of V≠0(P), so its label is the exact oracle value
+// at any interior point, computed once at construction.
+type TrapQuerier struct {
+	m      *trapmap.Map
+	labels map[*trapmap.Trapezoid][]int
+	diag   *Diagram
+}
+
+// NewTrapQuerier builds the trapezoidal map and labels every trapezoid.
+func NewTrapQuerier(d *Diagram, rng *rand.Rand) (*TrapQuerier, error) {
+	segs := make([]geom.Segment, len(d.Arr.Edges))
+	for i, e := range d.Arr.Edges {
+		segs[i] = d.Arr.Seg(e)
+	}
+	m, err := trapmap.New(segs, rng)
+	if err != nil {
+		return nil, fmt.Errorf("nonzero: trapezoidal map: %w", err)
+	}
+	tq := &TrapQuerier{m: m, labels: map[*trapmap.Trapezoid][]int{}, diag: d}
+	for _, t := range m.Trapezoids() {
+		tq.labels[t] = d.Oracle(m.Rep(t))
+	}
+	return tq, nil
+}
+
+// Size returns the number of trapezoids and search-DAG nodes.
+func (tq *TrapQuerier) Size() (traps, nodes int) { return tq.m.Count() }
+
+// Query returns NN≠0(q).
+func (tq *TrapQuerier) Query(q geom.Point) []int {
+	if !tq.diag.Box.Contains(q) || !tq.m.Bounds().Contains(q) {
+		return tq.diag.Oracle(q)
+	}
+	if lbl, ok := tq.labels[tq.m.Locate(q)]; ok {
+		return lbl
+	}
+	return tq.diag.Oracle(q)
+}

@@ -1,0 +1,85 @@
+package nonzero
+
+import (
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+)
+
+func TestTrapQuerierMatchesOracleDisks(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 3; trial++ {
+		disks := randDisks(rng, 4+rng.Intn(8), 2.0)
+		diag, err := BuildDiskDiagram(disks, DiagramOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tq, err := NewTrapQuerier(diag, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traps, nodes := tq.Size()
+		if traps == 0 || nodes < traps {
+			t.Fatalf("degenerate sizes: %d traps, %d nodes", traps, nodes)
+		}
+		checked := 0
+		for k := 0; k < 800 && checked < 300; k++ {
+			q := geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+			if nearBoundaryDisks(disks, q, 1e-3) {
+				continue
+			}
+			checked++
+			got := tq.Query(q)
+			want := BruteDisks(disks, q)
+			if !equalSets(got, want) {
+				t.Fatalf("trial %d q=%v: got %v want %v", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestTrapQuerierMatchesOracleDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pts := randDiscretes(rng, 6, 3)
+	diag, err := BuildDiscreteDiagram(pts, DiagramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq, err := NewTrapQuerier(diag, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upts := DiscreteAsUncertain(pts)
+	checked := 0
+	for k := 0; k < 800 && checked < 300; k++ {
+		q := geom.Pt(rng.Float64()*30-15, rng.Float64()*30-15)
+		if nearBoundaryDiscrete(pts, q, 1e-6) {
+			continue
+		}
+		checked++
+		got := tq.Query(q)
+		want := Brute(upts, q)
+		if !equalSets(got, want) {
+			t.Fatalf("q=%v: got %v want %v", q, got, want)
+		}
+	}
+}
+
+// Far-outside queries must fall back to the oracle.
+func TestTrapQuerierFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	disks := randDisks(rng, 5, 2)
+	diag, err := BuildDiskDiagram(disks, DiagramOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tq, err := NewTrapQuerier(diag, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Pt(1e8, -1e8)
+	if got := tq.Query(q); !equalSets(got, BruteDisks(disks, q)) {
+		t.Fatal("fallback mismatch")
+	}
+}

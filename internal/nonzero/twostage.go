@@ -1,0 +1,194 @@
+package nonzero
+
+import (
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+	"unn/internal/kdtree"
+	"unn/internal/uncertain"
+)
+
+// TwoStageDisks answers NN≠0 queries over disk regions with near-linear
+// space, following the two-stage plan of Theorem 3.1:
+//
+//	stage 1: Δ(q) = min_i (d(q,c_i) + r_i) — an additively-weighted NN
+//	         query (the lower envelope whose projection is the
+//	         additively-weighted Voronoi diagram M of Section 2.1);
+//	stage 2: report {i : δ_i(q) < Δ(q)} — all disks intersecting the open
+//	         disk of radius Δ(q) centered at q.
+//
+// Both stages run on weighted kd-trees (the practical stand-in for the
+// [KMR+16] structure; see DESIGN.md §3). Space is O(n); queries are
+// output-sensitive. Results agree exactly with the Brute oracle,
+// including zero-radius (certain) regions, which need the
+// second-minimum test of Lemma 2.1 on a rare slow path.
+type TwoStageDisks struct {
+	disks []geom.Disk
+	tree  *kdtree.Tree
+}
+
+// NewTwoStageDisks preprocesses the disks in O(n log n).
+func NewTwoStageDisks(disks []geom.Disk) *TwoStageDisks {
+	items := make([]kdtree.Item, len(disks))
+	for i, d := range disks {
+		items[i] = kdtree.Item{P: d.C, W: d.R, ID: i}
+	}
+	return &TwoStageDisks{disks: disks, tree: kdtree.New(items)}
+}
+
+// Delta returns Δ(q) = min_i Δ_i(q).
+func (t *TwoStageDisks) Delta(q geom.Point) float64 {
+	_, v, ok := t.tree.NearestAdditive(q)
+	if !ok {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// Query returns NN≠0(q), sorted ascending.
+func (t *TwoStageDisks) Query(q geom.Point) []int {
+	n := len(t.disks)
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []int{0}
+	}
+	nb, delta, _ := t.tree.NearestAdditive(q)
+	if delta <= 0 {
+		// A certain point coincides with q; measure-zero tie handling.
+		return BruteDisks(t.disks, q)
+	}
+	var out []int
+	t.tree.ReportBelow(q, delta, func(it kdtree.Item, d float64) bool {
+		out = append(out, it.ID)
+		return true
+	})
+	// Degenerate slow path: a zero-radius minimizer has δ = Δ = delta and
+	// is never caught by the strict stage-2 test, yet qualifies under
+	// Lemma 2.1 iff it beats the second-smallest Δ.
+	if nb.Item.W == 0 {
+		i := nb.Item.ID
+		min2 := math.Inf(1)
+		for j, d := range t.disks {
+			if j != i {
+				min2 = math.Min(min2, d.MaxDist(q))
+			}
+		}
+		if t.disks[i].MinDist(q) < min2 {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return dedupSorted(out)
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || out[len(out)-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+
+// TwoStageDiscrete answers NN≠0 queries over discrete uncertain points
+// (the two-stage reduction of Theorem 3.2, kd-tree backed):
+//
+//	stage 1: Δ(q) = min_i max_a d(q, p_ia) — the minimum over points of
+//	         the farthest-location distance (the surface Φ of §2.2);
+//	         candidates are pruned through each point's smallest
+//	         enclosing disk (o_i, ρ_i), which brackets
+//	         max_a d(q,p_ia) ∈ [d(q,o_i), d(q,o_i)+ρ_i];
+//	stage 2: a circular range query of radius Δ(q) over all N = nk
+//	         locations reports every i with δ_i(q) < Δ(q).
+type TwoStageDiscrete struct {
+	pts     []*uncertain.Discrete
+	centers *kdtree.Tree // SEB centers with weight = SEB radius
+	locs    *kdtree.Tree // all N locations; ID = owner index
+}
+
+// NewTwoStageDiscrete preprocesses in O(N log N), storing O(N).
+func NewTwoStageDiscrete(pts []*uncertain.Discrete) *TwoStageDiscrete {
+	centers := make([]kdtree.Item, len(pts))
+	var locs []kdtree.Item
+	for i, p := range pts {
+		seb := p.EnclosingDisk()
+		centers[i] = kdtree.Item{P: seb.C, W: seb.R, ID: i}
+		for _, l := range p.Locs {
+			locs = append(locs, kdtree.Item{P: l, ID: i})
+		}
+	}
+	return &TwoStageDiscrete{pts: pts, centers: kdtree.New(centers), locs: kdtree.New(locs)}
+}
+
+// Delta returns Δ(q) = min_i Δ_i(q) exactly, along with the minimizing
+// point index.
+func (t *TwoStageDiscrete) Delta(q geom.Point) (float64, int) {
+	// Upper bound from the additively-weighted NN over SEBs:
+	// min_i Δ_i(q) ≤ min_i (d(q,o_i) + ρ_i).
+	nb, ub, ok := t.centers.NearestAdditive(q)
+	if !ok {
+		return math.Inf(1), -1
+	}
+	best, arg := t.pts[nb.Item.ID].MaxDist(q), nb.Item.ID
+	if best > ub {
+		best = ub // cannot happen, but keep the invariant tight
+	}
+	// Any point whose SEB-center lower bound d(q,o_i) beats the current
+	// best must be evaluated exactly. The center of a smallest enclosing
+	// disk lies in the convex hull of the locations, so
+	// max_a d(q,p_ia) ≥ d(q,o_i).
+	t.centers.WithinDist(q, best, true, func(it kdtree.Item, d float64) bool {
+		if v := t.pts[it.ID].MaxDist(q); v < best {
+			best, arg = v, it.ID
+		}
+		return true
+	})
+	return best, arg
+}
+
+// Query returns NN≠0(q), sorted ascending.
+func (t *TwoStageDiscrete) Query(q geom.Point) []int {
+	n := len(t.pts)
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []int{0}
+	}
+	delta, arg := t.Delta(q)
+	if delta <= 0 {
+		return Brute(DiscreteAsUncertain(t.pts), q)
+	}
+	seen := map[int]bool{}
+	t.locs.WithinDist(q, delta, true, func(it kdtree.Item, d float64) bool {
+		seen[it.ID] = true
+		return true
+	})
+	// Degenerate slow path: if every location of the minimizer is at
+	// distance exactly Δ(q) (e.g. a single-location point), the strict
+	// stage-2 test misses it; Lemma 2.1 then compares against
+	// min_{j≠arg} Δ_j.
+	if arg >= 0 && !seen[arg] {
+		min2 := math.Inf(1)
+		for j, p := range t.pts {
+			if j != arg {
+				min2 = math.Min(min2, p.MaxDist(q))
+			}
+		}
+		if t.pts[arg].MinDist(q) < min2 {
+			seen[arg] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

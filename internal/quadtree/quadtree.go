@@ -1,0 +1,178 @@
+// Package quadtree implements a point-region quadtree with best-first
+// incremental nearest-neighbor retrieval — the branch-and-bound
+// alternative the paper suggests in §4.3 Remark (ii) (citing [Har11])
+// for fetching the m locations closest to a query, in place of the
+// theoretically optimal but "too complex to be implemented" [AC09]
+// structure. The spiral search accepts either backend; benchmark
+// E11 compares it with the kd-tree.
+package quadtree
+
+import (
+	"container/heap"
+	"math"
+
+	"unn/internal/geom"
+)
+
+// Item is a stored point with payload.
+type Item struct {
+	P  geom.Point
+	W  float64
+	ID int
+}
+
+// Tree is a PR quadtree over a fixed item set.
+type Tree struct {
+	root *qnode
+	n    int
+}
+
+type qnode struct {
+	box      geom.Rect
+	items    []Item    // leaf payload
+	children [4]*qnode // nil for leaves
+}
+
+const leafCap = 8
+const maxDepth = 48
+
+// New builds a quadtree over the items.
+func New(items []Item) *Tree {
+	t := &Tree{n: len(items)}
+	if len(items) == 0 {
+		return t
+	}
+	bb := geom.EmptyRect()
+	for _, it := range items {
+		bb = bb.Extend(it.P)
+	}
+	// Square up the box so cells stay well shaped.
+	side := math.Max(bb.Width(), bb.Height())
+	if side == 0 {
+		side = 1
+	}
+	c := bb.Center()
+	bb = geom.Rect{
+		Min: geom.Pt(c.X-side/2, c.Y-side/2),
+		Max: geom.Pt(c.X+side/2, c.Y+side/2),
+	}.Inflate(side * 1e-9)
+	buf := make([]Item, len(items))
+	copy(buf, items)
+	t.root = buildQ(bb, buf, 0)
+	return t
+}
+
+func buildQ(box geom.Rect, items []Item, depth int) *qnode {
+	nd := &qnode{box: box}
+	if len(items) <= leafCap || depth >= maxDepth {
+		nd.items = items
+		return nd
+	}
+	c := box.Center()
+	quads := [4]geom.Rect{
+		{Min: box.Min, Max: c},
+		{Min: geom.Pt(c.X, box.Min.Y), Max: geom.Pt(box.Max.X, c.Y)},
+		{Min: geom.Pt(box.Min.X, c.Y), Max: geom.Pt(c.X, box.Max.Y)},
+		{Min: c, Max: box.Max},
+	}
+	var parts [4][]Item
+	for _, it := range items {
+		qi := 0
+		if it.P.X >= c.X {
+			qi |= 1
+		}
+		if it.P.Y >= c.Y {
+			qi |= 2
+		}
+		parts[qi] = append(parts[qi], it)
+	}
+	allInOne := false
+	for _, p := range parts {
+		if len(p) == len(items) {
+			allInOne = true
+		}
+	}
+	if allInOne && depth > 0 {
+		// Coincident (or near-coincident) points: stop splitting.
+		nd.items = items
+		return nd
+	}
+	for i := 0; i < 4; i++ {
+		if len(parts[i]) > 0 {
+			nd.children[i] = buildQ(quads[i], parts[i], depth+1)
+		}
+	}
+	return nd
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.n }
+
+// Neighbor is an enumeration result.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+type qentry struct {
+	dist float64
+	nd   *qnode
+	item Item
+}
+
+type qheap []qentry
+
+func (h qheap) Len() int            { return len(h) }
+func (h qheap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h qheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *qheap) Push(x interface{}) { *h = append(*h, x.(qentry)) }
+func (h *qheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Enumerator yields items in non-decreasing distance from q.
+type Enumerator struct {
+	q geom.Point
+	h qheap
+}
+
+// Enumerate starts a best-first traversal from q.
+func (t *Tree) Enumerate(q geom.Point) *Enumerator {
+	e := &Enumerator{q: q}
+	if t.root != nil {
+		e.h = qheap{{dist: t.root.box.DistToPoint(q), nd: t.root}}
+	}
+	return e
+}
+
+// Next returns the next-closest item.
+func (e *Enumerator) Next() (Neighbor, bool) {
+	for len(e.h) > 0 {
+		top := heap.Pop(&e.h).(qentry)
+		if top.nd == nil {
+			return Neighbor{Item: top.item, Dist: top.dist}, true
+		}
+		nd := top.nd
+		if nd.items != nil {
+			for _, it := range nd.items {
+				heap.Push(&e.h, qentry{dist: e.q.Dist(it.P), item: it})
+			}
+			continue
+		}
+		for _, ch := range nd.children {
+			if ch != nil {
+				heap.Push(&e.h, qentry{dist: ch.box.DistToPoint(e.q), nd: ch})
+			}
+		}
+	}
+	return Neighbor{}, false
+}
+
+// Nearest returns the closest item to q.
+func (t *Tree) Nearest(q geom.Point) (Neighbor, bool) {
+	return t.Enumerate(q).Next()
+}

@@ -1,0 +1,129 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+)
+
+func randItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{P: geom.Pt(rng.Float64()*100-50, rng.Float64()*100-50), ID: i}
+	}
+	return items
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Fatal("len")
+	}
+	if _, ok := tr.Nearest(geom.Pt(0, 0)); ok {
+		t.Fatal("nearest on empty")
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		items := randItems(rng, 1+rng.Intn(400))
+		tr := New(items)
+		for k := 0; k < 50; k++ {
+			q := geom.Pt(rng.Float64()*120-60, rng.Float64()*120-60)
+			got, ok := tr.Nearest(q)
+			if !ok {
+				t.Fatal("not ok")
+			}
+			want := math.Inf(1)
+			for _, it := range items {
+				want = math.Min(want, q.Dist(it.P))
+			}
+			if math.Abs(got.Dist-want) > 1e-12 {
+				t.Fatalf("dist %v want %v", got.Dist, want)
+			}
+		}
+	}
+}
+
+func TestEnumerationOrderAndCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randItems(rng, 500)
+	tr := New(items)
+	e := tr.Enumerate(geom.Pt(7, -3))
+	prev := -1.0
+	seen := map[int]bool{}
+	count := 0
+	for {
+		nb, ok := e.Next()
+		if !ok {
+			break
+		}
+		if nb.Dist < prev {
+			t.Fatalf("order violated: %v after %v", nb.Dist, prev)
+		}
+		if seen[nb.Item.ID] {
+			t.Fatalf("duplicate %d", nb.Item.ID)
+		}
+		seen[nb.Item.ID] = true
+		prev = nb.Dist
+		count++
+	}
+	if count != len(items) {
+		t.Fatalf("enumerated %d of %d", count, len(items))
+	}
+}
+
+// Coincident points must not recurse forever and must all be returned.
+func TestCoincidentPoints(t *testing.T) {
+	items := make([]Item, 50)
+	for i := range items {
+		items[i] = Item{P: geom.Pt(3, 4), ID: i}
+	}
+	tr := New(items)
+	e := tr.Enumerate(geom.Pt(0, 0))
+	count := 0
+	for {
+		nb, ok := e.Next()
+		if !ok {
+			break
+		}
+		if nb.Dist != 5 {
+			t.Fatalf("dist %v", nb.Dist)
+		}
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("count %d", count)
+	}
+}
+
+// Clustered data (the regime where quadtrees adapt): results must still
+// match a linear scan.
+func TestClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var items []Item
+	for c := 0; c < 5; c++ {
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		for i := 0; i < 100; i++ {
+			items = append(items, Item{
+				P:  geom.Pt(cx+rng.NormFloat64()*0.1, cy+rng.NormFloat64()*0.1),
+				ID: len(items),
+			})
+		}
+	}
+	tr := New(items)
+	for k := 0; k < 100; k++ {
+		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		got, _ := tr.Nearest(q)
+		want := math.Inf(1)
+		for _, it := range items {
+			want = math.Min(want, q.Dist(it.P))
+		}
+		if math.Abs(got.Dist-want) > 1e-12 {
+			t.Fatalf("clustered NN: %v want %v", got.Dist, want)
+		}
+	}
+}

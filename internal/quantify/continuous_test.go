@@ -1,0 +1,145 @@
+package quantify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+// Spiral search over continuous points (open problem (iii) via the
+// Theorem 4.5 reduction): the combined error must stay within the spiral
+// ε plus the discretization error, checked against a fine reference.
+func TestSpiralContinuous(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var cont []uncertain.Point
+	for i := 0; i < 6; i++ {
+		d := geom.DiskAt(rng.Float64()*15, rng.Float64()*15, 0.8+rng.Float64())
+		cont = append(cont, uncertain.UniformDisk{D: d})
+	}
+	sp, disc, err := NewSpiralContinuous(cont, 600, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disc) != len(cont) || disc[0].K() != 600 {
+		t.Fatalf("discretization shape: %d pts, k=%d", len(disc), disc[0].K())
+	}
+	// Fine reference.
+	ref := make([]*uncertain.Discrete, len(cont))
+	for i, p := range cont {
+		ref[i] = uncertain.Discretize(p, 4000, rng)
+	}
+	eps := 0.05
+	for k := 0; k < 15; k++ {
+		q := geom.Pt(rng.Float64()*15, rng.Float64()*15)
+		probs, _ := sp.QueryAdaptive(q, eps)
+		got := make([]float64, len(cont))
+		for _, pr := range probs {
+			got[pr.I] = pr.P
+		}
+		want := ExactAt(ref, q)
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > eps+0.06 {
+				t.Fatalf("q=%v i=%d: |%v - %v| = %v", q, i, got[i], want[i], d)
+			}
+		}
+	}
+}
+
+func TestSpiralContinuousValidation(t *testing.T) {
+	if _, _, err := NewSpiralContinuous(nil, 10, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	u := []uncertain.Point{uncertain.UniformDisk{D: geom.DiskAt(0, 0, 1)}}
+	if _, _, err := NewSpiralContinuous(u, 0, nil); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+// Parallel MC must be deterministic in its own seed and agree with its
+// serial self across worker schedules (same per-round generators).
+func TestMonteCarloParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := randDiscretes(rng, 10, 3, false)
+	upts := make([]uncertain.Point, len(pts))
+	for i, p := range pts {
+		upts[i] = p
+	}
+	mk := func() *MonteCarlo {
+		mc, err := NewMonteCarloParallel(upts, 300, MCOptions{Rng: rand.New(rand.NewSource(5))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc
+	}
+	a, b := mk(), mk()
+	for k := 0; k < 50; k++ {
+		q := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		if d := MaxAbsDiff(a.QueryDense(q), b.QueryDense(q)); d != 0 {
+			t.Fatalf("parallel MC not deterministic: %v at %v", d, q)
+		}
+	}
+	// And it must converge like the serial one.
+	for k := 0; k < 20; k++ {
+		q := geom.Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		if d := MaxAbsDiff(a.QueryDense(q), ExactAt(pts, q)); d > 0.12 {
+			t.Fatalf("parallel MC error %v at %v", d, q)
+		}
+	}
+}
+
+func TestMonteCarloParallelDelaunayDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := randDiscretes(rng, 5, 2, false)
+	upts := make([]uncertain.Point, len(pts))
+	for i, p := range pts {
+		upts[i] = p
+	}
+	mc, err := NewMonteCarloParallel(upts, 50, MCOptions{
+		Backend: MCDelaunay, Rng: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.RoundsStored() != 50 {
+		t.Fatal("rounds")
+	}
+}
+
+// The two retrieval backends of the spiral search must agree exactly.
+func TestSpiralBackendsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pts := randDiscretes(rng, 30, 4, true)
+	a, err := NewSpiral(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSpiralQuadtree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.Rho() != b.Rho() {
+		t.Fatal("metadata differs")
+	}
+	for k := 0; k < 100; k++ {
+		q := geom.Pt(rng.Float64()*24-12, rng.Float64()*24-12)
+		pa, ma := a.Query(q, 0.05)
+		pb, mb := b.Query(q, 0.05)
+		if ma != mb || len(pa) != len(pb) {
+			t.Fatalf("q=%v: retrieved %d vs %d, %d vs %d probs", q, ma, mb, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i].I != pb[i].I || math.Abs(pa[i].P-pb[i].P) > 1e-12 {
+				t.Fatalf("q=%v: %v vs %v", q, pa[i], pb[i])
+			}
+		}
+		// Adaptive mode too.
+		pa2, _ := a.QueryAdaptive(q, 0.05)
+		pb2, _ := b.QueryAdaptive(q, 0.05)
+		if len(pa2) != len(pb2) {
+			t.Fatalf("adaptive q=%v: %v vs %v", q, pa2, pb2)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package quantify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"unn/internal/delaunay"
+	"unn/internal/geom"
+	"unn/internal/kdtree"
+	"unn/internal/uncertain"
+)
+
+// MCBackend selects the per-instantiation nearest-neighbor structure.
+type MCBackend int
+
+const (
+	// MCKDTree answers each round's NN query with a kd-tree (default).
+	MCKDTree MCBackend = iota
+	// MCDelaunay uses a Delaunay triangulation per round — the literal
+	// "Voronoi diagram + point location" plan of §4.2, kept as an
+	// ablation backend (benchmark E9).
+	MCDelaunay
+)
+
+// MonteCarlo is the structure of Theorem 4.3/4.5: s independent
+// instantiations R_1,…,R_s of the uncertain points, each preprocessed for
+// exact nearest-neighbor queries. ˆπ_i(q) = (#rounds where P_i's sample
+// is the NN of q)/s satisfies |ˆπ_i(q) − π_i(q)| ≤ ε for all i and all q
+// with probability ≥ 1−δ when s = Rounds(n, k, ε, δ).
+type MonteCarlo struct {
+	n       int
+	s       int
+	trees   []*kdtree.Tree
+	tris    []*delaunay.Triangulation
+	owners  [][]int // per round: sample index -> owner (Delaunay may merge duplicates)
+	backend MCBackend
+}
+
+// MCOptions configures construction.
+type MCOptions struct {
+	Backend MCBackend
+	Rng     *rand.Rand
+}
+
+// Rounds returns the number s of instantiations prescribed by the proof
+// of Theorem 4.3: s = (1/2ε²) ln(2 n |Q| / δ) with |Q| = O((nk)⁴) distinct
+// cells (Lemma 4.1).
+func Rounds(n, k int, eps, delta float64) int {
+	N := float64(n * k)
+	if N < 2 {
+		N = 2
+	}
+	q := 4 * math.Log(N) // ln |Q| with |Q| = N⁴
+	s := (math.Log(2*float64(n)/delta) + q) / (2 * eps * eps)
+	if s < 1 {
+		s = 1
+	}
+	return int(math.Ceil(s))
+}
+
+// RoundsEmpirical returns the much smaller per-query bound
+// s = (1/2ε²) ln(2n/δ), valid when the guarantee is needed for any fixed
+// query rather than uniformly over the plane. The experiments use it to
+// show the ε ∝ 1/√s error decay.
+func RoundsEmpirical(n int, eps, delta float64) int {
+	s := math.Log(2*float64(n)/delta) / (2 * eps * eps)
+	if s < 1 {
+		s = 1
+	}
+	return int(math.Ceil(s))
+}
+
+// NewMonteCarlo draws s instantiations and preprocesses each one.
+// Works for any mix of continuous and discrete uncertain points: a round
+// instantiates every point by sampling its distribution (for continuous
+// points this is the direct form of Theorem 4.5; pre-discretized points
+// via uncertain.Discretize give the literal reduction of Lemma 4.4).
+func NewMonteCarlo(pts []uncertain.Point, s int, opt MCOptions) (*MonteCarlo, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("quantify: empty point set")
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("quantify: need at least one round, got %d", s)
+	}
+	rng := opt.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x6d63))
+	}
+	mc := &MonteCarlo{n: len(pts), s: s, backend: opt.Backend}
+	for r := 0; r < s; r++ {
+		sample := make([]geom.Point, len(pts))
+		for i, p := range pts {
+			sample[i] = p.Sample(rng)
+		}
+		switch opt.Backend {
+		case MCDelaunay:
+			// The triangulation merges exact duplicates, so remember each
+			// vertex's owner; duplicate collisions pick the first owner
+			// (a measure-zero tie for continuous distributions).
+			tri := delaunay.New(sample)
+			owner := make([]int, 0, len(sample))
+			seen := map[geom.Point]bool{}
+			for i, p := range sample {
+				if !seen[p] {
+					seen[p] = true
+					owner = append(owner, i)
+				}
+			}
+			mc.tris = append(mc.tris, tri)
+			mc.owners = append(mc.owners, owner)
+		default:
+			items := make([]kdtree.Item, len(sample))
+			for i, p := range sample {
+				items[i] = kdtree.Item{P: p, ID: i}
+			}
+			mc.trees = append(mc.trees, kdtree.New(items))
+		}
+	}
+	return mc, nil
+}
+
+// Rounds returns the number of instantiations stored.
+func (mc *MonteCarlo) RoundsStored() int { return mc.s }
+
+// Query estimates the quantification probabilities of q. At most s
+// entries are nonzero; the remaining ˆπ_i are implicitly 0 (they are not
+// returned).
+func (mc *MonteCarlo) Query(q geom.Point) []Prob {
+	counts := map[int]int{}
+	if mc.backend == MCDelaunay {
+		for r, tri := range mc.tris {
+			if vi, _, ok := tri.Nearest(q); ok {
+				counts[mc.owners[r][vi]]++
+			}
+		}
+	} else {
+		for _, tr := range mc.trees {
+			if nb, ok := tr.Nearest(q); ok {
+				counts[nb.Item.ID]++
+			}
+		}
+	}
+	out := make([]Prob, 0, len(counts))
+	for i, c := range counts {
+		out = append(out, Prob{I: i, P: float64(c) / float64(mc.s)})
+	}
+	return sortProbs(out)
+}
+
+// QueryDense returns the full estimate vector.
+func (mc *MonteCarlo) QueryDense(q geom.Point) []float64 {
+	pi := make([]float64, mc.n)
+	for _, pr := range mc.Query(q) {
+		pi[pr.I] = pr.P
+	}
+	return pi
+}

@@ -1,0 +1,93 @@
+// Package quantify implements the second half of the paper: computing the
+// quantification probabilities π_i(q) — the probability that P_i is the
+// nearest uncertain point to q (Section 4).
+//
+// Four engines are provided:
+//
+//   - Exact evaluation of Eq. (2) for discrete distributions, by sweeping
+//     the N = Σk_i locations in distance order (the per-query reference
+//     every approximation is tested against);
+//   - the exact probabilistic Voronoi diagram V_Pr(P) of §4.1: the
+//     arrangement of the O(N²) pairwise bisector lines refines V_Pr, each
+//     cell carries the full π vector (Lemma 4.1, Θ(N⁴) worst case;
+//     Theorem 4.2 queries);
+//   - the Monte-Carlo structure of §4.2: s random instantiations of P,
+//     each preprocessed for exact NN queries; ˆπ_i(q) is the fraction of
+//     instantiations in which P_i's sample is nearest (Theorem 4.3, and
+//     Theorem 4.5 for continuous pdfs via direct instantiation or the
+//     Discretize reduction);
+//   - the deterministic spiral search of §4.3: only the m(ρ,ε) locations
+//     nearest to q are retrieved and Eq. (2) is evaluated on that prefix
+//     (Lemma 4.6 / Theorem 4.7), plus an adaptive variant that stops as
+//     soon as the survival probability Π_j(1 − Ĝ_j) drops below ε.
+package quantify
+
+import (
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+// Prob is a sparse quantification-probability entry.
+type Prob struct {
+	I int     // index of the uncertain point
+	P float64 // (estimated) probability of being the NN
+}
+
+// sortProbs orders by index for deterministic output.
+func sortProbs(ps []Prob) []Prob {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].I < ps[j].I })
+	return ps
+}
+
+// ExactAt evaluates π_i(q) for all i exactly via Eq. (2):
+//
+//	π_i(q) = Σ_{p_ia ∈ P_i} w_ia · Π_{j≠i} (1 − G_{q,j}(d(p_ia, q)))
+//
+// where G_{q,j}(r) = Σ_{d(p_jt,q) ≤ r} w_jt. Locations at exactly equal
+// distance count into each other's cdf (the ≤ of Eq. (2)); such ties are
+// measure-zero for generic inputs.
+//
+// Runs in O(N log N + N·n) time for n points with N total locations.
+func ExactAt(pts []*uncertain.Discrete, q geom.Point) []float64 {
+	var entries []swpEntry
+	for i, p := range pts {
+		for a, l := range p.Locs {
+			entries = append(entries, swpEntry{d: q.Dist(l), i: i, w: p.W[a]})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].d < entries[b].d })
+	return etaSweep(entries, len(pts))
+}
+
+// ExactPositive returns the positive entries of ExactAt as sparse pairs.
+func ExactPositive(pts []*uncertain.Discrete, q geom.Point) []Prob {
+	var out []Prob
+	for i, p := range ExactAt(pts, q) {
+		if p > 0 {
+			out = append(out, Prob{I: i, P: p})
+		}
+	}
+	return out
+}
+
+// TotalMass returns Σ_i π_i — 1 up to floating error for generic inputs
+// (ties can only decrease it); exposed for validation.
+func TotalMass(pi []float64) float64 {
+	s := 0.0
+	for _, v := range pi {
+		s += v
+	}
+	return s
+}
+
+// MaxAbsDiff is the L∞ distance between two probability vectors.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		m = math.Max(m, math.Abs(a[i]-b[i]))
+	}
+	return m
+}

@@ -1,0 +1,69 @@
+package quantify
+
+import (
+	"sort"
+
+	"unn/internal/geom"
+)
+
+// Estimator is any structure that can estimate the quantification
+// probabilities of a query point with a per-call accuracy knob. The
+// Monte-Carlo and spiral structures both satisfy it through the adapters
+// below.
+type Estimator interface {
+	// Estimate returns (sparse) probability estimates with additive error
+	// at most eps per entry (with the structure's own confidence
+	// semantics), treating omitted indices as 0.
+	Estimate(q geom.Point, eps float64) []Prob
+}
+
+// SpiralEstimator adapts *Spiral to Estimator.
+type SpiralEstimator struct{ S *Spiral }
+
+// Estimate implements Estimator.
+func (se SpiralEstimator) Estimate(q geom.Point, eps float64) []Prob {
+	probs, _ := se.S.Query(q, eps)
+	return probs
+}
+
+// MCEstimator adapts *MonteCarlo to Estimator; the error bound is the one
+// its construction-time round count s was chosen for, independent of the
+// eps argument.
+type MCEstimator struct{ MC *MonteCarlo }
+
+// Estimate implements Estimator.
+func (me MCEstimator) Estimate(q geom.Point, _ float64) []Prob {
+	return me.MC.Query(q)
+}
+
+// Threshold returns the points whose quantification probability
+// (estimated within tau/2) is at least tau — the probabilistic threshold
+// NN query of [DYM+05] discussed in §1.2. Every point with
+// π_i(q) ≥ 3τ/2 is guaranteed in the answer and none with π_i(q) < τ/2
+// can appear.
+func Threshold(est Estimator, q geom.Point, tau float64) []Prob {
+	var out []Prob
+	for _, pr := range est.Estimate(q, tau/2) {
+		if pr.P >= tau {
+			out = append(out, pr)
+		}
+	}
+	return sortProbs(out)
+}
+
+// TopK returns the k points with the largest estimated quantification
+// probabilities, in non-increasing order (ties broken by index). eps
+// controls the estimation accuracy of the underlying structure.
+func TopK(est Estimator, q geom.Point, k int, eps float64) []Prob {
+	probs := est.Estimate(q, eps)
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].P != probs[j].P {
+			return probs[i].P > probs[j].P
+		}
+		return probs[i].I < probs[j].I
+	})
+	if k < len(probs) {
+		probs = probs[:k]
+	}
+	return probs
+}

@@ -1,0 +1,158 @@
+package quantify
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"unn/internal/arrgn"
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+// VPr is the exact probabilistic Voronoi diagram of §4.1 (Theorem 4.2):
+// the arrangement of all O(N²) pairwise bisector lines of the N possible
+// locations refines V_Pr(P) — inside each cell the distance order of all
+// locations, hence every π_i, is constant (Lemma 4.1). Each cell stores
+// its full π vector; queries are point location plus a lookup.
+//
+// The worst-case size is Θ(N⁴), which is why the paper (and this
+// library) treats it as the small-instance exact baseline.
+type VPr struct {
+	pts    []*uncertain.Discrete
+	Arr    *arrgn.Arrangement
+	Loc    *arrgn.Locator
+	Box    geom.Rect
+	labels [][]int32   // per slab, per gap: index into vecs
+	vecs   [][]float64 // interned distinct π vectors
+	stats  arrgn.Stats
+}
+
+// VPrOptions tunes construction.
+type VPrOptions struct {
+	// BoxMargin inflates the location bounding box (default 2× diameter).
+	BoxMargin float64
+	// SnapTol is the arrangement snapping tolerance.
+	SnapTol float64
+}
+
+// BuildVPr constructs the diagram. Cost grows like N⁴; instances beyond a
+// few dozen locations are rejected to keep memory sane.
+func BuildVPr(pts []*uncertain.Discrete, opt VPrOptions) (*VPr, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("quantify: empty point set")
+	}
+	var locs []geom.Point
+	for _, p := range pts {
+		locs = append(locs, p.Locs...)
+	}
+	N := len(locs)
+	if N > 96 {
+		return nil, fmt.Errorf("quantify: V_Pr over %d locations would have ~N⁴ = %g cells; use MonteCarlo or Spiral", N, math.Pow(float64(N), 4))
+	}
+	bb := geom.RectAround(locs...)
+	diam := math.Max(bb.Diag(), 1)
+	if opt.BoxMargin == 0 {
+		opt.BoxMargin = 2 * diam
+	}
+	if opt.SnapTol == 0 {
+		opt.SnapTol = 1e-9 * diam
+	}
+	box := bb.Inflate(opt.BoxMargin)
+
+	var segs []arrgn.InSeg
+	curve := 0
+	for a := 0; a < N; a++ {
+		for b := a + 1; b < N; b++ {
+			if locs[a].Eq(locs[b]) {
+				continue // coincident locations have no bisector
+			}
+			l := geom.Bisector(locs[a], locs[b])
+			if s, ok := l.ClipToRect(box); ok {
+				segs = append(segs, arrgn.InSeg{S: s, Curve: curve})
+				curve++
+			}
+		}
+	}
+	v := &VPr{pts: pts, Box: box}
+	v.Arr = arrgn.Build(segs, opt.SnapTol)
+	v.Loc = arrgn.NewLocator(v.Arr)
+	v.stats = v.Arr.Stats()
+
+	// Label every gap with its (interned) exact π vector.
+	intern := map[string]int32{}
+	v.labels = make([][]int32, v.Loc.SlabCount())
+	for s := 0; s < v.Loc.SlabCount(); s++ {
+		gaps := v.Loc.GapCount(s)
+		v.labels[s] = make([]int32, gaps)
+		for g := 0; g < gaps; g++ {
+			pi := ExactAt(pts, v.Loc.GapRep(s, g))
+			key := vecKey(pi)
+			id, ok := intern[key]
+			if !ok {
+				id = int32(len(v.vecs))
+				v.vecs = append(v.vecs, pi)
+				intern[key] = id
+			}
+			v.labels[s][g] = id
+		}
+	}
+	return v, nil
+}
+
+// vecKey quantizes a probability vector for interning; 1e-12 resolution
+// comfortably separates genuinely distinct cells at the scales used.
+func vecKey(pi []float64) string {
+	var sb strings.Builder
+	for _, v := range pi {
+		sb.WriteString(strconv.FormatInt(int64(math.Round(v*1e12)), 36))
+		sb.WriteByte(':')
+	}
+	return sb.String()
+}
+
+// Stats returns the combinatorial statistics of the bisector arrangement
+// (the refinement of V_Pr whose size Lemma 4.1 bounds by O(N⁴)).
+func (v *VPr) Stats() arrgn.Stats { return v.stats }
+
+// DistinctCells returns the number of distinct π vectors over all located
+// gaps — a lower bound on the true complexity of V_Pr(P).
+func (v *VPr) DistinctCells() int { return len(v.vecs) }
+
+// DistinctCellsWithin counts distinct π vectors among gaps whose
+// representative lies inside region (used by the Ω(n⁴) construction of
+// Lemma 4.1, which concentrates its cells in the unit disk).
+func (v *VPr) DistinctCellsWithin(region geom.Disk) int {
+	seen := map[int32]bool{}
+	for s := range v.labels {
+		for g, id := range v.labels[s] {
+			if region.Contains(v.Loc.GapRep(s, g)) {
+				seen[id] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Query returns the exact quantification probabilities of q: an O(log N)
+// point location inside the box, the exact sweep outside.
+func (v *VPr) Query(q geom.Point) []float64 {
+	if v.Box.Contains(q) {
+		if s, g, ok := v.Loc.Locate(q); ok {
+			return v.vecs[v.labels[s][g]]
+		}
+	}
+	return ExactAt(v.pts, q)
+}
+
+// QueryPositive returns the positive entries of Query.
+func (v *VPr) QueryPositive(q geom.Point) []Prob {
+	var out []Prob
+	for i, p := range v.Query(q) {
+		if p > 0 {
+			out = append(out, Prob{I: i, P: p})
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Package svg is a minimal dependency-free SVG writer used to render the
+// diagrams of the library (V≠0 curves, V_Pr arrangements, uncertainty
+// regions) for documentation and debugging.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"unn/internal/geom"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport and
+// renders them scaled into a pixel-sized image (y-axis flipped so +y is
+// up, as in the paper's figures).
+type Canvas struct {
+	view   geom.Rect
+	w, h   float64
+	body   strings.Builder
+	margin float64
+}
+
+// New creates a canvas for the given world viewport and pixel width; the
+// height preserves the aspect ratio.
+func New(view geom.Rect, pixelWidth float64) *Canvas {
+	if view.Width() <= 0 || view.Height() <= 0 {
+		view = view.Inflate(1)
+	}
+	h := pixelWidth * view.Height() / view.Width()
+	return &Canvas{view: view, w: pixelWidth, h: h, margin: 8}
+}
+
+func (c *Canvas) tx(p geom.Point) (float64, float64) {
+	x := c.margin + (p.X-c.view.Min.X)/c.view.Width()*c.w
+	y := c.margin + (c.view.Max.Y-p.Y)/c.view.Height()*c.h
+	return x, y
+}
+
+func (c *Canvas) scale() float64 { return c.w / c.view.Width() }
+
+// Line draws a segment.
+func (c *Canvas) Line(s geom.Segment, stroke string, width float64) {
+	x1, y1 := c.tx(s.A)
+	x2, y2 := c.tx(s.B)
+	if badCoord(x1, y1, x2, y2) {
+		return
+	}
+	fmt.Fprintf(&c.body,
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, stroke, width)
+}
+
+// Circle draws a circle outline with optional translucent fill.
+func (c *Canvas) Circle(d geom.Disk, stroke, fill string, width float64) {
+	x, y := c.tx(d.C)
+	r := d.R * c.scale()
+	if badCoord(x, y, r, 0) {
+		return
+	}
+	if fill == "" {
+		fill = "none"
+	}
+	fmt.Fprintf(&c.body,
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" stroke="%s" fill="%s" stroke-width="%.2f"/>`+"\n",
+		x, y, r, stroke, fill, width)
+}
+
+// Dot draws a filled point marker.
+func (c *Canvas) Dot(p geom.Point, r float64, fill string) {
+	x, y := c.tx(p)
+	if badCoord(x, y, 0, 0) {
+		return
+	}
+	fmt.Fprintf(&c.body, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`+"\n", x, y, r, fill)
+}
+
+// Text places a label at a world coordinate.
+func (c *Canvas) Text(p geom.Point, s string, size float64, fill string) {
+	x, y := c.tx(p)
+	if badCoord(x, y, 0, 0) {
+		return
+	}
+	fmt.Fprintf(&c.body, `<text x="%.2f" y="%.2f" font-size="%.1f" fill="%s">%s</text>`+"\n",
+		x, y, size, fill, escape(s))
+}
+
+// Palette returns a visually distinct stroke color for index i.
+func Palette(i int) string {
+	colors := []string{
+		"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+		"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+	}
+	return colors[((i%len(colors))+len(colors))%len(colors)]
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		c.w+2*c.margin, c.h+2*c.margin, c.w+2*c.margin, c.h+2*c.margin)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	sb.WriteString(c.body.String())
+	sb.WriteString("</svg>\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+func badCoord(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e7 {
+			return true
+		}
+	}
+	return false
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

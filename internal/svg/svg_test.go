@@ -1,0 +1,69 @@
+package svg
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"unn/internal/geom"
+)
+
+func TestCanvasRendersElements(t *testing.T) {
+	c := New(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(10, 5)}, 500)
+	c.Line(geom.Seg(geom.Pt(1, 1), geom.Pt(9, 4)), "#123456", 1.5)
+	c.Circle(geom.DiskAt(5, 2.5, 2), "#abc", "", 1)
+	c.Dot(geom.Pt(2, 2), 3, "red")
+	c.Text(geom.Pt(1, 4), "a<b&c", 12, "black")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<line", "<circle", "<text", "a&lt;b&amp;c"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	// y-axis is flipped: (1,1) maps to pixel y = 8 + (5-1)/5*250 = 208,
+	// below (9,4)'s pixel y = 8 + (5-4)/5*250 = 58.
+	if !strings.Contains(out, `y1="208.00"`) || !strings.Contains(out, `y2="58.00"`) {
+		t.Fatalf("unexpected y mapping:\n%s", out)
+	}
+}
+
+func TestBadCoordinatesSkipped(t *testing.T) {
+	c := New(geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}, 100)
+	c.Line(geom.Seg(geom.Pt(math.NaN(), 0), geom.Pt(1, 1)), "#000", 1)
+	c.Dot(geom.Pt(math.Inf(1), 0), 2, "red")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<line") || strings.Contains(out, "NaN") {
+		t.Fatal("non-finite elements leaked into output")
+	}
+}
+
+func TestPaletteStable(t *testing.T) {
+	if Palette(0) == "" || Palette(3) != Palette(13) {
+		t.Fatal("palette not cyclic")
+	}
+	if Palette(-1) == "" {
+		t.Fatal("negative index mishandled")
+	}
+}
+
+func TestDegenerateViewport(t *testing.T) {
+	// Zero-area viewport must not divide by zero.
+	c := New(geom.Rect{Min: geom.Pt(2, 2), Max: geom.Pt(2, 2)}, 100)
+	c.Dot(geom.Pt(2, 2), 1, "blue")
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN in degenerate viewport")
+	}
+}

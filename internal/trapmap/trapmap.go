@@ -1,0 +1,378 @@
+// Package trapmap implements randomized-incremental trapezoidal-map point
+// location over a set of interior-disjoint segments (shared endpoints
+// allowed) — the structure of [dBCKO08, Chapter 6] that the paper cites
+// for the O(log n) point-location step of Theorem 2.11.
+//
+// Design notes:
+//
+//   - Degenerate x-coordinates are handled by the standard symbolic
+//     shear: all point comparisons are lexicographic by (x, y), which
+//     makes vertical segments behave like steeply positive-slope ones.
+//   - Instead of the textbook four-neighbor threading, the insertion walk
+//     re-locates the segment's crossing point of each trapezoid's right
+//     wall through the DAG (O(log n) per step, same expected total).
+//     This removes the error-prone neighbor bookkeeping entirely; the
+//     search DAG is the only structure.
+//   - Merging of upper/lower runs along an inserted segment is done by
+//     reusing one trapezoid object across consecutive leaves (the
+//     structure is a dag precisely because leaves share trapezoids).
+package trapmap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"unn/internal/geom"
+)
+
+// SegTop / SegBottom mark the bounding box in Trapezoid.Top / .Bottom.
+const (
+	SegTop    = -1 // the bounding box's upper edge
+	SegBottom = -2 // the bounding box's lower edge
+)
+
+// Trapezoid is one cell of the map: bounded above by segment Top, below
+// by segment Bottom, and left/right by the vertical walls through Leftp
+// and Rightp.
+type Trapezoid struct {
+	Top, Bottom   int // segment indices, or SegTop / SegBottom
+	Leftp, Rightp geom.Point
+	leaf          *node
+}
+
+type nodeKind int8
+
+const (
+	leafNode nodeKind = iota
+	xNode
+	yNode
+)
+
+type node struct {
+	kind  nodeKind
+	p     geom.Point // xNode
+	s     int        // yNode: segment index
+	left  *node      // xNode: lex-left;  yNode: above
+	right *node      // xNode: lex-right; yNode: below
+	trap  *Trapezoid // leafNode
+}
+
+// Map is the trapezoidal map of a fixed segment set.
+type Map struct {
+	segs []geom.Segment // normalized: A lexicographically before B
+	root *node
+	box  geom.Rect
+}
+
+func lexLess(p, q geom.Point) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	return p.Y < q.Y
+}
+
+// above reports whether p lies strictly above segment s (in the sheared
+// order); onSeg is true when p is exactly on the supporting line within
+// the segment's span.
+func (m *Map) above(s int, p geom.Point) (above, onSeg bool) {
+	sg := m.segs[s]
+	o := geom.Orient2D(sg.A, sg.B, p)
+	return o > 0, o == 0
+}
+
+// slopeAbove reports whether segment s leaves their common left endpoint
+// above segment t (both normalized A lex< B).
+func (m *Map) slopeAbove(s, t int) bool {
+	ds := m.segs[s].B.Sub(m.segs[s].A)
+	dt := m.segs[t].B.Sub(m.segs[t].A)
+	return dt.Cross(ds) > 0
+}
+
+// New builds the map by randomized incremental insertion. Segments must
+// have disjoint interiors (shared endpoints are fine); zero-length and
+// exactly duplicated segments are dropped.
+func New(segs []geom.Segment, rng *rand.Rand) (*Map, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0x7a9))
+	}
+	m := &Map{}
+	seen := map[[4]float64]bool{}
+	bb := geom.EmptyRect()
+	for _, s := range segs {
+		a, b := s.A, s.B
+		if lexLess(b, a) {
+			a, b = b, a
+		}
+		if a.Eq(b) {
+			continue
+		}
+		key := [4]float64{a.X, a.Y, b.X, b.Y}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		m.segs = append(m.segs, geom.Seg(a, b))
+		bb = bb.Extend(a).Extend(b)
+	}
+	if bb.IsEmpty() {
+		bb = geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	}
+	m.box = bb.Inflate(1 + bb.Diag()*0.05)
+	start := &Trapezoid{
+		Top: SegTop, Bottom: SegBottom,
+		Leftp: m.box.Min, Rightp: geom.Pt(m.box.Max.X, m.box.Min.Y),
+	}
+	m.root = &node{kind: leafNode, trap: start}
+	start.leaf = m.root
+
+	order := rng.Perm(len(m.segs))
+	for _, si := range order {
+		if err := m.insert(si); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// locate descends the DAG for point p. If dir >= 0 it is a segment index
+// used to break ties when p coincides with an x-node point or lies on a
+// y-node segment (the point is interpreted as "p, continuing along
+// segment dir to the right").
+func (m *Map) locate(p geom.Point, dir int) *node {
+	n := m.root
+	for n.kind != leafNode {
+		switch n.kind {
+		case xNode:
+			switch {
+			case dir >= 0 && p.X == n.p.X && m.segs[dir].A.X != m.segs[dir].B.X:
+				// Advancing along a non-vertical segment tips the sheared
+				// x-coordinate past any point on the same wall.
+				n = n.right
+			case lexLess(p, n.p):
+				n = n.left
+			case lexLess(n.p, p):
+				n = n.right
+			default: // p == node point: a rightward segment continues right
+				n = n.right
+			}
+		case yNode:
+			ab, on := m.above(n.s, p)
+			if on && dir >= 0 {
+				ab = m.slopeAbove(dir, n.s)
+			}
+			if ab {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+	}
+	return n
+}
+
+// Locate returns the trapezoid containing q. Points exactly on a segment
+// are assigned to one adjacent side.
+func (m *Map) Locate(q geom.Point) *Trapezoid {
+	return m.locate(q, -1).trap
+}
+
+// insert adds segment si to the map.
+func (m *Map) insert(si int) error {
+	s := m.segs[si]
+	// Collect the chain of trapezoids crossed by s, left to right.
+	var chain []*node
+	cur := m.locate(s.A, si)
+	for {
+		chain = append(chain, cur)
+		tr := cur.trap
+		if !lexLess(tr.Rightp, s.B) {
+			break
+		}
+		// Step into the next trapezoid: re-locate the point where s
+		// crosses the right wall (with s as the tie direction). For a
+		// vertical segment the sheared wall through Rightp meets it at
+		// Rightp's own height.
+		x := tr.Rightp.X
+		var p geom.Point
+		if s.A.X == s.B.X {
+			p = geom.Pt(x, tr.Rightp.Y)
+		} else {
+			p = geom.Pt(x, s.YAt(x))
+		}
+		next := m.locate(p, si)
+		if next.trap == tr {
+			return fmt.Errorf("trapmap: stuck at wall x=%v inserting segment %d (degenerate input?)", x, si)
+		}
+		cur = next
+		if len(chain) > 4*len(m.segs)+16 {
+			return fmt.Errorf("trapmap: runaway chain inserting segment %d", si)
+		}
+	}
+
+	// Build the replacement trapezoids. U and L are the (merged) runs
+	// above and below s.
+	var upper, lower *Trapezoid
+	for j, leaf := range chain {
+		tr := leaf.trap
+		first, last := j == 0, j == len(chain)-1
+
+		// Close or extend the runs.
+		if upper == nil || upper.Top != tr.Top {
+			upper = &Trapezoid{Top: tr.Top, Bottom: si, Leftp: runLeft(first, s.A, tr), Rightp: tr.Rightp}
+		} else {
+			upper.Rightp = tr.Rightp
+		}
+		if lower == nil || lower.Bottom != tr.Bottom {
+			lower = &Trapezoid{Top: si, Bottom: tr.Bottom, Leftp: runLeft(first, s.A, tr), Rightp: tr.Rightp}
+		} else {
+			lower.Rightp = tr.Rightp
+		}
+		if last && lexLess(s.B, tr.Rightp) {
+			upper.Rightp = s.B
+			lower.Rightp = s.B
+		}
+
+		// Assemble the subtree that replaces this leaf.
+		sub := &node{kind: yNode, s: si}
+		sub.left = leafFor(upper)
+		sub.right = leafFor(lower)
+		if last && lexLess(s.B, tr.Rightp) {
+			right := &Trapezoid{Top: tr.Top, Bottom: tr.Bottom, Leftp: s.B, Rightp: tr.Rightp}
+			sub = &node{kind: xNode, p: s.B, left: sub, right: leafFor(right)}
+		}
+		if first && lexLess(tr.Leftp, s.A) {
+			left := &Trapezoid{Top: tr.Top, Bottom: tr.Bottom, Leftp: tr.Leftp, Rightp: s.A}
+			sub = &node{kind: xNode, p: s.A, left: leafFor(left), right: sub}
+		}
+		// Morph the old leaf in place so all DAG parents see the update.
+		*leaf = *sub
+		relink(leaf)
+	}
+	return nil
+}
+
+func runLeft(first bool, a geom.Point, tr *Trapezoid) geom.Point {
+	if first {
+		return a
+	}
+	return tr.Leftp
+}
+
+// leafFor returns the canonical leaf node of a trapezoid, creating it on
+// first use (run-merged trapezoids appear under several parents).
+func leafFor(t *Trapezoid) *node {
+	if t.leaf == nil || t.leaf.trap != t {
+		t.leaf = &node{kind: leafNode, trap: t}
+	}
+	return t.leaf
+}
+
+// relink repairs leaf back-pointers after a leaf node was morphed into an
+// internal node (its children may be canonical leaves created elsewhere).
+func relink(n *node) {
+	for _, c := range []*node{n.left, n.right} {
+		if c != nil && c.kind == leafNode {
+			c.trap.leaf = c
+		}
+	}
+}
+
+// Bounds returns the bounding box of the map.
+func (m *Map) Bounds() geom.Rect { return m.box }
+
+// Seg returns the i-th (normalized) segment.
+func (m *Map) Seg(i int) geom.Segment { return m.segs[i] }
+
+// NumSegs returns the number of stored segments.
+func (m *Map) NumSegs() int { return len(m.segs) }
+
+// Count returns the number of distinct trapezoids and DAG nodes — the
+// O(n) expected size bound of [dBCKO08, Thm 6.2] is checked in tests.
+func (m *Map) Count() (traps, nodes int) {
+	seenT := map[*Trapezoid]bool{}
+	seenN := map[*node]bool{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || seenN[n] {
+			return
+		}
+		seenN[n] = true
+		if n.kind == leafNode {
+			seenT[n.trap] = true
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(m.root)
+	return len(seenT), len(seenN)
+}
+
+// Depth returns the maximum DAG depth (expected O(log n)).
+func (m *Map) Depth() int {
+	memo := map[*node]int{}
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if d, ok := memo[n]; ok {
+			return d
+		}
+		memo[n] = 0 // cycle guard; DAG has none, but stay safe
+		d := 0
+		if n.kind != leafNode {
+			l, r := walk(n.left), walk(n.right)
+			if r > l {
+				l = r
+			}
+			d = 1 + l
+		}
+		memo[n] = d
+		return d
+	}
+	return walk(m.root)
+}
+
+// Trapezoids returns every distinct trapezoid of the map.
+func (m *Map) Trapezoids() []*Trapezoid {
+	seenT := map[*Trapezoid]bool{}
+	seenN := map[*node]bool{}
+	var out []*Trapezoid
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || seenN[n] {
+			return
+		}
+		seenN[n] = true
+		if n.kind == leafNode {
+			if !seenT[n.trap] {
+				seenT[n.trap] = true
+				out = append(out, n.trap)
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(m.root)
+	return out
+}
+
+// Rep returns a point in the interior of the trapezoid (on the midline
+// for zero-width sheared trapezoids).
+func (m *Map) Rep(t *Trapezoid) geom.Point {
+	x := (t.Leftp.X + t.Rightp.X) / 2
+	var yLo, yHi float64
+	if t.Bottom >= 0 {
+		yLo = m.segs[t.Bottom].YAt(x)
+	} else {
+		yLo = m.box.Min.Y
+	}
+	if t.Top >= 0 {
+		yHi = m.segs[t.Top].YAt(x)
+	} else {
+		yHi = m.box.Max.Y
+	}
+	return geom.Pt(x, (yLo+yHi)/2)
+}

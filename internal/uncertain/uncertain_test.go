@@ -1,0 +1,263 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"unn/internal/geom"
+)
+
+// checkCDF verifies that DistCDF is a proper cdf of d(q, P): monotone,
+// 0 below MinDist, 1 above MaxDist, and within MC tolerance of sampling.
+func checkCDF(t *testing.T, p Point, q geom.Point, rng *rand.Rand) {
+	t.Helper()
+	lo, hi := p.MinDist(q), p.MaxDist(q)
+	if lo > hi {
+		t.Fatalf("MinDist %v > MaxDist %v", lo, hi)
+	}
+	if c := p.DistCDF(q, lo-1e-6); c > 1e-9 {
+		t.Fatalf("cdf below support = %v", c)
+	}
+	if c := p.DistCDF(q, hi+1e-6); math.Abs(c-1) > 1e-6 {
+		t.Fatalf("cdf above support = %v", c)
+	}
+	prev := -1.0
+	for i := 0; i <= 20; i++ {
+		r := lo + (hi-lo)*float64(i)/20
+		c := p.DistCDF(q, r)
+		if c < prev-1e-9 {
+			t.Fatalf("cdf not monotone at r=%v: %v < %v", r, c, prev)
+		}
+		prev = c
+	}
+	// Monte-Carlo agreement at the midpoint.
+	rMid := (lo + hi) / 2
+	const N = 40000
+	hits := 0
+	for i := 0; i < N; i++ {
+		if p.Sample(rng).Dist(q) <= rMid {
+			hits++
+		}
+	}
+	want := p.DistCDF(q, rMid)
+	got := float64(hits) / N
+	if math.Abs(got-want) > 0.015 {
+		t.Fatalf("cdf(%v): MC %v vs analytic %v", rMid, got, want)
+	}
+	// Samples stay in the support box.
+	box := p.Support().Inflate(1e-9)
+	for i := 0; i < 1000; i++ {
+		if s := p.Sample(rng); !box.Contains(s) {
+			t.Fatalf("sample %v outside support %v", s, box)
+		}
+	}
+}
+
+func TestUniformDiskCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := UniformDisk{D: geom.DiskAt(0, 0, 5)}
+	checkCDF(t, u, geom.Pt(6, 8), rng)
+	checkCDF(t, u, geom.Pt(1, 0), rng) // query inside the disk
+}
+
+// TestFigure1Shape reproduces the qualitative content of Figure 1: for
+// D = disk(O, 5) and q = (6,8) (d(q,O) = 10), the distance pdf is
+// supported on [5, 15] with an interior maximum. The density is
+// proportional to the arc length of ∂B(q,r) inside D, which peaks
+// slightly beyond r = d(q,O) (at ≈ 11.2 for this configuration).
+func TestFigure1Shape(t *testing.T) {
+	u := UniformDisk{D: geom.DiskAt(0, 0, 5)}
+	q := geom.Pt(6, 8)
+	if u.MinDist(q) != 5 || u.MaxDist(q) != 15 {
+		t.Fatalf("support [%v, %v]", u.MinDist(q), u.MaxDist(q))
+	}
+	peakR, peakV := 0.0, 0.0
+	for i := 1; i < 100; i++ {
+		r := 5 + 10*float64(i)/100
+		v := DistPDF(u, q, r, 1e-4)
+		if v < -1e-9 {
+			t.Fatalf("negative density at r=%v", r)
+		}
+		if v > peakV {
+			peakR, peakV = r, v
+		}
+	}
+	if peakV <= 0 {
+		t.Fatal("density identically zero")
+	}
+	if peakR <= 9 || peakR >= 13 {
+		t.Fatalf("peak at %v, expected an interior maximum near 11", peakR)
+	}
+	// Compare against the analytic density: g(r) = r·φ(r)·2/(πR²) where
+	// φ is the half-angle of ∂B(q,r) inside D.
+	dq, R := 10.0, 5.0
+	for _, r := range []float64{6, 8, 10, 12, 14} {
+		cosPhi := (r*r + dq*dq - R*R) / (2 * r * dq)
+		phi := math.Acos(math.Max(-1, math.Min(1, cosPhi)))
+		want := 2 * r * phi / (math.Pi * R * R)
+		got := DistPDF(u, q, r, 1e-5)
+		if math.Abs(got-want) > 1e-3*(1+want) {
+			t.Fatalf("g(%v) = %v want %v", r, got, want)
+		}
+	}
+}
+
+func TestTruncGaussCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewTruncGauss(geom.DiskAt(3, -1, 4), 1.5)
+	checkCDF(t, g, geom.Pt(9, 2), rng)
+	checkCDF(t, g, geom.Pt(3, 0), rng)
+}
+
+func TestHistogramCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h, err := NewHistogram(geom.Pt(0, 0), 1, 1, [][]float64{
+		{1, 2, 0},
+		{0, 3, 1},
+		{2, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCDF(t, h, geom.Pt(5, 5), rng)
+	checkCDF(t, h, geom.Pt(1.5, 1.5), rng)
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(geom.Pt(0, 0), 1, 1, [][]float64{{1, -1}}); err == nil {
+		t.Error("negative mass accepted")
+	}
+	if _, err := NewHistogram(geom.Pt(0, 0), 0, 1, [][]float64{{1}}); err == nil {
+		t.Error("zero cell width accepted")
+	}
+	if _, err := NewHistogram(geom.Pt(0, 0), 1, 1, [][]float64{{0, 0}}); err == nil {
+		t.Error("zero total mass accepted")
+	}
+	if _, err := NewHistogram(geom.Pt(0, 0), 1, 1, [][]float64{{1, 1}, {1}}); err == nil {
+		t.Error("ragged grid accepted")
+	}
+}
+
+func TestDiscreteBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := NewDiscrete(
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(0, 3)},
+		[]float64{2, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.W[0]-0.5) > 1e-12 {
+		t.Fatalf("normalization: %v", d.W)
+	}
+	q := geom.Pt(0, 0)
+	if d.MinDist(q) != 0 || d.MaxDist(q) != 4 {
+		t.Fatalf("min/max dist %v %v", d.MinDist(q), d.MaxDist(q))
+	}
+	if got := d.DistCDF(q, 3); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("cdf(3) = %v", got) // (0,0) w=.5 and (0,3) w=.25
+	}
+	// Tie at exactly r = 3: the ≤ in Eq. (2) includes it.
+	if got := d.DistCDF(q, 3-1e-12); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("cdf(3-) = %v", got)
+	}
+	checkCDF(t, d, geom.Pt(2, 2), rng)
+	// Sampling frequencies.
+	counts := map[geom.Point]int{}
+	const N = 30000
+	for i := 0; i < N; i++ {
+		counts[d.Sample(rng)]++
+	}
+	if math.Abs(float64(counts[geom.Pt(0, 0)])/N-0.5) > 0.02 {
+		t.Fatalf("sample frequency off: %v", counts)
+	}
+}
+
+func TestDiscreteValidation(t *testing.T) {
+	if _, err := NewDiscrete(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewDiscrete([]geom.Point{geom.Pt(0, 0)}, []float64{0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewDiscrete([]geom.Point{geom.Pt(0, 0)}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// The squared-distance reduction used by the expected-NN structure of
+// [AESZ12]: E‖q−P‖² = ‖q−centroid‖² + Variance, for every q.
+func TestCentroidVarianceReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(8)
+		locs := make([]geom.Point, k)
+		w := make([]float64, k)
+		for i := range locs {
+			locs[i] = geom.Pt(rng.NormFloat64()*3, rng.NormFloat64()*3)
+			w[i] = rng.Float64() + 0.05
+		}
+		d, err := NewDiscrete(locs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, v := d.Centroid(), d.Variance()
+		for j := 0; j < 20; j++ {
+			q := geom.Pt(rng.NormFloat64()*5, rng.NormFloat64()*5)
+			direct := 0.0
+			for i, p := range d.Locs {
+				direct += d.W[i] * q.Dist2(p)
+			}
+			if math.Abs(direct-(q.Dist2(c)+v)) > 1e-9*(1+direct) {
+				t.Fatalf("reduction broken: %v vs %v", direct, q.Dist2(c)+v)
+			}
+		}
+	}
+}
+
+// Discretize must approximate the distance cdf uniformly (Eq. (7)):
+// |G − Ḡ| ≤ α with sample size ~ 1/α² log(1/δ).
+func TestDiscretizeCDFApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	u := UniformDisk{D: geom.DiskAt(0, 0, 3)}
+	alpha := 0.05
+	m := int(2 / (alpha * alpha)) // generous constant
+	dd := Discretize(u, m, rng)
+	for trial := 0; trial < 40; trial++ {
+		q := geom.Pt(rng.Float64()*10-5, rng.Float64()*10-5)
+		r := rng.Float64() * 10
+		g1 := u.DistCDF(q, r)
+		g2 := dd.DistCDF(q, r)
+		if math.Abs(g1-g2) > alpha {
+			t.Fatalf("cdf approximation error %v > alpha=%v at q=%v r=%v",
+				math.Abs(g1-g2), alpha, q, r)
+		}
+	}
+}
+
+func TestSampleSizeForError(t *testing.T) {
+	k := SampleSizeForError(10, 0.1, 0.1)
+	if k <= 0 {
+		t.Fatal("non-positive sample size")
+	}
+	// Must grow like n²/ε².
+	k2 := SampleSizeForError(20, 0.1, 0.1)
+	if k2 < 3*k {
+		t.Fatalf("expected ~4x growth doubling n: %d -> %d", k, k2)
+	}
+	k3 := SampleSizeForError(10, 0.05, 0.1)
+	if k3 < 3*k {
+		t.Fatalf("expected ~4x growth halving eps: %d -> %d", k, k3)
+	}
+}
+
+func TestSpreadRatio(t *testing.T) {
+	d, _ := NewDiscrete(
+		[]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)},
+		[]float64{0.2, 0.8},
+	)
+	if got := d.SpreadRatio(); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("spread %v want 4", got)
+	}
+}

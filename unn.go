@@ -1,0 +1,273 @@
+// Package unn is a library for nearest-neighbor searching under
+// uncertainty in the plane, reproducing
+//
+//	"Nearest-Neighbor Searching Under Uncertainty II"
+//	(Agarwal, Aronov, Har-Peled, Phillips, Yi, Zhang; PODS 2013 /
+//	arXiv:1606.00112), together with the expected-distance semantics of
+//	the companion PODS 2012 paper [AESZ12].
+//
+// An uncertain point is a probability distribution over locations —
+// continuous with bounded support (uniform disk, truncated Gaussian,
+// histogram) or discrete ({(p_j, w_j)}, Σw = 1). For a query point q the
+// library answers:
+//
+//   - NN≠0(q): every point with nonzero probability of being the nearest
+//     neighbor — via the exact O(n) oracle (Lemma 2.1), the nonzero
+//     Voronoi diagram V≠0(P) with point location (Theorems 2.5–2.14), or
+//     near-linear two-stage structures (Theorems 3.1/3.2);
+//   - quantification probabilities π_i(q) = Pr[P_i is the NN of q] —
+//     exactly (Eq. (2), or the V_Pr diagram of Theorem 4.2), by Monte
+//     Carlo (Theorem 4.3/4.5), or by deterministic spiral search
+//     (Theorem 4.7); plus threshold and top-k wrappers;
+//   - expected-distance NN queries (the [AESZ12] semantics).
+//
+// The quickstart example under examples/quickstart exercises every query
+// type; DESIGN.md maps each theorem to its implementation and
+// EXPERIMENTS.md records the measured reproduction of every claim.
+package unn
+
+import (
+	"math/rand"
+
+	"unn/internal/expected"
+	"unn/internal/geom"
+	"unn/internal/lmetric"
+	"unn/internal/nonzero"
+	"unn/internal/quantify"
+	"unn/internal/uncertain"
+)
+
+// --- geometry ---------------------------------------------------------------
+
+// Point is a point in the plane.
+type Point = geom.Point
+
+// Disk is a closed disk (an uncertainty region).
+type Disk = geom.Disk
+
+// Rect is an axis-aligned rectangle.
+type Rect = geom.Rect
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// DiskAt builds a Disk.
+func DiskAt(x, y, r float64) Disk { return geom.DiskAt(x, y, r) }
+
+// --- uncertain point model ----------------------------------------------
+
+// Uncertain is an uncertain point: any probability distribution over
+// planar locations exposing extreme distances, the distance cdf and
+// sampling.
+type Uncertain = uncertain.Point
+
+// Discrete is an uncertain point with finitely many locations.
+type Discrete = uncertain.Discrete
+
+// UniformDisk is the uniform distribution on a disk.
+type UniformDisk = uncertain.UniformDisk
+
+// TruncGauss is a Gaussian truncated to a disk.
+type TruncGauss = uncertain.TruncGauss
+
+// Histogram is a grid-histogram pdf.
+type Histogram = uncertain.Histogram
+
+// NewDiscrete builds a discrete uncertain point (weights are normalized).
+func NewDiscrete(locs []Point, w []float64) (*Discrete, error) {
+	return uncertain.NewDiscrete(locs, w)
+}
+
+// UniformDiscrete builds a discrete uncertain point with equal weights.
+func UniformDiscrete(locs []Point) *Discrete { return uncertain.UniformDiscrete(locs) }
+
+// NewTruncGauss builds a truncated Gaussian on disk d.
+func NewTruncGauss(d Disk, sigma float64) *TruncGauss { return uncertain.NewTruncGauss(d, sigma) }
+
+// NewHistogram builds a histogram pdf.
+func NewHistogram(origin Point, cellW, cellH float64, w [][]float64) (*Histogram, error) {
+	return uncertain.NewHistogram(origin, cellW, cellH, w)
+}
+
+// Discretize samples m locations from any uncertain point (the
+// continuous→discrete reduction of Theorem 4.5).
+func Discretize(p Uncertain, m int, rng *rand.Rand) *Discrete {
+	return uncertain.Discretize(p, m, rng)
+}
+
+// Disks wraps plain disks as uncertain points (the pdf is irrelevant for
+// NN≠0 queries).
+func Disks(disks []Disk) []Uncertain { return nonzero.DisksAsUncertain(disks) }
+
+// FromDiscrete converts discrete points to the generic interface.
+func FromDiscrete(pts []*Discrete) []Uncertain { return nonzero.DiscreteAsUncertain(pts) }
+
+// --- nonzero nearest neighbors (Section 2 & 3) -------------------------------
+
+// NonzeroNN returns NN≠0(q) = {i : π_i(q) > 0} by the exact O(n) oracle
+// of Lemma 2.1.
+func NonzeroNN(pts []Uncertain, q Point) []int { return nonzero.Brute(pts, q) }
+
+// Diagram is a constructed nonzero Voronoi diagram V≠0(P) with point
+// location (Theorem 2.11).
+type Diagram = nonzero.Diagram
+
+// DiagramOptions tunes diagram construction.
+type DiagramOptions = nonzero.DiagramOptions
+
+// BuildDiskDiagram constructs V≠0 for disk regions (Theorem 2.5).
+func BuildDiskDiagram(disks []Disk, opt DiagramOptions) (*Diagram, error) {
+	return nonzero.BuildDiskDiagram(disks, opt)
+}
+
+// BuildDiscreteDiagram constructs V≠0 for discrete points (Theorem 2.14).
+func BuildDiscreteDiagram(pts []*Discrete, opt DiagramOptions) (*Diagram, error) {
+	return nonzero.BuildDiscreteDiagram(pts, opt)
+}
+
+// DiskComplexity is the exact vertex census of V≠0 for disk regions.
+type DiskComplexity = nonzero.DiskComplexity
+
+// CountDiskComplexity counts breakpoints and curve crossings of V≠0(P)
+// exactly in the polar parameterization (Theorems 2.5–2.10 experiments).
+func CountDiskComplexity(disks []Disk, grid int) DiskComplexity {
+	return nonzero.CountDiskComplexity(disks, nonzero.GammaOptions{}, grid)
+}
+
+// TwoStageDisks is the near-linear NN≠0 structure for disks (Thm 3.1).
+type TwoStageDisks = nonzero.TwoStageDisks
+
+// NewTwoStageDisks preprocesses disks for NN≠0 queries.
+func NewTwoStageDisks(disks []Disk) *TwoStageDisks { return nonzero.NewTwoStageDisks(disks) }
+
+// TwoStageDiscrete is the near-linear NN≠0 structure for discrete points
+// (Theorem 3.2).
+type TwoStageDiscrete = nonzero.TwoStageDiscrete
+
+// NewTwoStageDiscrete preprocesses discrete points for NN≠0 queries.
+func NewTwoStageDiscrete(pts []*Discrete) *TwoStageDiscrete {
+	return nonzero.NewTwoStageDiscrete(pts)
+}
+
+// --- quantification probabilities (Section 4) --------------------------------
+
+// Prob is a sparse (index, probability) result entry.
+type Prob = quantify.Prob
+
+// ExactProbabilities evaluates π_i(q) for all i exactly (Eq. (2)).
+func ExactProbabilities(pts []*Discrete, q Point) []float64 {
+	return quantify.ExactAt(pts, q)
+}
+
+// VPr is the exact probabilistic Voronoi diagram (§4.1, Theorem 4.2).
+type VPr = quantify.VPr
+
+// VPrOptions tunes V_Pr construction.
+type VPrOptions = quantify.VPrOptions
+
+// BuildVPr constructs the exact probabilistic Voronoi diagram.
+func BuildVPr(pts []*Discrete, opt VPrOptions) (*VPr, error) {
+	return quantify.BuildVPr(pts, opt)
+}
+
+// MonteCarlo is the randomized structure of Theorem 4.3/4.5.
+type MonteCarlo = quantify.MonteCarlo
+
+// MCOptions configures Monte-Carlo construction.
+type MCOptions = quantify.MCOptions
+
+// NewMonteCarlo builds a Monte-Carlo index with s instantiations.
+func NewMonteCarlo(pts []Uncertain, s int, opt MCOptions) (*MonteCarlo, error) {
+	return quantify.NewMonteCarlo(pts, s, opt)
+}
+
+// MCRounds returns the round count prescribed by Theorem 4.3 for a
+// uniform (all queries) ε/δ guarantee.
+func MCRounds(n, k int, eps, delta float64) int { return quantify.Rounds(n, k, eps, delta) }
+
+// MCRoundsPerQuery returns the per-query round count (Chernoff only).
+func MCRoundsPerQuery(n int, eps, delta float64) int {
+	return quantify.RoundsEmpirical(n, eps, delta)
+}
+
+// Spiral is the deterministic structure of Theorem 4.7.
+type Spiral = quantify.Spiral
+
+// NewSpiral preprocesses discrete points for spiral-search queries.
+func NewSpiral(pts []*Discrete) (*Spiral, error) { return quantify.NewSpiral(pts) }
+
+// Threshold returns the points whose estimated π_i(q) is at least tau
+// (the probabilistic threshold query of [DYM+05]).
+func Threshold(est quantify.Estimator, q Point, tau float64) []Prob {
+	return quantify.Threshold(est, q, tau)
+}
+
+// TopK returns the k most probable nearest neighbors.
+func TopK(est quantify.Estimator, q Point, k int, eps float64) []Prob {
+	return quantify.TopK(est, q, k, eps)
+}
+
+// SpiralEstimator adapts a Spiral to the Threshold/TopK interface.
+type SpiralEstimator = quantify.SpiralEstimator
+
+// MCEstimator adapts a MonteCarlo index to the Threshold/TopK interface.
+type MCEstimator = quantify.MCEstimator
+
+// --- expected-distance semantics ([AESZ12]) ----------------------------------
+
+// ExpectedIndex answers expected-distance NN queries (the PODS 2012
+// companion semantics).
+type ExpectedIndex = expected.Index
+
+// NewExpectedIndex builds an expected-distance NN index.
+func NewExpectedIndex(pts []*Discrete) (*ExpectedIndex, error) { return expected.New(pts) }
+
+// TrapQuerier answers Diagram queries via a randomized-incremental
+// trapezoidal map ([dBCKO08 Ch. 6]) — the literal point-location
+// structure of Theorem 2.11.
+type TrapQuerier = nonzero.TrapQuerier
+
+// NewTrapQuerier builds the trapezoidal-map querier over a diagram.
+func NewTrapQuerier(d *Diagram, rng *rand.Rand) (*TrapQuerier, error) {
+	return nonzero.NewTrapQuerier(d, rng)
+}
+
+// NewSpiralContinuous builds a spiral-search structure over continuous
+// uncertain points via the Theorem 4.5 discretization — the engineering
+// answer to the paper's open problem (iii). It returns the structure and
+// the discretized points (needed for exact re-evaluation).
+func NewSpiralContinuous(pts []Uncertain, perPoint int, rng *rand.Rand) (*Spiral, []*Discrete, error) {
+	return quantify.NewSpiralContinuous(pts, perPoint, rng)
+}
+
+// NewMonteCarloParallel is NewMonteCarlo with construction fanned out
+// over all CPUs; results are deterministic in the seed.
+func NewMonteCarloParallel(pts []Uncertain, s int, opt MCOptions) (*MonteCarlo, error) {
+	return quantify.NewMonteCarloParallel(pts, s, opt)
+}
+
+// --- L1 / L∞ metrics (remark after Theorem 3.1) ------------------------------
+
+// Square is an L∞ ball (axis-aligned square) or, under the L1 API, a
+// diamond: center plus radius.
+type Square = lmetric.Square
+
+// TwoStageLinf answers NN≠0 queries over square uncertainty regions
+// under the Chebyshev metric.
+type TwoStageLinf = lmetric.TwoStageLinf
+
+// NewTwoStageLinf preprocesses square regions for L∞ NN≠0 queries.
+func NewTwoStageLinf(squares []Square) *TwoStageLinf { return lmetric.NewTwoStageLinf(squares) }
+
+// TwoStageL1 answers NN≠0 queries over diamond regions under the
+// Manhattan metric (via the 45° reduction to L∞).
+type TwoStageL1 = lmetric.TwoStageL1
+
+// NewTwoStageL1 preprocesses diamond regions for L1 NN≠0 queries.
+func NewTwoStageL1(diamonds []Square) *TwoStageL1 { return lmetric.NewTwoStageL1(diamonds) }
+
+// NewSpiralQuadtree is NewSpiral with the quadtree branch-and-bound
+// retrieval backend suggested in §4.3 Remark (ii) ([Har11]).
+func NewSpiralQuadtree(pts []*Discrete) (*Spiral, error) {
+	return quantify.NewSpiralQuadtree(pts)
+}
