@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: verify build vet test bench bench-json examples clean
+
+# The tier-1 gate: everything CI runs.
+verify: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Engine benchmarks (BenchmarkEngineBatch vs BenchmarkEngineSequential).
+bench:
+	$(GO) test ./internal/engine -run xxx -bench 'EngineBatch|EngineSequential' -benchtime 5x
+
+# Machine-readable perf trajectory: one JSON record per backend/size.
+bench-json:
+	$(GO) run ./cmd/unnbench -quick -json BENCH_engine.json >/dev/null
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/semantics
+	$(GO) run ./examples/sensorfield
+	$(GO) run ./examples/mobiledata
+
+clean:
+	$(GO) clean ./...

@@ -259,9 +259,28 @@ func BenchmarkE15_DiskDiagramBuild_n16(b *testing.B) {
 	}
 }
 
+// E16 / engine layer: a query stream through the unified engine — the
+// Monte-Carlo backend behind unn.Open, batched across the worker pool.
+func BenchmarkE16_EngineBatchMC_n1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	pts := constructions.RandomDiscrete(rng, 1000, 3, 200, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts,
+		unn.WithBackend(unn.BackendMonteCarlo), unn.WithMCRounds(48), unn.WithMCParallel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 200, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.BatchProbs(qs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 15 {
+	if len(experiments.All) != 16 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }

@@ -1,5 +1,7 @@
-// Command unnbench regenerates every experiment table of EXPERIMENTS.md:
-// one table per reproduced theorem/figure of the paper.
+// Command unnbench regenerates every experiment table of EXPERIMENTS.md
+// (one table per reproduced theorem/figure of the paper) and the
+// machine-readable engine benchmark used to track the perf trajectory
+// across PRs.
 //
 // Usage:
 //
@@ -8,6 +10,16 @@
 //	unnbench -exp E2,E11     # selected experiments
 //	unnbench -list           # list experiments and claims
 //	unnbench -seed 42        # reproducible workloads
+//	unnbench -json out.json  # engine benchmark → machine-readable JSON
+//
+// With -json, the engine sweep (E16) runs every adapted backend through
+// the unified engine layer and writes records of the form
+//
+//	{"backend": "montecarlo", "n": 1000, "queries": 256, "workers": 8,
+//	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...}
+//
+// to the given path (conventionally BENCH_engine.json), alongside the
+// usual table on stdout.
 package main
 
 import (
@@ -21,10 +33,11 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		exp   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed  = flag.Int64("seed", 0, "workload seed (0 = default)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		exp      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed     = flag.Int64("seed", 0, "workload seed (0 = default)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "", "write the engine benchmark (E16) as JSON to this path")
 	)
 	flag.Parse()
 
@@ -36,6 +49,29 @@ func main() {
 	}
 
 	opt := experiments.Options{Quick: *quick, Seed: *seed}
+
+	if *jsonPath != "" {
+		recs, tab := experiments.EngineBench(opt)
+		if _, err := tab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteBenchJSON(f, recs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "unnbench: wrote %d records to %s\n", len(recs), *jsonPath)
+		if *exp == "" {
+			return
+		}
+	}
+
 	var ids []string
 	if *exp == "" {
 		for _, e := range experiments.All {
@@ -53,8 +89,12 @@ func main() {
 		}
 		tab := run(opt)
 		if _, err := tab.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "unnbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "unnbench: %v\n", err)
+	os.Exit(1)
 }

@@ -3,7 +3,9 @@
 // "mobile data" motivation of §1). A dispatch service asks: which driver
 // is most likely closest to the pickup point? The spiral search of
 // Theorem 4.7 answers this touching only m(ρ,ε) of the N = nk locations;
-// the example compares it against the exact sweep and a threshold query.
+// the example serves it through the query engine — including a batch of
+// pickups fanned across the worker pool — and compares against the
+// exact sweep.
 //
 //	go run ./examples/mobiledata
 package main
@@ -38,41 +40,68 @@ func main() {
 		drivers[i] = d
 	}
 
-	sp, err := unn.NewSpiral(drivers)
+	eps := 0.01
+	spiral, err := unn.OpenDiscrete(drivers,
+		unn.WithBackend(unn.BackendSpiral), unn.WithEps(eps))
 	if err != nil {
 		log.Fatal(err)
 	}
-	eps := 0.01
-	fmt.Printf("N = %d locations, spread ρ = %.2f, m(ρ,ε=%.2f) = %d\n\n",
-		n*k, sp.Rho(), eps, sp.M(eps))
+	exact, err := unn.OpenDiscrete(drivers) // brute: the Eq. (2) reference
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	pickup := unn.Pt(1000, 1000)
 
 	t0 := time.Now()
-	probs, m := sp.Query(pickup, eps)
+	if _, err := spiral.QueryProbs(pickup, eps); err != nil {
+		log.Fatal(err)
+	}
 	tSpiral := time.Since(t0)
 
 	t0 = time.Now()
-	exact := unn.ExactProbabilities(drivers, pickup)
+	exactProbs, err := exact.QueryProbs(pickup, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tExact := time.Since(t0)
+	exactByDriver := make(map[int]float64, len(exactProbs))
+	for _, pr := range exactProbs {
+		exactByDriver[pr.I] = pr.P
+	}
 
-	fmt.Printf("spiral: retrieved %d of %d locations in %v\n", m, n*k, tSpiral)
-	fmt.Printf("exact sweep over all locations:     %v\n\n", tExact)
+	fmt.Printf("N = %d locations; spiral backend %v, exact sweep %v\n\n",
+		n*k, tSpiral, tExact)
 
 	fmt.Println("most likely nearest drivers (spiral estimate vs exact):")
-	top := unn.TopK(unn.SpiralEstimator{S: sp}, pickup, 5, eps)
+	top := unn.TopK(unn.HandleEstimator{H: spiral}, pickup, 5, eps)
 	for _, pr := range top {
-		fmt.Printf("  driver %-5d ˆπ=%.4f  π=%.4f\n", pr.I, pr.P, exact[pr.I])
+		fmt.Printf("  driver %-5d ˆπ=%.4f  π=%.4f\n", pr.I, pr.P, exactByDriver[pr.I])
 	}
 
 	fmt.Println("\ndrivers with π ≥ 10% (threshold query of [DYM+05]):")
-	for _, pr := range unn.Threshold(unn.SpiralEstimator{S: sp}, pickup, 0.10) {
+	for _, pr := range unn.Threshold(unn.HandleEstimator{H: spiral}, pickup, 0.10) {
 		fmt.Printf("  driver %-5d ˆπ=%.4f\n", pr.I, pr.P)
 	}
 
-	// Adaptive retrieval: stops when the survival probability hits ε.
-	probsA, mA := sp.QueryAdaptive(pickup, eps)
-	fmt.Printf("\nadaptive spiral retrieved %d locations (fixed-m rule: %d); top entry π=%.4f\n",
-		mA, m, probsA[0].P)
-	_ = probs
+	// A rush of simultaneous pickups: one batch call fans the stream
+	// across the worker pool; answers come back in input order.
+	pickups := make([]unn.Point, 64)
+	for i := range pickups {
+		pickups[i] = unn.Pt(rng.Float64()*2000, rng.Float64()*2000)
+	}
+	t0 = time.Now()
+	batch, err := spiral.BatchProbs(pickups, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tBatch := time.Since(t0)
+	busiest, most := 0, 0
+	for i, ps := range batch {
+		if len(ps) > most {
+			busiest, most = i, len(ps)
+		}
+	}
+	fmt.Printf("\nbatched %d pickups in %v (%d workers); most contested pickup %v has %d candidate drivers\n",
+		len(pickups), tBatch, spiral.Workers(), pickups[busiest], most)
 }

@@ -1,12 +1,14 @@
-// Quickstart: every query type of the library on a small instance.
+// Quickstart: every query type of the library on a small instance, all
+// served through the unified query engine (unn.Open): one handle per
+// backend, capability-checked, with single and batched execution.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"unn"
 )
@@ -36,51 +38,82 @@ func main() {
 	names := []string{"courierA", "courierB", "parked"}
 	q := unn.Pt(3, 1) // the customer
 
-	// 1. Nonzero nearest neighbors (Lemma 2.1 oracle).
-	fmt.Println("NN≠0(q): points that can possibly be the nearest neighbor")
-	for _, i := range unn.NonzeroNN(unn.FromDiscrete(pts), q) {
+	// 1. The exact reference handle (Lemma 2.1 oracle + Eq. (2) sweep +
+	// expected-distance scan): the default backend supports all three
+	// query kinds.
+	exact, err := unn.OpenDiscrete(pts)
+	check(err)
+	fmt.Printf("reference handle: backend=%s capabilities=%s\n", exact.Backend(), exact.Capabilities())
+
+	nn, err := exact.QueryNonzero(q)
+	check(err)
+	fmt.Println("\nNN≠0(q): points that can possibly be the nearest neighbor")
+	for _, i := range nn {
 		fmt.Printf("  %s\n", names[i])
 	}
 
-	// 2. Exact quantification probabilities (Eq. (2)).
-	fmt.Println("\nexact π_i(q):")
-	for i, p := range unn.ExactProbabilities(pts, q) {
-		fmt.Printf("  %-9s %.4f\n", names[i], p)
+	probs, err := exact.QueryProbs(q, 0)
+	check(err)
+	fmt.Println("\nexact π_i(q) (Eq. (2)):")
+	for _, pr := range probs {
+		fmt.Printf("  %-9s %.4f\n", names[pr.I], pr.P)
 	}
 
-	// 3. The same through the V≠0 diagram (point location, Thm 2.11)…
-	diag, err := unn.BuildDiscreteDiagram(pts, unn.DiagramOptions{})
+	// 2. The same NN≠0 answer through the V≠0 diagram (point location,
+	// Thm 2.11) and the near-linear two-stage structure (Thm 3.2) — same
+	// engine interface, different backends.
+	diag, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendDiagram))
 	check(err)
-	fmt.Printf("\nV≠0 diagram: %d vertices, %d edges, %d faces; query -> %v\n",
-		diag.Stats().V, diag.Stats().E, diag.Stats().F, diag.Query(q))
+	ts, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendTwoStageDiscrete))
+	check(err)
+	dAns, err := diag.QueryNonzero(q)
+	check(err)
+	tAns, err := ts.QueryNonzero(q)
+	check(err)
+	fmt.Printf("\nV≠0 diagram query        -> %v\n", dAns)
+	fmt.Printf("two-stage structure query -> %v\n", tAns)
 
-	// …and through the near-linear two-stage structure (Thm 3.2).
-	ts := unn.NewTwoStageDiscrete(pts)
-	fmt.Printf("two-stage structure          query -> %v\n", ts.Query(q))
+	// Capability checking: the two-stage structure answers only NN≠0.
+	if _, err := ts.QueryProbs(q, 0); errors.Is(err, unn.ErrUnsupported) {
+		fmt.Printf("two-stage QueryProbs      -> ErrUnsupported (capabilities=%s)\n", ts.Capabilities())
+	}
 
-	// 4. Monte-Carlo estimation (Thm 4.3).
+	// 3. Monte-Carlo estimation (Thm 4.3), seeded for reproducibility.
 	s := unn.MCRoundsPerQuery(len(pts), 0.02, 0.01)
-	mc, err := unn.NewMonteCarlo(unn.FromDiscrete(pts), s, unn.MCOptions{
-		Rng: rand.New(rand.NewSource(1)),
-	})
+	mc, err := unn.OpenDiscrete(pts,
+		unn.WithBackend(unn.BackendMonteCarlo), unn.WithMCRounds(s), unn.WithSeed(1))
 	check(err)
-	fmt.Printf("\nMonte Carlo (s=%d rounds): %v\n", s, mc.Query(q))
-
-	// 5. Spiral search (Thm 4.7).
-	sp, err := unn.NewSpiral(pts)
+	mcProbs, err := mc.QueryProbs(q, 0)
 	check(err)
-	probs, m := sp.Query(q, 0.02)
-	fmt.Printf("spiral search (ε=0.02, retrieved %d locations): %v\n", m, probs)
+	fmt.Printf("\nMonte Carlo (s=%d rounds): %v\n", s, mcProbs)
 
-	// 6. Threshold and top-k queries.
-	fmt.Printf("\nthreshold τ=0.25: %v\n", unn.Threshold(unn.SpiralEstimator{S: sp}, q, 0.25))
-	fmt.Printf("top-2:            %v\n", unn.TopK(unn.SpiralEstimator{S: sp}, q, 2, 0.02))
-
-	// 7. Expected-distance NN (the PODS 2012 semantics).
-	ix, err := unn.NewExpectedIndex(pts)
+	// 4. Spiral search (Thm 4.7) with a per-query accuracy knob.
+	sp, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendSpiral))
 	check(err)
-	enn, ed := ix.NNExpected(q)
+	spProbs, err := sp.QueryProbs(q, 0.02)
+	check(err)
+	fmt.Printf("spiral search (ε=0.02): %v\n", spProbs)
+
+	// 5. Threshold and top-k queries over any probability-capable handle.
+	fmt.Printf("\nthreshold τ=0.25: %v\n", unn.Threshold(unn.HandleEstimator{H: sp}, q, 0.25))
+	fmt.Printf("top-2:            %v\n", unn.TopK(unn.HandleEstimator{H: sp}, q, 2, 0.02))
+
+	// 6. Expected-distance NN (the PODS 2012 semantics).
+	ex, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendExpected))
+	check(err)
+	enn, ed, err := ex.QueryExpected(q)
+	check(err)
 	fmt.Printf("\nexpected-distance NN: %s (E d = %.3f)\n", names[enn], ed)
+
+	// 7. Batched execution: a stream of customers fanned across the
+	// worker pool, answers in input order.
+	customers := []unn.Point{unn.Pt(3, 1), unn.Pt(0, 5), unn.Pt(6, -1)}
+	batch, err := ts.BatchNonzero(customers)
+	check(err)
+	fmt.Println("\nbatched NN≠0 for three customers (two-stage backend):")
+	for i, ans := range batch {
+		fmt.Printf("  %v -> %v\n", customers[i], ans)
+	}
 }
 
 func check(err error) {

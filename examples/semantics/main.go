@@ -2,8 +2,9 @@
 // §1.2 of the paper (following [YTX+10]) notes that the expected-distance
 // NN of the PODS 2012 companion paper "is not a good indicator under
 // large uncertainty". This example builds the canonical two-point
-// illustration and then reproduces the §4.3 Remark (i) instance showing
-// that even computing π by dropping low-weight locations is unsound.
+// illustration — both semantics answered by one engine handle — and then
+// reproduces the §4.3 Remark (i) instance showing that even computing π
+// by dropping low-weight locations is unsound.
 //
 //	go run ./examples/semantics
 package main
@@ -30,17 +31,25 @@ func main() {
 	pts := []*unn.Discrete{compact, spread}
 	names := []string{"compact", "spread"}
 
-	ix, err := unn.NewExpectedIndex(pts)
+	// The default (exact reference) backend answers both semantics
+	// through one capability-checked handle.
+	h, err := unn.OpenDiscrete(pts)
 	check(err)
-	enn, ed := ix.NNExpected(q)
-	pi := unn.ExactProbabilities(pts, q)
+	enn, ed, err := h.QueryExpected(q)
+	check(err)
+	probs, err := h.QueryProbs(q, 0)
+	check(err)
+	pi := make([]float64, len(pts))
+	for _, pr := range probs {
+		pi[pr.I] = pr.P
+	}
 	best := 0
 	if pi[1] > pi[0] {
 		best = 1
 	}
 	fmt.Println("two-point illustration (§1.2):")
-	for i := range pts {
-		fmt.Printf("  %-8s E d = %5.2f   π = %.2f\n", names[i], ix.ExpectedDist(q, i), pi[i])
+	for i, p := range pts {
+		fmt.Printf("  %-8s E d = %5.2f   π = %.2f\n", names[i], p.ExpectedDist(q), pi[i])
 	}
 	fmt.Printf("  expected-distance NN: %s (E d = %.2f)\n", names[enn], ed)
 	fmt.Printf("  most-likely NN:       %s (π = %.2f)\n", names[best], pi[best])
@@ -69,10 +78,10 @@ func main() {
 		[]unn.Point{unn.Pt(2, 0), unn.Pt(2e4, 0)}, []float64{5 * eps, 1 - 5*eps})
 	check(err)
 	all := append(append([]*unn.Discrete{p1}, mid...), p2)
-	pi = unn.ExactProbabilities(all, q)
+	piAll := unn.ExactProbabilities(all, q)
 	naive := 5 * eps * (1 - 3*eps) // what you get after dropping the light middle points
-	fmt.Printf("  π(P1) = %.4f (≈ 3ε)\n", pi[0])
-	fmt.Printf("  π(P2) = %.4f (< 2ε)\n", pi[len(all)-1])
+	fmt.Printf("  π(P1) = %.4f (≈ 3ε)\n", piAll[0])
+	fmt.Printf("  π(P2) = %.4f (< 2ε)\n", piAll[len(all)-1])
 	fmt.Printf("  π̂(P2) with light points dropped = %.4f (> 4ε) — order inverted\n", naive)
 }
 

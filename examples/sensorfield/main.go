@@ -4,7 +4,8 @@
 // (the paper's §1: "sensor databases ... the location of data is
 // imprecise"). For a reading request at point q we ask which sensors can
 // possibly be the closest one (NN≠0, which depends only on the disks) and
-// with what probability (Monte Carlo over the Gaussian priors).
+// with what probability (Monte Carlo over the Gaussian priors) — every
+// structure opened through the same engine API.
 //
 //	go run ./examples/sensorfield
 package main
@@ -29,36 +30,54 @@ func main() {
 		priors[i] = unn.NewTruncGauss(disks[i], disks[i].R/2)
 	}
 
-	// Near-linear NN≠0 structure (Theorem 3.1 two-stage plan).
-	ts := unn.NewTwoStageDisks(disks)
-
-	// Full V≠0 diagram for comparison (Theorem 2.5 construction).
-	diag, err := unn.BuildDiskDiagram(disks, unn.DiagramOptions{})
+	// Near-linear NN≠0 structure (Theorem 3.1 two-stage plan) and the
+	// full V≠0 diagram (Theorem 2.5 construction): same input, same
+	// interface, different backends.
+	ts, err := unn.OpenDisks(disks, unn.WithBackend(unn.BackendTwoStageDisks))
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := diag.Stats()
-	fmt.Printf("V≠0(P): %d vertices, %d edges, %d faces (n=%d sensors)\n", st.V, st.E, st.F, n)
+	diag, err := unn.OpenDisks(disks, unn.WithBackend(unn.BackendDiagram))
+	if err != nil {
+		log.Fatal(err)
+	}
 	census := unn.CountDiskComplexity(disks, 0)
-	fmt.Printf("exact vertex census: %d breakpoints + %d crossings = %d vertices (O(n³)=%d)\n\n",
+	fmt.Printf("exact V≠0 vertex census: %d breakpoints + %d crossings = %d vertices (O(n³)=%d)\n\n",
 		census.Breakpoints, census.Crossings, census.Vertices(), n*n*n)
 
-	// Monte-Carlo index over the Gaussian priors (Theorem 4.5: works for
-	// continuous pdfs by direct instantiation).
+	// Monte-Carlo backend over the Gaussian priors (Theorem 4.5: works
+	// for continuous pdfs by direct instantiation). Open detects the disk
+	// regions behind the priors, but the MC backend samples the full
+	// truncated-Gaussian pdfs.
 	s := unn.MCRoundsPerQuery(n, 0.05, 0.05)
-	mc, err := unn.NewMonteCarlo(priors, s, unn.MCOptions{Rng: rng})
+	mc, err := unn.Open(priors,
+		unn.WithBackend(unn.BackendMonteCarlo), unn.WithMCRounds(s), unn.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	for _, q := range []unn.Point{unn.Pt(50, 50), unn.Pt(10, 85), unn.Pt(95, 5)} {
-		cands := ts.Query(q)
-		if got := diag.Query(q); len(got) != len(cands) {
-			log.Fatalf("structures disagree at %v: %v vs %v", q, got, cands)
+	queries := []unn.Point{unn.Pt(50, 50), unn.Pt(10, 85), unn.Pt(95, 5)}
+	// Batch the reading requests through both NN≠0 backends and
+	// cross-check them against each other.
+	tsAns, err := ts.BatchNonzero(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diagAns, err := diag.BatchNonzero(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, q := range queries {
+		if len(tsAns[i]) != len(diagAns[i]) {
+			log.Fatalf("structures disagree at %v: %v vs %v", q, diagAns[i], tsAns[i])
 		}
-		fmt.Printf("query %v: %d candidate sensors %v\n", q, len(cands), cands)
+		fmt.Printf("query %v: %d candidate sensors %v\n", q, len(tsAns[i]), tsAns[i])
+		probs, err := mc.QueryProbs(q, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  π estimates (s=%d rounds):", s)
-		for _, pr := range mc.Query(q) {
+		for _, pr := range probs {
 			if pr.P >= 0.05 {
 				fmt.Printf("  s%d:%.2f", pr.I, pr.P)
 			}

@@ -1,0 +1,3 @@
+module unn
+
+go 1.24

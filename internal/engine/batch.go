@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"unn/internal/geom"
+	"unn/internal/quantify"
+)
+
+// Options tunes an Engine.
+type Options struct {
+	// Workers is the batch worker-pool size. Default runtime.NumCPU();
+	// 1 forces sequential execution.
+	Workers int
+	// CacheSize is the capacity (entries per query kind) of the LRU
+	// answer cache. 0 disables caching.
+	CacheSize int
+	// CacheQuantum is the grid step used to quantize query points into
+	// cache keys: queries within the same quantum cell share an answer.
+	// Default 0: keys are the exact float bit patterns, so only repeated
+	// identical queries hit.
+	CacheQuantum float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Engine executes queries against one built Index: single queries with
+// optional LRU answer caching, and batches fanned across a worker pool
+// with deterministic (input-order) results. All methods are safe for
+// concurrent use.
+//
+// Returned slices may be shared with the answer cache (and with other
+// callers that hit the same cache entry); treat them as read-only.
+type Engine struct {
+	ix    Index
+	opt   Options
+	cache *cache
+}
+
+// NewEngine wraps a built Index.
+func NewEngine(ix Index, opt Options) *Engine {
+	opt = opt.withDefaults()
+	e := &Engine{ix: ix, opt: opt}
+	if opt.CacheSize > 0 {
+		e.cache = newCache(opt.CacheSize, opt.CacheQuantum)
+	}
+	return e
+}
+
+// Index returns the wrapped backend.
+func (e *Engine) Index() Index { return e.ix }
+
+// Backend returns the wrapped backend's name.
+func (e *Engine) Backend() Backend { return Backend(e.ix.Name()) }
+
+// Capabilities returns the wrapped backend's capability set.
+func (e *Engine) Capabilities() Capability { return e.ix.Capabilities() }
+
+// Workers returns the effective worker-pool size.
+func (e *Engine) Workers() int { return e.opt.Workers }
+
+// CacheStats returns (hits, misses) since construction; zeros when the
+// cache is disabled.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.stats()
+}
+
+// check returns ErrUnsupported early so callers get a uniform
+// capability error even for backends whose support depends on the
+// dataset.
+func (e *Engine) check(c Capability) error {
+	if !e.ix.Capabilities().Has(c) {
+		return fmt.Errorf("%w: backend %s lacks %s", ErrUnsupported, e.ix.Name(), c)
+	}
+	return nil
+}
+
+// QueryNonzero answers a single NN≠0 query through the cache.
+func (e *Engine) QueryNonzero(q geom.Point) ([]int, error) {
+	if err := e.check(CapNonzero); err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		if v, ok := e.cache.get(kindNonzero, q, 0); ok {
+			return v.([]int), nil
+		}
+	}
+	out, err := e.ix.QueryNonzero(q)
+	if err == nil && e.cache != nil {
+		e.cache.put(kindNonzero, q, 0, out)
+	}
+	return out, err
+}
+
+// QueryProbs answers a single quantification query through the cache.
+// eps ≤ 0 selects the backend's build-time default.
+func (e *Engine) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, error) {
+	if err := e.check(CapProbs); err != nil {
+		return nil, err
+	}
+	if e.cache != nil {
+		if v, ok := e.cache.get(kindProbs, q, eps); ok {
+			return v.([]quantify.Prob), nil
+		}
+	}
+	out, err := e.ix.QueryProbs(q, eps)
+	if err == nil && e.cache != nil {
+		e.cache.put(kindProbs, q, eps, out)
+	}
+	return out, err
+}
+
+// QueryExpected answers a single expected-distance NN query through the
+// cache.
+func (e *Engine) QueryExpected(q geom.Point) (int, float64, error) {
+	if err := e.check(CapExpected); err != nil {
+		return -1, 0, err
+	}
+	if e.cache != nil {
+		if v, ok := e.cache.get(kindExpected, q, 0); ok {
+			ed := v.(expectedAnswer)
+			return ed.i, ed.d, nil
+		}
+	}
+	i, d, err := e.ix.QueryExpected(q)
+	if err == nil && e.cache != nil {
+		e.cache.put(kindExpected, q, 0, expectedAnswer{i, d})
+	}
+	return i, d, err
+}
+
+type expectedAnswer struct {
+	i int
+	d float64
+}
+
+// batch fans qs across the worker pool and collects results in input
+// order. Each worker writes only its own slots, so the output is
+// deterministic regardless of scheduling.
+func batch[T any](workers int, qs []geom.Point, fn func(geom.Point) (T, error)) ([]T, error) {
+	out := make([]T, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			v, err := fn(q)
+			if err != nil {
+				return nil, fmt.Errorf("engine: batch query %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     = make(chan int)
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := fn(qs[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("engine: batch query %d: %w", i, err)
+					})
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	for i := range qs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// BatchNonzero answers a slice of NN≠0 queries in parallel; result i
+// corresponds to qs[i] and is identical to QueryNonzero(qs[i]).
+func (e *Engine) BatchNonzero(qs []geom.Point) ([][]int, error) {
+	if err := e.check(CapNonzero); err != nil {
+		return nil, err
+	}
+	return batch(e.opt.Workers, qs, func(q geom.Point) ([]int, error) {
+		return e.QueryNonzero(q)
+	})
+}
+
+// BatchProbs answers a slice of quantification queries in parallel;
+// result i corresponds to qs[i] and is identical to
+// QueryProbs(qs[i], eps).
+func (e *Engine) BatchProbs(qs []geom.Point, eps float64) ([][]quantify.Prob, error) {
+	if err := e.check(CapProbs); err != nil {
+		return nil, err
+	}
+	return batch(e.opt.Workers, qs, func(q geom.Point) ([]quantify.Prob, error) {
+		return e.QueryProbs(q, eps)
+	})
+}
+
+// BatchExpected answers a slice of expected-distance NN queries in
+// parallel; result i corresponds to qs[i] and is identical to
+// QueryExpected(qs[i]).
+func (e *Engine) BatchExpected(qs []geom.Point) ([]ExpectedResult, error) {
+	if err := e.check(CapExpected); err != nil {
+		return nil, err
+	}
+	return batch(e.opt.Workers, qs, func(q geom.Point) (ExpectedResult, error) {
+		i, d, err := e.QueryExpected(q)
+		return ExpectedResult{I: i, Dist: d}, err
+	})
+}
+
+// ExpectedResult is one expected-distance batch answer.
+type ExpectedResult struct {
+	I    int     // index of the expected-distance NN
+	Dist float64 // its expected distance
+}

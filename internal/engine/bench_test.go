@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+)
+
+// mcEngine builds the Monte-Carlo backend at n=1000 — the acceptance
+// workload for the batch path (each query walks s kd-trees, so it is
+// CPU-bound and embarrassingly parallel).
+func mcEngine(b testing.TB, workers int) (*Engine, []geom.Point) {
+	rng := rand.New(rand.NewSource(0xbe4c))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 1000, 3, 200, 2.0, 1))
+	ix, err := Build(BackendMonteCarlo, ds, BuildOptions{MCRounds: 48, MCParallel: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewEngine(ix, Options{Workers: workers}), randQueriesB(rng, 256, 200)
+}
+
+func randQueriesB(rng *rand.Rand, n int, side float64) []geom.Point {
+	qs := make([]geom.Point, n)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	return qs
+}
+
+// BenchmarkEngineBatch measures the parallel batch path on the
+// Monte-Carlo backend (n=1000): the acceptance target is ≥ 2× the
+// throughput of BenchmarkEngineSequential on an 8-core runner.
+func BenchmarkEngineBatch(b *testing.B) {
+	eng, qs := mcEngine(b, 0) // 0 → runtime.NumCPU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.BatchProbs(qs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkEngineSequential is the single-worker baseline for
+// BenchmarkEngineBatch.
+func BenchmarkEngineSequential(b *testing.B) {
+	eng, qs := mcEngine(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.BatchProbs(qs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// TestBatchSpeedup asserts the ≥2× batch-over-sequential acceptance
+// criterion when enough cores are available; on smaller machines it
+// only sanity-checks that the parallel path is not pathologically
+// slower.
+func TestBatchSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test, skipped in -short")
+	}
+	cores := runtime.NumCPU()
+	if cores < 4 {
+		t.Skipf("%d CPUs: speedup target needs ≥ 4 cores (acceptance runs on 8)", cores)
+	}
+	engPar, qs := mcEngine(t, 0)
+	engSeq, _ := mcEngine(t, 1)
+	run := func(e *Engine) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for attempt := 0; attempt < 3; attempt++ {
+			t0 := time.Now()
+			if _, err := e.BatchProbs(qs, 0); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	seq := run(engSeq)
+	par := run(engPar)
+	speedup := float64(seq) / float64(par)
+	t.Logf("sequential %v, parallel %v (%d workers): %.2fx", seq, par, engPar.Workers(), speedup)
+	want := 2.0
+	if cores < 8 {
+		want = 1.3 // conservative floor for 4–7 core machines
+	}
+	if speedup < want {
+		t.Errorf("batch speedup %.2fx < %.2fx on %d cores", speedup, want, cores)
+	}
+}

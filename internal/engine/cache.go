@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"unn/internal/geom"
+)
+
+// query kinds for cache keys.
+const (
+	kindNonzero uint8 = iota
+	kindProbs
+	kindExpected
+)
+
+// cacheKey identifies one answer: query kind, the quantized query
+// point, and (for probability queries) the accuracy knob.
+type cacheKey struct {
+	kind uint8
+	x, y uint64
+	eps  uint64
+}
+
+// cache is a mutex-protected LRU answer cache keyed by quantized query
+// point. With quantum > 0 the plane is snapped to a grid of that step,
+// so nearby queries share an answer — the engine-level analogue of the
+// diagrams' cell-level answer sharing (every exact structure is
+// piecewise constant, so a fine quantum trades a bounded spatial error
+// for hit rate). With quantum = 0 keys are the exact float bit patterns.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	quantum float64
+	ll      *list.List // front = most recent
+	items   map[cacheKey]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val any
+}
+
+func newCache(capacity int, quantum float64) *cache {
+	return &cache{
+		cap:     capacity,
+		quantum: quantum,
+		ll:      list.New(),
+		items:   make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *cache) quantize(v float64) uint64 {
+	if c.quantum > 0 {
+		return uint64(int64(math.Floor(v / c.quantum)))
+	}
+	return math.Float64bits(v)
+}
+
+func (c *cache) key(kind uint8, q geom.Point, eps float64) cacheKey {
+	return cacheKey{
+		kind: kind,
+		x:    c.quantize(q.X),
+		y:    c.quantize(q.Y),
+		eps:  math.Float64bits(eps),
+	}
+}
+
+func (c *cache) get(kind uint8, q geom.Point, eps float64) (any, bool) {
+	k := c.key(kind, q, eps)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *cache) put(kind uint8, q geom.Point, eps float64, val any) {
+	k := c.key(kind, q, eps)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *cache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

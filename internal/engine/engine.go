@@ -1,0 +1,236 @@
+// Package engine is the unified query-execution layer: every index
+// structure of the library — the Lemma 2.1 oracle, the V≠0 diagrams
+// (Theorems 2.5/2.14), the two-stage structures (Theorems 3.1/3.2 and
+// their L∞/L1 variants), the probabilistic Voronoi diagram V_Pr
+// (Theorem 4.2), the Monte-Carlo index (Theorems 4.3/4.5), the spiral
+// search (Theorem 4.7) and the expected-distance index ([AESZ12]) —
+// adapts to one Index interface, so a single driver can build any
+// backend, fan a query stream across a worker pool, and cache answers.
+//
+// The three query kinds mirror the three query semantics of the papers:
+//
+//   - QueryNonzero: NN≠0(q), the indices with π_i(q) > 0 (Section 2/3);
+//   - QueryProbs: sparse quantification probabilities π_i(q) (Section 4);
+//   - QueryExpected: the expected-distance NN (the [AESZ12] semantics).
+//
+// A backend implements the subset it supports and reports the rest
+// through Capabilities; unsupported kinds return ErrUnsupported.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"unn/internal/geom"
+	"unn/internal/lmetric"
+	"unn/internal/quantify"
+	"unn/internal/uncertain"
+)
+
+// Capability is a bitmask of the query kinds a backend supports.
+// Capabilities may depend on the dataset (e.g. the brute backend answers
+// QueryProbs only for discrete inputs), so they are authoritative only
+// after Build.
+type Capability uint8
+
+const (
+	// CapNonzero marks support for NN≠0 queries.
+	CapNonzero Capability = 1 << iota
+	// CapProbs marks support for quantification-probability queries.
+	CapProbs
+	// CapExpected marks support for expected-distance NN queries.
+	CapExpected
+)
+
+// Has reports whether c includes all capabilities in want.
+func (c Capability) Has(want Capability) bool { return c&want == want }
+
+// String renders the capability set.
+func (c Capability) String() string {
+	var parts []string
+	if c.Has(CapNonzero) {
+		parts = append(parts, "nonzero")
+	}
+	if c.Has(CapProbs) {
+		parts = append(parts, "probs")
+	}
+	if c.Has(CapExpected) {
+		parts = append(parts, "expected")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// ErrUnsupported is returned by a query method the backend does not
+// support (for its dataset).
+var ErrUnsupported = errors.New("engine: query kind unsupported by backend")
+
+// Dataset is the uniform input handed to every backend's Build. Points
+// is always populated; the specialized views are filled in when the
+// input admits them (all-discrete, all-disk, squares) and backends that
+// need a specialization error out when it is absent.
+type Dataset struct {
+	// Points is the generic uncertain-point view (always non-empty).
+	Points []uncertain.Point
+	// Discrete is set iff every point is a *uncertain.Discrete.
+	Discrete []*uncertain.Discrete
+	// Disks is set iff every point is a disk uncertainty region
+	// (uncertain.UniformDisk or *uncertain.TruncGauss: NN≠0 depends only
+	// on the region, see the remark after Eq. (3)).
+	Disks []geom.Disk
+	// Squares is set only by FromSquares, for the L∞/L1 backends.
+	Squares []lmetric.Square
+}
+
+// N returns the number of uncertain points.
+func (ds *Dataset) N() int {
+	if len(ds.Points) > 0 {
+		return len(ds.Points)
+	}
+	return len(ds.Squares)
+}
+
+// FromPoints builds a Dataset from generic uncertain points, detecting
+// the discrete and disk specializations by type.
+func FromPoints(pts []uncertain.Point) *Dataset {
+	ds := &Dataset{Points: pts}
+	discrete := make([]*uncertain.Discrete, 0, len(pts))
+	disks := make([]geom.Disk, 0, len(pts))
+	for _, p := range pts {
+		switch v := p.(type) {
+		case *uncertain.Discrete:
+			discrete = append(discrete, v)
+		case uncertain.UniformDisk:
+			disks = append(disks, v.D)
+		case *uncertain.TruncGauss:
+			disks = append(disks, v.D)
+		}
+	}
+	if len(discrete) == len(pts) {
+		ds.Discrete = discrete
+	}
+	if len(disks) == len(pts) {
+		ds.Disks = disks
+	}
+	return ds
+}
+
+// FromDiscrete builds a Dataset from discrete uncertain points.
+func FromDiscrete(pts []*uncertain.Discrete) *Dataset {
+	gen := make([]uncertain.Point, len(pts))
+	for i, p := range pts {
+		gen[i] = p
+	}
+	return &Dataset{Points: gen, Discrete: pts}
+}
+
+// FromDisks builds a Dataset from disk uncertainty regions (uniform pdf;
+// the pdf is irrelevant for NN≠0 queries).
+func FromDisks(disks []geom.Disk) *Dataset {
+	gen := make([]uncertain.Point, len(disks))
+	for i, d := range disks {
+		gen[i] = uncertain.UniformDisk{D: d}
+	}
+	return &Dataset{Points: gen, Disks: disks}
+}
+
+// FromSquares builds a Dataset of L∞ balls (or L1 diamonds) for the
+// lmetric backends. Only the square-aware backends accept it.
+func FromSquares(squares []lmetric.Square) *Dataset {
+	return &Dataset{Squares: squares}
+}
+
+// Index is the common interface every adapted structure satisfies.
+// Build must be called exactly once before any query; Capabilities is
+// authoritative after Build. All query methods must be safe for
+// concurrent use after Build (the batch executor relies on it).
+type Index interface {
+	// Name identifies the backend (stable, machine-readable).
+	Name() string
+	// Capabilities reports the supported query kinds for the built
+	// dataset.
+	Capabilities() Capability
+	// Build constructs the underlying structure for ds.
+	Build(ds *Dataset) error
+	// QueryNonzero returns NN≠0(q), sorted ascending.
+	QueryNonzero(q geom.Point) ([]int, error)
+	// QueryProbs returns sparse quantification probabilities, sorted by
+	// index. eps is the per-entry additive error knob for approximating
+	// backends (≤ 0 selects the backend's build-time default); exact
+	// backends ignore it.
+	QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, error)
+	// QueryExpected returns the expected-distance NN and its expected
+	// distance.
+	QueryExpected(q geom.Point) (int, float64, error)
+}
+
+// Backend names an adapted structure.
+type Backend string
+
+// The adapted backends.
+const (
+	BackendBrute            Backend = "brute"             // Lemma 2.1 oracle + Eq. (2) sweep
+	BackendDiagram          Backend = "diagram"           // V≠0 diagram, Thm 2.5/2.14 + 2.11
+	BackendTwoStageDisks    Backend = "twostage-disks"    // Thm 3.1
+	BackendTwoStageDiscrete Backend = "twostage-discrete" // Thm 3.2
+	BackendVPr              Backend = "vpr"               // Thm 4.2
+	BackendMonteCarlo       Backend = "montecarlo"        // Thm 4.3/4.5
+	BackendSpiral           Backend = "spiral"            // Thm 4.7
+	BackendExpected         Backend = "expected"          // [AESZ12]
+	BackendTwoStageLinf     Backend = "twostage-linf"     // Thm 3.1 remark, L∞
+	BackendTwoStageL1       Backend = "twostage-l1"       // Thm 3.1 remark, L1
+)
+
+// Backends lists every adapted backend in registry order.
+func Backends() []Backend {
+	return []Backend{
+		BackendBrute, BackendDiagram, BackendTwoStageDisks,
+		BackendTwoStageDiscrete, BackendVPr, BackendMonteCarlo,
+		BackendSpiral, BackendExpected, BackendTwoStageLinf,
+		BackendTwoStageL1,
+	}
+}
+
+// NewIndex returns an unbuilt Index for the named backend.
+func NewIndex(b Backend, opt BuildOptions) (Index, error) {
+	opt = opt.withDefaults()
+	switch b {
+	case BackendBrute:
+		return &bruteIndex{opt: opt}, nil
+	case BackendDiagram:
+		return &diagramIndex{opt: opt}, nil
+	case BackendTwoStageDisks:
+		return &twoStageDisksIndex{}, nil
+	case BackendTwoStageDiscrete:
+		return &twoStageDiscreteIndex{}, nil
+	case BackendVPr:
+		return &vprIndex{opt: opt}, nil
+	case BackendMonteCarlo:
+		return &monteCarloIndex{opt: opt}, nil
+	case BackendSpiral:
+		return &spiralIndex{opt: opt}, nil
+	case BackendExpected:
+		return &expectedIndex{}, nil
+	case BackendTwoStageLinf:
+		return &linfIndex{}, nil
+	case BackendTwoStageL1:
+		return &l1Index{}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown backend %q", b)
+	}
+}
+
+// Build constructs a ready-to-query Index for the named backend.
+func Build(b Backend, ds *Dataset, opt BuildOptions) (Index, error) {
+	ix, err := NewIndex(b, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.Build(ds); err != nil {
+		return nil, fmt.Errorf("engine: build %s: %w", b, err)
+	}
+	return ix, nil
+}

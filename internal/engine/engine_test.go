@@ -1,0 +1,300 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+	"unn/internal/lmetric"
+)
+
+func randQueries(rng *rand.Rand, n int, side float64) []geom.Point {
+	qs := make([]geom.Point, n)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side-side/2, rng.Float64()*side-side/2)
+	}
+	return qs
+}
+
+func randSquares(rng *rand.Rand, n int, side float64) []lmetric.Square {
+	sq := make([]lmetric.Square, n)
+	for i := range sq {
+		sq[i] = lmetric.Square{
+			C: geom.Pt(rng.Float64()*side, rng.Float64()*side),
+			R: 0.5 + rng.Float64()*2,
+		}
+	}
+	return sq
+}
+
+// backendCase pairs each backend with a dataset it supports and the
+// capabilities it must report there.
+type backendCase struct {
+	backend Backend
+	ds      *Dataset
+	caps    Capability
+	side    float64 // query window
+}
+
+func allBackendCases(t *testing.T) []backendCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(0xca5e))
+	discrete := constructions.RandomDiscrete(rng, 24, 3, 30, 1.0, 1)
+	smallDiscrete := constructions.RandomDiscrete(rng, 6, 2, 20, 1.0, 1)
+	vprPts := constructions.RandomDiscrete(rng, 4, 2, 10, 1.0, 1)
+	disks := constructions.RandomDisks(rng, 10, 30, 0.5, 2.0)
+	squares := randSquares(rng, 24, 30)
+	return []backendCase{
+		{BackendBrute, FromDiscrete(discrete), CapNonzero | CapProbs | CapExpected, 30},
+		{BackendDiagram, FromDisks(disks), CapNonzero, 30},
+		{BackendDiagram, FromDiscrete(smallDiscrete), CapNonzero, 20},
+		{BackendTwoStageDisks, FromDisks(disks), CapNonzero, 30},
+		{BackendTwoStageDiscrete, FromDiscrete(discrete), CapNonzero, 30},
+		{BackendVPr, FromDiscrete(vprPts), CapProbs, 10},
+		{BackendMonteCarlo, FromDiscrete(discrete), CapProbs, 30},
+		{BackendSpiral, FromDiscrete(discrete), CapProbs, 30},
+		{BackendExpected, FromDiscrete(discrete), CapExpected, 30},
+		{BackendTwoStageLinf, FromSquares(randSquares(rng, 24, 30)), CapNonzero, 30},
+		{BackendTwoStageL1, FromSquares(squares), CapNonzero, 30},
+	}
+}
+
+// TestBatchSingleParity is the engine's core contract: for every
+// backend, BatchQuery over a random query set returns bit-identical
+// results to the corresponding single-query calls, for every supported
+// query kind and any worker count.
+func TestBatchSingleParity(t *testing.T) {
+	for _, tc := range allBackendCases(t) {
+		t.Run(string(tc.backend)+"/"+map[bool]string{true: "disks", false: "pts"}[tc.ds.Disks != nil], func(t *testing.T) {
+			ix, err := Build(tc.backend, tc.ds, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ix.Capabilities(); got != tc.caps {
+				t.Fatalf("capabilities = %v, want %v", got, tc.caps)
+			}
+			rng := rand.New(rand.NewSource(0xba7c ^ int64(len(tc.ds.Points))))
+			qs := randQueries(rng, 64, tc.side)
+			for _, workers := range []int{1, 4} {
+				eng := NewEngine(ix, Options{Workers: workers})
+				if tc.caps.Has(CapNonzero) {
+					single := make([][]int, len(qs))
+					for i, q := range qs {
+						single[i], err = eng.QueryNonzero(q)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					batched, err := eng.BatchNonzero(qs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(single, batched) {
+						t.Fatalf("workers=%d: nonzero batch diverges from single queries", workers)
+					}
+				}
+				if tc.caps.Has(CapProbs) {
+					single := make([][]float64, len(qs))
+					for i, q := range qs {
+						ps, err := eng.QueryProbs(q, 0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, pr := range ps {
+							single[i] = append(single[i], float64(pr.I), pr.P)
+						}
+					}
+					batched, err := eng.BatchProbs(qs, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					flat := make([][]float64, len(qs))
+					for i, ps := range batched {
+						for _, pr := range ps {
+							flat[i] = append(flat[i], float64(pr.I), pr.P)
+						}
+					}
+					if !reflect.DeepEqual(single, flat) {
+						t.Fatalf("workers=%d: probs batch diverges from single queries", workers)
+					}
+				}
+				if tc.caps.Has(CapExpected) {
+					single := make([]ExpectedResult, len(qs))
+					for i, q := range qs {
+						idx, d, err := eng.QueryExpected(q)
+						if err != nil {
+							t.Fatal(err)
+						}
+						single[i] = ExpectedResult{I: idx, Dist: d}
+					}
+					batched, err := eng.BatchExpected(qs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(single, batched) {
+						t.Fatalf("workers=%d: expected batch diverges from single queries", workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUnsupportedKinds verifies the capability contract: querying a kind
+// the backend lacks returns ErrUnsupported (wrapped), both single and
+// batched.
+func TestUnsupportedKinds(t *testing.T) {
+	for _, tc := range allBackendCases(t) {
+		ix, err := Build(tc.backend, tc.ds, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine(ix, Options{Workers: 2})
+		q := geom.Pt(1, 1)
+		if !tc.caps.Has(CapNonzero) {
+			if _, err := eng.QueryNonzero(q); !errors.Is(err, ErrUnsupported) {
+				t.Errorf("%s: QueryNonzero err = %v, want ErrUnsupported", tc.backend, err)
+			}
+			if _, err := eng.BatchNonzero([]geom.Point{q}); !errors.Is(err, ErrUnsupported) {
+				t.Errorf("%s: BatchNonzero err = %v, want ErrUnsupported", tc.backend, err)
+			}
+		}
+		if !tc.caps.Has(CapProbs) {
+			if _, err := eng.QueryProbs(q, 0); !errors.Is(err, ErrUnsupported) {
+				t.Errorf("%s: QueryProbs err = %v, want ErrUnsupported", tc.backend, err)
+			}
+		}
+		if !tc.caps.Has(CapExpected) {
+			if _, _, err := eng.QueryExpected(q); !errors.Is(err, ErrUnsupported) {
+				t.Errorf("%s: QueryExpected err = %v, want ErrUnsupported", tc.backend, err)
+			}
+		}
+	}
+}
+
+// TestBuildRejectsWrongDataset verifies specialized backends reject
+// datasets missing their specialization.
+func TestBuildRejectsWrongDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	disks := FromDisks(constructions.RandomDisks(rng, 5, 10, 0.5, 1.5))
+	squares := FromSquares(randSquares(rng, 5, 10))
+	cases := []struct {
+		b  Backend
+		ds *Dataset
+	}{
+		{BackendTwoStageDiscrete, disks},
+		{BackendVPr, disks},
+		{BackendSpiral, disks},
+		{BackendExpected, disks},
+		{BackendTwoStageDisks, squares},
+		{BackendBrute, squares},
+		{BackendTwoStageLinf, disks},
+		{BackendTwoStageL1, disks},
+	}
+	for _, tc := range cases {
+		if _, err := Build(tc.b, tc.ds, BuildOptions{}); err == nil {
+			t.Errorf("%s: Build accepted an incompatible dataset", tc.b)
+		}
+	}
+	if _, err := NewIndex(Backend("nope"), BuildOptions{}); err == nil {
+		t.Error("NewIndex accepted an unknown backend")
+	}
+}
+
+// TestCacheHitsAndEviction exercises the LRU answer cache: repeated
+// queries hit, capacity bounds entries, and answers are identical.
+func TestCacheHitsAndEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 12, 3, 20, 1.0, 1))
+	ix, err := Build(BackendBrute, ds, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ix, Options{Workers: 1, CacheSize: 8})
+	qs := randQueries(rng, 4, 20)
+	var first [][]int
+	for _, q := range qs {
+		out, err := eng.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, out)
+	}
+	for i, q := range qs {
+		out, err := eng.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, first[i]) {
+			t.Fatalf("cached answer differs at %d", i)
+		}
+	}
+	hits, misses := eng.CacheStats()
+	if hits != uint64(len(qs)) || misses != uint64(len(qs)) {
+		t.Fatalf("cache stats = %d hits / %d misses, want %d/%d", hits, misses, len(qs), len(qs))
+	}
+	// Overflow the capacity: the cache must stay bounded and correct.
+	many := randQueries(rng, 40, 20)
+	for _, q := range many {
+		if _, err := eng.QueryNonzero(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eng.cache.ll.Len(); n > 8 {
+		t.Fatalf("cache grew to %d entries, capacity 8", n)
+	}
+	if n := len(eng.cache.items); n > 8 {
+		t.Fatalf("cache map grew to %d entries, capacity 8", n)
+	}
+}
+
+// TestCacheQuantization verifies that a positive quantum snaps nearby
+// queries to one shared answer.
+func TestCacheQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 12, 3, 20, 1.0, 1))
+	ix, err := Build(BackendBrute, ds, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ix, Options{Workers: 1, CacheSize: 8, CacheQuantum: 1e-6})
+	// Coordinates strictly inside a quantum cell, so a +1e-9 nudge stays
+	// in the same cell.
+	q := geom.Pt(3.2500004, 7.5000004)
+	a, err := eng.QueryNonzero(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.QueryNonzero(geom.Pt(q.X+1e-9, q.Y+1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("nearby queries within one quantum cell did not share the cached answer")
+	}
+	hits, _ := eng.CacheStats()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+// TestBatchEmptyAndDefaults covers the edge cases of the batch path.
+func TestBatchEmptyAndDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 8, 2, 20, 1.0, 1))
+	ix, err := Build(BackendSpiral, ds, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ix, Options{})
+	if eng.Workers() < 1 {
+		t.Fatalf("default workers = %d", eng.Workers())
+	}
+	out, err := eng.BatchProbs(nil, 0)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}

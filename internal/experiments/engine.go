@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"time"
+
+	"unn/internal/constructions"
+	"unn/internal/engine"
+	"unn/internal/geom"
+	"unn/internal/lmetric"
+)
+
+// randomSquares draws n random L∞ balls (shared by the lmetric backends).
+func randomSquares(rng *rand.Rand, n int, side float64) []lmetric.Square {
+	sq := make([]lmetric.Square, n)
+	for i := range sq {
+		sq[i] = lmetric.Square{
+			C: geom.Pt(rng.Float64()*side, rng.Float64()*side),
+			R: 0.5 + rng.Float64()*1.5,
+		}
+	}
+	return sq
+}
+
+// BenchRecord is one row of the machine-readable engine benchmark
+// (BENCH_engine.json): one backend at one instance size, with build cost
+// and per-query cost through the sequential and parallel batch paths.
+// The schema is stable across PRs so the perf trajectory can be tracked.
+type BenchRecord struct {
+	Backend   string  `json:"backend"`
+	N         int     `json:"n"`
+	Queries   int     `json:"queries"`
+	Workers   int     `json:"workers"`
+	BuildNs   int64   `json:"build_ns"`
+	QueryNsOp float64 `json:"query_ns_op"` // sequential single queries
+	BatchNsOp float64 `json:"batch_ns_op"` // parallel batch, per query
+}
+
+// WriteBenchJSON renders records as indented JSON (the BENCH_engine.json
+// payload).
+func WriteBenchJSON(w io.Writer, recs []BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// engineWorkloads describes the per-backend sweep: every adapted backend
+// is exercised by this one driver through the same engine.Index
+// interface — the point of the engine layer.
+type engineWorkload struct {
+	backend engine.Backend
+	ns      []int // instance sizes (number of uncertain points)
+	quickNs []int
+	opt     engine.BuildOptions
+}
+
+func engineWorkloads() []engineWorkload {
+	mc := engine.BuildOptions{MCRounds: 48, MCParallel: true}
+	return []engineWorkload{
+		{engine.BackendBrute, []int{200, 1000}, []int{100}, engine.BuildOptions{}},
+		{engine.BackendDiagram, []int{16, 32}, []int{12}, engine.BuildOptions{}},
+		{engine.BackendTwoStageDisks, []int{200, 1000}, []int{100}, engine.BuildOptions{}},
+		{engine.BackendTwoStageDiscrete, []int{200, 1000}, []int{100}, engine.BuildOptions{}},
+		{engine.BackendVPr, []int{4, 6}, []int{4}, engine.BuildOptions{}},
+		{engine.BackendMonteCarlo, []int{200, 1000}, []int{100}, mc},
+		{engine.BackendSpiral, []int{200, 1000}, []int{100}, engine.BuildOptions{}},
+		{engine.BackendExpected, []int{200, 1000}, []int{100}, engine.BuildOptions{}},
+		{engine.BackendTwoStageLinf, []int{200, 1000}, []int{100}, engine.BuildOptions{}},
+		{engine.BackendTwoStageL1, []int{200, 1000}, []int{100}, engine.BuildOptions{}},
+	}
+}
+
+// engineDataset builds the dataset a backend needs at size n, plus the
+// side of the square domain it occupies (queries are drawn from the
+// same window so the timings reflect typical, not corner, queries).
+func engineDataset(b engine.Backend, n int, rng *rand.Rand) (*engine.Dataset, float64) {
+	switch b {
+	case engine.BackendDiagram, engine.BackendTwoStageDisks:
+		return engine.FromDisks(constructions.RandomDisks(rng, n, 40, 0.5, 2.0)), 40
+	case engine.BackendTwoStageLinf, engine.BackendTwoStageL1:
+		return engine.FromSquares(randomSquares(rng, n, 40)), 40
+	default:
+		// Side grows with n to keep the location density constant.
+		side := 10 * float64(n)
+		return engine.FromDiscrete(constructions.RandomDiscrete(rng, n, 3, side, 2.0, 1)), side
+	}
+}
+
+// EngineBench runs every adapted backend through the engine layer —
+// build, 256 single queries, and the same 256 queries through the
+// parallel batch path — and returns the machine-readable records plus
+// the human-readable table.
+func EngineBench(opt Options) ([]BenchRecord, *Table) {
+	t := &Table{
+		ID:     "E16",
+		Title:  "engine layer: every backend through one Index interface",
+		Claim:  "one driver exercises all backends; batch path parallelizes the hot loop",
+		Header: []string{"backend", "n", "build", "singleQ", "batchQ", "workers"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	var recs []BenchRecord
+	for _, w := range engineWorkloads() {
+		ns := w.ns
+		if opt.Quick {
+			ns = w.quickNs
+		}
+		for _, n := range ns {
+			ds, side := engineDataset(w.backend, n, rng)
+			var ix engine.Index
+			var err error
+			build := timeIt(func() { ix, err = engine.Build(w.backend, ds, w.opt) })
+			if err != nil {
+				t.Note("%s n=%d: %v", w.backend, n, err)
+				continue
+			}
+			eng := engine.NewEngine(ix, engine.Options{})
+			qs := make([]geom.Point, 256)
+			for i := range qs {
+				qs[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+			}
+			caps := ix.Capabilities()
+			var single, batchTot time.Duration
+			run := func(one func(q geom.Point) error, all func() error) error {
+				single = timePer(len(qs), func(i int) {
+					if e := one(qs[i]); e != nil && err == nil {
+						err = e
+					}
+				})
+				batchTot = timeIt(func() {
+					if e := all(); e != nil && err == nil {
+						err = e
+					}
+				})
+				return err
+			}
+			switch {
+			case caps.Has(engine.CapNonzero):
+				err = run(
+					func(q geom.Point) error { _, e := eng.QueryNonzero(q); return e },
+					func() error { _, e := eng.BatchNonzero(qs); return e })
+			case caps.Has(engine.CapProbs):
+				err = run(
+					func(q geom.Point) error { _, e := eng.QueryProbs(q, 0); return e },
+					func() error { _, e := eng.BatchProbs(qs, 0); return e })
+			default:
+				err = run(
+					func(q geom.Point) error { _, _, e := eng.QueryExpected(q); return e },
+					func() error { _, e := eng.BatchExpected(qs); return e })
+			}
+			if err != nil {
+				t.Note("%s n=%d: %v", w.backend, n, err)
+				continue
+			}
+			batchPer := batchTot / time.Duration(len(qs))
+			recs = append(recs, BenchRecord{
+				Backend:   string(w.backend),
+				N:         n,
+				Queries:   len(qs),
+				Workers:   eng.Workers(),
+				BuildNs:   build.Nanoseconds(),
+				QueryNsOp: float64(single.Nanoseconds()),
+				BatchNsOp: float64(batchPer.Nanoseconds()),
+			})
+			t.AddRow(string(w.backend), itoa(n), dtoa(build), dtoa(single), dtoa(batchPer),
+				itoa(eng.Workers()))
+		}
+	}
+	t.Note("batchQ is per-query cost through the parallel batch path (workers = NumCPU)")
+	return recs, t
+}
+
+// E16Engine is the Table-only driver registered in All.
+func E16Engine(opt Options) *Table {
+	_, t := EngineBench(opt)
+	return t
+}

@@ -120,6 +120,7 @@ var All = []struct {
 	{"E13", "distance pdf of Figure 1", E13Figure1},
 	{"E14", "expected NN vs probabilistic NN (§1.2, [AESZ12])", E14Semantics},
 	{"E15", "V≠0 construction time (Thm 2.5)", E15BuildScaling},
+	{"E16", "engine layer: all backends, single vs batch", E16Engine},
 }
 
 // Lookup finds a driver by ID.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"unn/internal/constructions"
+	"unn/internal/engine"
 	"unn/internal/geom"
 	"unn/internal/nonzero"
 	"unn/internal/quantify"
@@ -14,14 +15,16 @@ import (
 // queries over disks: the V≠0 diagram with point location (Theorem 2.11,
 // O(log n + t) queries but up to cubic space) versus the near-linear
 // two-stage structure (Theorem 3.1), with the O(n) Lemma 2.1 oracle as
-// the baseline. The table shows the space/query trade-off and where the
-// crossover falls.
+// the baseline. All three run through the unified engine layer — one
+// driver, three backends — and the batch column shows the same queries
+// through the parallel batch path. The table shows the space/query
+// trade-off and where the crossover falls.
 func E6ContinuousQueries(opt Options) *Table {
 	t := &Table{
 		ID:     "E6",
 		Title:  "NN≠0 queries over disks: diagram vs two-stage vs brute (Thm 2.11 / Thm 3.1)",
 		Claim:  "diagram: O(log n+t) query, large space; two-stage: O(n) space, output-sensitive query",
-		Header: []string{"n", "diagEdges", "diagBuild", "diagQ", "2stageQ", "bruteQ", "avg|out|"},
+		Header: []string{"n", "diagBuild", "diagQ", "2stageQ", "bruteQ", "2stageBatchQ", "avg|out|"},
 	}
 	rng := rand.New(rand.NewSource(opt.seed()))
 	ns := []int{8, 16, 32}
@@ -30,42 +33,54 @@ func E6ContinuousQueries(opt Options) *Table {
 	}
 	for _, n := range ns {
 		disks := constructions.RandomDisks(rng, n, 40, 0.5, 2.0)
-		var diag *nonzero.Diagram
+		ds := engine.FromDisks(disks)
+		var diag engine.Index
 		var err error
 		build := timeIt(func() {
-			diag, err = nonzero.BuildDiskDiagram(disks, nonzero.DiagramOptions{
-				FlattenStep: 2 * 3.14159 / 360,
+			diag, err = engine.Build(engine.BackendDiagram, ds, engine.BuildOptions{
+				Diagram: diagramOptFlatten(),
 			})
 		})
 		if err != nil {
 			t.Note("n=%d: %v", n, err)
 			continue
 		}
-		ts := nonzero.NewTwoStageDisks(disks)
+		eDiag := engine.NewEngine(diag, engine.Options{})
+		eTS := mustEngine(t, engine.BackendTwoStageDisks, ds)
+		eBrute := mustEngine(t, engine.BackendBrute, ds)
+		if eTS == nil || eBrute == nil {
+			continue
+		}
 		qs := make([]geom.Point, 256)
 		for i := range qs {
 			qs[i] = geom.Pt(rng.Float64()*40, rng.Float64()*40)
 		}
 		outSz := 0
-		dq := timePer(len(qs), func(i int) { outSz += len(diag.Query(qs[i])) })
-		tq := timePer(len(qs), func(i int) { ts.Query(qs[i]) })
-		bq := timePer(len(qs), func(i int) { nonzero.BruteDisks(disks, qs[i]) })
-		t.AddRow(itoa(n), itoa(diag.Stats().E), dtoa(build), dtoa(dq), dtoa(tq), dtoa(bq),
+		dq := timePer(len(qs), func(i int) {
+			out, _ := eDiag.QueryNonzero(qs[i])
+			outSz += len(out)
+		})
+		tq := timePer(len(qs), func(i int) { eTS.QueryNonzero(qs[i]) })
+		bq := timePer(len(qs), func(i int) { eBrute.QueryNonzero(qs[i]) })
+		batch := timeIt(func() { eTS.BatchNonzero(qs) }) / 256
+		t.AddRow(itoa(n), dtoa(build), dtoa(dq), dtoa(tq), dtoa(bq), dtoa(batch),
 			ftoa(float64(outSz)/float64(len(qs))))
 	}
 	t.Note("diagram queries include the persistent-label reconstruction (Thm 2.11: O(log n + t))")
+	t.Note("all backends run through the engine layer (internal/engine); batch uses NumCPU workers")
 	return t
 }
 
 // E7DiscreteQueries measures the discrete two-stage structure of
 // Theorem 3.2 as N = nk grows: near-linear space, output-sensitive
-// queries, versus the O(N) brute oracle.
+// queries, versus the O(N) brute oracle — both through the engine layer,
+// with the batch column exercising the parallel path.
 func E7DiscreteQueries(opt Options) *Table {
 	t := &Table{
 		ID:     "E7",
 		Title:  "NN≠0 queries, discrete distributions (Theorem 3.2 two-stage)",
 		Claim:  "O(N log N) preprocessing, near-linear space, sublinear queries in practice",
-		Header: []string{"n", "k", "N", "build", "2stageQ", "bruteQ", "avg|out|"},
+		Header: []string{"n", "k", "N", "build", "2stageQ", "bruteQ", "2stageBatchQ", "avg|out|"},
 	}
 	rng := rand.New(rand.NewSource(opt.seed()))
 	type cfg struct{ n, k int }
@@ -75,20 +90,53 @@ func E7DiscreteQueries(opt Options) *Table {
 	}
 	for _, c := range cfgs {
 		pts := constructions.RandomDiscrete(rng, c.n, c.k, 100, 1.5, 1)
-		var ts *nonzero.TwoStageDiscrete
-		build := timeIt(func() { ts = nonzero.NewTwoStageDiscrete(pts) })
-		upts := nonzero.DiscreteAsUncertain(pts)
+		ds := engine.FromDiscrete(pts)
+		var ts engine.Index
+		var err error
+		build := timeIt(func() {
+			ts, err = engine.Build(engine.BackendTwoStageDiscrete, ds, engine.BuildOptions{})
+		})
+		if err != nil {
+			t.Note("n=%d k=%d: %v", c.n, c.k, err)
+			continue
+		}
+		eTS := engine.NewEngine(ts, engine.Options{})
+		eBrute := mustEngine(t, engine.BackendBrute, ds)
+		if eBrute == nil {
+			continue
+		}
 		qs := make([]geom.Point, 256)
 		for i := range qs {
 			qs[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
 		}
 		outSz := 0
-		tq := timePer(len(qs), func(i int) { outSz += len(ts.Query(qs[i])) })
-		bq := timePer(len(qs), func(i int) { nonzero.Brute(upts, qs[i]) })
+		tq := timePer(len(qs), func(i int) {
+			out, _ := eTS.QueryNonzero(qs[i])
+			outSz += len(out)
+		})
+		bq := timePer(len(qs), func(i int) { eBrute.QueryNonzero(qs[i]) })
+		batch := timeIt(func() { eTS.BatchNonzero(qs) }) / 256
 		t.AddRow(itoa(c.n), itoa(c.k), itoa(c.n*c.k), dtoa(build), dtoa(tq), dtoa(bq),
-			ftoa(float64(outSz)/float64(len(qs))))
+			dtoa(batch), ftoa(float64(outSz)/float64(len(qs))))
 	}
+	t.Note("all backends run through the engine layer (internal/engine); batch uses NumCPU workers")
 	return t
+}
+
+// mustEngine builds a backend over ds and wraps it, noting failures in
+// the table.
+func mustEngine(t *Table, b engine.Backend, ds *engine.Dataset) *engine.Engine {
+	ix, err := engine.Build(b, ds, engine.BuildOptions{})
+	if err != nil {
+		t.Note("%s: %v", b, err)
+		return nil
+	}
+	return engine.NewEngine(ix, engine.Options{})
+}
+
+// diagramOptFlatten keeps the historical 1° flattening step of E6.
+func diagramOptFlatten() nonzero.DiagramOptions {
+	return nonzero.DiagramOptions{FlattenStep: 2 * 3.14159 / 360}
 }
 
 // E8VPrGrowth measures the exact probabilistic Voronoi diagram of §4.1:

@@ -21,14 +21,18 @@
 //     (Theorem 4.7); plus threshold and top-k wrappers;
 //   - expected-distance NN queries (the [AESZ12] semantics).
 //
-// The quickstart example under examples/quickstart exercises every query
-// type; DESIGN.md maps each theorem to its implementation and
+// All of these are served through one query engine: Open builds any
+// backend behind a capability-checked Handle with single, batched
+// (parallel, deterministic order) and cached execution. The quickstart
+// example under examples/quickstart exercises every query type through
+// it; DESIGN.md maps each theorem to its implementation and
 // EXPERIMENTS.md records the measured reproduction of every claim.
 package unn
 
 import (
 	"math/rand"
 
+	"unn/internal/engine"
 	"unn/internal/expected"
 	"unn/internal/geom"
 	"unn/internal/lmetric"
@@ -102,6 +106,172 @@ func Disks(disks []Disk) []Uncertain { return nonzero.DisksAsUncertain(disks) }
 // FromDiscrete converts discrete points to the generic interface.
 func FromDiscrete(pts []*Discrete) []Uncertain { return nonzero.DiscreteAsUncertain(pts) }
 
+// --- the query engine --------------------------------------------------------
+
+// Backend names one of the adapted index structures of the engine layer.
+type Backend = engine.Backend
+
+// The available backends. Every backend answers the query kinds it
+// supports (its Capabilities); the Handle rejects the rest with
+// ErrUnsupported.
+const (
+	// BackendAuto picks a sensible exact default for the dataset: the
+	// Lemma 2.1 / Eq. (2) reference evaluator for point datasets, the
+	// two-stage L∞ structure for squares.
+	BackendAuto Backend = "auto"
+	// BackendBrute is the exact reference: Lemma 2.1 NN≠0 oracle, the
+	// Eq. (2) sweep for π, and a linear expected-distance scan.
+	BackendBrute = engine.BackendBrute
+	// BackendDiagram is the nonzero Voronoi diagram V≠0(P) with point
+	// location (Theorems 2.5/2.14 + 2.11).
+	BackendDiagram = engine.BackendDiagram
+	// BackendTwoStageDisks is the near-linear structure of Theorem 3.1.
+	BackendTwoStageDisks = engine.BackendTwoStageDisks
+	// BackendTwoStageDiscrete is the near-linear structure of Theorem 3.2.
+	BackendTwoStageDiscrete = engine.BackendTwoStageDiscrete
+	// BackendVPr is the exact probabilistic Voronoi diagram (Theorem 4.2).
+	BackendVPr = engine.BackendVPr
+	// BackendMonteCarlo is the randomized structure of Theorems 4.3/4.5.
+	BackendMonteCarlo = engine.BackendMonteCarlo
+	// BackendSpiral is the deterministic spiral search of Theorem 4.7.
+	BackendSpiral = engine.BackendSpiral
+	// BackendExpected is the expected-distance index ([AESZ12]).
+	BackendExpected = engine.BackendExpected
+	// BackendTwoStageLinf answers NN≠0 over squares under L∞.
+	BackendTwoStageLinf = engine.BackendTwoStageLinf
+	// BackendTwoStageL1 answers NN≠0 over diamonds under L1.
+	BackendTwoStageL1 = engine.BackendTwoStageL1
+)
+
+// Capability is the bitmask of query kinds a backend supports.
+type Capability = engine.Capability
+
+// The capability bits.
+const (
+	CapNonzero  = engine.CapNonzero
+	CapProbs    = engine.CapProbs
+	CapExpected = engine.CapExpected
+)
+
+// ErrUnsupported is returned when a Handle is asked for a query kind its
+// backend does not support.
+var ErrUnsupported = engine.ErrUnsupported
+
+// ExpectedResult is one expected-distance batch answer.
+type ExpectedResult = engine.ExpectedResult
+
+// Option tunes Open.
+type Option func(*openConfig)
+
+type openConfig struct {
+	backend Backend
+	build   engine.BuildOptions
+	run     engine.Options
+}
+
+// WithBackend selects the index structure. Default BackendAuto.
+func WithBackend(b Backend) Option { return func(c *openConfig) { c.backend = b } }
+
+// WithWorkers sets the batch worker-pool size (default runtime.NumCPU();
+// 1 forces sequential batches).
+func WithWorkers(n int) Option { return func(c *openConfig) { c.run.Workers = n } }
+
+// WithCache enables the engine-level LRU answer cache with the given
+// capacity (entries). Quantum sets the grid step used to quantize query
+// points into cache keys — queries within one quantum cell share an
+// answer; pass 0 to require exact coordinate matches.
+func WithCache(capacity int, quantum float64) Option {
+	return func(c *openConfig) {
+		c.run.CacheSize = capacity
+		c.run.CacheQuantum = quantum
+	}
+}
+
+// WithEps sets the default additive error for approximating probability
+// backends when a query passes eps ≤ 0 (default 0.02).
+func WithEps(eps float64) Option { return func(c *openConfig) { c.build.Eps = eps } }
+
+// WithMCRounds sets the number of Monte-Carlo instantiations (default 64;
+// see MCRounds / MCRoundsPerQuery for the theorem-prescribed counts).
+func WithMCRounds(s int) Option { return func(c *openConfig) { c.build.MCRounds = s } }
+
+// WithMCParallel fans Monte-Carlo construction over all CPUs
+// (deterministic in the seed).
+func WithMCParallel() Option { return func(c *openConfig) { c.build.MCParallel = true } }
+
+// WithSeed fixes the seed of randomized constructions (default 0x6e67).
+func WithSeed(seed int64) Option { return func(c *openConfig) { c.build.Seed = seed } }
+
+// WithDiagramOptions tunes V≠0 diagram construction.
+func WithDiagramOptions(opt DiagramOptions) Option {
+	return func(c *openConfig) { c.build.Diagram = opt }
+}
+
+// WithVPrOptions tunes probabilistic-Voronoi construction.
+func WithVPrOptions(opt VPrOptions) Option {
+	return func(c *openConfig) { c.build.VPr = opt }
+}
+
+// WithSpiralQuadtree selects the quadtree branch-and-bound retrieval
+// backend for the spiral structure (§4.3 Remark (ii)).
+func WithSpiralQuadtree() Option { return func(c *openConfig) { c.build.SpiralQuadtree = true } }
+
+// Handle is a capability-checked handle to one built backend: single
+// queries, parallel batches with deterministic result order, and an
+// optional LRU answer cache. All methods are safe for concurrent use.
+//
+// Query kinds the backend does not support return ErrUnsupported
+// (checkable with errors.Is). When the cache is enabled, returned
+// slices may be shared with it; treat them as read-only.
+type Handle struct {
+	*engine.Engine
+}
+
+func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
+	cfg := openConfig{backend: BackendAuto}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b := cfg.backend
+	if b == BackendAuto {
+		if ds.Squares != nil {
+			b = BackendTwoStageLinf
+		} else {
+			b = BackendBrute
+		}
+	}
+	ix, err := engine.Build(b, ds, cfg.build)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{engine.NewEngine(ix, cfg.run)}, nil
+}
+
+// Open builds the selected backend over generic uncertain points and
+// returns its query handle. Discrete and disk specializations are
+// detected by type, so backends that need them (diagram, two-stage,
+// V_Pr, spiral, expected) work whenever the input is uniformly discrete
+// or disk-shaped.
+func Open(pts []Uncertain, opts ...Option) (*Handle, error) {
+	return openDataset(engine.FromPoints(pts), opts)
+}
+
+// OpenDiscrete is Open for discrete uncertain points.
+func OpenDiscrete(pts []*Discrete, opts ...Option) (*Handle, error) {
+	return openDataset(engine.FromDiscrete(pts), opts)
+}
+
+// OpenDisks is Open for disk uncertainty regions.
+func OpenDisks(disks []Disk, opts ...Option) (*Handle, error) {
+	return openDataset(engine.FromDisks(disks), opts)
+}
+
+// OpenSquares is Open for L∞ balls (squares) or L1 diamonds, served by
+// the lmetric backends.
+func OpenSquares(squares []Square, opts ...Option) (*Handle, error) {
+	return openDataset(engine.FromSquares(squares), opts)
+}
+
 // --- nonzero nearest neighbors (Section 2 & 3) -------------------------------
 
 // NonzeroNN returns NN≠0(q) = {i : π_i(q) > 0} by the exact O(n) oracle
@@ -116,11 +286,16 @@ type Diagram = nonzero.Diagram
 type DiagramOptions = nonzero.DiagramOptions
 
 // BuildDiskDiagram constructs V≠0 for disk regions (Theorem 2.5).
+//
+// Deprecated: use OpenDisks(disks, WithBackend(BackendDiagram)); the
+// engine handle adds batching, caching and capability checks.
 func BuildDiskDiagram(disks []Disk, opt DiagramOptions) (*Diagram, error) {
 	return nonzero.BuildDiskDiagram(disks, opt)
 }
 
 // BuildDiscreteDiagram constructs V≠0 for discrete points (Theorem 2.14).
+//
+// Deprecated: use OpenDiscrete(pts, WithBackend(BackendDiagram)).
 func BuildDiscreteDiagram(pts []*Discrete, opt DiagramOptions) (*Diagram, error) {
 	return nonzero.BuildDiscreteDiagram(pts, opt)
 }
@@ -138,6 +313,8 @@ func CountDiskComplexity(disks []Disk, grid int) DiskComplexity {
 type TwoStageDisks = nonzero.TwoStageDisks
 
 // NewTwoStageDisks preprocesses disks for NN≠0 queries.
+//
+// Deprecated: use OpenDisks(disks, WithBackend(BackendTwoStageDisks)).
 func NewTwoStageDisks(disks []Disk) *TwoStageDisks { return nonzero.NewTwoStageDisks(disks) }
 
 // TwoStageDiscrete is the near-linear NN≠0 structure for discrete points
@@ -145,6 +322,8 @@ func NewTwoStageDisks(disks []Disk) *TwoStageDisks { return nonzero.NewTwoStageD
 type TwoStageDiscrete = nonzero.TwoStageDiscrete
 
 // NewTwoStageDiscrete preprocesses discrete points for NN≠0 queries.
+//
+// Deprecated: use OpenDiscrete(pts, WithBackend(BackendTwoStageDiscrete)).
 func NewTwoStageDiscrete(pts []*Discrete) *TwoStageDiscrete {
 	return nonzero.NewTwoStageDiscrete(pts)
 }
@@ -166,6 +345,8 @@ type VPr = quantify.VPr
 type VPrOptions = quantify.VPrOptions
 
 // BuildVPr constructs the exact probabilistic Voronoi diagram.
+//
+// Deprecated: use OpenDiscrete(pts, WithBackend(BackendVPr)).
 func BuildVPr(pts []*Discrete, opt VPrOptions) (*VPr, error) {
 	return quantify.BuildVPr(pts, opt)
 }
@@ -177,6 +358,9 @@ type MonteCarlo = quantify.MonteCarlo
 type MCOptions = quantify.MCOptions
 
 // NewMonteCarlo builds a Monte-Carlo index with s instantiations.
+//
+// Deprecated: use Open(pts, WithBackend(BackendMonteCarlo),
+// WithMCRounds(s)).
 func NewMonteCarlo(pts []Uncertain, s int, opt MCOptions) (*MonteCarlo, error) {
 	return quantify.NewMonteCarlo(pts, s, opt)
 }
@@ -194,6 +378,8 @@ func MCRoundsPerQuery(n int, eps, delta float64) int {
 type Spiral = quantify.Spiral
 
 // NewSpiral preprocesses discrete points for spiral-search queries.
+//
+// Deprecated: use OpenDiscrete(pts, WithBackend(BackendSpiral)).
 func NewSpiral(pts []*Discrete) (*Spiral, error) { return quantify.NewSpiral(pts) }
 
 // Threshold returns the points whose estimated π_i(q) is at least tau
@@ -213,6 +399,20 @@ type SpiralEstimator = quantify.SpiralEstimator
 // MCEstimator adapts a MonteCarlo index to the Threshold/TopK interface.
 type MCEstimator = quantify.MCEstimator
 
+// HandleEstimator adapts any probability-capable Handle to the
+// Threshold/TopK interface.
+type HandleEstimator struct{ H *Handle }
+
+// Estimate implements quantify.Estimator; errors (capability or
+// otherwise) surface as an empty estimate.
+func (he HandleEstimator) Estimate(q Point, eps float64) []Prob {
+	ps, err := he.H.QueryProbs(q, eps)
+	if err != nil {
+		return nil
+	}
+	return ps
+}
+
 // --- expected-distance semantics ([AESZ12]) ----------------------------------
 
 // ExpectedIndex answers expected-distance NN queries (the PODS 2012
@@ -220,6 +420,8 @@ type MCEstimator = quantify.MCEstimator
 type ExpectedIndex = expected.Index
 
 // NewExpectedIndex builds an expected-distance NN index.
+//
+// Deprecated: use OpenDiscrete(pts, WithBackend(BackendExpected)).
 func NewExpectedIndex(pts []*Discrete) (*ExpectedIndex, error) { return expected.New(pts) }
 
 // TrapQuerier answers Diagram queries via a randomized-incremental
@@ -242,6 +444,9 @@ func NewSpiralContinuous(pts []Uncertain, perPoint int, rng *rand.Rand) (*Spiral
 
 // NewMonteCarloParallel is NewMonteCarlo with construction fanned out
 // over all CPUs; results are deterministic in the seed.
+//
+// Deprecated: use Open(pts, WithBackend(BackendMonteCarlo),
+// WithMCRounds(s), WithMCParallel()).
 func NewMonteCarloParallel(pts []Uncertain, s int, opt MCOptions) (*MonteCarlo, error) {
 	return quantify.NewMonteCarloParallel(pts, s, opt)
 }
@@ -257,6 +462,8 @@ type Square = lmetric.Square
 type TwoStageLinf = lmetric.TwoStageLinf
 
 // NewTwoStageLinf preprocesses square regions for L∞ NN≠0 queries.
+//
+// Deprecated: use OpenSquares(squares, WithBackend(BackendTwoStageLinf)).
 func NewTwoStageLinf(squares []Square) *TwoStageLinf { return lmetric.NewTwoStageLinf(squares) }
 
 // TwoStageL1 answers NN≠0 queries over diamond regions under the
@@ -264,10 +471,15 @@ func NewTwoStageLinf(squares []Square) *TwoStageLinf { return lmetric.NewTwoStag
 type TwoStageL1 = lmetric.TwoStageL1
 
 // NewTwoStageL1 preprocesses diamond regions for L1 NN≠0 queries.
+//
+// Deprecated: use OpenSquares(diamonds, WithBackend(BackendTwoStageL1)).
 func NewTwoStageL1(diamonds []Square) *TwoStageL1 { return lmetric.NewTwoStageL1(diamonds) }
 
 // NewSpiralQuadtree is NewSpiral with the quadtree branch-and-bound
 // retrieval backend suggested in §4.3 Remark (ii) ([Har11]).
+//
+// Deprecated: use OpenDiscrete(pts, WithBackend(BackendSpiral),
+// WithSpiralQuadtree()).
 func NewSpiralQuadtree(pts []*Discrete) (*Spiral, error) {
 	return quantify.NewSpiralQuadtree(pts)
 }

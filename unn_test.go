@@ -1,0 +1,157 @@
+package unn_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"unn"
+)
+
+func testDiscretes(t *testing.T, rng *rand.Rand, n, k int, side float64) []*unn.Discrete {
+	t.Helper()
+	pts := make([]*unn.Discrete, n)
+	for i := range pts {
+		cx, cy := rng.Float64()*side, rng.Float64()*side
+		locs := make([]unn.Point, k)
+		w := make([]float64, k)
+		for j := range locs {
+			locs[j] = unn.Pt(cx+rng.NormFloat64(), cy+rng.NormFloat64())
+			w[j] = 0.5 + rng.Float64()
+		}
+		p, err := unn.NewDiscrete(locs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestOpenAutoDiscrete: the default backend for discrete input is the
+// exact reference and supports all three query kinds.
+func TestOpenAutoDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := testDiscretes(t, rng, 16, 3, 20)
+	h, err := unn.OpenDiscrete(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Backend(); got != unn.BackendBrute {
+		t.Fatalf("auto backend = %s, want brute", got)
+	}
+	want := unn.CapNonzero | unn.CapProbs | unn.CapExpected
+	if got := h.Capabilities(); got != want {
+		t.Fatalf("capabilities = %v, want %v", got, want)
+	}
+	q := unn.Pt(10, 10)
+	nn, err := h.QueryNonzero(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := unn.NonzeroNN(unn.FromDiscrete(pts), q); !reflect.DeepEqual(nn, want) {
+		t.Fatalf("QueryNonzero = %v, want %v", nn, want)
+	}
+	probs, err := h.QueryProbs(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := unn.ExactProbabilities(pts, q)
+	for _, pr := range probs {
+		if math.Abs(pr.P-exact[pr.I]) > 1e-12 {
+			t.Fatalf("π_%d = %v, want %v", pr.I, pr.P, exact[pr.I])
+		}
+	}
+	if _, _, err := h.QueryExpected(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenBackendsAgree: every nonzero-capable backend opened through
+// the one Open API answers identically (up to the structures' own
+// guarantees) on disk datasets.
+func TestOpenBackendsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	disks := make([]unn.Disk, 12)
+	for i := range disks {
+		disks[i] = unn.DiskAt(rng.Float64()*30, rng.Float64()*30, 0.5+rng.Float64()*1.5)
+	}
+	hBrute, err := unn.OpenDisks(disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hTS, err := unn.OpenDisks(disks, unn.WithBackend(unn.BackendTwoStageDisks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]unn.Point, 128)
+	for i := range qs {
+		qs[i] = unn.Pt(rng.Float64()*30, rng.Float64()*30)
+	}
+	a, err := hBrute.BatchNonzero(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hTS.BatchNonzero(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("brute and two-stage disagree on disks")
+	}
+}
+
+// TestOpenCapabilityError: asking a handle for an unsupported kind
+// fails with ErrUnsupported.
+func TestOpenCapabilityError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := testDiscretes(t, rng, 8, 2, 10)
+	h, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendTwoStageDiscrete))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.QueryProbs(unn.Pt(0, 0), 0); !errors.Is(err, unn.ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+// TestOpenSquares: the L∞/L1 structures are reachable through Open.
+func TestOpenSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	squares := make([]unn.Square, 10)
+	for i := range squares {
+		squares[i] = unn.Square{C: unn.Pt(rng.Float64()*20, rng.Float64()*20), R: 0.5 + rng.Float64()}
+	}
+	for _, b := range []unn.Backend{unn.BackendAuto, unn.BackendTwoStageLinf, unn.BackendTwoStageL1} {
+		h, err := unn.OpenSquares(squares, unn.WithBackend(b))
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if out, err := h.QueryNonzero(unn.Pt(10, 10)); err != nil || len(out) == 0 {
+			t.Fatalf("%s: out=%v err=%v", b, out, err)
+		}
+	}
+}
+
+// TestHandleEstimator: Threshold/TopK work against any probability-
+// capable handle.
+func TestHandleEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := testDiscretes(t, rng, 10, 3, 15)
+	h, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendSpiral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := unn.Pt(7, 7)
+	top := unn.TopK(unn.HandleEstimator{H: h}, q, 3, 0.02)
+	if len(top) == 0 || len(top) > 3 {
+		t.Fatalf("TopK = %v", top)
+	}
+	for _, pr := range unn.Threshold(unn.HandleEstimator{H: h}, q, 0.25) {
+		if pr.P < 0.25 {
+			t.Fatalf("threshold returned %v", pr)
+		}
+	}
+}
