@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build vet test bench bench-json examples clean
+.PHONY: verify build vet fmtcheck test race bench bench-json examples clean
 
 # The tier-1 gate: everything CI runs.
-verify: build vet test
+verify: build vet fmtcheck test race
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# gofmt gating: fail when any file needs reformatting.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
-# Engine benchmarks (BenchmarkEngineBatch vs BenchmarkEngineSequential).
-bench:
-	$(GO) test ./internal/engine -run xxx -bench 'EngineBatch|EngineSequential' -benchtime 5x
+# Race-check the concurrent machinery: the sharded execution layer and
+# the async Serve stream.
+race:
+	$(GO) test -race ./internal/engine -run 'Shard|Serve|Batch'
 
-# Machine-readable perf trajectory: one JSON record per backend/size.
+# Engine benchmarks: parallel batch vs sequential, sharded vs unsharded.
+bench:
+	$(GO) test ./internal/engine -run xxx \
+		-bench 'EngineBatch|EngineSequential|ShardedBatch|UnshardedBatch' -benchtime 5x
+
+# Machine-readable perf trajectory: one JSON record per backend/size
+# (E16) plus the shard-scaling sweep (E17).
 bench-json:
 	$(GO) run ./cmd/unnbench -quick -json BENCH_engine.json >/dev/null
 

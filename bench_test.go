@@ -278,9 +278,27 @@ func BenchmarkE16_EngineBatchMC_n1000(b *testing.B) {
 	}
 }
 
+// E17 / sharded engine: the E17 shard-scaling workload through
+// unn.Open with the sharded execution layer at k = 8.
+func BenchmarkE17_ShardedBatch_n2000_k8(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithShards(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 2000, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.BatchNonzero(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 16 {
+	if len(experiments.All) != 17 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }

@@ -13,13 +13,16 @@
 //	unnbench -json out.json  # engine benchmark → machine-readable JSON
 //
 // With -json, the engine sweep (E16) runs every adapted backend through
-// the unified engine layer and writes records of the form
+// the unified engine layer, the shard-scaling sweep (E17) runs the
+// sharded execution layer at k ∈ {0,1,2,4,8,NumCPU}, and records of the
+// form
 //
 //	{"backend": "montecarlo", "n": 1000, "queries": 256, "workers": 8,
-//	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...}
+//	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...,
+//	 "shards": ..., "cache_hit_rate": ...}
 //
-// to the given path (conventionally BENCH_engine.json), alongside the
-// usual table on stdout.
+// are written to the given path (conventionally BENCH_engine.json),
+// alongside the usual tables on stdout.
 package main
 
 import (
@@ -55,6 +58,11 @@ func main() {
 		if _, err := tab.WriteTo(os.Stdout); err != nil {
 			fatal(err)
 		}
+		shardRecs, shardTab := experiments.ShardBench(opt)
+		if _, err := shardTab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		recs = append(recs, shardRecs...)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

@@ -3,14 +3,16 @@
 // "mobile data" motivation of §1). A dispatch service asks: which driver
 // is most likely closest to the pickup point? The spiral search of
 // Theorem 4.7 answers this touching only m(ρ,ε) of the N = nk locations;
-// the example serves it through the query engine — including a batch of
-// pickups fanned across the worker pool — and compares against the
-// exact sweep.
+// the example serves it through the query engine — a batch of pickups
+// fanned across the worker pool, then a live pickup stream through
+// Handle.Serve over the city split into 8 spatial shards — and compares
+// against the exact sweep.
 //
 //	go run ./examples/mobiledata
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -104,4 +106,37 @@ func main() {
 	}
 	fmt.Printf("\nbatched %d pickups in %v (%d workers); most contested pickup %v has %d candidate drivers\n",
 		len(pickups), tBatch, spiral.Workers(), pickups[busiest], most)
+
+	// Dispatch as a live stream: pickups arrive on a channel and
+	// completions come back asynchronously (out of order under load,
+	// matched by sequence ID) — the moving-query serving mode, here over
+	// the city split into 8 spatial shards with one NN≠0 structure per
+	// shard. Backpressure is the answer channel's capacity: a slow
+	// dispatcher stops the stream from accepting requests.
+	city, err := unn.OpenDiscrete(drivers,
+		unn.WithBackend(unn.BackendTwoStageDiscrete), unn.WithShards(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	requests := make(chan unn.Query)
+	answers := city.Serve(ctx, requests)
+	go func() {
+		for i, q := range pickups {
+			requests <- unn.Query{Seq: uint64(i), Kind: unn.CapNonzero, Q: q}
+		}
+		close(requests)
+	}()
+	t0 = time.Now()
+	served, candidates := 0, 0
+	for a := range answers {
+		if a.Err != nil {
+			log.Fatal(a.Err)
+		}
+		served++
+		candidates += len(a.Nonzero)
+	}
+	fmt.Printf("served %d streamed pickups in %v (sharded k=8); %.1f candidate drivers per pickup\n",
+		served, time.Since(t0), float64(candidates)/float64(served))
 }

@@ -5,7 +5,9 @@
 // imprecise"). For a reading request at point q we ask which sensors can
 // possibly be the closest one (NN≠0, which depends only on the disks) and
 // with what probability (Monte Carlo over the Gaussian priors) — every
-// structure opened through the same engine API.
+// structure opened through the same engine API, with the two-stage plan
+// running behind the sharded execution layer (4 spatial shards, merged
+// answers cross-checked against the monolithic diagram).
 //
 //	go run ./examples/sensorfield
 package main
@@ -30,10 +32,13 @@ func main() {
 		priors[i] = unn.NewTruncGauss(disks[i], disks[i].R/2)
 	}
 
-	// Near-linear NN≠0 structure (Theorem 3.1 two-stage plan) and the
-	// full V≠0 diagram (Theorem 2.5 construction): same input, same
-	// interface, different backends.
-	ts, err := unn.OpenDisks(disks, unn.WithBackend(unn.BackendTwoStageDisks))
+	// Near-linear NN≠0 structure (Theorem 3.1 two-stage plan) behind the
+	// sharded execution layer — the field is split into 4 spatial shards,
+	// one two-stage structure per shard, answers merged with bbox pruning
+	// — and the full V≠0 diagram (Theorem 2.5 construction): same input,
+	// same interface, different execution plans.
+	ts, err := unn.OpenDisks(disks,
+		unn.WithBackend(unn.BackendTwoStageDisks), unn.WithShards(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +74,8 @@ func main() {
 	}
 	for i, q := range queries {
 		if len(tsAns[i]) != len(diagAns[i]) {
-			log.Fatalf("structures disagree at %v: %v vs %v", q, diagAns[i], tsAns[i])
+			log.Fatalf("sharded two-stage and diagram disagree at %v: %v vs %v",
+				q, diagAns[i], tsAns[i])
 		}
 		fmt.Printf("query %v: %d candidate sensors %v\n", q, len(tsAns[i]), tsAns[i])
 		probs, err := mc.QueryProbs(q, 0)

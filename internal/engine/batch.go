@@ -14,14 +14,19 @@ type Options struct {
 	// Workers is the batch worker-pool size. Default runtime.NumCPU();
 	// 1 forces sequential execution.
 	Workers int
-	// CacheSize is the capacity (entries per query kind) of the LRU
-	// answer cache. 0 disables caching.
+	// CacheSize is the capacity (entries) of the striped LRU answer
+	// cache; 0 disables caching. The bound is global — entries are never
+	// evicted while the cache holds fewer than CacheSize, regardless of
+	// how keys distribute over the stripes.
 	CacheSize int
 	// CacheQuantum is the grid step used to quantize query points into
 	// cache keys: queries within the same quantum cell share an answer.
 	// Default 0: keys are the exact float bit patterns, so only repeated
 	// identical queries hit.
 	CacheQuantum float64
+	// ServeBuffer is the capacity of the answer channel returned by
+	// Serve — the backpressure window of the stream. Default 2×Workers.
+	ServeBuffer int
 }
 
 func (o Options) withDefaults() Options {

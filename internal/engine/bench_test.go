@@ -58,6 +58,90 @@ func BenchmarkEngineSequential(b *testing.B) {
 	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
+// e17Workload is the shard-scaling acceptance workload (experiment E17):
+// a spread-out discrete dataset where query-local structure lets the
+// merge planner prune most shards, plus uniform queries over the domain.
+func e17Workload(tb testing.TB) (*Dataset, []geom.Point) {
+	rng := rand.New(rand.NewSource(0xe17))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1))
+	return ds, randQueriesB(rng, 256, 2000)
+}
+
+// shardedBatchEngine builds the E17 workload behind a sharded brute
+// backend (k shards; k = 0 selects the monolithic baseline).
+func shardedBatchEngine(tb testing.TB, k int) (*Engine, []geom.Point) {
+	ds, qs := e17Workload(tb)
+	ix, err := BuildSharded(BackendBrute, ds, BuildOptions{}, ShardOptions{Shards: k})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return NewEngine(ix, Options{}), qs
+}
+
+// BenchmarkShardedBatch measures the sharded batch path at k = NumCPU
+// on the E17 workload; the acceptance target is ≥1.5× the throughput of
+// BenchmarkUnshardedBatch (shard pruning cuts per-query work on top of
+// the batch parallelism both paths share).
+func BenchmarkShardedBatch(b *testing.B) {
+	eng, qs := shardedBatchEngine(b, runtime.NumCPU())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.BatchNonzero(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkUnshardedBatch is the monolithic baseline for
+// BenchmarkShardedBatch.
+func BenchmarkUnshardedBatch(b *testing.B) {
+	eng, qs := shardedBatchEngine(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.BatchNonzero(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// TestShardedSpeedup asserts the ≥1.5× sharded-over-unsharded batch
+// acceptance criterion on the E17 workload. The gain comes from shard
+// pruning (less work per query), so unlike TestBatchSpeedup it does not
+// need many cores; k is fixed at 8 shards to keep the measurement
+// machine-independent.
+func TestShardedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test, skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing test, skipped under the race detector")
+	}
+	engSharded, qs := shardedBatchEngine(t, 8)
+	engMono, _ := shardedBatchEngine(t, 0)
+	run := func(e *Engine) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for attempt := 0; attempt < 3; attempt++ {
+			t0 := time.Now()
+			if _, err := e.BatchNonzero(qs); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	mono := run(engMono)
+	sharded := run(engSharded)
+	speedup := float64(mono) / float64(sharded)
+	t.Logf("unsharded %v, sharded(k=8) %v: %.2fx", mono, sharded, speedup)
+	if speedup < 1.5 {
+		t.Errorf("sharded batch speedup %.2fx < 1.5x", speedup)
+	}
+}
+
 // TestBatchSpeedup asserts the ≥2× batch-over-sequential acceptance
 // criterion when enough cores are available; on smaller machines it
 // only sanity-checks that the parallel path is not pathologically
@@ -65,6 +149,9 @@ func BenchmarkEngineSequential(b *testing.B) {
 func TestBatchSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test, skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing test, skipped under the race detector")
 	}
 	cores := runtime.NumCPU()
 	if cores < 4 {

@@ -3,7 +3,9 @@ package engine
 import (
 	"container/list"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"unn/internal/geom"
 )
@@ -23,20 +25,34 @@ type cacheKey struct {
 	eps  uint64
 }
 
-// cache is a mutex-protected LRU answer cache keyed by quantized query
-// point. With quantum > 0 the plane is snapped to a grid of that step,
-// so nearby queries share an answer — the engine-level analogue of the
+// cache is a striped LRU answer cache keyed by quantized query point.
+// Keys hash to one of GOMAXPROCS independent stripes, each with its own
+// mutex, LRU list and hit/miss counters, so concurrent batch workers do
+// not serialize on one lock. Occupancy is bounded globally by an atomic
+// counter: nothing is evicted before the total reaches the configured
+// capacity, and over-capacity puts evict one LRU tail from a
+// round-robin scan of the stripes — a hot stripe may hold most of the
+// capacity, and never thrashes while other stripes sit idle.
+//
+// With quantum > 0 the plane is snapped to a grid of that step, so
+// nearby queries share an answer — the engine-level analogue of the
 // diagrams' cell-level answer sharing (every exact structure is
 // piecewise constant, so a fine quantum trades a bounded spatial error
 // for hit rate). With quantum = 0 keys are the exact float bit patterns.
 type cache struct {
-	mu      sync.Mutex
-	cap     int
-	quantum float64
-	ll      *list.List // front = most recent
-	items   map[cacheKey]*list.Element
-	hits    uint64
-	misses  uint64
+	quantum  float64
+	capacity int64
+	total    atomic.Int64
+	clock    atomic.Int64 // rotates the eviction scan start
+	stripes  []*cacheStripe
+}
+
+type cacheStripe struct {
+	mu     sync.Mutex
+	ll     *list.List // front = most recent
+	items  map[cacheKey]*list.Element
+	hits   uint64
+	misses uint64
 }
 
 type cacheEntry struct {
@@ -45,12 +61,21 @@ type cacheEntry struct {
 }
 
 func newCache(capacity int, quantum float64) *cache {
-	return &cache{
-		cap:     capacity,
-		quantum: quantum,
-		ll:      list.New(),
-		items:   make(map[cacheKey]*list.Element, capacity),
+	n := runtime.GOMAXPROCS(0)
+	if n > capacity {
+		n = capacity
 	}
+	if n < 1 {
+		n = 1
+	}
+	c := &cache{quantum: quantum, capacity: int64(capacity), stripes: make([]*cacheStripe, n)}
+	for i := range c.stripes {
+		c.stripes[i] = &cacheStripe{
+			ll:    list.New(),
+			items: make(map[cacheKey]*list.Element),
+		}
+	}
+	return c
 }
 
 func (c *cache) quantize(v float64) uint64 {
@@ -69,39 +94,98 @@ func (c *cache) key(kind uint8, q geom.Point, eps float64) cacheKey {
 	}
 }
 
+// stripe hashes k to its stripe (splitmix64-style mixing).
+func (c *cache) stripe(k cacheKey) *cacheStripe {
+	h := k.x*0x9e3779b97f4a7c15 ^ k.y*0xbf58476d1ce4e5b9 ^ k.eps*0x94d049bb133111eb ^ uint64(k.kind)
+	h ^= h >> 31
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return c.stripes[h%uint64(len(c.stripes))]
+}
+
 func (c *cache) get(kind uint8, q geom.Point, eps float64) (any, bool) {
 	k := c.key(kind, q, eps)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[k]
+	s := c.stripe(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[k]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
+	s.hits++
+	s.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }
 
 func (c *cache) put(kind uint8, q geom.Point, eps float64, val any) {
 	k := c.key(kind, q, eps)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
+	s := c.stripe(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
 		el.Value.(*cacheEntry).val = val
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
 		return
 	}
-	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: val})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+	s.items[k] = s.ll.PushFront(&cacheEntry{key: k, val: val})
+	s.mu.Unlock()
+	// Evict only while the cache as a whole is over capacity. Concurrent
+	// over-capacity puts may each evict one entry (or skip, see
+	// evictOne), so occupancy stays within the capacity plus or minus
+	// the number of in-flight puts.
+	if c.total.Add(1) > c.capacity {
+		c.evictOne()
 	}
 }
 
+// evictOne removes one LRU tail, scanning the stripes round-robin from a
+// rotating start so eviction pressure spreads across the cache instead
+// of pinning stripe quotas at whatever distribution first filled it.
+// Singleton stripes are never victims — any goroutine's fresh insert may
+// be the lone entry of an under-filled stripe, and evicting it would
+// make that key uncacheable. A suitable victim always exists when the
+// cache is over capacity and counts are quiescent (stripes ≤ capacity,
+// so by pigeonhole some stripe holds ≥ 2 entries); if a concurrent
+// racer drains every candidate mid-scan, the eviction is skipped and the
+// next over-capacity put settles the bound (transient overshoot is at
+// most the number of concurrent puts).
+func (c *cache) evictOne() {
+	n := len(c.stripes)
+	start := int(c.clock.Add(1) % int64(n))
+	for i := 0; i < n; i++ {
+		st := c.stripes[(start+i)%n]
+		st.mu.Lock()
+		if st.ll.Len() > 1 {
+			oldest := st.ll.Back()
+			st.ll.Remove(oldest)
+			delete(st.items, oldest.Value.(*cacheEntry).key)
+			st.mu.Unlock()
+			c.total.Add(-1)
+			return
+		}
+		st.mu.Unlock()
+	}
+}
+
+// stats sums the hit/miss counters across stripes.
 func (c *cache) stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// len returns the total number of cached entries (tests/diagnostics).
+func (c *cache) len() int {
+	n := 0
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -243,11 +244,66 @@ func TestCacheHitsAndEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := eng.cache.ll.Len(); n > 8 {
+	// The occupancy bound is global across stripes.
+	if n := eng.cache.len(); n > 8 {
 		t.Fatalf("cache grew to %d entries, capacity 8", n)
 	}
-	if n := len(eng.cache.items); n > 8 {
-		t.Fatalf("cache map grew to %d entries, capacity 8", n)
+}
+
+// TestCacheGlobalBound is the striping regression test: with many
+// stripes and a working set exactly equal to the capacity, no entry may
+// be evicted however unevenly the keys hash (the occupancy bound is
+// global, not per stripe), so a clean double pass hits on every key.
+func TestCacheGlobalBound(t *testing.T) {
+	const capacity = 64
+	c := newCache(capacity, 0)
+	// Force a high stripe count regardless of this machine's GOMAXPROCS
+	// so the balls-in-bins skew is real.
+	c.stripes = make([]*cacheStripe, 8)
+	for i := range c.stripes {
+		c.stripes[i] = &cacheStripe{ll: list.New(), items: map[cacheKey]*list.Element{}}
+	}
+	rng := rand.New(rand.NewSource(0xcac4e))
+	qs := randQueries(rng, capacity, 100)
+	for _, q := range qs {
+		c.put(kindNonzero, q, 0, []int{1})
+	}
+	if n := c.len(); n != capacity {
+		t.Fatalf("cache holds %d entries after %d distinct puts, want %d", n, capacity, capacity)
+	}
+	for _, q := range qs {
+		if _, ok := c.get(kindNonzero, q, 0); !ok {
+			t.Fatalf("entry for %v evicted below capacity", q)
+		}
+	}
+	hits, misses := c.stats()
+	if hits != capacity || misses != 0 {
+		t.Fatalf("second pass: %d hits / %d misses, want %d/0", hits, misses, capacity)
+	}
+}
+
+// TestCacheNoSelfEviction regression-tests eviction at capacity: every
+// freshly inserted entry must be retrievable immediately, even when its
+// key hashes to an under-filled stripe of a full cache (eviction scans
+// the other stripes instead of dropping the new entry), and the global
+// bound still holds.
+func TestCacheNoSelfEviction(t *testing.T) {
+	const capacity = 4
+	c := newCache(capacity, 0)
+	c.stripes = make([]*cacheStripe, 4)
+	for i := range c.stripes {
+		c.stripes[i] = &cacheStripe{ll: list.New(), items: map[cacheKey]*list.Element{}}
+	}
+	rng := rand.New(rand.NewSource(0x5e1f))
+	for i := 0; i < 200; i++ {
+		q := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		c.put(kindNonzero, q, 0, []int{i})
+		if _, ok := c.get(kindNonzero, q, 0); !ok {
+			t.Fatalf("put %d: freshly inserted entry already evicted", i)
+		}
+		if n := c.len(); n > capacity {
+			t.Fatalf("put %d: cache grew to %d entries, capacity %d", i, n, capacity)
+		}
 	}
 }
 

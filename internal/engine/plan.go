@@ -1,0 +1,380 @@
+// The merge planner: how a ShardedIndex answers each query kind by
+// combining per-shard answers.
+//
+// All three planners share one pruning primitive: a shard whose
+// bounding-box lower-bound distance (in the backend's metric) is at
+// least the current best upper bound cannot contribute — every extreme
+// distance of its members is at least that lower bound. Shards are
+// visited in ascending lower-bound order so the bound tightens as early
+// as possible.
+//
+//   - QueryNonzero unions shard answers under the global Lemma 2.1
+//     predicate: a two-smallest scan of Δ over the unpruned shards fixes
+//     the global threshold, shard answers supply the candidates (each
+//     shard's NN≠0 set is a superset of its members' global NN≠0 set,
+//     because removing competitors only weakens the threshold), and a
+//     final δ_i filter reproduces the monolithic answer bit-for-bit.
+//   - QueryProbs combines per-shard sparse π vectors under the
+//     independence model: within a shard the backend already accounts
+//     for in-shard competition, so the merge multiplies each candidate
+//     location's contribution by the survival probability of every
+//     *other* shard, Π_{t≠s} Π_{j∈t} (1 − G_j(q,r)) — the cross-shard
+//     renormalization. For discrete datasets this is exact (it
+//     reproduces Eq. (2)); for continuous ones it is approximated by
+//     integrating the cross-shard survival against the candidate's own
+//     distance cdf.
+//   - QueryExpected min-reduces the per-shard expected-distance winners,
+//     tie-breaking on the global index.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+	"unn/internal/quantify"
+)
+
+// minDist returns δ_i(q) in the planner's metric.
+func (sx *ShardedIndex) minDist(i int, q geom.Point) float64 {
+	if sx.ds.Squares != nil {
+		s := sx.ds.Squares[i]
+		switch sx.metric {
+		case metricL1:
+			return math.Max(q.DistL1(s.C)-s.R, 0)
+		default:
+			return s.MinDist(q) // L∞
+		}
+	}
+	return sx.ds.Points[i].MinDist(q)
+}
+
+// maxDist returns Δ_i(q) in the planner's metric.
+func (sx *ShardedIndex) maxDist(i int, q geom.Point) float64 {
+	if sx.ds.Squares != nil {
+		s := sx.ds.Squares[i]
+		switch sx.metric {
+		case metricL1:
+			return q.DistL1(s.C) + s.R
+		default:
+			return s.MaxDist(q) // L∞
+		}
+	}
+	return sx.ds.Points[i].MaxDist(q)
+}
+
+// byLowerBound returns the non-empty shards ordered by ascending
+// bounding-box lower-bound distance from q, with the bound attached.
+type boundedShard struct {
+	s  *shard
+	lb float64
+}
+
+func (sx *ShardedIndex) byLowerBound(q geom.Point) []boundedShard {
+	out := make([]boundedShard, 0, len(sx.shards))
+	for _, s := range sx.shards {
+		if s.ix == nil {
+			continue
+		}
+		out = append(out, boundedShard{s: s, lb: sx.metric.rectDist(q, s.bbox)})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].lb < out[b].lb })
+	return out
+}
+
+// soleShard returns the only built shard, or nil when several exist.
+func (sx *ShardedIndex) soleShard() *shard {
+	var sole *shard
+	for _, s := range sx.shards {
+		if s.ix == nil {
+			continue
+		}
+		if sole != nil {
+			return nil
+		}
+		sole = s
+	}
+	return sole
+}
+
+// QueryNonzero implements Index: the union of shard NN≠0 answers,
+// filtered by the global Lemma 2.1 predicate δ_i(q) < min_{j≠i} Δ_j(q).
+func (sx *ShardedIndex) QueryNonzero(q geom.Point) ([]int, error) {
+	if !sx.caps.Has(CapNonzero) {
+		return nil, ErrUnsupported
+	}
+	if sole := sx.soleShard(); sole != nil {
+		loc, err := sole.ix.QueryNonzero(q)
+		if err != nil {
+			return nil, err
+		}
+		return mapIDs(loc, sole.ids), nil
+	}
+
+	ordered := sx.byLowerBound(q)
+
+	// Two smallest Δ over every unpruned shard. A shard with lb ≥ m2 can
+	// neither lower m1/m2 (its Δ's are ≥ lb) nor contribute a candidate
+	// (its δ's are ≥ lb ≥ the final threshold), and lb only grows along
+	// the order, so the scan stops at the first such shard.
+	m1, m2 := math.Inf(1), math.Inf(1)
+	arg1 := -1
+	var active []boundedShard
+	for _, bs := range ordered {
+		if bs.lb >= m2 {
+			break
+		}
+		for _, i := range bs.s.ids {
+			d := sx.maxDist(i, q)
+			if d < m1 {
+				m2 = m1
+				m1, arg1 = d, i
+			} else if d < m2 {
+				m2 = d
+			}
+		}
+		active = append(active, bs)
+	}
+
+	var out []int
+	for _, bs := range active {
+		loc, err := bs.s.ix.QueryNonzero(q)
+		if err != nil {
+			return nil, fmt.Errorf("shard merge: %w", err)
+		}
+		for _, li := range loc {
+			i := bs.s.ids[li]
+			bound := m1
+			if i == arg1 {
+				bound = m2
+			}
+			if sx.minDist(i, q) < bound || sx.n == 1 {
+				out = append(out, i)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// QueryExpected implements Index: a min-reduce over the per-shard
+// expected-distance winners. A shard is skipped when its lower bound
+// exceeds the best expected distance found so far (E[d(q,P)] ≥ δ(q) ≥
+// the shard bound); ties go to the smaller global index, matching the
+// monolithic first-strict-min scan.
+func (sx *ShardedIndex) QueryExpected(q geom.Point) (int, float64, error) {
+	if !sx.caps.Has(CapExpected) {
+		return -1, 0, ErrUnsupported
+	}
+	bestI, bestD := -1, math.Inf(1)
+	for _, bs := range sx.byLowerBound(q) {
+		if bs.lb > bestD {
+			break
+		}
+		li, d, err := bs.s.ix.QueryExpected(q)
+		if err != nil {
+			return -1, 0, fmt.Errorf("shard merge: %w", err)
+		}
+		gi := bs.s.ids[li]
+		if d < bestD || (d == bestD && gi < bestI) {
+			bestI, bestD = gi, d
+		}
+	}
+	return bestI, bestD, nil
+}
+
+// QueryProbs implements Index: per-shard sparse π vectors combined with
+// the cross-shard renormalization of the independence model.
+func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, error) {
+	if !sx.caps.Has(CapProbs) {
+		return nil, ErrUnsupported
+	}
+	if sole := sx.soleShard(); sole != nil {
+		loc, err := sole.ix.QueryProbs(q, eps)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]quantify.Prob, len(loc))
+		for i, pr := range loc {
+			out[i] = quantify.Prob{I: sole.ids[pr.I], P: pr.P}
+		}
+		return out, nil
+	}
+
+	ordered := sx.byLowerBound(q)
+	type cand struct {
+		gi      int
+		shard   int // position in ordered
+		shardPi float64
+	}
+	var out []quantify.Prob
+	if sx.ds.Discrete != nil {
+		// Exact path: the shard answers fix the candidate set, and each
+		// candidate's global value is re-derived per location with the full
+		// cross-shard survival product. For candidates, a shard's NN≠0 set
+		// is preferred when the backend has it — by Lemma 2.1 it contains
+		// every member with positive π (fewer competitors only grow both
+		// sets) and is far cheaper than the shard's full π sweep; backends
+		// without CapNonzero (vpr, montecarlo, spiral) fall back to their
+		// sparse π vector.
+		var cands []int
+		for _, bs := range ordered {
+			if bs.s.ix.Capabilities().Has(CapNonzero) {
+				loc, err := bs.s.ix.QueryNonzero(q)
+				if err != nil {
+					return nil, fmt.Errorf("shard merge: %w", err)
+				}
+				for _, li := range loc {
+					cands = append(cands, bs.s.ids[li])
+				}
+				continue
+			}
+			loc, err := bs.s.ix.QueryProbs(q, eps)
+			if err != nil {
+				return nil, fmt.Errorf("shard merge: %w", err)
+			}
+			for _, pr := range loc {
+				cands = append(cands, bs.s.ids[pr.I])
+			}
+		}
+		for _, gi := range cands {
+			p := sx.exactPi(q, gi, ordered)
+			if p > 0 {
+				out = append(out, quantify.Prob{I: gi, P: p})
+			}
+		}
+	} else {
+		var cands []cand
+		for si, bs := range ordered {
+			loc, err := bs.s.ix.QueryProbs(q, eps)
+			if err != nil {
+				return nil, fmt.Errorf("shard merge: %w", err)
+			}
+			for _, pr := range loc {
+				cands = append(cands, cand{gi: bs.s.ids[pr.I], shard: si, shardPi: pr.P})
+			}
+		}
+		total := 0.0
+		for _, c := range cands {
+			p := c.shardPi * sx.crossSurvivalIntegral(q, c.gi, ordered, c.shard)
+			if p > 0 {
+				out = append(out, quantify.Prob{I: c.gi, P: p})
+				total += p
+			}
+		}
+		// The per-shard vectors each sum to 1; after weighting by the
+		// cross-shard survival the merged vector is renormalized back to a
+		// probability distribution over the global winner.
+		if total > 0 {
+			for i := range out {
+				out[i].P /= total
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].I < out[b].I })
+	return out, nil
+}
+
+// survival returns Π_{j∈t, j≠skip} (1 − G_j(q,r)) for shard t, pruning
+// to 1 when the shard's lower bound exceeds r (then G_j(r) = 0 for every
+// member). Locations at distance exactly r count into G (the ≤ of
+// Eq. (2)), so pruning requires lb > r strictly.
+func (sx *ShardedIndex) survival(q geom.Point, r float64, t boundedShard, skip int) float64 {
+	if t.lb > r {
+		return 1
+	}
+	prod := 1.0
+	for _, j := range t.s.ids {
+		if j == skip {
+			continue
+		}
+		f := 1 - sx.ds.Points[j].DistCDF(q, r)
+		if f <= 0 {
+			return 0
+		}
+		prod *= f
+	}
+	return prod
+}
+
+// exactPi evaluates the global Eq. (2) value for discrete candidate gi:
+//
+//	π_i(q) = Σ_a w_ia · Π_{j≠i} (1 − G_j(q, d(q, p_ia)))
+//
+// where the product runs over every shard — in-shard competitors and the
+// cross-shard renormalization alike — with shard-level pruning on the
+// survival factors. This reproduces the monolithic exact sweep.
+func (sx *ShardedIndex) exactPi(q geom.Point, gi int, ordered []boundedShard) float64 {
+	p := sx.ds.Discrete[gi]
+	total := 0.0
+	for a, loc := range p.Locs {
+		r := q.Dist(loc)
+		prod := 1.0
+		for _, t := range ordered {
+			prod *= sx.survival(q, r, t, gi)
+			if prod == 0 {
+				break
+			}
+		}
+		total += p.W[a] * prod
+	}
+	return total
+}
+
+// crossSurvivalIntegral approximates ∫ Π_{t≠s} S_t(r) dG_i(r) for a
+// continuous candidate — the probability that every other shard stays
+// farther than the candidate, averaged over the candidate's own distance
+// distribution. (The exact weight would condition on the candidate
+// winning its shard; using the unconditional cdf is the documented
+// approximation of the continuous merge path.)
+func (sx *ShardedIndex) crossSurvivalIntegral(q geom.Point, gi int, ordered []boundedShard, own int) float64 {
+	p := sx.ds.Points[gi]
+	lo, hi := p.MinDist(q), p.MaxDist(q)
+	if !(hi > lo) {
+		// Point mass at distance lo.
+		prod := 1.0
+		for si, t := range ordered {
+			if si == own {
+				continue
+			}
+			prod *= sx.survival(q, lo, t, gi)
+		}
+		return prod
+	}
+	const steps = 32
+	total := 0.0
+	gPrev := 0.0
+	for s := 1; s <= steps; s++ {
+		r := lo + (hi-lo)*float64(s)/steps
+		g := p.DistCDF(q, r)
+		dg := g - gPrev
+		gPrev = g
+		if dg <= 0 {
+			continue
+		}
+		mid := r - (hi-lo)/(2*steps)
+		prod := 1.0
+		for si, t := range ordered {
+			if si == own {
+				continue
+			}
+			prod *= sx.survival(q, mid, t, gi)
+			if prod == 0 {
+				break
+			}
+		}
+		total += dg * prod
+	}
+	return total
+}
+
+// mapIDs maps shard-local ascending indices to global ones (ids is
+// ascending, so the result stays sorted).
+func mapIDs(loc []int, ids []int) []int {
+	out := make([]int, len(loc))
+	for i, li := range loc {
+		out[i] = ids[li]
+	}
+	return out
+}

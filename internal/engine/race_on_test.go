@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-assertion tests skip themselves under its overhead.
+const raceEnabled = true

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"unn/internal/geom"
+	"unn/internal/quantify"
+)
+
+// routedIndex combines several backends into one Index whose capability
+// set is their union: each query kind is delegated to the first part
+// that supports it. It backs the automatic backend selection for
+// datasets no single backend fully covers (e.g. continuous points,
+// where the brute oracle answers NN≠0 but only Monte Carlo can
+// quantify).
+type routedIndex struct {
+	parts []Index
+	caps  Capability
+}
+
+func (r *routedIndex) Name() string {
+	names := make([]string, len(r.parts))
+	for i, p := range r.parts {
+		names[i] = p.Name()
+	}
+	return "auto(" + strings.Join(names, "+") + ")"
+}
+
+func (r *routedIndex) Capabilities() Capability { return r.caps }
+
+func (r *routedIndex) Build(ds *Dataset) error {
+	r.caps = 0
+	for _, p := range r.parts {
+		if err := p.Build(ds); err != nil {
+			return err
+		}
+		r.caps |= p.Capabilities()
+	}
+	return nil
+}
+
+func (r *routedIndex) route(c Capability) Index {
+	for _, p := range r.parts {
+		if p.Capabilities().Has(c) {
+			return p
+		}
+	}
+	return nil
+}
+
+func (r *routedIndex) QueryNonzero(q geom.Point) ([]int, error) {
+	if p := r.route(CapNonzero); p != nil {
+		return p.QueryNonzero(q)
+	}
+	return nil, ErrUnsupported
+}
+
+func (r *routedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, error) {
+	if p := r.route(CapProbs); p != nil {
+		return p.QueryProbs(q, eps)
+	}
+	return nil, ErrUnsupported
+}
+
+func (r *routedIndex) QueryExpected(q geom.Point) (int, float64, error) {
+	if p := r.route(CapExpected); p != nil {
+		return p.QueryExpected(q)
+	}
+	return -1, 0, ErrUnsupported
+}
+
+// autoFactory returns the builder the automatic selection uses for ds:
+//
+//   - squares → the two-stage L∞ structure (the only family that serves
+//     them);
+//   - discrete points → the brute reference, which covers all three
+//     query kinds exactly;
+//   - anything else (continuous or mixed points) → brute for NN≠0
+//     routed together with Monte Carlo for quantification, so a probs
+//     query never lands on a backend that cannot answer it.
+//
+// The guarantee is that for every dataset kind, Auto supports every
+// query kind that at least one backend could support on that dataset.
+func autoFactory(ds *Dataset, bopt BuildOptions) (string, func(*Dataset) (Index, error)) {
+	switch {
+	case ds.Squares != nil:
+		return string(BackendTwoStageLinf), func(sub *Dataset) (Index, error) {
+			return Build(BackendTwoStageLinf, sub, bopt)
+		}
+	case ds.Discrete != nil:
+		return string(BackendBrute), func(sub *Dataset) (Index, error) {
+			return Build(BackendBrute, sub, bopt)
+		}
+	default:
+		return "brute+montecarlo", func(sub *Dataset) (Index, error) {
+			nz, err := NewIndex(BackendBrute, bopt)
+			if err != nil {
+				return nil, err
+			}
+			pr, err := NewIndex(BackendMonteCarlo, bopt)
+			if err != nil {
+				return nil, err
+			}
+			r := &routedIndex{parts: []Index{nz, pr}}
+			if err := r.Build(sub); err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
+	}
+}
+
+// BuildAuto builds the automatically selected backend (or backend
+// combination) for ds, sharded when sopt.Shards ≥ 1.
+func BuildAuto(ds *Dataset, bopt BuildOptions, sopt ShardOptions) (Index, error) {
+	name, factory := autoFactory(ds, bopt)
+	if sopt.Shards <= 0 {
+		ix, err := factory(ds)
+		if err != nil {
+			return nil, fmt.Errorf("engine: build auto: %w", err)
+		}
+		return ix, nil
+	}
+	sx := newShardedFunc(name, factory, sopt)
+	if ds.Squares != nil {
+		sx.metric = metricLinf
+	}
+	if err := sx.Build(ds); err != nil {
+		return nil, fmt.Errorf("engine: build auto: %w", err)
+	}
+	return sx, nil
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"unn/internal/geom"
+	"unn/internal/quantify"
+)
+
+// Query is one request on a Serve stream. Kind selects the query method
+// (exactly one capability bit); Seq is an opaque caller-assigned tag
+// echoed in the Answer so out-of-order completions can be matched back
+// to their requests.
+type Query struct {
+	Seq  uint64
+	Kind Capability
+	Q    geom.Point
+	// Eps is the accuracy knob for CapProbs queries (≤ 0 selects the
+	// backend's build-time default); ignored otherwise.
+	Eps float64
+}
+
+// Answer is one completed Serve query. Exactly one of the payload
+// fields (by Kind) is meaningful; Err carries capability or backend
+// errors without tearing down the stream.
+type Answer struct {
+	Seq      uint64
+	Kind     Capability
+	Nonzero  []int
+	Probs    []quantify.Prob
+	Expected ExpectedResult
+	Err      error
+}
+
+// Serve answers a stream of queries asynchronously: a pool of
+// opt.Workers workers drains in, and completions arrive on the returned
+// channel as they finish — out of order under load, tagged by Seq. The
+// answer channel's capacity (Options.ServeBuffer, default 2×Workers)
+// provides backpressure: when the consumer lags, workers block on the
+// full channel and, transitively, stop draining in.
+//
+// The stream ends (the answer channel closes) when in is closed and all
+// accepted queries have completed, or when ctx is cancelled — workers
+// drop pending sends on cancellation, so cancellation never deadlocks
+// even with a full answer channel and an abandoned consumer. Per-query
+// failures (e.g. an unsupported kind) are reported in Answer.Err;
+// they do not stop the stream.
+func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
+	buf := e.opt.ServeBuffer
+	if buf <= 0 {
+		buf = 2 * e.opt.Workers
+	}
+	out := make(chan Answer, buf)
+	var wg sync.WaitGroup
+	for w := 0; w < e.opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case qr, ok := <-in:
+					if !ok {
+						return
+					}
+					select {
+					case out <- e.answer(qr):
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// answer executes one stream query through the cached single-query path.
+func (e *Engine) answer(qr Query) Answer {
+	a := Answer{Seq: qr.Seq, Kind: qr.Kind}
+	switch qr.Kind {
+	case CapNonzero:
+		a.Nonzero, a.Err = e.QueryNonzero(qr.Q)
+	case CapProbs:
+		a.Probs, a.Err = e.QueryProbs(qr.Q, qr.Eps)
+	case CapExpected:
+		a.Expected.I, a.Expected.Dist, a.Err = e.QueryExpected(qr.Q)
+	default:
+		a.Err = fmt.Errorf("engine: serve: query kind %v is not a single capability", qr.Kind)
+	}
+	return a
+}

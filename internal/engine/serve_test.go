@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"unn/internal/constructions"
+)
+
+func serveEngine(t testing.TB, workers int) (*Engine, *Dataset) {
+	rng := rand.New(rand.NewSource(0x5e12e))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 60, 3, 80, 1.0, 1))
+	sx, err := BuildSharded(BackendBrute, ds, BuildOptions{}, ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(sx, Options{Workers: workers}), ds
+}
+
+// TestServeDrainsStream pushes a 10k-query stream through Serve and
+// checks that every sequence ID comes back exactly once, with the same
+// answer the synchronous path gives.
+func TestServeDrainsStream(t *testing.T) {
+	eng, _ := serveEngine(t, 4)
+	rng := rand.New(rand.NewSource(0xd2a1))
+	const nq = 10000
+	qs := randQueries(rng, nq, 80)
+
+	in := make(chan Query)
+	out := eng.Serve(context.Background(), in)
+	go func() {
+		for i, q := range qs {
+			kind := CapNonzero
+			switch i % 3 {
+			case 1:
+				kind = CapProbs
+			case 2:
+				kind = CapExpected
+			}
+			in <- Query{Seq: uint64(i), Kind: kind, Q: q}
+		}
+		close(in)
+	}()
+
+	seen := make(map[uint64]bool, nq)
+	for a := range out {
+		if a.Err != nil {
+			t.Fatalf("seq %d: %v", a.Seq, a.Err)
+		}
+		if seen[a.Seq] {
+			t.Fatalf("seq %d delivered twice", a.Seq)
+		}
+		seen[a.Seq] = true
+		q := qs[a.Seq]
+		switch a.Kind {
+		case CapNonzero:
+			want, _ := eng.QueryNonzero(q)
+			if !reflect.DeepEqual(want, a.Nonzero) && !(len(want) == 0 && len(a.Nonzero) == 0) {
+				t.Fatalf("seq %d: nonzero %v, want %v", a.Seq, a.Nonzero, want)
+			}
+		case CapExpected:
+			wi, wd, _ := eng.QueryExpected(q)
+			if a.Expected.I != wi || a.Expected.Dist != wd {
+				t.Fatalf("seq %d: expected (%d,%v), want (%d,%v)",
+					a.Seq, a.Expected.I, a.Expected.Dist, wi, wd)
+			}
+		}
+	}
+	if len(seen) != nq {
+		t.Fatalf("drained %d answers, want %d", len(seen), nq)
+	}
+}
+
+// TestServeCancellation cancels mid-stream with an abandoned consumer —
+// the worst case for a deadlock — and requires every worker to exit and
+// the answer channel to close promptly.
+func TestServeCancellation(t *testing.T) {
+	eng, _ := serveEngine(t, 4)
+	rng := rand.New(rand.NewSource(0xca2c))
+	ctx, cancel := context.WithCancel(context.Background())
+
+	in := make(chan Query)
+	out := eng.Serve(ctx, in)
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		for i := 0; ; i++ {
+			q := Query{Seq: uint64(i), Kind: CapNonzero, Q: randQueries(rng, 1, 80)[0]}
+			select {
+			case in <- q:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Read a few answers, then walk away and cancel with the buffer full.
+	for i := 0; i < 5; i++ {
+		<-out
+	}
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				<-producerDone
+				return
+			}
+		case <-deadline:
+			t.Fatal("answer channel did not close after cancellation")
+		}
+	}
+}
+
+// TestServeErrorsInBand verifies per-query failures surface in
+// Answer.Err without ending the stream.
+func TestServeErrorsInBand(t *testing.T) {
+	eng, _ := serveEngine(t, 2)
+	in := make(chan Query, 3)
+	in <- Query{Seq: 1, Kind: CapNonzero, Q: randQueries(rand.New(rand.NewSource(1)), 1, 80)[0]}
+	in <- Query{Seq: 2, Kind: CapNonzero | CapProbs} // not a single kind
+	in <- Query{Seq: 3, Kind: CapNonzero, Q: randQueries(rand.New(rand.NewSource(2)), 1, 80)[0]}
+	close(in)
+	got := map[uint64]error{}
+	for a := range eng.Serve(context.Background(), in) {
+		got[a.Seq] = a.Err
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d answers, want 3", len(got))
+	}
+	if got[1] != nil || got[3] != nil {
+		t.Fatalf("valid queries errored: %v / %v", got[1], got[3])
+	}
+	if got[2] == nil {
+		t.Fatal("multi-kind query did not error")
+	}
+}
+
+// TestServeBackpressure checks the answer channel's capacity bounds the
+// number of in-flight completions when the consumer stalls.
+func TestServeBackpressure(t *testing.T) {
+	eng, _ := serveEngine(t, 2)
+	eng.opt.ServeBuffer = 4
+	rng := rand.New(rand.NewSource(0xbb))
+	in := make(chan Query)
+	out := eng.Serve(context.Background(), in)
+
+	accepted := 0
+	timeout := time.After(2 * time.Second)
+feed:
+	for i := 0; i < 100; i++ {
+		select {
+		case in <- Query{Seq: uint64(i), Kind: CapNonzero, Q: randQueries(rng, 1, 80)[0]}:
+			accepted++
+		case <-timeout:
+			break feed
+		}
+	}
+	// 2 workers + 4 buffered answers + 1 handoff in flight per worker:
+	// with nobody consuming, the stream must stop accepting well short of
+	// the 100 offered queries.
+	if accepted >= 100 {
+		t.Fatalf("stream accepted all %d queries with a stalled consumer", accepted)
+	}
+	close(in)
+	for range out {
+	}
+}

@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"unn/internal/geom"
+)
+
+// Split selects the spatial partitioner of a ShardedIndex.
+type Split uint8
+
+const (
+	// SplitKDMedian recursively halves the point set by the median
+	// centroid coordinate along the wider axis (balanced shards).
+	SplitKDMedian Split = iota
+	// SplitGrid cuts the centroid bounding box into a near-square grid of
+	// uniform cells (shards follow spatial density, may be unbalanced).
+	SplitGrid
+)
+
+// ShardOptions tunes the sharded execution layer. The zero value of
+// Shards disables sharding (see BuildSharded).
+type ShardOptions struct {
+	// Shards is the number of spatial shards k (k ≥ 1). Shards may be
+	// empty when k exceeds the dataset size.
+	Shards int
+	// Split selects the partitioner. Default SplitKDMedian.
+	Split Split
+	// BuildWorkers bounds the parallel per-shard builds. Default
+	// runtime.NumCPU().
+	BuildWorkers int
+}
+
+func (o ShardOptions) withDefaults() ShardOptions {
+	if o.BuildWorkers <= 0 {
+		o.BuildWorkers = runtime.NumCPU()
+	}
+	return o
+}
+
+// qmetric is the metric the merge planner uses for distance bounds; it
+// must match the metric of the wrapped backend (the lmetric backends
+// answer under L∞/L1, everything else under L2).
+type qmetric uint8
+
+const (
+	metricL2 qmetric = iota
+	metricLinf
+	metricL1
+)
+
+func metricFor(b Backend) qmetric {
+	switch b {
+	case BackendTwoStageLinf:
+		return metricLinf
+	case BackendTwoStageL1:
+		return metricL1
+	default:
+		return metricL2
+	}
+}
+
+// rectDist is the metric distance from q to the rectangle (0 inside) —
+// the per-shard lower bound that drives pruning.
+func (m qmetric) rectDist(q geom.Point, r geom.Rect) float64 {
+	dx := math.Max(0, math.Max(r.Min.X-q.X, q.X-r.Max.X))
+	dy := math.Max(0, math.Max(r.Min.Y-q.Y, q.Y-r.Max.Y))
+	switch m {
+	case metricLinf:
+		return math.Max(dx, dy)
+	case metricL1:
+		return dx + dy
+	default:
+		return math.Hypot(dx, dy)
+	}
+}
+
+// shard is one spatial partition: the global indices it owns (ascending,
+// so sub-dataset order preserves global relative order), the backend
+// built over the sub-dataset, and the bounding box of its uncertainty
+// regions. ix is nil for empty shards.
+type shard struct {
+	ids  []int
+	sub  *Dataset
+	ix   Index
+	bbox geom.Rect
+}
+
+// ShardedIndex is the sharded execution layer: it splits a Dataset into
+// k spatial shards, builds one backend instance per shard in parallel,
+// and answers queries by merging per-shard answers with distance-based
+// shard pruning (see plan.go). It implements Index, so it composes with
+// the batch/cache/serve machinery exactly like a monolithic backend.
+type ShardedIndex struct {
+	name    string
+	factory func(*Dataset) (Index, error)
+	metric  qmetric
+	opt     ShardOptions
+
+	ds     *Dataset
+	shards []*shard
+	caps   Capability
+	n      int
+}
+
+// NewSharded returns an unbuilt sharded wrapper over the named backend.
+func NewSharded(b Backend, bopt BuildOptions, sopt ShardOptions) (*ShardedIndex, error) {
+	if _, err := NewIndex(b, bopt); err != nil {
+		return nil, err
+	}
+	if sopt.Shards < 1 {
+		return nil, fmt.Errorf("engine: sharded %s: need Shards ≥ 1, got %d", b, sopt.Shards)
+	}
+	return &ShardedIndex{
+		name:    string(b),
+		factory: func(sub *Dataset) (Index, error) { return Build(b, sub, bopt) },
+		metric:  metricFor(b),
+		opt:     sopt.withDefaults(),
+	}, nil
+}
+
+// newShardedFunc is NewSharded for factory-built backends (the auto
+// router); the metric is always L2 there.
+func newShardedFunc(name string, factory func(*Dataset) (Index, error), sopt ShardOptions) *ShardedIndex {
+	return &ShardedIndex{name: name, factory: factory, metric: metricL2, opt: sopt.withDefaults()}
+}
+
+// BuildSharded builds backend b over ds, wrapped in a ShardedIndex when
+// sopt.Shards ≥ 1; sopt.Shards ≤ 0 falls back to the plain monolithic
+// Build.
+func BuildSharded(b Backend, ds *Dataset, bopt BuildOptions, sopt ShardOptions) (Index, error) {
+	if sopt.Shards <= 0 {
+		return Build(b, ds, bopt)
+	}
+	sx, err := NewSharded(b, bopt, sopt)
+	if err != nil {
+		return nil, err
+	}
+	if err := sx.Build(ds); err != nil {
+		return nil, fmt.Errorf("engine: build sharded %s: %w", b, err)
+	}
+	return sx, nil
+}
+
+// Name implements Index.
+func (sx *ShardedIndex) Name() string {
+	return fmt.Sprintf("sharded(%s,k=%d)", sx.name, sx.opt.Shards)
+}
+
+// Capabilities implements Index: the intersection of the capabilities of
+// the built shards (empty shards constrain nothing).
+func (sx *ShardedIndex) Capabilities() Capability { return sx.caps }
+
+// Shards returns the number of shards (including empty ones).
+func (sx *ShardedIndex) Shards() int { return len(sx.shards) }
+
+// shardSizes reports the per-shard item counts (diagnostics and tests).
+func (sx *ShardedIndex) shardSizes() []int {
+	sizes := make([]int, len(sx.shards))
+	for i, s := range sx.shards {
+		sizes[i] = len(s.ids)
+	}
+	return sizes
+}
+
+// centroid returns the partitioning key of item i: the center of its
+// uncertainty-region bounding box.
+func centroid(ds *Dataset, i int) geom.Point {
+	if ds.Squares != nil {
+		return ds.Squares[i].C
+	}
+	return ds.Points[i].Support().Center()
+}
+
+// itemBounds returns the bounding box of item i's uncertainty region.
+func itemBounds(ds *Dataset, i int) geom.Rect {
+	if ds.Squares != nil {
+		s := ds.Squares[i]
+		return geom.Rect{
+			Min: geom.Pt(s.C.X-s.R, s.C.Y-s.R),
+			Max: geom.Pt(s.C.X+s.R, s.C.Y+s.R),
+		}
+	}
+	return ds.Points[i].Support()
+}
+
+// subset projects ds onto the given (ascending) global indices,
+// preserving every specialized view the parent has.
+func subset(ds *Dataset, ids []int) *Dataset {
+	sub := &Dataset{}
+	if ds.Points != nil {
+		for _, i := range ids {
+			sub.Points = append(sub.Points, ds.Points[i])
+		}
+	}
+	if ds.Discrete != nil {
+		for _, i := range ids {
+			sub.Discrete = append(sub.Discrete, ds.Discrete[i])
+		}
+	}
+	if ds.Disks != nil {
+		for _, i := range ids {
+			sub.Disks = append(sub.Disks, ds.Disks[i])
+		}
+	}
+	if ds.Squares != nil {
+		for _, i := range ids {
+			sub.Squares = append(sub.Squares, ds.Squares[i])
+		}
+	}
+	return sub
+}
+
+// partition splits the item indices of ds into exactly k groups (some
+// possibly empty), each sorted ascending.
+func partition(ds *Dataset, k int, split Split) [][]int {
+	n := ds.N()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var groups [][]int
+	if split == SplitGrid {
+		groups = gridSplit(ds, idx, k)
+	} else {
+		groups = kdMedianSplit(ds, idx, k)
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}
+
+// kdMedianSplit recursively splits by the median centroid coordinate
+// along the wider axis, allotting shards proportionally so any k ≥ 1
+// (not only powers of two) yields balanced parts.
+func kdMedianSplit(ds *Dataset, idx []int, k int) [][]int {
+	if k == 1 {
+		return [][]int{idx}
+	}
+	kl := k / 2
+	kr := k - kl
+	// Wider axis of the centroid bounding box.
+	box := geom.EmptyRect()
+	for _, i := range idx {
+		box = box.Extend(centroid(ds, i))
+	}
+	byX := box.Width() >= box.Height()
+	coord := func(i int) float64 {
+		c := centroid(ds, i)
+		if byX {
+			return c.X
+		}
+		return c.Y
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca, cb := coord(idx[a]), coord(idx[b])
+		if ca != cb {
+			return ca < cb
+		}
+		return idx[a] < idx[b] // deterministic under ties
+	})
+	nl := len(idx) * kl / k
+	left := append([]int(nil), idx[:nl]...)
+	right := append([]int(nil), idx[nl:]...)
+	return append(kdMedianSplit(ds, left, kl), kdMedianSplit(ds, right, kr)...)
+}
+
+// gridSplit cuts the centroid bounding box into a gx×gy grid with
+// gx·gy ≥ k cells; cells beyond the k-th fold into the last shard.
+func gridSplit(ds *Dataset, idx []int, k int) [][]int {
+	gx := int(math.Floor(math.Sqrt(float64(k))))
+	if gx < 1 {
+		gx = 1
+	}
+	gy := (k + gx - 1) / gx
+	box := geom.EmptyRect()
+	for _, i := range idx {
+		box = box.Extend(centroid(ds, i))
+	}
+	groups := make([][]int, k)
+	w, h := box.Width(), box.Height()
+	for _, i := range idx {
+		c := centroid(ds, i)
+		col, row := 0, 0
+		if w > 0 {
+			col = int((c.X - box.Min.X) / w * float64(gx))
+			if col >= gx {
+				col = gx - 1
+			}
+		}
+		if h > 0 {
+			row = int((c.Y - box.Min.Y) / h * float64(gy))
+			if row >= gy {
+				row = gy - 1
+			}
+		}
+		cell := row*gx + col
+		if cell >= k {
+			cell = k - 1
+		}
+		groups[cell] = append(groups[cell], i)
+	}
+	return groups
+}
+
+// Build implements Index: partition, then build one backend instance per
+// non-empty shard in parallel (bounded by BuildWorkers).
+func (sx *ShardedIndex) Build(ds *Dataset) error {
+	n := ds.N()
+	if n == 0 {
+		return fmt.Errorf("sharded(%s): dataset has no uncertain points", sx.name)
+	}
+	sx.ds = ds
+	sx.n = n
+	groups := partition(ds, sx.opt.Shards, sx.opt.Split)
+	sx.shards = make([]*shard, len(groups))
+	for si, ids := range groups {
+		s := &shard{ids: ids, bbox: geom.EmptyRect()}
+		for _, i := range ids {
+			s.bbox = s.bbox.Union(itemBounds(ds, i))
+		}
+		if len(ids) > 0 {
+			s.sub = subset(ds, ids)
+		}
+		sx.shards[si] = s
+	}
+
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, sx.opt.BuildWorkers)
+		mu   sync.Mutex
+		berr error
+	)
+	for _, s := range sx.shards {
+		if s.sub == nil {
+			continue
+		}
+		wg.Add(1)
+		s := s
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ix, err := sx.factory(s.sub)
+			if err != nil {
+				mu.Lock()
+				if berr == nil {
+					berr = err
+				}
+				mu.Unlock()
+				return
+			}
+			s.ix = ix
+		}()
+	}
+	wg.Wait()
+	if berr != nil {
+		return berr
+	}
+
+	sx.caps = CapNonzero | CapProbs | CapExpected
+	built := 0
+	for _, s := range sx.shards {
+		if s.ix != nil {
+			sx.caps &= s.ix.Capabilities()
+			built++
+		}
+	}
+	if built == 0 {
+		return fmt.Errorf("sharded(%s): no shard could be built", sx.name)
+	}
+	return nil
+}

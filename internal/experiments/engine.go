@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"slices"
 	"time"
 
 	"unn/internal/constructions"
@@ -29,6 +32,10 @@ func randomSquares(rng *rand.Rand, n int, side float64) []lmetric.Square {
 // and per-query cost through the sequential and parallel batch paths.
 // The schema is stable across PRs so the perf trajectory can be tracked.
 type BenchRecord struct {
+	// Exp tags the sweep that produced the record ("E16" backend sweep,
+	// "E17" shard-scaling sweep), so trajectory tooling can select rows
+	// without guessing from field shapes.
+	Exp       string  `json:"exp"`
 	Backend   string  `json:"backend"`
 	N         int     `json:"n"`
 	Queries   int     `json:"queries"`
@@ -36,6 +43,12 @@ type BenchRecord struct {
 	BuildNs   int64   `json:"build_ns"`
 	QueryNsOp float64 `json:"query_ns_op"` // sequential single queries
 	BatchNsOp float64 `json:"batch_ns_op"` // parallel batch, per query
+	// Shards is the shard count of the sharded execution layer; 0 is the
+	// monolithic path (all E16 rows, and the E17 baseline row).
+	Shards int `json:"shards"`
+	// CacheHitRate is the striped-LRU hit rate (hits / lookups, 0–1) on
+	// the hotspot serving workload with quantized cache keys.
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // WriteBenchJSON renders records as indented JSON (the BENCH_engine.json
@@ -97,7 +110,7 @@ func EngineBench(opt Options) ([]BenchRecord, *Table) {
 		ID:     "E16",
 		Title:  "engine layer: every backend through one Index interface",
 		Claim:  "one driver exercises all backends; batch path parallelizes the hot loop",
-		Header: []string{"backend", "n", "build", "singleQ", "batchQ", "workers"},
+		Header: []string{"backend", "n", "build", "singleQ", "batchQ", "workers", "cacheHit"},
 	}
 	rng := rand.New(rand.NewSource(opt.seed()))
 	var recs []BenchRecord
@@ -154,21 +167,155 @@ func EngineBench(opt Options) ([]BenchRecord, *Table) {
 				continue
 			}
 			batchPer := batchTot / time.Duration(len(qs))
+			hitRate := cacheHitRate(ix, caps, side, opt.seed()+int64(n))
 			recs = append(recs, BenchRecord{
-				Backend:   string(w.backend),
-				N:         n,
-				Queries:   len(qs),
-				Workers:   eng.Workers(),
-				BuildNs:   build.Nanoseconds(),
-				QueryNsOp: float64(single.Nanoseconds()),
-				BatchNsOp: float64(batchPer.Nanoseconds()),
+				Exp:          "E16",
+				Backend:      string(w.backend),
+				N:            n,
+				Queries:      len(qs),
+				Workers:      eng.Workers(),
+				BuildNs:      build.Nanoseconds(),
+				QueryNsOp:    float64(single.Nanoseconds()),
+				BatchNsOp:    float64(batchPer.Nanoseconds()),
+				CacheHitRate: hitRate,
 			})
 			t.AddRow(string(w.backend), itoa(n), dtoa(build), dtoa(single), dtoa(batchPer),
-				itoa(eng.Workers()))
+				itoa(eng.Workers()), ftoa(hitRate))
 		}
 	}
 	t.Note("batchQ is per-query cost through the parallel batch path (workers = NumCPU)")
+	t.Note("cacheHit is the striped-LRU hit rate on a hotspot workload with quantized keys")
 	return recs, t
+}
+
+// cacheHitRate measures the striped LRU on a localized serving workload:
+// 256 queries cluster around hotspots and cache keys snap to a quantum
+// grid, so the rate reflects how much answer sharing the workload admits
+// (hotspot collisions and quantum-cell reuse) rather than a constant —
+// it moves when the cache keying or the workload model changes.
+//
+// The probe owns its rng (derived from the caller's seed, not the shared
+// sweep stream): consuming the sweep rng here would shift every workload
+// generated after it, breaking cross-PR comparability of the records at
+// a fixed -seed.
+func cacheHitRate(ix engine.Index, caps engine.Capability, side float64, seed int64) float64 {
+	const nq = 256
+	rng := rand.New(rand.NewSource(seed ^ 0xcac4e))
+	quantum := side / 64
+	eng := engine.NewEngine(ix, engine.Options{CacheSize: nq, CacheQuantum: quantum})
+	hotspots := make([]geom.Point, 24)
+	for i := range hotspots {
+		hotspots[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	for i := 0; i < nq; i++ {
+		h := hotspots[rng.Intn(len(hotspots))]
+		q := geom.Pt(h.X+rng.NormFloat64()*quantum, h.Y+rng.NormFloat64()*quantum)
+		switch {
+		case caps.Has(engine.CapNonzero):
+			eng.QueryNonzero(q)
+		case caps.Has(engine.CapProbs):
+			eng.QueryProbs(q, 0)
+		default:
+			eng.QueryExpected(q)
+		}
+	}
+	hits, misses := eng.CacheStats()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// ShardBench (E17) sweeps the sharded execution layer on the E17
+// workload — a spread-out discrete instance (local query structure, so
+// bbox pruning bites) behind the brute backend — and measures batch
+// throughput at shard counts k ∈ {0 (monolithic), 1, 2, 4, 8, NumCPU}.
+// The acceptance criterion of the sharding PR is ≥1.5× batch throughput
+// at k = NumCPU over the monolithic batch path.
+func ShardBench(opt Options) ([]BenchRecord, *Table) {
+	t := &Table{
+		ID:     "E17",
+		Title:  "sharded execution layer: shard-scaling sweep (brute backend)",
+		Claim:  "per-shard backends + bbox pruning: sharded batch ≥1.5× unsharded batch",
+		Header: []string{"n", "shards", "build", "batchQ", "speedup", "cacheHit"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n := 2000
+	if opt.Quick {
+		n = 800
+	}
+	side := float64(n)
+	ds := engine.FromDiscrete(constructions.RandomDiscrete(rng, n, 2, side, 2.0, 1))
+	qs := make([]geom.Point, 256)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	// The acceptance criterion is stated at k = NumCPU, so that row is
+	// always present whatever the core count.
+	ks := []int{0, 1, 2, 4, 8}
+	if c := runtime.NumCPU(); !slices.Contains(ks, c) {
+		ks = append(ks, c)
+	}
+	var recs []BenchRecord
+	var baseline time.Duration
+	for _, k := range ks {
+		var ix engine.Index
+		var err error
+		build := timeIt(func() {
+			ix, err = engine.BuildSharded(engine.BackendBrute, ds, engine.BuildOptions{},
+				engine.ShardOptions{Shards: k})
+		})
+		if err != nil {
+			t.Note("k=%d: %v", k, err)
+			continue
+		}
+		eng := engine.NewEngine(ix, engine.Options{})
+		best := time.Duration(1<<62 - 1)
+		for attempt := 0; attempt < 3; attempt++ {
+			d := timeIt(func() {
+				if _, e := eng.BatchNonzero(qs); e != nil && err == nil {
+					err = e
+				}
+			})
+			if d < best {
+				best = d
+			}
+		}
+		if err != nil {
+			t.Note("k=%d: %v", k, err)
+			continue
+		}
+		batchPer := best / time.Duration(len(qs))
+		if k == 0 {
+			baseline = batchPer
+		}
+		speedup := "1.00x"
+		if k > 0 && batchPer > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(baseline)/float64(batchPer))
+		}
+		hitRate := cacheHitRate(ix, engine.CapNonzero, side, opt.seed()+int64(k))
+		recs = append(recs, BenchRecord{
+			Exp:          "E17",
+			Backend:      string(engine.BackendBrute),
+			N:            n,
+			Queries:      len(qs),
+			Workers:      eng.Workers(),
+			Shards:       k,
+			BuildNs:      build.Nanoseconds(),
+			BatchNsOp:    float64(batchPer.Nanoseconds()),
+			CacheHitRate: hitRate,
+		})
+		t.AddRow(itoa(n), itoa(k), dtoa(build), dtoa(batchPer), speedup, ftoa(hitRate))
+	}
+	t.Note("shards=0 is the monolithic baseline; speedup is baseline batchQ / sharded batchQ")
+	t.Note("workload: spread discrete points (local queries), so bbox pruning skips far shards")
+	return recs, t
+}
+
+// E17Shard is the Table-only driver registered in All.
+func E17Shard(opt Options) *Table {
+	_, t := ShardBench(opt)
+	return t
 }
 
 // E16Engine is the Table-only driver registered in All.

@@ -121,6 +121,7 @@ var All = []struct {
 	{"E14", "expected NN vs probabilistic NN (§1.2, [AESZ12])", E14Semantics},
 	{"E15", "V≠0 construction time (Thm 2.5)", E15BuildScaling},
 	{"E16", "engine layer: all backends, single vs batch", E16Engine},
+	{"E17", "sharded engine: shard-scaling sweep, batch throughput", E17Shard},
 }
 
 // Lookup finds a driver by ID.

@@ -24,7 +24,7 @@ func E6ContinuousQueries(opt Options) *Table {
 		ID:     "E6",
 		Title:  "NN≠0 queries over disks: diagram vs two-stage vs brute (Thm 2.11 / Thm 3.1)",
 		Claim:  "diagram: O(log n+t) query, large space; two-stage: O(n) space, output-sensitive query",
-		Header: []string{"n", "diagBuild", "diagQ", "2stageQ", "bruteQ", "2stageBatchQ", "avg|out|"},
+		Header: []string{"n", "diagBuild", "diagQ", "2stageQ", "shardQ", "bruteQ", "2stageBatchQ", "avg|out|"},
 	}
 	rng := rand.New(rand.NewSource(opt.seed()))
 	ns := []int{8, 16, 32}
@@ -48,7 +48,8 @@ func E6ContinuousQueries(opt Options) *Table {
 		eDiag := engine.NewEngine(diag, engine.Options{})
 		eTS := mustEngine(t, engine.BackendTwoStageDisks, ds)
 		eBrute := mustEngine(t, engine.BackendBrute, ds)
-		if eTS == nil || eBrute == nil {
+		eShard := mustShardedEngine(t, engine.BackendTwoStageDisks, ds, 4)
+		if eTS == nil || eBrute == nil || eShard == nil {
 			continue
 		}
 		qs := make([]geom.Point, 256)
@@ -61,13 +62,15 @@ func E6ContinuousQueries(opt Options) *Table {
 			outSz += len(out)
 		})
 		tq := timePer(len(qs), func(i int) { eTS.QueryNonzero(qs[i]) })
+		sq := timePer(len(qs), func(i int) { eShard.QueryNonzero(qs[i]) })
 		bq := timePer(len(qs), func(i int) { eBrute.QueryNonzero(qs[i]) })
 		batch := timeIt(func() { eTS.BatchNonzero(qs) }) / 256
-		t.AddRow(itoa(n), dtoa(build), dtoa(dq), dtoa(tq), dtoa(bq), dtoa(batch),
+		t.AddRow(itoa(n), dtoa(build), dtoa(dq), dtoa(tq), dtoa(sq), dtoa(bq), dtoa(batch),
 			ftoa(float64(outSz)/float64(len(qs))))
 	}
 	t.Note("diagram queries include the persistent-label reconstruction (Thm 2.11: O(log n + t))")
 	t.Note("all backends run through the engine layer (internal/engine); batch uses NumCPU workers")
+	t.Note("shardQ is the two-stage backend behind the sharded execution layer (k=4, merge planner)")
 	return t
 }
 
@@ -80,7 +83,7 @@ func E7DiscreteQueries(opt Options) *Table {
 		ID:     "E7",
 		Title:  "NN≠0 queries, discrete distributions (Theorem 3.2 two-stage)",
 		Claim:  "O(N log N) preprocessing, near-linear space, sublinear queries in practice",
-		Header: []string{"n", "k", "N", "build", "2stageQ", "bruteQ", "2stageBatchQ", "avg|out|"},
+		Header: []string{"n", "k", "N", "build", "2stageQ", "shardQ", "bruteQ", "2stageBatchQ", "avg|out|"},
 	}
 	rng := rand.New(rand.NewSource(opt.seed()))
 	type cfg struct{ n, k int }
@@ -102,7 +105,8 @@ func E7DiscreteQueries(opt Options) *Table {
 		}
 		eTS := engine.NewEngine(ts, engine.Options{})
 		eBrute := mustEngine(t, engine.BackendBrute, ds)
-		if eBrute == nil {
+		eShard := mustShardedEngine(t, engine.BackendTwoStageDiscrete, ds, 4)
+		if eBrute == nil || eShard == nil {
 			continue
 		}
 		qs := make([]geom.Point, 256)
@@ -114,12 +118,14 @@ func E7DiscreteQueries(opt Options) *Table {
 			out, _ := eTS.QueryNonzero(qs[i])
 			outSz += len(out)
 		})
+		sq := timePer(len(qs), func(i int) { eShard.QueryNonzero(qs[i]) })
 		bq := timePer(len(qs), func(i int) { eBrute.QueryNonzero(qs[i]) })
 		batch := timeIt(func() { eTS.BatchNonzero(qs) }) / 256
-		t.AddRow(itoa(c.n), itoa(c.k), itoa(c.n*c.k), dtoa(build), dtoa(tq), dtoa(bq),
+		t.AddRow(itoa(c.n), itoa(c.k), itoa(c.n*c.k), dtoa(build), dtoa(tq), dtoa(sq), dtoa(bq),
 			dtoa(batch), ftoa(float64(outSz)/float64(len(qs))))
 	}
 	t.Note("all backends run through the engine layer (internal/engine); batch uses NumCPU workers")
+	t.Note("shardQ is the two-stage backend behind the sharded execution layer (k=4, merge planner)")
 	return t
 }
 
@@ -129,6 +135,16 @@ func mustEngine(t *Table, b engine.Backend, ds *engine.Dataset) *engine.Engine {
 	ix, err := engine.Build(b, ds, engine.BuildOptions{})
 	if err != nil {
 		t.Note("%s: %v", b, err)
+		return nil
+	}
+	return engine.NewEngine(ix, engine.Options{})
+}
+
+// mustShardedEngine is mustEngine behind the sharded execution layer.
+func mustShardedEngine(t *Table, b engine.Backend, ds *engine.Dataset, k int) *engine.Engine {
+	ix, err := engine.BuildSharded(b, ds, engine.BuildOptions{}, engine.ShardOptions{Shards: k})
+	if err != nil {
+		t.Note("sharded %s: %v", b, err)
 		return nil
 	}
 	return engine.NewEngine(ix, engine.Options{})

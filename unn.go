@@ -23,13 +23,40 @@
 //
 // All of these are served through one query engine: Open builds any
 // backend behind a capability-checked Handle with single, batched
-// (parallel, deterministic order) and cached execution. The quickstart
-// example under examples/quickstart exercises every query type through
-// it; DESIGN.md maps each theorem to its implementation and
-// EXPERIMENTS.md records the measured reproduction of every claim.
+// (parallel, deterministic order) and cached execution.
+//
+// # Sharding
+//
+// WithShards(k) turns on the sharded execution layer: the dataset is
+// split into k spatial shards (kd-median cut on region centroids by
+// default, WithShardGrid selects a grid cut), one backend instance is
+// built per shard in parallel, and every query is answered by merging
+// the per-shard answers with bounding-box distance pruning. NN≠0 and
+// expected-distance answers are identical to the unsharded backend's;
+// quantification probabilities are combined under the independence
+// model — exactly for discrete datasets, and by a documented survival
+// integral approximation for continuous ones.
+//
+// # Serving streams
+//
+// Handle.Serve(ctx, in) answers an asynchronous query stream: a worker
+// pool drains the input channel and completions arrive on the returned
+// channel as they finish — out of order under load, tagged with the
+// caller-assigned Query.Seq. The answer channel's capacity (set by
+// WithServeBuffer) is the backpressure window: a slow consumer
+// transitively stops the stream from accepting input. Closing the input
+// channel ends the stream gracefully; cancelling the context tears it
+// down without deadlocking. Per-query failures are reported in
+// Answer.Err and do not stop the stream.
+//
+// The quickstart example under examples/quickstart exercises every
+// query type through the engine; DESIGN.md maps each theorem to its
+// implementation (and diagrams the sharded layer) and EXPERIMENTS.md
+// records the measured reproduction of every claim.
 package unn
 
 import (
+	"fmt"
 	"math/rand"
 
 	"unn/internal/engine"
@@ -115,9 +142,12 @@ type Backend = engine.Backend
 // supports (its Capabilities); the Handle rejects the rest with
 // ErrUnsupported.
 const (
-	// BackendAuto picks a sensible exact default for the dataset: the
-	// Lemma 2.1 / Eq. (2) reference evaluator for point datasets, the
-	// two-stage L∞ structure for squares.
+	// BackendAuto picks the backend(s) by dataset kind so every query
+	// kind some backend could answer is supported: the Lemma 2.1 /
+	// Eq. (2) reference evaluator for discrete points, the two-stage L∞
+	// structure for squares, and for continuous (or mixed) points the
+	// reference NN≠0 oracle routed together with the Monte-Carlo
+	// quantifier.
 	BackendAuto Backend = "auto"
 	// BackendBrute is the exact reference: Lemma 2.1 NN≠0 oracle, the
 	// Eq. (2) sweep for π, and a linear expected-distance scan.
@@ -160,13 +190,26 @@ var ErrUnsupported = engine.ErrUnsupported
 // ExpectedResult is one expected-distance batch answer.
 type ExpectedResult = engine.ExpectedResult
 
+// Query is one request on a Handle.Serve stream: a caller-assigned Seq
+// tag (echoed in the Answer), the query kind (exactly one capability
+// bit), the query point, and the accuracy knob for probability queries.
+type Query = engine.Query
+
+// Answer is one completed Serve query; exactly one payload field (by
+// Kind) is meaningful and per-query failures arrive in Err without
+// ending the stream.
+type Answer = engine.Answer
+
 // Option tunes Open.
 type Option func(*openConfig)
 
 type openConfig struct {
-	backend Backend
-	build   engine.BuildOptions
-	run     engine.Options
+	backend   Backend
+	build     engine.BuildOptions
+	run       engine.Options
+	shard     engine.ShardOptions
+	shardsSet bool // WithShards given (its k must then be ≥ 1)
+	splitSet  bool // WithShardGrid given (meaningless without WithShards)
 }
 
 // WithBackend selects the index structure. Default BackendAuto.
@@ -175,6 +218,34 @@ func WithBackend(b Backend) Option { return func(c *openConfig) { c.backend = b 
 // WithWorkers sets the batch worker-pool size (default runtime.NumCPU();
 // 1 forces sequential batches).
 func WithWorkers(n int) Option { return func(c *openConfig) { c.run.Workers = n } }
+
+// WithShards enables the sharded execution layer: the dataset is split
+// into k spatial shards, one backend instance is built per shard (in
+// parallel), and queries are answered by the merge planner with
+// bounding-box shard pruning. Open rejects k < 1 rather than silently
+// running unsharded; shards may be empty when k exceeds the dataset
+// size. See the package comment for the merge semantics.
+func WithShards(k int) Option {
+	return func(c *openConfig) {
+		c.shard.Shards = k
+		c.shardsSet = true
+	}
+}
+
+// WithShardGrid selects the grid partitioner (uniform cells over the
+// centroid bounding box) instead of the default kd-median cut. It only
+// shapes the sharding enabled by WithShards; Open rejects it without
+// one rather than silently running unsharded.
+func WithShardGrid() Option {
+	return func(c *openConfig) {
+		c.shard.Split = engine.SplitGrid
+		c.splitSet = true
+	}
+}
+
+// WithServeBuffer sets the capacity of the answer channel returned by
+// Handle.Serve — the stream's backpressure window (default 2×Workers).
+func WithServeBuffer(n int) Option { return func(c *openConfig) { c.run.ServeBuffer = n } }
 
 // WithCache enables the engine-level LRU answer cache with the given
 // capacity (entries). Quantum sets the grid step used to quantize query
@@ -216,9 +287,12 @@ func WithVPrOptions(opt VPrOptions) Option {
 // backend for the spiral structure (§4.3 Remark (ii)).
 func WithSpiralQuadtree() Option { return func(c *openConfig) { c.build.SpiralQuadtree = true } }
 
-// Handle is a capability-checked handle to one built backend: single
-// queries, parallel batches with deterministic result order, and an
-// optional LRU answer cache. All methods are safe for concurrent use.
+// Handle is a capability-checked handle to one built backend (or
+// sharded backend fleet, see WithShards): single queries, parallel
+// batches with deterministic result order, an asynchronous Serve stream
+// with out-of-order completion and backpressure, and an optional striped
+// LRU answer cache (hit/miss counters via CacheStats). All methods are
+// safe for concurrent use.
 //
 // Query kinds the backend does not support return ErrUnsupported
 // (checkable with errors.Is). When the cache is enabled, returned
@@ -232,15 +306,25 @@ func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	b := cfg.backend
-	if b == BackendAuto {
-		if ds.Squares != nil {
-			b = BackendTwoStageLinf
-		} else {
-			b = BackendBrute
-		}
+	if cfg.shardsSet && cfg.shard.Shards < 1 {
+		return nil, fmt.Errorf("unn: WithShards needs k ≥ 1, got %d", cfg.shard.Shards)
 	}
-	ix, err := engine.Build(b, ds, cfg.build)
+	if cfg.splitSet && !cfg.shardsSet {
+		return nil, fmt.Errorf("unn: WithShardGrid requires WithShards(k) to enable sharding")
+	}
+	var (
+		ix  engine.Index
+		err error
+	)
+	if cfg.backend == BackendAuto {
+		// Auto picks per dataset kind so no query kind any backend could
+		// answer lands on one that cannot: squares → two-stage L∞,
+		// discrete → brute (all three kinds exact), continuous/mixed →
+		// brute routed together with Monte Carlo for quantification.
+		ix, err = engine.BuildAuto(ds, cfg.build, cfg.shard)
+	} else {
+		ix, err = engine.BuildSharded(cfg.backend, ds, cfg.build, cfg.shard)
+	}
 	if err != nil {
 		return nil, err
 	}

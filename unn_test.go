@@ -1,6 +1,7 @@
 package unn_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -132,6 +133,142 @@ func TestOpenSquares(t *testing.T) {
 		if out, err := h.QueryNonzero(unn.Pt(10, 10)); err != nil || len(out) == 0 {
 			t.Fatalf("%s: out=%v err=%v", b, out, err)
 		}
+	}
+}
+
+// TestOpenAutoNeverMismatches is the BackendAuto regression test: for
+// every dataset kind, the auto-selected backend must support every
+// query kind that at least one backend could support on that dataset —
+// in particular, probability queries over continuous (non-discrete)
+// inputs must not land on a backend that returns ErrUnsupported.
+func TestOpenAutoNeverMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	disks := make([]unn.Disk, 10)
+	for i := range disks {
+		disks[i] = unn.DiskAt(rng.Float64()*30, rng.Float64()*30, 0.5+rng.Float64())
+	}
+	gauss := make([]unn.Uncertain, 10)
+	for i := range gauss {
+		d := unn.DiskAt(rng.Float64()*30, rng.Float64()*30, 0.5+rng.Float64())
+		gauss[i] = unn.NewTruncGauss(d, d.R/2)
+	}
+	squares := make([]unn.Square, 10)
+	for i := range squares {
+		squares[i] = unn.Square{C: unn.Pt(rng.Float64()*30, rng.Float64()*30), R: 0.5 + rng.Float64()}
+	}
+	cases := []struct {
+		name string
+		open func() (*unn.Handle, error)
+		want unn.Capability
+	}{
+		{"discrete", func() (*unn.Handle, error) {
+			return unn.OpenDiscrete(testDiscretes(t, rng, 10, 2, 30))
+		}, unn.CapNonzero | unn.CapProbs | unn.CapExpected},
+		{"disks", func() (*unn.Handle, error) {
+			return unn.OpenDisks(disks)
+		}, unn.CapNonzero | unn.CapProbs},
+		{"continuous", func() (*unn.Handle, error) {
+			return unn.Open(gauss)
+		}, unn.CapNonzero | unn.CapProbs},
+		{"squares", func() (*unn.Handle, error) {
+			return unn.OpenSquares(squares)
+		}, unn.CapNonzero},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := tc.open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps := h.Capabilities()
+			if !caps.Has(tc.want) {
+				t.Fatalf("auto capabilities = %v, want at least %v", caps, tc.want)
+			}
+			q := unn.Pt(15, 15)
+			if caps.Has(unn.CapNonzero) {
+				if _, err := h.QueryNonzero(q); err != nil {
+					t.Fatalf("QueryNonzero: %v", err)
+				}
+			}
+			if caps.Has(unn.CapProbs) {
+				if _, err := h.QueryProbs(q, 0); err != nil {
+					t.Fatalf("QueryProbs: %v", err)
+				}
+			}
+			if caps.Has(unn.CapExpected) {
+				if _, _, err := h.QueryExpected(q); err != nil {
+					t.Fatalf("QueryExpected: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestOpenSharded: the sharded execution layer is reachable from Open
+// (including auto selection) and agrees with the monolithic handle.
+func TestOpenSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := testDiscretes(t, rng, 24, 3, 40)
+	mono, err := unn.OpenDiscrete(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := unn.OpenDiscrete(pts, unn.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]unn.Point, 64)
+	for i := range qs {
+		qs[i] = unn.Pt(rng.Float64()*40, rng.Float64()*40)
+	}
+	a, err := mono.BatchNonzero(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharded.BatchNonzero(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sharded auto handle disagrees with the monolithic one")
+	}
+
+	// The grid partitioner only shapes sharding: with WithShards it works,
+	// without it Open must reject the dangling option.
+	if _, err := unn.OpenDiscrete(pts, unn.WithShards(4), unn.WithShardGrid()); err != nil {
+		t.Fatalf("WithShards+WithShardGrid: %v", err)
+	}
+	if _, err := unn.OpenDiscrete(pts, unn.WithShardGrid()); err == nil {
+		t.Fatal("WithShardGrid without WithShards was silently accepted")
+	}
+	if _, err := unn.OpenDiscrete(pts, unn.WithShards(0)); err == nil {
+		t.Fatal("WithShards(0) was silently accepted as unsharded")
+	}
+}
+
+// TestHandleServe: the async stream is reachable from the public API.
+func TestHandleServe(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := testDiscretes(t, rng, 16, 2, 30)
+	h, err := unn.OpenDiscrete(pts, unn.WithShards(2), unn.WithServeBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan unn.Query, 16)
+	for i := 0; i < 16; i++ {
+		in <- unn.Query{Seq: uint64(i), Kind: unn.CapNonzero,
+			Q: unn.Pt(rng.Float64()*30, rng.Float64()*30)}
+	}
+	close(in)
+	got := 0
+	for a := range h.Serve(context.Background(), in) {
+		if a.Err != nil {
+			t.Fatalf("seq %d: %v", a.Seq, a.Err)
+		}
+		got++
+	}
+	if got != 16 {
+		t.Fatalf("drained %d answers, want 16", got)
 	}
 }
 
