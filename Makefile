@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test race bench bench-json examples clean
+.PHONY: verify build vet fmtcheck test race bench bench-json benchdiff examples clean
 
 # The tier-1 gate: everything CI runs.
 verify: build vet fmtcheck test race
@@ -19,10 +19,10 @@ fmtcheck:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent machinery: the sharded execution layer and
-# the async Serve stream.
+# Race-check the concurrent machinery: the sharded execution layer, the
+# dynamic mutation path, and the async Serve stream.
 race:
-	$(GO) test -race ./internal/engine -run 'Shard|Serve|Batch'
+	$(GO) test -race ./internal/engine -run 'Shard|Serve|Batch|Dynamic'
 
 # Engine benchmarks: parallel batch vs sequential, sharded vs unsharded.
 bench:
@@ -30,15 +30,28 @@ bench:
 		-bench 'EngineBatch|EngineSequential|ShardedBatch|UnshardedBatch' -benchtime 5x
 
 # Machine-readable perf trajectory: one JSON record per backend/size
-# (E16) plus the shard-scaling sweep (E17).
+# (E16) plus the shard-scaling (E17) and streaming-mutation (E18)
+# sweeps.
 bench-json:
 	$(GO) run ./cmd/unnbench -quick -json BENCH_engine.json >/dev/null
+
+# Compare the fresh BENCH_engine.json against a previous run's artifact
+# (OLD=path, fetched by CI from the last uploaded BENCH_engine), warning
+# on >20% regressions in the E17/E18 throughput metrics.
+OLD ?= prev/BENCH_engine.json
+benchdiff:
+	@if [ -f "$(OLD)" ]; then \
+		$(GO) run ./cmd/benchdiff -old "$(OLD)" -new BENCH_engine.json; \
+	else \
+		echo "benchdiff: no previous artifact at $(OLD); skipping"; \
+	fi
 
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/semantics
 	$(GO) run ./examples/sensorfield
 	$(GO) run ./examples/mobiledata
+	$(GO) run ./examples/streaming
 
 clean:
 	$(GO) clean ./...

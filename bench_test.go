@@ -296,9 +296,31 @@ func BenchmarkE17_ShardedBatch_n2000_k8(b *testing.B) {
 	}
 }
 
+// BenchmarkE18_DynamicMutation measures one insert+delete round trip on
+// a sharded handle (the amortized streaming-mutation cost of the
+// dynamic shard layer, experiment E18).
+func BenchmarkE18_DynamicMutation_n2000_k16(b *testing.B) {
+	rng := rand.New(rand.NewSource(0xe18))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithShards(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := constructions.RandomDiscrete(rng, 1024, 2, 2000, 2.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(pool[i%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Delete(rng.Intn(2000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 17 {
+	if len(experiments.All) != 18 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }

@@ -1,0 +1,121 @@
+// Command benchdiff compares two BENCH_engine.json files (the
+// machine-readable engine benchmark emitted by `unnbench -json`) and
+// warns about throughput regressions — the perf-trajectory gate run by
+// `make benchdiff` in CI against the previous run's artifact.
+//
+// Usage:
+//
+//	benchdiff -old prev/BENCH_engine.json -new BENCH_engine.json
+//	benchdiff -threshold 0.2 -exp E17,E18 -fail ...
+//
+// Records are matched by (exp, backend, n, shards); within a matched
+// pair every populated per-op cost (query_ns_op, batch_ns_op,
+// mutate_ns_op, rebuild_ns_op) is compared, and a metric that slowed by
+// more than the threshold (default 20%) prints a WARN line. Benchmark
+// noise makes hard failures counterproductive, so the exit status stays
+// 0 unless -fail is given.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unn/internal/experiments"
+)
+
+type key struct {
+	exp     string
+	backend string
+	n       int
+	shards  int
+}
+
+func load(path string) (map[key]experiments.BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []experiments.BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[key]experiments.BenchRecord, len(recs))
+	for _, r := range recs {
+		m[key{r.Exp, r.Backend, r.N, r.Shards}] = r
+	}
+	return m, nil
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "previous BENCH_engine.json (the baseline)")
+		newPath   = flag.String("new", "BENCH_engine.json", "fresh BENCH_engine.json")
+		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
+		exps      = flag.String("exp", "E17,E18", "comma-separated experiments to compare")
+		failFlag  = flag.Bool("fail", false, "exit non-zero when regressions are found")
+	)
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old is required (the previous run's artifact)")
+		os.Exit(2)
+	}
+	oldRecs, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRecs, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(strings.ToUpper(e))] = true
+	}
+
+	metrics := []struct {
+		name string
+		get  func(experiments.BenchRecord) float64
+	}{
+		{"query_ns_op", func(r experiments.BenchRecord) float64 { return r.QueryNsOp }},
+		{"batch_ns_op", func(r experiments.BenchRecord) float64 { return r.BatchNsOp }},
+		{"mutate_ns_op", func(r experiments.BenchRecord) float64 { return r.MutateNsOp }},
+		{"rebuild_ns_op", func(r experiments.BenchRecord) float64 { return r.RebuildNsOp }},
+	}
+	compared, regressions := 0, 0
+	for k, nr := range newRecs {
+		if !want[strings.ToUpper(k.exp)] {
+			continue
+		}
+		or, ok := oldRecs[k]
+		if !ok {
+			fmt.Printf("NEW:  %s %s n=%d k=%d has no baseline row\n", k.exp, k.backend, k.n, k.shards)
+			continue
+		}
+		for _, m := range metrics {
+			was, now := m.get(or), m.get(nr)
+			if was <= 0 || now <= 0 {
+				continue
+			}
+			compared++
+			rel := now/was - 1
+			if rel > *threshold {
+				regressions++
+				fmt.Printf("WARN: %s %s n=%d k=%d %s regressed %+.1f%% (%.0fns → %.0fns)\n",
+					k.exp, k.backend, k.n, k.shards, m.name, 100*rel, was, now)
+			}
+		}
+	}
+	fmt.Printf("benchdiff: %d metrics compared, %d regressions beyond %.0f%% (%s)\n",
+		compared, regressions, 100**threshold, *exps)
+	if *failFlag && regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -14,15 +14,19 @@
 //
 // With -json, the engine sweep (E16) runs every adapted backend through
 // the unified engine layer, the shard-scaling sweep (E17) runs the
-// sharded execution layer at k ∈ {0,1,2,4,8,NumCPU}, and records of the
-// form
+// sharded execution layer at k ∈ {0,1,2,4,8,NumCPU}, the streaming
+// sweep (E18) runs interleaved insert/delete/query against the dynamic
+// shard layer (amortized mutation cost vs the full-rebuild baseline),
+// and records of the form
 //
 //	{"backend": "montecarlo", "n": 1000, "queries": 256, "workers": 8,
 //	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...,
-//	 "shards": ..., "cache_hit_rate": ...}
+//	 "shards": ..., "cache_hit_rate": ..., "mutate_ns_op": ...,
+//	 "rebuild_ns_op": ...}
 //
 // are written to the given path (conventionally BENCH_engine.json),
-// alongside the usual tables on stdout.
+// alongside the usual tables on stdout. cmd/benchdiff compares two such
+// files and flags throughput regressions across runs.
 package main
 
 import (
@@ -63,6 +67,11 @@ func main() {
 			fatal(err)
 		}
 		recs = append(recs, shardRecs...)
+		streamRecs, streamTab := experiments.StreamBench(opt)
+		if _, err := streamTab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		recs = append(recs, streamRecs...)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"unn/internal/geom"
 	"unn/internal/quantify"
@@ -95,14 +96,16 @@ func (e *Engine) QueryNonzero(q geom.Point) ([]int, error) {
 	if err := e.check(CapNonzero); err != nil {
 		return nil, err
 	}
+	var gen uint64
 	if e.cache != nil {
+		gen = e.cache.generation()
 		if v, ok := e.cache.get(kindNonzero, q, 0); ok {
 			return v.([]int), nil
 		}
 	}
 	out, err := e.ix.QueryNonzero(q)
 	if err == nil && e.cache != nil {
-		e.cache.put(kindNonzero, q, 0, out)
+		e.cache.put(kindNonzero, q, 0, out, gen)
 	}
 	return out, err
 }
@@ -113,14 +116,16 @@ func (e *Engine) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, error) 
 	if err := e.check(CapProbs); err != nil {
 		return nil, err
 	}
+	var gen uint64
 	if e.cache != nil {
+		gen = e.cache.generation()
 		if v, ok := e.cache.get(kindProbs, q, eps); ok {
 			return v.([]quantify.Prob), nil
 		}
 	}
 	out, err := e.ix.QueryProbs(q, eps)
 	if err == nil && e.cache != nil {
-		e.cache.put(kindProbs, q, eps, out)
+		e.cache.put(kindProbs, q, eps, out, gen)
 	}
 	return out, err
 }
@@ -131,7 +136,9 @@ func (e *Engine) QueryExpected(q geom.Point) (int, float64, error) {
 	if err := e.check(CapExpected); err != nil {
 		return -1, 0, err
 	}
+	var gen uint64
 	if e.cache != nil {
+		gen = e.cache.generation()
 		if v, ok := e.cache.get(kindExpected, q, 0); ok {
 			ed := v.(expectedAnswer)
 			return ed.i, ed.d, nil
@@ -139,7 +146,7 @@ func (e *Engine) QueryExpected(q geom.Point) (int, float64, error) {
 	}
 	i, d, err := e.ix.QueryExpected(q)
 	if err == nil && e.cache != nil {
-		e.cache.put(kindExpected, q, 0, expectedAnswer{i, d})
+		e.cache.put(kindExpected, q, 0, expectedAnswer{i, d}, gen)
 	}
 	return i, d, err
 }
@@ -151,7 +158,12 @@ type expectedAnswer struct {
 
 // batch fans qs across the worker pool and collects results in input
 // order. Each worker writes only its own slots, so the output is
-// deterministic regardless of scheduling.
+// deterministic regardless of scheduling — including the error: the
+// reported failure is always the lowest failing input index, matching
+// the sequential path. (Feeding stops once any error is recorded, but
+// indices are fed in order, so every index below a failing fed index
+// has also been fed and evaluated; the recorded minimum is therefore
+// the global minimum failing index, whatever the scheduling.)
 func batch[T any](workers int, qs []geom.Point, fn func(geom.Point) (T, error)) ([]T, error) {
 	out := make([]T, len(qs))
 	if len(qs) == 0 {
@@ -171,10 +183,12 @@ func batch[T any](workers int, qs []geom.Point, fn func(geom.Point) (T, error)) 
 		return out, nil
 	}
 	var (
-		wg       sync.WaitGroup
-		next     = make(chan int)
-		errOnce  sync.Once
-		firstErr error
+		wg     sync.WaitGroup
+		next   = make(chan int)
+		mu     sync.Mutex
+		errIdx = -1
+		errVal error
+		failed atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -183,9 +197,12 @@ func batch[T any](workers int, qs []geom.Point, fn func(geom.Point) (T, error)) 
 			for i := range next {
 				v, err := fn(qs[i])
 				if err != nil {
-					errOnce.Do(func() {
-						firstErr = fmt.Errorf("engine: batch query %d: %w", i, err)
-					})
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, errVal = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
 					continue
 				}
 				out[i] = v
@@ -193,12 +210,15 @@ func batch[T any](workers int, qs []geom.Point, fn func(geom.Point) (T, error)) 
 		}()
 	}
 	for i := range qs {
+		if failed.Load() {
+			break
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if errIdx >= 0 {
+		return nil, fmt.Errorf("engine: batch query %d: %w", errIdx, errVal)
 	}
 	return out, nil
 }

@@ -44,7 +44,13 @@ type cache struct {
 	capacity int64
 	total    atomic.Int64
 	clock    atomic.Int64 // rotates the eviction scan start
-	stripes  []*cacheStripe
+	// gen is the invalidation generation: a mutation bumps it before
+	// clearing the stripes, and puts record the generation read before
+	// their answer was computed — a put whose generation is stale is
+	// dropped, so an in-flight query can never re-install a
+	// pre-mutation answer after the flush.
+	gen     atomic.Uint64
+	stripes []*cacheStripe
 }
 
 type cacheStripe struct {
@@ -86,6 +92,12 @@ func (c *cache) quantize(v float64) uint64 {
 }
 
 func (c *cache) key(kind uint8, q geom.Point, eps float64) cacheKey {
+	// Every eps ≤ 0 means "backend default" (see Index.QueryProbs), so
+	// all of them share one canonical key — raw bit patterns would give
+	// eps = 0 and eps = -1 separate entries for the same answer.
+	if eps <= 0 {
+		eps = 0
+	}
 	return cacheKey{
 		kind: kind,
 		x:    c.quantize(q.X),
@@ -118,10 +130,36 @@ func (c *cache) get(kind uint8, q geom.Point, eps float64) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-func (c *cache) put(kind uint8, q geom.Point, eps float64, val any) {
+// generation snapshots the invalidation generation; callers read it
+// before computing an answer and hand it back to put.
+func (c *cache) generation() uint64 { return c.gen.Load() }
+
+// invalidate flushes every entry and advances the generation. The bump
+// happens first: any put that read the old generation is dropped, and a
+// put racing the stripe sweep either lands before the sweep's lock
+// (cleared) or re-checks the generation under its own lock (dropped).
+func (c *cache) invalidate() {
+	c.gen.Add(1)
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		n := s.ll.Len()
+		s.ll.Init()
+		s.items = make(map[cacheKey]*list.Element)
+		s.mu.Unlock()
+		c.total.Add(int64(-n))
+	}
+}
+
+func (c *cache) put(kind uint8, q geom.Point, eps float64, val any, gen uint64) {
 	k := c.key(kind, q, eps)
 	s := c.stripe(k)
 	s.mu.Lock()
+	if gen != c.gen.Load() {
+		// The answer predates an invalidation; caching it would resurrect
+		// a stale entry.
+		s.mu.Unlock()
+		return
+	}
 	if el, ok := s.items[k]; ok {
 		el.Value.(*cacheEntry).val = val
 		s.ll.MoveToFront(el)

@@ -1,0 +1,501 @@
+// The dynamic shard layer: Insert/Delete on a built ShardedIndex with
+// incremental rebalancing, so streaming workloads (sensors that move,
+// fleets that grow or shrink) are served without full rebuilds — the
+// moving-uncertain-data setting of the probabilistic-Voronoi line of
+// work, and the dynamic-indexability concern the paper leaves open.
+//
+// Mutations route to the owning shard by centroid, maintain the global
+// id remap (global indices stay dense: Delete(i) shifts every index
+// above i down by one, exactly like deleting from a slice) and the
+// per-shard bounding boxes, and rebuild only the affected shards'
+// backends. A shard whose size drifts past 2× the per-shard target
+// splits in two (kd-median on its own centroids); one that falls below
+// ½× merges with its nearest spatial neighbor. Everything is serialized
+// against in-flight queries by the RWMutex epoch in ShardedIndex.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"unn/internal/geom"
+	"unn/internal/lmetric"
+	"unn/internal/uncertain"
+)
+
+// ErrImmutable is returned by Engine.Insert/Delete when the wrapped
+// index does not support mutations (every monolithic backend).
+var ErrImmutable = errors.New("engine: backend does not support mutations")
+
+// Item is one insertion payload. Exactly one field is set, matching the
+// dataset kind the index was built over: Point for point datasets,
+// Square for squares/diamonds datasets (FromSquares). Inserts that
+// would change the dataset kind — e.g. a continuous point into an
+// all-discrete dataset — are rejected rather than silently degrading
+// the capability set mid-stream.
+type Item struct {
+	Point  uncertain.Point
+	Square *lmetric.Square
+}
+
+// Mutable is the dynamic-index contract: ShardedIndex implements it,
+// monolithic backends do not. Insert returns the new item's global
+// index (always the new Len()-1: inserts append). Delete(i) removes
+// item i, shifts the indices above it down by one, and returns the
+// live count — taken under the same write lock as the mutation, so it
+// is exact even with concurrent mutators.
+type Mutable interface {
+	Insert(Item) (int, error)
+	Delete(i int) (int, error)
+	// Epoch returns the number of applied mutations.
+	Epoch() uint64
+	// Len returns the live item count.
+	Len() int
+}
+
+// Epoch implements Mutable.
+func (sx *ShardedIndex) Epoch() uint64 {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	return sx.epoch
+}
+
+// Len implements Mutable.
+func (sx *ShardedIndex) Len() int {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	return sx.n
+}
+
+// diskOf extracts the disk uncertainty region of a point, for datasets
+// carrying the Disks view.
+func diskOf(p uncertain.Point) (geom.Disk, bool) {
+	switch v := p.(type) {
+	case uncertain.UniformDisk:
+		return v.D, true
+	case *uncertain.TruncGauss:
+		return v.D, true
+	}
+	return geom.Disk{}, false
+}
+
+// ensureOwned clones the dataset views on the first mutation, so the
+// dynamic layer never mutates slices the caller handed to Build.
+func (sx *ShardedIndex) ensureOwned() {
+	if sx.owned {
+		return
+	}
+	sx.ds = &Dataset{
+		Points:   slices.Clone(sx.ds.Points),
+		Discrete: slices.Clone(sx.ds.Discrete),
+		Disks:    slices.Clone(sx.ds.Disks),
+		Squares:  slices.Clone(sx.ds.Squares),
+	}
+	sx.owned = true
+}
+
+// Insert implements Mutable: append the item at global index n, route
+// it to the nearest shard by centroid, rebuild that shard's backend,
+// and split the shard if it drifted past 2× the size target.
+func (sx *ShardedIndex) Insert(it Item) (int, error) {
+	sx.mu.Lock()
+	defer sx.mu.Unlock()
+	if sx.ds == nil {
+		return -1, fmt.Errorf("sharded(%s): Insert before Build", sx.name)
+	}
+	if sx.broken != nil {
+		return -1, sx.broken
+	}
+	if err := sx.checkItem(it); err != nil {
+		return -1, err
+	}
+	sx.ensureOwned()
+	gi := sx.n
+	if sx.ds.Squares != nil {
+		sx.ds.Squares = append(sx.ds.Squares, *it.Square)
+	} else {
+		sx.ds.Points = append(sx.ds.Points, it.Point)
+		if sx.ds.Discrete != nil {
+			sx.ds.Discrete = append(sx.ds.Discrete, it.Point.(*uncertain.Discrete))
+		}
+		if sx.ds.Disks != nil {
+			d, _ := diskOf(it.Point)
+			sx.ds.Disks = append(sx.ds.Disks, d)
+		}
+	}
+	sx.n++
+
+	si := sx.routeShard(centroid(sx.ds, gi))
+	s := sx.shards[si]
+	s.ids = append(s.ids, gi) // gi is the maximum id: stays ascending
+	s.bbox = s.bbox.Union(itemBounds(sx.ds, gi))
+	// An insert can only grow the shard, so the rebalance choice is
+	// split-or-nothing — and splitShard rebuilds both replacement
+	// backends itself, so the pre-split rebuild is skipped rather than
+	// built and immediately discarded.
+	var err error
+	if len(s.ids) > 2*sx.target {
+		err = sx.splitShard(si)
+	} else {
+		err = sx.rebuildShard(s)
+	}
+	if err != nil {
+		return -1, sx.poison(err)
+	}
+	sx.epoch++
+	sx.recomputeCaps()
+	return gi, nil
+}
+
+// poison marks the index broken after a mutation failed past the point
+// of no return (dataset and id remap already updated, a shard backend
+// not rebuilt): answers would silently misattribute items, so every
+// later query and mutation reports this error instead. Backend builds
+// only fail on structurally impossible sub-datasets, so hitting this
+// means the factory itself is faulty — there is no safe automatic
+// rollback.
+func (sx *ShardedIndex) poison(err error) error {
+	sx.broken = fmt.Errorf("sharded(%s): index poisoned by failed mutation: %w", sx.name, err)
+	return sx.broken
+}
+
+// Delete implements Mutable: remove global item i, remap every index
+// above it, rebuild the owning shard's backend, and rebalance — an
+// emptied shard is dropped, an underfull one merges with its nearest
+// spatial neighbor (re-splitting if the merge overshoots). The
+// returned count is the live size right after this mutation.
+func (sx *ShardedIndex) Delete(i int) (int, error) {
+	sx.mu.Lock()
+	defer sx.mu.Unlock()
+	if sx.ds == nil {
+		return 0, fmt.Errorf("sharded(%s): Delete before Build", sx.name)
+	}
+	if sx.broken != nil {
+		return 0, sx.broken
+	}
+	if i < 0 || i >= sx.n {
+		return 0, fmt.Errorf("sharded(%s): Delete(%d) out of range [0,%d)", sx.name, i, sx.n)
+	}
+	if sx.n == 1 {
+		return 0, fmt.Errorf("sharded(%s): cannot delete the last item", sx.name)
+	}
+	sx.ensureOwned()
+
+	// Global id remap: drop i from the views, shift ids > i down by one
+	// in every shard. Members of other shards keep their items, so only
+	// the owning shard's backend is rebuilt.
+	owner := -1
+	for si, s := range sx.shards {
+		pos := sort.SearchInts(s.ids, i)
+		if pos < len(s.ids) && s.ids[pos] == i {
+			owner = si
+			s.ids = append(s.ids[:pos], s.ids[pos+1:]...)
+		}
+		for j := sort.SearchInts(s.ids, i); j < len(s.ids); j++ {
+			s.ids[j]--
+		}
+	}
+	if owner < 0 {
+		return 0, sx.poison(fmt.Errorf("id remap lost item %d", i))
+	}
+	if sx.ds.Squares != nil {
+		sx.ds.Squares = append(sx.ds.Squares[:i], sx.ds.Squares[i+1:]...)
+	} else {
+		sx.ds.Points = append(sx.ds.Points[:i], sx.ds.Points[i+1:]...)
+		if sx.ds.Discrete != nil {
+			sx.ds.Discrete = append(sx.ds.Discrete[:i], sx.ds.Discrete[i+1:]...)
+		}
+		if sx.ds.Disks != nil {
+			sx.ds.Disks = append(sx.ds.Disks[:i], sx.ds.Disks[i+1:]...)
+		}
+	}
+	sx.n--
+
+	s := sx.shards[owner]
+	if len(s.ids) == 0 {
+		// Another shard must be non-empty (n ≥ 1), so drop this one.
+		s.sub, s.ix = nil, nil
+		sx.shards = append(sx.shards[:owner], sx.shards[owner+1:]...)
+	} else {
+		sx.refreshBounds(s)
+		// A delete can only shrink the shard, so the rebalance choice is
+		// merge-or-nothing — and mergeShard rebuilds the union itself, so
+		// the owner's backend is rebuilt only when the shard survives
+		// as-is (building it pre-merge would be discarded work).
+		var err error
+		if len(s.ids) < (sx.target+1)/2 {
+			err = sx.mergeShard(owner)
+		} else {
+			err = sx.rebuildShard(s)
+		}
+		if err != nil {
+			return 0, sx.poison(err)
+		}
+	}
+	sx.epoch++
+	sx.recomputeCaps()
+	return sx.n, nil
+}
+
+// checkItem validates a mutation payload against the dataset kind.
+func (sx *ShardedIndex) checkItem(it Item) error {
+	if sx.ds.Squares != nil {
+		if it.Square == nil {
+			return fmt.Errorf("sharded(%s): dataset holds squares; Insert needs Item.Square", sx.name)
+		}
+		return nil
+	}
+	if it.Point == nil {
+		return fmt.Errorf("sharded(%s): dataset holds uncertain points; Insert needs Item.Point", sx.name)
+	}
+	if sx.ds.Discrete != nil {
+		if _, ok := it.Point.(*uncertain.Discrete); !ok {
+			return fmt.Errorf("sharded(%s): dataset is all-discrete; inserting a %T would drop the discrete specialization (and its capabilities)", sx.name, it.Point)
+		}
+	}
+	if sx.ds.Disks != nil {
+		if _, ok := diskOf(it.Point); !ok {
+			return fmt.Errorf("sharded(%s): dataset is all-disk; inserting a %T would drop the disk specialization", sx.name, it.Point)
+		}
+	}
+	return nil
+}
+
+// routeShard picks the owning shard for a new centroid: the non-empty
+// shard with the smallest bounding-box distance (ties to the lowest
+// index, for determinism).
+func (sx *ShardedIndex) routeShard(c geom.Point) int {
+	best, bestD := -1, 0.0
+	for si, s := range sx.shards {
+		if len(s.ids) == 0 {
+			continue
+		}
+		d := sx.metric.rectDist(c, s.bbox)
+		if best < 0 || d < bestD {
+			best, bestD = si, d
+		}
+	}
+	return best
+}
+
+// refreshBounds recomputes a shard's bounding box from its members
+// (boxes only grow under Union, so deletions need the full recompute).
+func (sx *ShardedIndex) refreshBounds(s *shard) {
+	s.bbox = geom.EmptyRect()
+	for _, i := range s.ids {
+		s.bbox = s.bbox.Union(itemBounds(sx.ds, i))
+	}
+}
+
+// rebuildShard re-projects the shard's sub-dataset and rebuilds its
+// backend; only mutated shards pay this cost.
+func (sx *ShardedIndex) rebuildShard(s *shard) error {
+	s.sub = subset(sx.ds, s.ids)
+	ix, err := sx.shardFactory(s.sub)
+	if err != nil {
+		return fmt.Errorf("sharded(%s): rebuild shard: %w", sx.name, err)
+	}
+	s.ix = ix
+	return nil
+}
+
+// shardFactory builds the backend for one shard's sub-dataset. With
+// ShardOptions.Adaptive it applies the per-shard backend choice; the
+// default is the configured backend.
+func (sx *ShardedIndex) shardFactory(sub *Dataset) (Index, error) {
+	if sx.opt.Adaptive && sx.backend != "" {
+		if b, ok := adaptiveBackend(sx.backend, sub, sx.opt.AdaptiveCutoff); ok {
+			return Build(b, sub, sx.bopt)
+		}
+	}
+	return sx.factory(sub)
+}
+
+// staticCaps is the capability set backend b reports for a dataset of
+// this shape (mirrors the adapters' Capabilities methods; used to rule
+// on adaptive swaps without building anything).
+func staticCaps(b Backend, ds *Dataset) Capability {
+	switch b {
+	case BackendBrute:
+		c := CapNonzero
+		if ds.Discrete != nil {
+			c |= CapProbs | CapExpected
+		}
+		return c
+	case BackendDiagram, BackendTwoStageDisks, BackendTwoStageDiscrete,
+		BackendTwoStageLinf, BackendTwoStageL1:
+		return CapNonzero
+	case BackendVPr, BackendMonteCarlo, BackendSpiral:
+		return CapProbs
+	case BackendExpected:
+		return CapExpected
+	}
+	return 0
+}
+
+// adaptiveBackend picks the per-shard backend: brute at or below the
+// cutoff (cheap rebuilds under churn), the kind's two-stage structure
+// above it. A swap is made only when the candidate's capability set
+// contains the configured backend's — capabilities may grow (their
+// intersection across shards is unchanged) but never shrink.
+func adaptiveBackend(conf Backend, sub *Dataset, cutoff int) (Backend, bool) {
+	var cand Backend
+	if sub.N() <= cutoff {
+		cand = BackendBrute
+		if len(sub.Points) == 0 {
+			return "", false // squares: brute cannot build
+		}
+	} else {
+		switch {
+		case sub.Disks != nil:
+			cand = BackendTwoStageDisks
+		case sub.Discrete != nil:
+			cand = BackendTwoStageDiscrete
+		default:
+			return "", false
+		}
+	}
+	if cand == conf {
+		return "", false
+	}
+	if !staticCaps(cand, sub).Has(staticCaps(conf, sub)) {
+		return "", false
+	}
+	return cand, true
+}
+
+// splitShard halves shard si by the kd-median cut on its own centroids
+// and builds the two replacement backends in parallel (si's own backend
+// is never rebuilt first — it is replaced wholesale).
+func (sx *ShardedIndex) splitShard(si int) error {
+	s := sx.shards[si]
+	// The 2-cut allots ⌊len/2⌋ and ⌈len/2⌉ members, so both halves are
+	// non-empty for any shard large enough to split.
+	groups := kdMedianSplit(sx.ds, slices.Clone(s.ids), 2)
+	halves := make([]*shard, len(groups))
+	for gi, g := range groups {
+		sort.Ints(g)
+		h := &shard{ids: g}
+		sx.refreshBounds(h)
+		halves[gi] = h
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(halves))
+	for hi, h := range halves {
+		wg.Add(1)
+		go func(hi int, h *shard) {
+			defer wg.Done()
+			errs[hi] = sx.rebuildShard(h)
+		}(hi, h)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	sx.shards = append(sx.shards[:si], append(halves, sx.shards[si+1:]...)...)
+	return nil
+}
+
+// mergeShard folds shard si into its nearest non-empty neighbor (by
+// bounding-box center distance) and rebuilds the union; if the merged
+// shard overshoots 2×target it is immediately re-split. The caller
+// skips si's own rebuild, so when no partner exists (si is the only
+// non-empty shard) si itself is rebuilt here.
+func (sx *ShardedIndex) mergeShard(si int) error {
+	s := sx.shards[si]
+	c := s.bbox.Center()
+	best, bestD := -1, 0.0
+	for ti, t := range sx.shards {
+		if ti == si || len(t.ids) == 0 {
+			continue
+		}
+		d := c.Dist(t.bbox.Center())
+		if best < 0 || d < bestD {
+			best, bestD = ti, d
+		}
+	}
+	if best < 0 {
+		return sx.rebuildShard(s)
+	}
+	t := sx.shards[best]
+	merged := make([]int, 0, len(s.ids)+len(t.ids))
+	merged = append(merged, s.ids...)
+	merged = append(merged, t.ids...)
+	sort.Ints(merged)
+	t.ids = merged
+	sx.refreshBounds(t)
+	if err := sx.rebuildShard(t); err != nil {
+		return err
+	}
+	s.sub, s.ix = nil, nil
+	sx.shards = append(sx.shards[:si], sx.shards[si+1:]...)
+	ti := best
+	if best > si {
+		ti--
+	}
+	if len(t.ids) > 2*sx.target {
+		return sx.splitShard(ti)
+	}
+	return nil
+}
+
+// --- Engine-level mutation wrappers ----------------------------------------
+
+// Mutable reports whether the wrapped index accepts Insert/Delete.
+func (e *Engine) Mutable() bool {
+	_, ok := e.ix.(Mutable)
+	return ok
+}
+
+// Epoch returns the wrapped index's mutation epoch (0 for immutable
+// backends).
+func (e *Engine) Epoch() uint64 {
+	if m, ok := e.ix.(Mutable); ok {
+		return m.Epoch()
+	}
+	return 0
+}
+
+// Insert routes an insertion to a mutable index and invalidates the
+// answer cache: every cached answer may change when the dataset does.
+// The flush happens even when the mutation errors — a failure past the
+// point of no return poisons the index, and a stale cache hit would
+// otherwise dodge the broken-index error that misses see.
+func (e *Engine) Insert(it Item) (int, error) {
+	m, ok := e.ix.(Mutable)
+	if !ok {
+		return -1, fmt.Errorf("%w: %s", ErrImmutable, e.ix.Name())
+	}
+	gi, err := m.Insert(it)
+	if e.cache != nil {
+		e.cache.invalidate()
+	}
+	return gi, err
+}
+
+// Delete routes a deletion to a mutable index and invalidates the
+// answer cache. Indices are dense: deleting i shifts later items down.
+func (e *Engine) Delete(i int) error {
+	_, err := e.deleteN(i)
+	return err
+}
+
+// deleteN is Delete returning the live count taken under the
+// mutation's own write lock (the Serve stream reports it in Answer.N).
+// Like Insert, it flushes the cache even on error (poison safety).
+func (e *Engine) deleteN(i int) (int, error) {
+	m, ok := e.ix.(Mutable)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrImmutable, e.ix.Name())
+	}
+	n, err := m.Delete(i)
+	if e.cache != nil {
+		e.cache.invalidate()
+	}
+	return n, err
+}

@@ -266,7 +266,7 @@ func TestCacheGlobalBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xcac4e))
 	qs := randQueries(rng, capacity, 100)
 	for _, q := range qs {
-		c.put(kindNonzero, q, 0, []int{1})
+		c.put(kindNonzero, q, 0, []int{1}, c.generation())
 	}
 	if n := c.len(); n != capacity {
 		t.Fatalf("cache holds %d entries after %d distinct puts, want %d", n, capacity, capacity)
@@ -297,7 +297,7 @@ func TestCacheNoSelfEviction(t *testing.T) {
 	rng := rand.New(rand.NewSource(0x5e1f))
 	for i := 0; i < 200; i++ {
 		q := geom.Pt(rng.Float64()*100, rng.Float64()*100)
-		c.put(kindNonzero, q, 0, []int{i})
+		c.put(kindNonzero, q, 0, []int{i}, c.generation())
 		if _, ok := c.get(kindNonzero, q, 0); !ok {
 			t.Fatalf("put %d: freshly inserted entry already evicted", i)
 		}

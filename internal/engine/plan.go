@@ -33,6 +33,7 @@ import (
 	"sort"
 
 	"unn/internal/geom"
+	"unn/internal/lmetric"
 	"unn/internal/quantify"
 )
 
@@ -101,6 +102,11 @@ func (sx *ShardedIndex) soleShard() *shard {
 // QueryNonzero implements Index: the union of shard NN≠0 answers,
 // filtered by the global Lemma 2.1 predicate δ_i(q) < min_{j≠i} Δ_j(q).
 func (sx *ShardedIndex) QueryNonzero(q geom.Point) ([]int, error) {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	if sx.broken != nil {
+		return nil, sx.broken
+	}
 	if !sx.caps.Has(CapNonzero) {
 		return nil, ErrUnsupported
 	}
@@ -164,6 +170,11 @@ func (sx *ShardedIndex) QueryNonzero(q geom.Point) ([]int, error) {
 // the shard bound); ties go to the smaller global index, matching the
 // monolithic first-strict-min scan.
 func (sx *ShardedIndex) QueryExpected(q geom.Point) (int, float64, error) {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	if sx.broken != nil {
+		return -1, 0, sx.broken
+	}
 	if !sx.caps.Has(CapExpected) {
 		return -1, 0, ErrUnsupported
 	}
@@ -187,6 +198,11 @@ func (sx *ShardedIndex) QueryExpected(q geom.Point) (int, float64, error) {
 // QueryProbs implements Index: per-shard sparse π vectors combined with
 // the cross-shard renormalization of the independence model.
 func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, error) {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	if sx.broken != nil {
+		return nil, sx.broken
+	}
 	if !sx.caps.Has(CapProbs) {
 		return nil, ErrUnsupported
 	}
@@ -276,6 +292,66 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 	return out, nil
 }
 
+// distCDF returns G_i(q, r) = Pr[d(q, P_i) ≤ r] in the planner's
+// metric. Point datasets delegate to the uncertain point's own cdf; a
+// squares-only dataset (ds.Points == nil, built by FromSquares) derives
+// the cdf from the uniform distribution over the square region instead
+// of dereferencing the absent Points view.
+func (sx *ShardedIndex) distCDF(i int, q geom.Point, r float64) float64 {
+	if sx.ds.Points != nil {
+		return sx.ds.Points[i].DistCDF(q, r)
+	}
+	return squareDistCDF(sx.ds.Squares[i], sx.metric, q, r)
+}
+
+// squareDistCDF is the distance cdf of a uniform distribution on square
+// (or diamond) s under metric m: the fraction of the region within
+// distance r of q. Under L∞ that is a rectangle–rectangle overlap;
+// under L1 the 45° rotation (u, v) = (x+y, x−y) maps both diamonds to
+// axis-aligned squares (|x−c|₁ = max(|u−cᵤ|, |v−cᵥ|)), reducing to the
+// same overlap. The L2 ball–square overlap has no closed form worth
+// carrying here — no current constructor shards squares under L2 — so
+// it falls back to the linear ramp between δ and Δ.
+func squareDistCDF(s lmetric.Square, m qmetric, q geom.Point, r float64) float64 {
+	switch m {
+	case metricLinf:
+		return rectBallOverlap(s.C, s.R, q, r)
+	case metricL1:
+		return rectBallOverlap(s.C.RotL1(), s.R, q.RotL1(), r)
+	default:
+		rect := geom.Rect{
+			Min: geom.Pt(s.C.X-s.R, s.C.Y-s.R),
+			Max: geom.Pt(s.C.X+s.R, s.C.Y+s.R),
+		}
+		lo, hi := rect.DistToPoint(q), rect.MaxDistToPoint(q)
+		switch {
+		case r < lo:
+			return 0
+		case r >= hi:
+			return 1
+		default:
+			return (r - lo) / (hi - lo)
+		}
+	}
+}
+
+// rectBallOverlap is the area fraction of the square [c±R] covered by
+// the square [q±r] (the L∞ ball), handling the zero-area point mass.
+func rectBallOverlap(c geom.Point, R float64, q geom.Point, r float64) float64 {
+	if R <= 0 {
+		if q.DistLinf(c) <= r {
+			return 1
+		}
+		return 0
+	}
+	w := math.Min(c.X+R, q.X+r) - math.Max(c.X-R, q.X-r)
+	h := math.Min(c.Y+R, q.Y+r) - math.Max(c.Y-R, q.Y-r)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return math.Min(w*h/(4*R*R), 1)
+}
+
 // survival returns Π_{j∈t, j≠skip} (1 − G_j(q,r)) for shard t, pruning
 // to 1 when the shard's lower bound exceeds r (then G_j(r) = 0 for every
 // member). Locations at distance exactly r count into G (the ≤ of
@@ -289,7 +365,7 @@ func (sx *ShardedIndex) survival(q geom.Point, r float64, t boundedShard, skip i
 		if j == skip {
 			continue
 		}
-		f := 1 - sx.ds.Points[j].DistCDF(q, r)
+		f := 1 - sx.distCDF(j, q, r)
 		if f <= 0 {
 			return 0
 		}
@@ -329,8 +405,7 @@ func (sx *ShardedIndex) exactPi(q geom.Point, gi int, ordered []boundedShard) fl
 // winning its shard; using the unconditional cdf is the documented
 // approximation of the continuous merge path.)
 func (sx *ShardedIndex) crossSurvivalIntegral(q geom.Point, gi int, ordered []boundedShard, own int) float64 {
-	p := sx.ds.Points[gi]
-	lo, hi := p.MinDist(q), p.MaxDist(q)
+	lo, hi := sx.minDist(gi, q), sx.maxDist(gi, q)
 	if !(hi > lo) {
 		// Point mass at distance lo.
 		prod := 1.0
@@ -347,7 +422,7 @@ func (sx *ShardedIndex) crossSurvivalIntegral(q geom.Point, gi int, ordered []bo
 	gPrev := 0.0
 	for s := 1; s <= steps; s++ {
 		r := lo + (hi-lo)*float64(s)/steps
-		g := p.DistCDF(q, r)
+		g := sx.distCDF(gi, q, r)
 		dg := g - gPrev
 		gPrev = g
 		if dg <= 0 {

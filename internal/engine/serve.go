@@ -9,10 +9,23 @@ import (
 	"unn/internal/quantify"
 )
 
+// OpInsert and OpDelete are the Serve-stream mutation ops. They share
+// Query.Kind's type so a stream interleaves queries and mutations
+// through one channel, but they are ops, not capabilities: no backend
+// reports them, and the engine routes them to the Mutable interface
+// (ErrImmutable in Answer.Err for monolithic backends). Mutations are
+// serialized against in-flight queries by the dynamic layer's RWMutex
+// epoch — a query observes the index strictly before or strictly after
+// any mutation, never mid-rebalance.
+const (
+	OpInsert Capability = 1 << 6
+	OpDelete Capability = 1 << 7
+)
+
 // Query is one request on a Serve stream. Kind selects the query method
-// (exactly one capability bit); Seq is an opaque caller-assigned tag
-// echoed in the Answer so out-of-order completions can be matched back
-// to their requests.
+// (exactly one capability bit) or a mutation op; Seq is an opaque
+// caller-assigned tag echoed in the Answer so out-of-order completions
+// can be matched back to their requests.
 type Query struct {
 	Seq  uint64
 	Kind Capability
@@ -20,17 +33,24 @@ type Query struct {
 	// Eps is the accuracy knob for CapProbs queries (≤ 0 selects the
 	// backend's build-time default); ignored otherwise.
 	Eps float64
+	// Item is the OpInsert payload; ignored otherwise.
+	Item Item
+	// Del is the global index removed by OpDelete; ignored otherwise.
+	Del int
 }
 
 // Answer is one completed Serve query. Exactly one of the payload
 // fields (by Kind) is meaningful; Err carries capability or backend
-// errors without tearing down the stream.
+// errors without tearing down the stream. Mutation ops answer with N,
+// the live item count right after the mutation applied (for OpInsert
+// the inserted item's index was N−1 at that instant).
 type Answer struct {
 	Seq      uint64
 	Kind     Capability
 	Nonzero  []int
 	Probs    []quantify.Prob
 	Expected ExpectedResult
+	N        int
 	Err      error
 }
 
@@ -82,7 +102,8 @@ func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 	return out
 }
 
-// answer executes one stream query through the cached single-query path.
+// answer executes one stream query through the cached single-query
+// path, or applies a mutation op through the dynamic layer.
 func (e *Engine) answer(qr Query) Answer {
 	a := Answer{Seq: qr.Seq, Kind: qr.Kind}
 	switch qr.Kind {
@@ -92,8 +113,15 @@ func (e *Engine) answer(qr Query) Answer {
 		a.Probs, a.Err = e.QueryProbs(qr.Q, qr.Eps)
 	case CapExpected:
 		a.Expected.I, a.Expected.Dist, a.Err = e.QueryExpected(qr.Q)
+	case OpInsert:
+		var gi int
+		if gi, a.Err = e.Insert(qr.Item); a.Err == nil {
+			a.N = gi + 1
+		}
+	case OpDelete:
+		a.N, a.Err = e.deleteN(qr.Del)
 	default:
-		a.Err = fmt.Errorf("engine: serve: query kind %v is not a single capability", qr.Kind)
+		a.Err = fmt.Errorf("engine: serve: query kind %v is not a single capability or mutation op", qr.Kind)
 	}
 	return a
 }

@@ -26,18 +26,36 @@ const (
 // Shards disables sharding (see BuildSharded).
 type ShardOptions struct {
 	// Shards is the number of spatial shards k (k ≥ 1). Shards may be
-	// empty when k exceeds the dataset size.
+	// empty when k exceeds the dataset size. It also fixes the dynamic
+	// layer's per-shard size target at ⌈n/k⌉ of the initial build, so a
+	// growing dataset gains shards instead of growing each shard.
 	Shards int
 	// Split selects the partitioner. Default SplitKDMedian.
 	Split Split
 	// BuildWorkers bounds the parallel per-shard builds. Default
 	// runtime.NumCPU().
 	BuildWorkers int
+	// Adaptive enables per-shard backend choice (the ROADMAP's "small
+	// shard → brute, large → two-stage"): a shard holding at most
+	// AdaptiveCutoff items builds the brute reference backend — O(1)
+	// rebuilds under mutation churn — while larger shards build the
+	// two-stage structure of their dataset kind. A swap is only made
+	// when it preserves the sharded index's capability set (e.g. for
+	// discrete data behind the brute backend, where two-stage would drop
+	// π and E[d], the configured backend is kept). Ignored by the
+	// factory-built auto router.
+	Adaptive bool
+	// AdaptiveCutoff is the small-shard threshold for Adaptive.
+	// Default 32.
+	AdaptiveCutoff int
 }
 
 func (o ShardOptions) withDefaults() ShardOptions {
 	if o.BuildWorkers <= 0 {
 		o.BuildWorkers = runtime.NumCPU()
+	}
+	if o.AdaptiveCutoff <= 0 {
+		o.AdaptiveCutoff = 32
 	}
 	return o
 }
@@ -94,14 +112,32 @@ type shard struct {
 // k spatial shards, builds one backend instance per shard in parallel,
 // and answers queries by merging per-shard answers with distance-based
 // shard pruning (see plan.go). It implements Index, so it composes with
-// the batch/cache/serve machinery exactly like a monolithic backend.
+// the batch/cache/serve machinery exactly like a monolithic backend;
+// it additionally implements Mutable (see dynamic.go), so a built index
+// accepts Insert/Delete with incremental shard rebalancing.
 type ShardedIndex struct {
 	name    string
+	backend Backend // empty for factory-built (auto) wrappers
 	factory func(*Dataset) (Index, error)
 	metric  qmetric
 	opt     ShardOptions
+	bopt    BuildOptions
 
-	ds     *Dataset
+	// mu is the mutation epoch lock: queries hold it shared, Insert and
+	// Delete exclusively, so every query observes a consistent epoch —
+	// never a half-applied mutation or mid-rebalance shard list.
+	mu     sync.RWMutex
+	epoch  uint64
+	target int // per-shard size target, fixed at Build (⌈n/k⌉)
+	// broken poisons the index after a mutation failed mid-rebuild: the
+	// dataset and id remap were already updated, so shard backends no
+	// longer agree with the global numbering and every answer would be
+	// silently wrong. Queries and further mutations return this error.
+	broken error
+
+	ds    *Dataset
+	owned bool // ds views are private copies (first mutation clones)
+
 	shards []*shard
 	caps   Capability
 	n      int
@@ -117,9 +153,11 @@ func NewSharded(b Backend, bopt BuildOptions, sopt ShardOptions) (*ShardedIndex,
 	}
 	return &ShardedIndex{
 		name:    string(b),
+		backend: b,
 		factory: func(sub *Dataset) (Index, error) { return Build(b, sub, bopt) },
 		metric:  metricFor(b),
 		opt:     sopt.withDefaults(),
+		bopt:    bopt,
 	}, nil
 }
 
@@ -153,10 +191,19 @@ func (sx *ShardedIndex) Name() string {
 
 // Capabilities implements Index: the intersection of the capabilities of
 // the built shards (empty shards constrain nothing).
-func (sx *ShardedIndex) Capabilities() Capability { return sx.caps }
+func (sx *ShardedIndex) Capabilities() Capability {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	return sx.caps
+}
 
-// Shards returns the number of shards (including empty ones).
-func (sx *ShardedIndex) Shards() int { return len(sx.shards) }
+// Shards returns the current number of shards (including empty ones);
+// the count changes as the dynamic layer splits and merges.
+func (sx *ShardedIndex) Shards() int {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	return len(sx.shards)
+}
 
 // shardSizes reports the per-shard item counts (diagnostics and tests).
 func (sx *ShardedIndex) shardSizes() []int {
@@ -317,6 +364,10 @@ func (sx *ShardedIndex) Build(ds *Dataset) error {
 	}
 	sx.ds = ds
 	sx.n = n
+	sx.target = (n + sx.opt.Shards - 1) / sx.opt.Shards
+	if sx.target < 1 {
+		sx.target = 1
+	}
 	groups := partition(ds, sx.opt.Shards, sx.opt.Split)
 	sx.shards = make([]*shard, len(groups))
 	for si, ids := range groups {
@@ -346,7 +397,7 @@ func (sx *ShardedIndex) Build(ds *Dataset) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ix, err := sx.factory(s.sub)
+			ix, err := sx.shardFactory(s.sub)
 			if err != nil {
 				mu.Lock()
 				if berr == nil {
@@ -362,7 +413,20 @@ func (sx *ShardedIndex) Build(ds *Dataset) error {
 	if berr != nil {
 		return berr
 	}
+	if !sx.recomputeCaps() {
+		return fmt.Errorf("sharded(%s): no shard could be built", sx.name)
+	}
+	return nil
+}
 
+// recomputeCaps refreshes the capability intersection over the built
+// shards, reporting whether at least one shard is built. The dynamic
+// layer calls it after every mutation; for named backends the result
+// is additionally clamped to the configured backend's capability set,
+// so adaptive swaps (a brute-only interlude can answer MORE kinds than
+// the configured two-stage) never let the reported set grow and then
+// shrink back mid-stream.
+func (sx *ShardedIndex) recomputeCaps() bool {
 	sx.caps = CapNonzero | CapProbs | CapExpected
 	built := 0
 	for _, s := range sx.shards {
@@ -372,7 +436,10 @@ func (sx *ShardedIndex) Build(ds *Dataset) error {
 		}
 	}
 	if built == 0 {
-		return fmt.Errorf("sharded(%s): no shard could be built", sx.name)
+		sx.caps = 0
 	}
-	return nil
+	if sx.backend != "" {
+		sx.caps &= staticCaps(sx.backend, sx.ds)
+	}
+	return built > 0
 }

@@ -13,6 +13,7 @@ import (
 	"unn/internal/engine"
 	"unn/internal/geom"
 	"unn/internal/lmetric"
+	"unn/internal/uncertain"
 )
 
 // randomSquares draws n random L∞ balls (shared by the lmetric backends).
@@ -49,6 +50,14 @@ type BenchRecord struct {
 	// CacheHitRate is the striped-LRU hit rate (hits / lookups, 0–1) on
 	// the hotspot serving workload with quantized cache keys.
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// MutateNsOp is the amortized per-mutation cost (insert/delete with
+	// incremental rebalancing) on the E18 streaming workload; 0 outside
+	// E18.
+	MutateNsOp float64 `json:"mutate_ns_op,omitempty"`
+	// RebuildNsOp is the E18 baseline: the cost of rebuilding the whole
+	// sharded index from scratch, i.e. what one mutation would cost
+	// without the dynamic layer; 0 outside E18.
+	RebuildNsOp float64 `json:"rebuild_ns_op,omitempty"`
 }
 
 // WriteBenchJSON renders records as indented JSON (the BENCH_engine.json
@@ -315,6 +324,116 @@ func ShardBench(opt Options) ([]BenchRecord, *Table) {
 // E17Shard is the Table-only driver registered in All.
 func E17Shard(opt Options) *Table {
 	_, t := ShardBench(opt)
+	return t
+}
+
+// StreamBench (E18) measures the dynamic shard layer on a streaming
+// workload: a sharded brute index absorbs interleaved Insert/Delete
+// (with queries running between mutations, as a serving stream would)
+// and the amortized per-mutation cost is compared against the
+// full-rebuild baseline — partitioning and rebuilding every shard from
+// scratch, which is what each mutation would cost without the dynamic
+// layer. The acceptance criterion of the dynamic-shard PR is amortized
+// mutation cost ≥5× cheaper than a full rebuild at n ≥ 10k.
+func StreamBench(opt Options) ([]BenchRecord, *Table) {
+	t := &Table{
+		ID:     "E18",
+		Title:  "dynamic shard layer: streaming insert/delete vs full rebuild",
+		Claim:  "incremental rebalancing amortizes ≥5× below full rebuild per mutation",
+		Header: []string{"n", "shards", "muts", "mutateOp", "rebuildOp", "amortization", "queryOp"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n, muts, rebuilds := 10000, 512, 8
+	if opt.Quick {
+		n, muts, rebuilds = 2000, 128, 4
+	}
+	side := float64(n)
+	const k = 16
+	pool := constructions.RandomDiscrete(rng, n+(muts+1)/2, 2, side, 2.0, 1)
+	live := append([]*uncertain.Discrete(nil), pool[:n]...)
+	sx, err := engine.NewSharded(engine.BackendBrute, engine.BuildOptions{},
+		engine.ShardOptions{Shards: k})
+	if err != nil {
+		t.Note("%v", err)
+		return nil, t
+	}
+	if err := sx.Build(engine.FromDiscrete(append([]*uncertain.Discrete(nil), live...))); err != nil {
+		t.Note("%v", err)
+		return nil, t
+	}
+	eng := engine.NewEngine(sx, engine.Options{})
+	qs := make([]geom.Point, 256)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+
+	var mutTotal, queryTotal time.Duration
+	next := n
+	var mutErr error
+	for m := 0; m < muts && mutErr == nil; m++ {
+		if m%2 == 0 {
+			p := pool[next]
+			next++
+			mutTotal += timeIt(func() { _, mutErr = eng.Insert(engine.Item{Point: p}) })
+			live = append(live, p)
+		} else {
+			di := rng.Intn(len(live))
+			mutTotal += timeIt(func() { mutErr = eng.Delete(di) })
+			live = append(live[:di], live[di+1:]...)
+		}
+		q := qs[m%len(qs)]
+		queryTotal += timeIt(func() {
+			if _, e := eng.QueryNonzero(q); e != nil && mutErr == nil {
+				mutErr = e
+			}
+		})
+	}
+	if mutErr != nil {
+		t.Note("stream: %v", mutErr)
+		return nil, t
+	}
+	mutatePer := mutTotal / time.Duration(muts)
+
+	// Baseline: a full sharded rebuild over the current survivors,
+	// sampled a few times (it is the expensive side).
+	var rebuildTotal time.Duration
+	for s := 0; s < rebuilds && mutErr == nil; s++ {
+		ds := engine.FromDiscrete(append([]*uncertain.Discrete(nil), live...))
+		rebuildTotal += timeIt(func() {
+			_, mutErr = engine.BuildSharded(engine.BackendBrute, ds, engine.BuildOptions{},
+				engine.ShardOptions{Shards: k})
+		})
+	}
+	if mutErr != nil {
+		t.Note("rebuild baseline: %v", mutErr)
+		return nil, t
+	}
+	rebuildPer := rebuildTotal / time.Duration(rebuilds)
+	amort := float64(rebuildPer) / float64(mutatePer)
+	queryPer := queryTotal / time.Duration(muts)
+
+	rec := BenchRecord{
+		Exp:         "E18",
+		Backend:     string(engine.BackendBrute),
+		N:           n,
+		Queries:     muts,
+		Workers:     eng.Workers(),
+		Shards:      k,
+		MutateNsOp:  float64(mutatePer.Nanoseconds()),
+		RebuildNsOp: float64(rebuildPer.Nanoseconds()),
+		QueryNsOp:   float64(queryPer.Nanoseconds()),
+	}
+	t.AddRow(itoa(n), fmt.Sprintf("%d→%d", k, sx.Shards()), itoa(muts), dtoa(mutatePer),
+		dtoa(rebuildPer), fmt.Sprintf("%.1fx", amort), dtoa(queryPer))
+	t.Note("mutateOp amortizes routing + owning-shard rebuild + split/merge rebalancing")
+	t.Note("rebuildOp re-partitions and rebuilds all shards — the no-dynamic-layer cost per mutation")
+	t.Note("shards column is configured→final: splits track the grown dataset")
+	return []BenchRecord{rec}, t
+}
+
+// E18Stream is the Table-only driver registered in All.
+func E18Stream(opt Options) *Table {
+	_, t := StreamBench(opt)
 	return t
 }
 

@@ -122,6 +122,7 @@ var All = []struct {
 	{"E15", "V≠0 construction time (Thm 2.5)", E15BuildScaling},
 	{"E16", "engine layer: all backends, single vs batch", E16Engine},
 	{"E17", "sharded engine: shard-scaling sweep, batch throughput", E17Shard},
+	{"E18", "dynamic shards: streaming insert/delete vs full rebuild", E18Stream},
 }
 
 // Lookup finds a driver by ID.

@@ -49,10 +49,30 @@
 // down without deadlocking. Per-query failures are reported in
 // Answer.Err and do not stop the stream.
 //
+// # Dynamic mutations
+//
+// A sharded handle is mutable: Handle.Insert / InsertSquare append an
+// uncertain point at index n, Handle.Delete(i) removes item i (indices
+// stay dense — later items shift down by one, like deleting from a
+// slice). Mutations route to the owning shard by centroid and rebuild
+// only that shard's backend; a shard drifting past 2× the per-shard
+// size target splits, one falling below ½× merges with its nearest
+// spatial neighbor, so a growing stream gains shards instead of
+// degrading them. Every mutation is serialized against in-flight
+// queries (reads see the index strictly before or after a mutation,
+// never mid-rebalance) and flushes the answer cache. On the Serve
+// stream the same mutations travel as OpInsert/OpDelete ops in
+// Query.Kind. Monolithic handles return ErrImmutable. With
+// WithShardAdaptive, rebuilds also pick each shard's backend by size:
+// small shards take the brute reference (cheap rebuilds under churn),
+// large ones the two-stage structure, whenever the swap preserves the
+// handle's capability set.
+//
 // The quickstart example under examples/quickstart exercises every
-// query type through the engine; DESIGN.md maps each theorem to its
-// implementation (and diagrams the sharded layer) and EXPERIMENTS.md
-// records the measured reproduction of every claim.
+// query type through the engine, and examples/streaming drives a live
+// fleet through the dynamic mutation API; DESIGN.md maps each theorem
+// to its implementation (and diagrams the sharded layer) and
+// EXPERIMENTS.md records the measured reproduction of every claim.
 package unn
 
 import (
@@ -187,12 +207,31 @@ const (
 // backend does not support.
 var ErrUnsupported = engine.ErrUnsupported
 
+// ErrImmutable is returned by Insert/Delete on a handle whose backend
+// does not support mutations (every monolithic backend; use WithShards
+// for a dynamic handle).
+var ErrImmutable = engine.ErrImmutable
+
 // ExpectedResult is one expected-distance batch answer.
 type ExpectedResult = engine.ExpectedResult
 
+// Item is one insertion payload for dynamic handles: exactly one field
+// set, matching the dataset kind (Point for Open/OpenDiscrete/OpenDisks
+// handles, Square for OpenSquares handles).
+type Item = engine.Item
+
+// OpInsert and OpDelete are the Serve-stream mutation ops: a Query
+// carrying one of them in Kind applies Handle.Insert / Handle.Delete
+// through the stream, serialized against in-flight queries.
+const (
+	OpInsert = engine.OpInsert
+	OpDelete = engine.OpDelete
+)
+
 // Query is one request on a Handle.Serve stream: a caller-assigned Seq
 // tag (echoed in the Answer), the query kind (exactly one capability
-// bit), the query point, and the accuracy knob for probability queries.
+// bit) or mutation op, the query point, and the accuracy knob for
+// probability queries (or the mutation payload).
 type Query = engine.Query
 
 // Answer is one completed Serve query; exactly one payload field (by
@@ -204,12 +243,13 @@ type Answer = engine.Answer
 type Option func(*openConfig)
 
 type openConfig struct {
-	backend   Backend
-	build     engine.BuildOptions
-	run       engine.Options
-	shard     engine.ShardOptions
-	shardsSet bool // WithShards given (its k must then be ≥ 1)
-	splitSet  bool // WithShardGrid given (meaningless without WithShards)
+	backend     Backend
+	build       engine.BuildOptions
+	run         engine.Options
+	shard       engine.ShardOptions
+	shardsSet   bool // WithShards given (its k must then be ≥ 1)
+	splitSet    bool // WithShardGrid given (meaningless without WithShards)
+	adaptiveSet bool // WithShardAdaptive given (meaningless without WithShards)
 }
 
 // WithBackend selects the index structure. Default BackendAuto.
@@ -240,6 +280,23 @@ func WithShardGrid() Option {
 	return func(c *openConfig) {
 		c.shard.Split = engine.SplitGrid
 		c.splitSet = true
+	}
+}
+
+// WithShardAdaptive enables per-shard backend choice on a sharded
+// handle: when a mutation (or the initial build) gives a shard at most
+// cutoff items (≤ 0 selects the default, 32), that shard runs the brute
+// reference backend — constant-time rebuilds under churn — while larger
+// shards run the two-stage structure of the dataset kind. Swaps happen
+// only when they preserve the handle's capability set — so under
+// BackendAuto (which already picks the full-capability reference) the
+// knob has no effect; pair it with an explicit NN≠0 backend such as
+// BackendTwoStageDiscrete or BackendTwoStageDisks. Requires WithShards.
+func WithShardAdaptive(cutoff int) Option {
+	return func(c *openConfig) {
+		c.shard.Adaptive = true
+		c.shard.AdaptiveCutoff = cutoff
+		c.adaptiveSet = true
 	}
 }
 
@@ -301,6 +358,46 @@ type Handle struct {
 	*engine.Engine
 }
 
+// Insert appends uncertain point p to a dynamic (sharded) handle and
+// returns its index, always the new Len-1: inserts append. The point
+// must match the dataset kind the handle was opened with (e.g. only
+// discrete points enter an OpenDiscrete handle — anything else would
+// silently shrink the capability set). Monolithic handles return
+// ErrImmutable. The mutation routes to the owning shard by centroid,
+// rebuilds only the shards the rebalancer touches, and flushes the
+// answer cache.
+func (h *Handle) Insert(p Uncertain) (int, error) {
+	return h.Engine.Insert(engine.Item{Point: p})
+}
+
+// InsertSquare is Insert for OpenSquares handles.
+func (h *Handle) InsertSquare(s Square) (int, error) {
+	return h.Engine.Insert(engine.Item{Square: &s})
+}
+
+// Delete removes item i from a dynamic (sharded) handle. Indices stay
+// dense: items above i shift down by one, exactly like deleting from a
+// slice. Deleting the last remaining item is rejected.
+func (h *Handle) Delete(i int) error { return h.Engine.Delete(i) }
+
+// Mutable reports whether the handle accepts Insert/Delete (true for
+// sharded handles, see WithShards).
+func (h *Handle) Mutable() bool { return h.Engine.Mutable() }
+
+// Epoch returns the number of mutations applied to a dynamic handle
+// (0 for monolithic ones).
+func (h *Handle) Epoch() uint64 { return h.Engine.Epoch() }
+
+// ShardCount returns the handle's current number of spatial shards —
+// it moves as the dynamic layer splits and merges — or 0 for a
+// monolithic handle.
+func (h *Handle) ShardCount() int {
+	if s, ok := h.Index().(interface{ Shards() int }); ok {
+		return s.Shards()
+	}
+	return 0
+}
+
 func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
 	cfg := openConfig{backend: BackendAuto}
 	for _, o := range opts {
@@ -311,6 +408,9 @@ func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
 	}
 	if cfg.splitSet && !cfg.shardsSet {
 		return nil, fmt.Errorf("unn: WithShardGrid requires WithShards(k) to enable sharding")
+	}
+	if cfg.adaptiveSet && !cfg.shardsSet {
+		return nil, fmt.Errorf("unn: WithShardAdaptive requires WithShards(k) to enable sharding")
 	}
 	var (
 		ix  engine.Index

@@ -292,3 +292,135 @@ func TestHandleEstimator(t *testing.T) {
 		}
 	}
 }
+
+// TestHandleDynamic drives the public mutation API: Insert/Delete on a
+// sharded handle track a freshly opened monolithic handle over the
+// surviving points, the shard count responds to growth, and the answer
+// cache never serves pre-mutation answers.
+func TestHandleDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xd1))
+	const side = 50.0
+	pool := testDiscretes(t, rng, 120, 2, side)
+	live := append([]*unn.Discrete(nil), pool[:20]...)
+	h, err := unn.OpenDiscrete(live, unn.WithShards(4), unn.WithCache(64, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Mutable() {
+		t.Fatal("sharded handle is not mutable")
+	}
+	before := h.ShardCount()
+	for _, p := range pool[20:] {
+		gi, err := h.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gi != len(live) {
+			t.Fatalf("Insert returned %d, want %d", gi, len(live))
+		}
+		live = append(live, p)
+	}
+	for i := 0; i < 30; i++ {
+		di := rng.Intn(len(live))
+		if err := h.Delete(di); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live[:di], live[di+1:]...)
+	}
+	if h.Epoch() != 130 {
+		t.Fatalf("epoch = %d, want 130", h.Epoch())
+	}
+	if after := h.ShardCount(); after <= before {
+		t.Fatalf("shard count did not grow under inserts (%d → %d)", before, after)
+	}
+	mono, err := unn.OpenDiscrete(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		q := unn.Pt(rng.Float64()*side, rng.Float64()*side)
+		want, _ := mono.QueryNonzero(q)
+		got, err := h.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+			t.Fatalf("q=%v: nonzero %v, want %v", q, got, want)
+		}
+		wi, wd, _ := mono.QueryExpected(q)
+		gi, gd, err := h.QueryExpected(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wi != gi || wd != gd {
+			t.Fatalf("q=%v: expected (%d,%v), want (%d,%v)", q, gi, gd, wi, wd)
+		}
+	}
+}
+
+// TestHandleImmutable: monolithic handles refuse mutations, and the
+// adaptive knob demands sharding.
+func TestHandleImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1a1))
+	pts := testDiscretes(t, rng, 8, 2, 20)
+	h, err := unn.OpenDiscrete(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Mutable() {
+		t.Fatal("monolithic handle reports Mutable")
+	}
+	if _, err := h.Insert(pts[0]); !errors.Is(err, unn.ErrImmutable) {
+		t.Fatalf("Insert err = %v, want ErrImmutable", err)
+	}
+	if err := h.Delete(0); !errors.Is(err, unn.ErrImmutable) {
+		t.Fatalf("Delete err = %v, want ErrImmutable", err)
+	}
+	if h.ShardCount() != 0 {
+		t.Fatalf("monolithic ShardCount = %d, want 0", h.ShardCount())
+	}
+	if _, err := unn.OpenDiscrete(pts, unn.WithShardAdaptive(8)); err == nil {
+		t.Fatal("WithShardAdaptive without WithShards was accepted")
+	}
+}
+
+// TestOpenSquaresShardedProbs is the regression for the squares-only
+// sharded merge: QueryProbs on an OpenSquares handle with WithShards
+// must answer ErrUnsupported (no squares backend quantifies) — it used
+// to panic on the dataset's absent Points view. Mutations keep working.
+func TestOpenSquaresShardedProbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5c))
+	squares := make([]unn.Square, 12)
+	for i := range squares {
+		squares[i] = unn.Square{C: unn.Pt(rng.Float64()*30, rng.Float64()*30), R: 0.4 + rng.Float64()}
+	}
+	h, err := unn.OpenSquares(squares, unn.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.QueryProbs(unn.Pt(5, 5), 0); !errors.Is(err, unn.ErrUnsupported) {
+		t.Fatalf("QueryProbs err = %v, want ErrUnsupported", err)
+	}
+	extra := unn.Square{C: unn.Pt(31, 31), R: 0.5}
+	if _, err := h.InsertSquare(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	mono, err := unn.OpenSquares(append(squares[1:12:12], extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		q := unn.Pt(rng.Float64()*32, rng.Float64()*32)
+		want, _ := mono.QueryNonzero(q)
+		got, err := h.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+			t.Fatalf("q=%v: nonzero %v, want %v", q, got, want)
+		}
+	}
+}
