@@ -20,9 +20,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent machinery: the sharded execution layer, the
-# dynamic mutation path, and the async Serve stream.
+# dynamic mutation path, the async Serve stream, and the planner's
+# composite indexes (incl. the Stats latency counters batch workers hit).
 race:
-	$(GO) test -race ./internal/engine -run 'Shard|Serve|Batch|Dynamic'
+	$(GO) test -race ./internal/engine -run 'Shard|Serve|Batch|Dynamic|Planner|Planned|Stats'
 
 # Engine benchmarks: parallel batch vs sequential, sharded vs unsharded.
 bench:
@@ -30,14 +31,15 @@ bench:
 		-bench 'EngineBatch|EngineSequential|ShardedBatch|UnshardedBatch' -benchtime 5x
 
 # Machine-readable perf trajectory: one JSON record per backend/size
-# (E16) plus the shard-scaling (E17) and streaming-mutation (E18)
-# sweeps.
+# (E16) plus the shard-scaling (E17), streaming-mutation (E18) and
+# planner-vs-auto (E19) sweeps.
 bench-json:
 	$(GO) run ./cmd/unnbench -quick -json BENCH_engine.json >/dev/null
 
 # Compare the fresh BENCH_engine.json against a previous run's artifact
 # (OLD=path, fetched by CI from the last uploaded BENCH_engine), warning
-# on >20% regressions in the E17/E18 throughput metrics.
+# on >20% regressions in the E17/E18/E19 throughput metrics — and, within
+# the fresh file, on the E19 planner dropping below the rule-based auto.
 OLD ?= prev/BENCH_engine.json
 benchdiff:
 	@if [ -f "$(OLD)" ]; then \

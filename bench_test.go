@@ -318,9 +318,52 @@ func BenchmarkE18_DynamicMutation_n2000_k16(b *testing.B) {
 	}
 }
 
+// BenchmarkE19_PlannerMixed measures the cost-based planner's composite
+// on the E19 mixed workload (NN≠0 / π / E[d] interleaved) — the
+// counterpart of the rule-based-auto baseline below it.
+func BenchmarkE19_PlannerMixed_n2000(b *testing.B) {
+	benchmarkE19(b, true)
+}
+
+// BenchmarkE19_AutoMixed is the rule-based auto router on the same
+// mixed workload (the E19 baseline).
+func BenchmarkE19_AutoMixed_n2000(b *testing.B) {
+	benchmarkE19(b, false)
+}
+
+func benchmarkE19(b *testing.B, planner bool) {
+	rng := rand.New(rand.NewSource(0xe19))
+	pts := constructions.RandomDiscrete(rng, 2000, 3, 20000, 2.0, 1)
+	opts := []unn.Option{}
+	if planner {
+		opts = append(opts, unn.WithPlanner())
+	}
+	h, err := unn.OpenDiscrete(pts, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(96, 20000, 0xe19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for qi, q := range qs {
+			switch qi % 3 {
+			case 0:
+				_, err = h.QueryNonzero(q)
+			case 1:
+				_, err = h.QueryProbs(q, 0)
+			default:
+				_, _, err = h.QueryExpected(q)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 18 {
+	if len(experiments.All) != 19 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }

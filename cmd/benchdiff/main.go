@@ -6,14 +6,18 @@
 // Usage:
 //
 //	benchdiff -old prev/BENCH_engine.json -new BENCH_engine.json
-//	benchdiff -threshold 0.2 -exp E17,E18 -fail ...
+//	benchdiff -threshold 0.2 -exp E17,E18,E19 -fail ...
 //
 // Records are matched by (exp, backend, n, shards); within a matched
 // pair every populated per-op cost (query_ns_op, batch_ns_op,
 // mutate_ns_op, rebuild_ns_op) is compared, and a metric that slowed by
-// more than the threshold (default 20%) prints a WARN line. Benchmark
-// noise makes hard failures counterproductive, so the exit status stays
-// 0 unless -fail is given.
+// more than the threshold (default 20%) prints a WARN line. The E19
+// planner sweep additionally gets an intra-run invariant: the
+// cost-based planner's mixed-workload throughput must not fall below
+// the rule-based auto's in the *new* file (a planner that plans itself
+// slower than the rule it replaced is a calibration bug, whatever the
+// previous run did). Benchmark noise makes hard failures
+// counterproductive, so the exit status stays 0 unless -fail is given.
 package main
 
 import (
@@ -54,7 +58,7 @@ func main() {
 		oldPath   = flag.String("old", "", "previous BENCH_engine.json (the baseline)")
 		newPath   = flag.String("new", "BENCH_engine.json", "fresh BENCH_engine.json")
 		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
-		exps      = flag.String("exp", "E17,E18", "comma-separated experiments to compare")
+		exps      = flag.String("exp", "E17,E18,E19", "comma-separated experiments to compare")
 		failFlag  = flag.Bool("fail", false, "exit non-zero when regressions are found")
 	)
 	flag.Parse()
@@ -108,11 +112,50 @@ func main() {
 			}
 		}
 	}
+	if want["E19"] {
+		regressions += checkPlannerInvariant(newRecs, *threshold)
+	}
 	fmt.Printf("benchdiff: %d metrics compared, %d regressions beyond %.0f%% (%s)\n",
 		compared, regressions, 100**threshold, *exps)
 	if *failFlag && regressions > 0 {
 		os.Exit(1)
 	}
+}
+
+// checkPlannerInvariant warns when the fresh E19 sweep shows the
+// cost-based planner's mixed-workload latency more than the noise
+// threshold above the rule-based auto's at the same instance size — the
+// planner exists to beat that baseline, so falling below it means the
+// calibration mispriced a backend. Gated on E19 being in the -exp
+// scope and slackened by -threshold, like every other comparison.
+// Returns the number of violations (counted as regressions).
+func checkPlannerInvariant(recs map[key]experiments.BenchRecord, threshold float64) int {
+	autos := map[int]experiments.BenchRecord{}
+	planners := map[int]experiments.BenchRecord{}
+	for k, r := range recs {
+		if !strings.EqualFold(k.exp, "E19") {
+			continue
+		}
+		switch k.backend {
+		case "auto":
+			autos[k.n] = r
+		case "planner":
+			planners[k.n] = r
+		}
+	}
+	violations := 0
+	for n, pr := range planners {
+		ar, ok := autos[n]
+		if !ok || ar.QueryNsOp <= 0 || pr.QueryNsOp <= 0 {
+			continue
+		}
+		if pr.QueryNsOp > ar.QueryNsOp*(1+threshold) {
+			violations++
+			fmt.Printf("WARN: E19 n=%d planner mixed throughput below rule-based auto (%.0fns vs %.0fns per query; plan %s)\n",
+				n, pr.QueryNsOp, ar.QueryNsOp, pr.Plan)
+		}
+	}
+	return violations
 }
 
 func fatal(err error) {

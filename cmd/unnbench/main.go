@@ -17,16 +17,20 @@
 // sharded execution layer at k ∈ {0,1,2,4,8,NumCPU}, the streaming
 // sweep (E18) runs interleaved insert/delete/query against the dynamic
 // shard layer (amortized mutation cost vs the full-rebuild baseline),
-// and records of the form
+// the planner sweep (E19) pits the cost-based query planner against the
+// rule-based auto router on a mixed NN≠0/π/E[d] workload, and records
+// of the form
 //
 //	{"backend": "montecarlo", "n": 1000, "queries": 256, "workers": 8,
 //	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...,
-//	 "shards": ..., "cache_hit_rate": ..., "mutate_ns_op": ...,
-//	 "rebuild_ns_op": ...}
+//	 "shards": ..., "cache_hit_rate": ..., "cache_quantum": ...,
+//	 "mutate_ns_op": ..., "rebuild_ns_op": ..., "plan": ...}
 //
 // are written to the given path (conventionally BENCH_engine.json),
 // alongside the usual tables on stdout. cmd/benchdiff compares two such
-// files and flags throughput regressions across runs.
+// files and flags throughput regressions across runs (including the
+// planner falling behind the rule-based auto), and the same file doubles
+// as the planner's calibration table (unn.WithCalibration).
 package main
 
 import (
@@ -72,6 +76,11 @@ func main() {
 			fatal(err)
 		}
 		recs = append(recs, streamRecs...)
+		planRecs, planTab := experiments.PlannerBench(opt)
+		if _, err := planTab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		recs = append(recs, planRecs...)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

@@ -114,6 +114,13 @@ func main() {
 	for i, ans := range batch {
 		fmt.Printf("  %v -> %v\n", customers[i], ans)
 	}
+
+	// 8. The cost-based planner: instead of one backend for everything,
+	// each query kind gets its cheapest capable structure (calibrated at
+	// build time); Explain shows the decision and its estimates.
+	planned, err := unn.OpenDiscrete(pts, unn.WithPlanner())
+	check(err)
+	fmt.Printf("\ncost-based planner handle: backend=%s\n%s", planned.Backend(), planned.Explain())
 }
 
 func check(err error) {

@@ -107,6 +107,11 @@ func (l *Locator) EdgesInSlab(s int) []int { return l.slabs[s] }
 // MidX returns the x-coordinate of the middle of slab s.
 func (l *Locator) MidX(s int) float64 { return (l.xs[s] + l.xs[s+1]) / 2 }
 
+// SlabWidth returns the width of slab s — the horizontal extent of every
+// cell fragment the slab holds (consumers deriving cell-extent bounds,
+// e.g. the engine's adaptive cache quantum, read these).
+func (l *Locator) SlabWidth(s int) float64 { return l.xs[s+1] - l.xs[s] }
+
 // GapCount returns the number of vertical gaps in slab s (edges + 1).
 func (l *Locator) GapCount(s int) int { return len(l.slabs[s]) + 1 }
 

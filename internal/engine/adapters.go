@@ -148,6 +148,30 @@ func (ix *diagramIndex) QueryNonzero(q geom.Point) ([]int, error) {
 	return ix.diag.Query(q), nil
 }
 
+// QuantumHint derives the adaptive cache quantum from the built
+// diagram's cell extents: inside a vertical slab the answer is constant
+// per gap, so slab width lower-bounds the horizontal extent of every
+// cell fragment. The hint is the robust minimum of the slab widths
+// (robustMin) — the literal minimum degenerates to slivers where
+// arrangement vertices nearly coincide, which would disable answer
+// sharing entirely.
+func (ix *diagramIndex) QuantumHint() float64 {
+	loc := ix.diag.Loc
+	if loc == nil || loc.SlabCount() == 0 {
+		return 0
+	}
+	ws := make([]float64, 0, loc.SlabCount())
+	for s := 0; s < loc.SlabCount(); s++ {
+		if w := loc.SlabWidth(s); w > 0 {
+			ws = append(ws, w)
+		}
+	}
+	if w := robustMin(ws); !math.IsInf(w, 1) {
+		return w
+	}
+	return 0
+}
+
 // --- two-stage structures (Thms 3.1/3.2) ------------------------------------
 
 type twoStageDisksIndex struct {

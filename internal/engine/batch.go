@@ -3,8 +3,10 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unn/internal/geom"
 	"unn/internal/quantify"
@@ -23,7 +25,13 @@ type Options struct {
 	// CacheQuantum is the grid step used to quantize query points into
 	// cache keys: queries within the same quantum cell share an answer.
 	// Default 0: keys are the exact float bit patterns, so only repeated
-	// identical queries hit.
+	// identical queries hit. A negative value selects the adaptive
+	// quantum: the built index's own cell-extent hint (the V≠0 diagram
+	// reports a robust minimum of its slab widths, sharded and composite
+	// indexes the finest hint of their parts, everything else the
+	// dataset's centroid-spacing estimate), so answer sharing tracks the
+	// granularity at which the answer actually changes instead of a
+	// hand-tuned knob.
 	CacheQuantum float64
 	// ServeBuffer is the capacity of the answer channel returned by
 	// Serve — the backpressure window of the stream. Default 2×Workers.
@@ -45,17 +53,80 @@ func (o Options) withDefaults() Options {
 // Returned slices may be shared with the answer cache (and with other
 // callers that hit the same cache entry); treat them as read-only.
 type Engine struct {
-	ix    Index
-	opt   Options
-	cache *cache
+	ix      Index
+	opt     Options
+	cache   *cache
+	quantum float64 // effective cache quantum (resolved from the hint when adaptive)
+	stats   engineStats
+}
+
+// engineStats is the per-query-kind latency record: every single query
+// (and therefore every batch slot and Serve completion, which funnel
+// through the single-query path) adds its wall time to its kind's
+// counters. The counters are the measured side of the cost model —
+// Stats exposes them and ObserveInto folds them back into a CostModel.
+type engineStats struct {
+	count [3]atomic.Uint64
+	ns    [3]atomic.Uint64
+}
+
+func kindSlot(kind Capability) int {
+	switch kind {
+	case CapNonzero:
+		return 0
+	case CapProbs:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (s *engineStats) record(kind Capability, d time.Duration) {
+	i := kindSlot(kind)
+	s.count[i].Add(1)
+	s.ns[i].Add(uint64(d.Nanoseconds()))
+}
+
+// KindStats is the latency record of one query kind.
+type KindStats struct {
+	Count   uint64
+	TotalNs uint64
+}
+
+// MeanNs returns the mean per-query latency (0 when no queries ran).
+func (k KindStats) MeanNs() float64 {
+	if k.Count == 0 {
+		return 0
+	}
+	return float64(k.TotalNs) / float64(k.Count)
+}
+
+// Stats is a snapshot of an Engine's counters: per-kind query latencies,
+// cache traffic, and the effective cache quantum.
+type Stats struct {
+	Nonzero      KindStats
+	Probs        KindStats
+	Expected     KindStats
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheQuantum float64
 }
 
 // NewEngine wraps a built Index.
 func NewEngine(ix Index, opt Options) *Engine {
 	opt = opt.withDefaults()
 	e := &Engine{ix: ix, opt: opt}
+	e.quantum = opt.CacheQuantum
+	if e.quantum < 0 {
+		e.quantum = 0
+		if h, ok := ix.(quantumHinter); ok {
+			if q := h.QuantumHint(); q > 0 {
+				e.quantum = q
+			}
+		}
+	}
 	if opt.CacheSize > 0 {
-		e.cache = newCache(opt.CacheSize, opt.CacheQuantum)
+		e.cache = newCache(opt.CacheSize, e.quantum)
 	}
 	return e
 }
@@ -81,6 +152,100 @@ func (e *Engine) CacheStats() (hits, misses uint64) {
 	return e.cache.stats()
 }
 
+// CacheQuantum returns the effective cache quantum: the configured knob,
+// or the resolved adaptive hint when Options.CacheQuantum was negative.
+func (e *Engine) CacheQuantum() float64 { return e.quantum }
+
+// Stats snapshots the engine's per-query-kind latency counters and
+// cache traffic. Latencies include cache hits — they are the serving
+// latencies a client observes, which is exactly what the planner's cost
+// model wants to track.
+func (e *Engine) Stats() Stats {
+	s := Stats{CacheQuantum: e.quantum}
+	read := func(i int) KindStats {
+		return KindStats{Count: e.stats.count[i].Load(), TotalNs: e.stats.ns[i].Load()}
+	}
+	s.Nonzero, s.Probs, s.Expected = read(0), read(1), read(2)
+	s.CacheHits, s.CacheMisses = e.CacheStats()
+	return s
+}
+
+// ObserveInto folds the measured per-kind latencies back into a cost
+// model — the feedback loop from serving traffic to planning. The
+// backend attributed per kind is read from the wrapped index (composite
+// indexes report their per-kind part); kinds with no recorded queries,
+// or whose serving backend is not a plain named backend (e.g. a sharded
+// fleet), are skipped.
+func (e *Engine) ObserveInto(model *CostModel) {
+	n := 0
+	if l, ok := e.ix.(interface{ Len() int }); ok {
+		n = l.Len()
+	}
+	if n <= 0 {
+		return
+	}
+	st := e.Stats()
+	for _, kb := range []struct {
+		kind Capability
+		ks   KindStats
+	}{{CapNonzero, st.Nonzero}, {CapProbs, st.Probs}, {CapExpected, st.Expected}} {
+		if kb.ks.Count == 0 {
+			continue
+		}
+		b, ok := e.kindBackend(kb.kind)
+		if !ok {
+			continue
+		}
+		model.Observe(b, queryOp(kb.kind), n, kb.ks.MeanNs())
+	}
+}
+
+// kindBackend resolves which named backend serves kind: composites
+// (planned, routed) report their part, plain adapters their own name.
+func (e *Engine) kindBackend(kind Capability) (Backend, bool) {
+	ix := e.ix
+	if h, ok := ix.(hintedIndex); ok {
+		ix = h.Index
+	}
+	if kb, ok := ix.(interface {
+		kindBackend(Capability) (Backend, bool)
+	}); ok {
+		return kb.kindBackend(kind)
+	}
+	name := Backend(ix.Name())
+	for _, b := range Backends() {
+		if b == name {
+			return b, ix.Capabilities().Has(kind)
+		}
+	}
+	return "", false
+}
+
+// Explain describes how this engine answers each query kind: the
+// planner's decision (with cost estimates) for planned indexes, the
+// routing rule for composites, shard assignments for sharded fleets, and
+// a capability summary for plain backends.
+func (e *Engine) Explain() string {
+	if ex, ok := e.ix.(interface{ Explain() string }); ok {
+		return ex.Explain()
+	}
+	ix := e.ix
+	if h, ok := ix.(hintedIndex); ok {
+		if ex, ok := h.Index.(interface{ Explain() string }); ok {
+			return ex.Explain()
+		}
+		ix = h.Index
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "backend %s: all kinds served directly\n", ix.Name())
+	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+		if ix.Capabilities().Has(kind) {
+			fmt.Fprintf(&sb, "  %-8s → %s\n", kind, ix.Name())
+		}
+	}
+	return sb.String()
+}
+
 // check returns ErrUnsupported early so callers get a uniform
 // capability error even for backends whose support depends on the
 // dataset.
@@ -96,6 +261,7 @@ func (e *Engine) QueryNonzero(q geom.Point) ([]int, error) {
 	if err := e.check(CapNonzero); err != nil {
 		return nil, err
 	}
+	defer func(t0 time.Time) { e.stats.record(CapNonzero, time.Since(t0)) }(time.Now())
 	var gen uint64
 	if e.cache != nil {
 		gen = e.cache.generation()
@@ -116,6 +282,7 @@ func (e *Engine) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, error) 
 	if err := e.check(CapProbs); err != nil {
 		return nil, err
 	}
+	defer func(t0 time.Time) { e.stats.record(CapProbs, time.Since(t0)) }(time.Now())
 	var gen uint64
 	if e.cache != nil {
 		gen = e.cache.generation()
@@ -136,6 +303,7 @@ func (e *Engine) QueryExpected(q geom.Point) (int, float64, error) {
 	if err := e.check(CapExpected); err != nil {
 		return -1, 0, err
 	}
+	defer func(t0 time.Time) { e.stats.record(CapExpected, time.Since(t0)) }(time.Now())
 	var gen uint64
 	if e.cache != nil {
 		gen = e.cache.generation()

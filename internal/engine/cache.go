@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -16,6 +17,74 @@ const (
 	kindProbs
 	kindExpected
 )
+
+// quantumHinter is the optional interface a built index implements to
+// suggest a cache quantum: the minimum spatial extent over which its
+// answer can be assumed constant (the exact structures are piecewise
+// constant on their diagram cells). The engine consults it when
+// Options.CacheQuantum < 0 (adaptive).
+type quantumHinter interface {
+	QuantumHint() float64
+}
+
+// autoQuantum estimates a cache quantum from the dataset alone: the
+// answer cells of every structure here are carved by the uncertainty
+// regions, so their extent tracks the spacing between region centroids.
+// The estimate is a robust minimum (robustMin over the adjacent
+// spacings along x and y, halved) — the literal minimum degenerates to
+// slivers under near-duplicate points and would disable sharing
+// entirely.
+// Backends with real cell geometry (the V≠0 diagram) override this with
+// measured cell extents via quantumHinter.
+func autoQuantum(ds *Dataset) float64 {
+	n := ds.N()
+	if n < 2 {
+		return 0
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := centroid(ds, i)
+		xs[i], ys[i] = c.X, c.Y
+	}
+	gx := robustMinGap(xs)
+	gy := robustMinGap(ys)
+	g := math.Min(gx, gy)
+	if math.IsInf(g, 1) || g <= 0 {
+		return 0
+	}
+	return g / 2
+}
+
+// robustMinGap returns the robust-minimum positive gap between
+// consecutive sorted values, +Inf when every value coincides.
+func robustMinGap(vs []float64) float64 {
+	sort.Float64s(vs)
+	gaps := vs[:0]
+	for i := 1; i < len(vs); i++ {
+		if d := vs[i] - vs[i-1]; d > 0 {
+			gaps = append(gaps, d)
+		}
+	}
+	return robustMin(gaps)
+}
+
+// robustMin is the robust minimum of a sample: the 10th-percentile
+// value, but never the literal smallest when a second value exists —
+// one near-degenerate sliver (two almost-coincident centroids, a
+// hairline diagram slab) must not collapse the estimate. +Inf on an
+// empty sample. Destructive (sorts vs in place).
+func robustMin(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.Inf(1)
+	}
+	sort.Float64s(vs)
+	i := len(vs) / 10
+	if i == 0 && len(vs) > 1 {
+		i = 1
+	}
+	return vs[i]
+}
 
 // cacheKey identifies one answer: query kind, the quantized query
 // point, and (for probability queries) the accuracy knob.

@@ -1,0 +1,447 @@
+// The cost model behind the query planner: per-backend estimators of
+// build time and per-kind query time, seeded from the paper's own
+// asymptotics and calibrated to this machine — either by a micro-probe
+// at Build time (build a small sample instance per candidate backend and
+// time a handful of queries) or from a persisted BENCH_engine.json
+// calibration table written by `unnbench -json`.
+//
+// Every estimate is coefficient × term(n): the term is the theorem's
+// growth law (e.g. the Theorem 3.1/3.2 two-stage structures answer NN≠0
+// in O(log n + k) while the Lemma 2.1 oracle pays O(n) per query; the
+// Theorem 4.2 V_Pr diagram is exact but its construction grows so fast
+// that only toy instances afford it), and the coefficient is the
+// machine-specific constant the calibration recovers. The planner
+// (planner.go) only ever compares estimates, so the coefficients need to
+// be mutually consistent, not individually precise.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"unn/internal/geom"
+)
+
+// CostOp names one estimated operation of a backend.
+type CostOp uint8
+
+const (
+	// OpBuild is the one-time construction cost.
+	OpBuild CostOp = iota
+	// OpQueryNonzero is one NN≠0 query.
+	OpQueryNonzero
+	// OpQueryProbs is one quantification query.
+	OpQueryProbs
+	// OpQueryExpected is one expected-distance query.
+	OpQueryExpected
+)
+
+// String renders the op.
+func (op CostOp) String() string {
+	switch op {
+	case OpBuild:
+		return "build"
+	case OpQueryNonzero:
+		return "nonzero"
+	case OpQueryProbs:
+		return "probs"
+	case OpQueryExpected:
+		return "expected"
+	}
+	return "unknown"
+}
+
+// queryOp maps a capability bit to its query CostOp.
+func queryOp(kind Capability) CostOp {
+	switch kind {
+	case CapNonzero:
+		return OpQueryNonzero
+	case CapProbs:
+		return OpQueryProbs
+	default:
+		return OpQueryExpected
+	}
+}
+
+// CostKey indexes one calibrated coefficient.
+type CostKey struct {
+	Backend Backend
+	Op      CostOp
+}
+
+// Calibration maps (backend, op) to the nanosecond coefficient that
+// multiplies the asymptotic term. Missing entries fall back to the
+// seeded defaults.
+type Calibration map[CostKey]float64
+
+// term returns the asymptotic growth term of op for backend b at
+// instance size n — the paper's complexity separations, flattened to the
+// two-dimensional setting the library implements. lg is log₂(n+2) so
+// degenerate sizes stay positive.
+func term(b Backend, op CostOp, n int) float64 {
+	fn := float64(n)
+	lg := math.Log2(fn + 2)
+	if op == OpBuild {
+		switch b {
+		case BackendBrute:
+			return fn // store the input
+		case BackendDiagram:
+			return fn * fn * lg // arrangement + slab point location (§2)
+		case BackendVPr:
+			return fn * fn * fn * fn // Thm 4.2: complexity explodes; toy n only
+		case BackendMonteCarlo:
+			return fn // s instantiations of n points (s fixed by BuildOptions)
+		default:
+			return fn * lg // the near-linear structures (Thm 3.1/3.2, spiral, expected)
+		}
+	}
+	switch b {
+	case BackendBrute:
+		switch op {
+		case OpQueryNonzero, OpQueryExpected:
+			return fn // Lemma 2.1 oracle / linear E[d] scan
+		default:
+			return fn * fn // Eq. (2) sweep: N log N + N·n
+		}
+	case BackendMonteCarlo:
+		return lg // s point-location rounds (s in the coefficient)
+	default:
+		return lg // point location / two-stage / spiral prefix: O(log n + k)
+	}
+}
+
+// DefaultCalibration returns the seeded coefficients (nanoseconds per
+// term unit): rough constants measured once on a commodity core, good
+// enough to rank backends when no probe or table is available.
+func DefaultCalibration() Calibration {
+	c := Calibration{}
+	seed := func(b Backend, op CostOp, ns float64) { c[CostKey{b, op}] = ns }
+	for _, b := range Backends() {
+		seed(b, OpBuild, 500)
+		seed(b, OpQueryNonzero, 400)
+		seed(b, OpQueryProbs, 700)
+		seed(b, OpQueryExpected, 400)
+	}
+	seed(BackendBrute, OpBuild, 5)
+	seed(BackendBrute, OpQueryNonzero, 25)
+	seed(BackendBrute, OpQueryProbs, 12)
+	seed(BackendBrute, OpQueryExpected, 30)
+	seed(BackendDiagram, OpBuild, 60)
+	seed(BackendVPr, OpBuild, 800)
+	seed(BackendMonteCarlo, OpBuild, 3000) // × s instantiations
+	seed(BackendMonteCarlo, OpQueryProbs, 2500)
+	seed(BackendSpiral, OpQueryProbs, 3000)
+	return c
+}
+
+// CostModel estimates build and query costs. The zero value is unusable;
+// construct with NewCostModel.
+type CostModel struct {
+	coef Calibration
+}
+
+// NewCostModel returns a model over the given calibration; entries
+// missing from cal fall back to DefaultCalibration.
+func NewCostModel(cal Calibration) *CostModel {
+	coef := DefaultCalibration()
+	for k, v := range cal {
+		if v > 0 {
+			coef[k] = v
+		}
+	}
+	return &CostModel{coef: coef}
+}
+
+// BuildCost estimates the construction cost (ns) of backend b at size n.
+func (m *CostModel) BuildCost(b Backend, n int) float64 {
+	return m.coef[CostKey{b, OpBuild}] * term(b, OpBuild, n)
+}
+
+// QueryCost estimates one query of the given kind (ns) on backend b at
+// size n.
+func (m *CostModel) QueryCost(b Backend, kind Capability, n int) float64 {
+	op := queryOp(kind)
+	return m.coef[CostKey{b, op}] * term(b, op, n)
+}
+
+// Observe folds a measured per-op latency back into the model — the
+// feedback path from the engine's per-query-kind latency counters
+// (Engine.Stats) to the planner. The coefficient moves by an
+// equal-weight blend of its current value and the observation, so a
+// drifting workload recalibrates without a single outlier rewriting the
+// table.
+func (m *CostModel) Observe(b Backend, op CostOp, n int, measuredNs float64) {
+	t := term(b, op, n)
+	if t <= 0 || measuredNs <= 0 {
+		return
+	}
+	k := CostKey{b, op}
+	obs := measuredNs / t
+	if cur, ok := m.coef[k]; ok && cur > 0 {
+		m.coef[k] = (cur + obs) / 2
+		return
+	}
+	m.coef[k] = obs
+}
+
+// datasetCaps returns the query kinds backend b can answer for a dataset
+// of this shape, mirroring the adapters' Build preconditions and
+// dataset-dependent Capabilities — shared by the planner's candidacy
+// test, the adaptive-swap gate, and the sharded capability clamp.
+func datasetCaps(b Backend, ds *Dataset) Capability {
+	switch b {
+	case BackendBrute:
+		c := Capability(0)
+		if len(ds.Points) > 0 {
+			c |= CapNonzero
+		}
+		if ds.Discrete != nil {
+			c |= CapProbs | CapExpected
+		}
+		return c
+	case BackendDiagram:
+		if ds.Disks != nil || ds.Discrete != nil {
+			return CapNonzero
+		}
+	case BackendTwoStageDisks:
+		if ds.Disks != nil {
+			return CapNonzero
+		}
+	case BackendTwoStageDiscrete:
+		if ds.Discrete != nil {
+			return CapNonzero
+		}
+	case BackendVPr, BackendSpiral:
+		if ds.Discrete != nil {
+			return CapProbs
+		}
+	case BackendMonteCarlo:
+		if len(ds.Points) > 0 {
+			return CapProbs
+		}
+	case BackendExpected:
+		if ds.Discrete != nil {
+			return CapExpected
+		}
+	case BackendTwoStageLinf, BackendTwoStageL1:
+		if ds.Squares != nil {
+			return CapNonzero
+		}
+	}
+	return 0
+}
+
+// probeSize caps the sample size of the micro-probe per backend: the
+// structures whose construction grows super-linearly are probed on toy
+// instances (exactly the sizes their theorems afford).
+func probeSize(b Backend, n int) int {
+	cap := 160
+	switch b {
+	case BackendDiagram:
+		cap = 20
+	case BackendVPr:
+		cap = 5
+	}
+	if n < cap {
+		return n
+	}
+	return cap
+}
+
+// probeBBox bounds the probe's query window to the sample's support.
+func probeBBox(ds *Dataset) geom.Rect {
+	r := geom.EmptyRect()
+	for i, n := 0, ds.N(); i < n; i++ {
+		r = r.Union(itemBounds(ds, i))
+	}
+	return r
+}
+
+// Calibrate runs the micro-probe: for every candidate backend it builds
+// a small sample of ds (timed), answers a handful of queries per
+// supported kind (timed), and fits the coefficients. Backends whose
+// seeded estimate is hopeless at the dataset's real size (≥ 1000× the
+// best candidate's) are skipped — probing V_Pr at every Build would cost
+// more than it could ever inform.
+func Calibrate(ds *Dataset, bopt BuildOptions, candidates []Backend) Calibration {
+	base := NewCostModel(nil)
+	n := ds.N()
+	cal := Calibration{}
+	const probeQueries = 8
+	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+		best := math.Inf(1)
+		for _, b := range candidates {
+			if !datasetCaps(b, ds).Has(kind) {
+				continue
+			}
+			if c := base.QueryCost(b, kind, n) + base.BuildCost(b, n); c < best {
+				best = c
+			}
+		}
+		for _, b := range candidates {
+			if !datasetCaps(b, ds).Has(kind) {
+				continue
+			}
+			if base.QueryCost(b, kind, n)+base.BuildCost(b, n) > 1000*best {
+				continue
+			}
+			if _, done := cal[CostKey{b, OpBuild}]; done {
+				continue // already probed for an earlier kind
+			}
+			probeBackend(ds, bopt, b, probeQueries, cal)
+		}
+	}
+	return cal
+}
+
+// probeBackend builds one sampled instance of b and times its build and
+// one query burst per supported kind, writing the fitted coefficients
+// into cal.
+func probeBackend(ds *Dataset, bopt BuildOptions, b Backend, queries int, cal Calibration) {
+	m := probeSize(b, ds.N())
+	if m < 1 {
+		return
+	}
+	ids := make([]int, m)
+	stride := ds.N() / m
+	if stride < 1 {
+		stride = 1
+	}
+	for i := range ids {
+		ids[i] = i * stride
+	}
+	sub := subset(ds, ids)
+	t0 := time.Now()
+	ix, err := Build(b, sub, bopt)
+	buildNs := float64(time.Since(t0).Nanoseconds())
+	if err != nil {
+		return // not buildable on this dataset shape: never a candidate
+	}
+	if t := term(b, OpBuild, m); t > 0 {
+		cal[CostKey{b, OpBuild}] = math.Max(buildNs/t, 0.01)
+	}
+	box := probeBBox(sub)
+	rng := rand.New(rand.NewSource(0x9a0be))
+	qs := make([]geom.Point, queries)
+	for i := range qs {
+		qs[i] = geom.Pt(
+			box.Min.X+rng.Float64()*math.Max(box.Width(), 1),
+			box.Min.Y+rng.Float64()*math.Max(box.Height(), 1),
+		)
+	}
+	caps := ix.Capabilities()
+	timeKind := func(op CostOp, run func(geom.Point)) {
+		t0 := time.Now()
+		for _, q := range qs {
+			run(q)
+		}
+		per := float64(time.Since(t0).Nanoseconds()) / float64(len(qs))
+		if t := term(b, op, m); t > 0 {
+			cal[CostKey{b, op}] = math.Max(per/t, 0.01)
+		}
+	}
+	if caps.Has(CapNonzero) {
+		timeKind(OpQueryNonzero, func(q geom.Point) { ix.QueryNonzero(q) })
+	}
+	if caps.Has(CapProbs) {
+		timeKind(OpQueryProbs, func(q geom.Point) { ix.QueryProbs(q, 0) })
+	}
+	if caps.Has(CapExpected) {
+		timeKind(OpQueryExpected, func(q geom.Point) { ix.QueryExpected(q) })
+	}
+}
+
+// benchRecord is the subset of the unnbench -json schema the calibration
+// loader needs; the field names are the stable contract of
+// BENCH_engine.json.
+type benchRecord struct {
+	Exp       string  `json:"exp"`
+	Backend   string  `json:"backend"`
+	N         int     `json:"n"`
+	BuildNs   int64   `json:"build_ns"`
+	QueryNsOp float64 `json:"query_ns_op"`
+}
+
+// CalibrationFromJSON fits a calibration table from the raw bytes of a
+// BENCH_engine.json artifact: every E16 row contributes its backend's
+// build coefficient, and its single-query latency calibrates the kind
+// that sweep measures (the backend's first capability, mirroring the
+// E16 driver: NN≠0 when supported, else π, else E[d]). Rows of other
+// sweeps are ignored. Multiple rows per backend average their fits.
+func CalibrationFromJSON(data []byte) (Calibration, error) {
+	var recs []benchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("engine: calibration table: %w", err)
+	}
+	sums := map[CostKey]float64{}
+	counts := map[CostKey]int{}
+	add := func(k CostKey, coef float64) {
+		sums[k] += coef
+		counts[k]++
+	}
+	for _, r := range recs {
+		if r.Exp != "E16" || r.N <= 0 {
+			continue
+		}
+		b := Backend(r.Backend)
+		found := false
+		for _, known := range Backends() {
+			if b == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		if r.BuildNs > 0 {
+			if t := term(b, OpBuild, r.N); t > 0 {
+				add(CostKey{b, OpBuild}, float64(r.BuildNs)/t)
+			}
+		}
+		if r.QueryNsOp > 0 {
+			op := e16Op(b)
+			if t := term(b, op, r.N); t > 0 {
+				add(CostKey{b, op}, r.QueryNsOp/t)
+			}
+		}
+	}
+	cal := Calibration{}
+	for k, s := range sums {
+		cal[k] = s / float64(counts[k])
+	}
+	if len(cal) == 0 {
+		// A table without a single usable E16 row would silently hand the
+		// planner the seeded defaults while the caller believes it supplied
+		// measurements; callers that want defaults can just omit the table.
+		return nil, fmt.Errorf("engine: calibration table: no usable E16 records")
+	}
+	return cal, nil
+}
+
+// e16Op is the query kind the E16 sweep times for each backend: its
+// first capability in Nonzero → Probs → Expected order.
+func e16Op(b Backend) CostOp {
+	switch b {
+	case BackendVPr, BackendMonteCarlo, BackendSpiral:
+		return OpQueryProbs
+	case BackendExpected:
+		return OpQueryExpected
+	default:
+		return OpQueryNonzero
+	}
+}
+
+// LoadCalibration reads a BENCH_engine.json file into a calibration
+// table (see CalibrationFromJSON).
+func LoadCalibration(path string) (Calibration, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return CalibrationFromJSON(data)
+}

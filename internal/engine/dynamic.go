@@ -10,8 +10,12 @@
 // per-shard bounding boxes, and rebuild only the affected shards'
 // backends. A shard whose size drifts past 2× the per-shard target
 // splits in two (kd-median on its own centroids); one that falls below
-// ½× merges with its nearest spatial neighbor. Everything is serialized
-// against in-flight queries by the RWMutex epoch in ShardedIndex.
+// ½× merges with its nearest spatial neighbor. The target itself tracks
+// the live dataset: it is re-derived as ⌈n/k⌉ of the current size with
+// ±50% hysteresis (see retarget), so a stream that grows the dataset
+// 100× keeps about k shards of growing size instead of fragmenting into
+// 100× more shards than cores. Everything is serialized against
+// in-flight queries by the RWMutex epoch in ShardedIndex.
 package engine
 
 import (
@@ -127,6 +131,7 @@ func (sx *ShardedIndex) Insert(it Item) (int, error) {
 		}
 	}
 	sx.n++
+	sx.retarget()
 
 	si := sx.routeShard(centroid(sx.ds, gi))
 	s := sx.shards[si]
@@ -213,6 +218,7 @@ func (sx *ShardedIndex) Delete(i int) (int, error) {
 		}
 	}
 	sx.n--
+	shrunk := sx.retarget()
 
 	s := sx.shards[owner]
 	if len(s.ids) == 0 {
@@ -235,9 +241,61 @@ func (sx *ShardedIndex) Delete(i int) (int, error) {
 			return 0, sx.poison(err)
 		}
 	}
+	if shrunk {
+		// The size bound tightened for every shard, not just the mutated
+		// one; restore the ≤ 2×target invariant eagerly so queries never
+		// observe a shard the rebalancer has silently outgrown.
+		if err := sx.splitOversized(); err != nil {
+			return 0, sx.poison(err)
+		}
+	}
 	sx.epoch++
 	sx.recomputeCaps()
 	return sx.n, nil
+}
+
+// retarget tracks the per-shard size target against the live dataset
+// size: the ideal is ⌈n/k⌉ for the configured shard count k, and the
+// stored target snaps to it only when it drifts past ±50% (above 1.5×
+// or below ⅔× the current target). The hysteresis band keeps a stream
+// that hovers around one size from re-deriving the target — and
+// re-judging every shard — on each mutation, while a sustained trend
+// ratchets the target along with the data, so very long streams keep
+// about k shards instead of fragmenting (the target used to be frozen
+// at build time). Reports whether the target shrank, in which case the
+// caller must re-establish the ≤ 2×target bound (splitOversized).
+func (sx *ShardedIndex) retarget() (shrunk bool) {
+	k := sx.opt.Shards
+	if k < 1 {
+		k = 1
+	}
+	want := (sx.n + k - 1) / k
+	if want < 1 {
+		want = 1
+	}
+	switch {
+	case 2*want > 3*sx.target:
+		sx.target = want
+	case 3*want < 2*sx.target:
+		sx.target = want
+		return true
+	}
+	return false
+}
+
+// splitOversized restores the per-shard size invariant after the target
+// shrank: every shard beyond 2× the new target splits (repeatedly —
+// each split halves, so a shard sized against the old target settles in
+// O(log ratio) rounds).
+func (sx *ShardedIndex) splitOversized() error {
+	for si := 0; si < len(sx.shards); si++ {
+		for len(sx.shards[si].ids) > 2*sx.target {
+			if err := sx.splitShard(si); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // checkItem validates a mutation payload against the dataset kind.
@@ -314,33 +372,15 @@ func (sx *ShardedIndex) shardFactory(sub *Dataset) (Index, error) {
 	return sx.factory(sub)
 }
 
-// staticCaps is the capability set backend b reports for a dataset of
-// this shape (mirrors the adapters' Capabilities methods; used to rule
-// on adaptive swaps without building anything).
-func staticCaps(b Backend, ds *Dataset) Capability {
-	switch b {
-	case BackendBrute:
-		c := CapNonzero
-		if ds.Discrete != nil {
-			c |= CapProbs | CapExpected
-		}
-		return c
-	case BackendDiagram, BackendTwoStageDisks, BackendTwoStageDiscrete,
-		BackendTwoStageLinf, BackendTwoStageL1:
-		return CapNonzero
-	case BackendVPr, BackendMonteCarlo, BackendSpiral:
-		return CapProbs
-	case BackendExpected:
-		return CapExpected
-	}
-	return 0
-}
-
-// adaptiveBackend picks the per-shard backend: brute at or below the
-// cutoff (cheap rebuilds under churn), the kind's two-stage structure
-// above it. A swap is made only when the candidate's capability set
-// contains the configured backend's — capabilities may grow (their
-// intersection across shards is unchanged) but never shrink.
+// adaptiveBackend picks the per-shard backend under the legacy
+// WithShardAdaptive rule: brute at or below the cutoff (cheap rebuilds
+// under churn), the kind's two-stage structure above it. The cost-based
+// generalization is the per-shard planner (BuildPlanned re-plans every
+// shard at its own size); this fixed rule remains for handles that pin a
+// named backend. A swap is made only when the candidate's capability set
+// (datasetCaps, shared with the planner's candidacy test) contains the
+// configured backend's — capabilities may grow (their intersection
+// across shards is unchanged) but never shrink.
 func adaptiveBackend(conf Backend, sub *Dataset, cutoff int) (Backend, bool) {
 	var cand Backend
 	if sub.N() <= cutoff {
@@ -361,7 +401,7 @@ func adaptiveBackend(conf Backend, sub *Dataset, cutoff int) (Backend, bool) {
 	if cand == conf {
 		return "", false
 	}
-	if !staticCaps(cand, sub).Has(staticCaps(conf, sub)) {
+	if !datasetCaps(cand, sub).Has(datasetCaps(conf, sub)) {
 		return "", false
 	}
 	return cand, true

@@ -127,9 +127,11 @@ func TestDynamicParityRandomMutations(t *testing.T) {
 	}
 }
 
-// TestDynamicGrowShrink drives the shard count itself: sustained
-// inserts must split shards (count grows, sizes stay bounded), and
-// sustained deletes must merge them back.
+// TestDynamicGrowShrink drives the target tracking: the per-shard size
+// target follows ⌈n/k⌉ of the live dataset with hysteresis, so a 15×
+// growth keeps the shard count near the configured k (sizes grow with
+// the data) instead of fragmenting into 15× more shards, and shrinking
+// back ratchets the target — and the sizes — down again.
 func TestDynamicGrowShrink(t *testing.T) {
 	rng := rand.New(rand.NewSource(0x96aa))
 	const side = 120.0
@@ -137,25 +139,36 @@ func TestDynamicGrowShrink(t *testing.T) {
 	sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), pool[:16]...)),
 		ShardOptions{Shards: 4})
 	base := sx.Shards()
+	baseTarget := sx.target
 	for _, p := range pool[16:] {
 		if _, err := sx.Insert(Item{Point: p}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	checkSizeInvariant(t, sx, "after growth")
+	if sx.target <= baseTarget {
+		t.Fatalf("growing 16 → 240 items left the per-shard target at %d (was %d)", sx.target, baseTarget)
+	}
+	// ⌈240/4⌉ = 60; hysteresis holds the tracked target within ±50%.
+	if sx.target < 40 || sx.target > 90 {
+		t.Fatalf("target %d after growth, want ≈ 60 (hysteresis band [40, 90])", sx.target)
+	}
 	grown := sx.Shards()
-	if grown <= base {
-		t.Fatalf("240 inserts at target %d did not add shards (%d → %d)", sx.target, base, grown)
+	if grown < base || grown > 3*base {
+		t.Fatalf("15× growth moved shard count %d → %d, want near the configured %d", base, grown, base)
 	}
 	for sx.Len() > 8 {
 		if _, err := sx.Delete(rng.Intn(sx.Len())); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := sx.Shards(); got >= grown {
-		t.Fatalf("shrinking to 8 items kept %d shards (was %d)", got, grown)
-	}
 	checkSizeInvariant(t, sx, "after shrink")
+	if sx.target > 4 {
+		t.Fatalf("shrinking to 8 items left the per-shard target at %d, want ≤ 4", sx.target)
+	}
+	if got := sx.Shards(); got < 2 {
+		t.Fatalf("8 items under target %d collapsed to %d shards", sx.target, got)
+	}
 }
 
 // TestDynamicAdaptiveBackends checks the per-shard backend choice on a

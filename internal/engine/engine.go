@@ -223,7 +223,10 @@ func NewIndex(b Backend, opt BuildOptions) (Index, error) {
 	}
 }
 
-// Build constructs a ready-to-query Index for the named backend.
+// Build constructs a ready-to-query Index for the named backend. The
+// returned index carries a cache-quantum hint (see Options.CacheQuantum):
+// backends with real cell geometry report their own, everything else
+// falls back to the dataset-spacing estimate.
 func Build(b Backend, ds *Dataset, opt BuildOptions) (Index, error) {
 	ix, err := NewIndex(b, opt)
 	if err != nil {
@@ -232,5 +235,35 @@ func Build(b Backend, ds *Dataset, opt BuildOptions) (Index, error) {
 	if err := ix.Build(ds); err != nil {
 		return nil, fmt.Errorf("engine: build %s: %w", b, err)
 	}
-	return ix, nil
+	return withQuantumHint(ix, ds), nil
+}
+
+// hintedIndex attaches the dataset-derived cache-quantum hint and the
+// dataset size to a built adapter; every Index method is forwarded by
+// embedding.
+type hintedIndex struct {
+	Index
+	hint float64
+	n    int
+}
+
+// QuantumHint implements quantumHinter.
+func (h hintedIndex) QuantumHint() float64 { return h.hint }
+
+// Len reports the dataset size (Engine.ObserveInto reads it to fit
+// latency observations back into the cost model).
+func (h hintedIndex) Len() int { return h.n }
+
+// withQuantumHint wraps the built ix with its cache-quantum hint — the
+// adapter's own (computed from built geometry, e.g. the diagram's slab
+// widths) when it has one, the autoQuantum estimate of ds otherwise —
+// plus the dataset size for the latency-observation feedback loop.
+func withQuantumHint(ix Index, ds *Dataset) Index {
+	h := hintedIndex{Index: ix, hint: autoQuantum(ds), n: ds.N()}
+	if qh, ok := ix.(quantumHinter); ok {
+		if q := qh.QuantumHint(); q > 0 {
+			h.hint = q
+		}
+	}
+	return h
 }

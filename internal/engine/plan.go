@@ -20,9 +20,13 @@
 //     location's contribution by the survival probability of every
 //     *other* shard, Π_{t≠s} Π_{j∈t} (1 − G_j(q,r)) — the cross-shard
 //     renormalization. For discrete datasets this is exact (it
-//     reproduces Eq. (2)); for continuous ones it is approximated by
-//     integrating the cross-shard survival against the candidate's own
-//     distance cdf.
+//     reproduces Eq. (2)); for continuous ones the cross-shard survival
+//     is integrated against the candidate's distance cdf *conditioned on
+//     the candidate winning its own shard* (the in-shard survival
+//     product reweights the integrand), so the sharded Monte-Carlo path
+//     converges to the exact Eq. (2) value as the per-shard estimates
+//     do — the only residual error is the backend's own estimate and
+//     the integral's discretization.
 //   - QueryExpected min-reduces the per-shard expected-distance winners,
 //     tie-breaking on the global index.
 package engine
@@ -273,15 +277,16 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 		}
 		total := 0.0
 		for _, c := range cands {
-			p := c.shardPi * sx.crossSurvivalIntegral(q, c.gi, ordered, c.shard)
+			p := c.shardPi * sx.conditionalCrossSurvival(q, c.gi, ordered, c.shard)
 			if p > 0 {
 				out = append(out, quantify.Prob{I: c.gi, P: p})
 				total += p
 			}
 		}
-		// The per-shard vectors each sum to 1; after weighting by the
-		// cross-shard survival the merged vector is renormalized back to a
-		// probability distribution over the global winner.
+		// With the conditioned weights the merged vector already sums to 1
+		// in the limit; the renormalization only absorbs the per-shard
+		// estimators' residual noise (Monte-Carlo variance, integral
+		// discretization).
 		if total > 0 {
 			for i := range out {
 				out[i].P /= total
@@ -398,27 +403,44 @@ func (sx *ShardedIndex) exactPi(q geom.Point, gi int, ordered []boundedShard) fl
 	return total
 }
 
-// crossSurvivalIntegral approximates ∫ Π_{t≠s} S_t(r) dG_i(r) for a
-// continuous candidate — the probability that every other shard stays
-// farther than the candidate, averaged over the candidate's own distance
-// distribution. (The exact weight would condition on the candidate
-// winning its shard; using the unconditional cdf is the documented
-// approximation of the continuous merge path.)
-func (sx *ShardedIndex) crossSurvivalIntegral(q geom.Point, gi int, ordered []boundedShard, own int) float64 {
-	lo, hi := sx.minDist(gi, q), sx.maxDist(gi, q)
-	if !(hi > lo) {
-		// Point mass at distance lo.
+// conditionalCrossSurvival estimates, for a continuous candidate, the
+// probability that every *other* shard stays farther than the candidate
+// — conditioned on the candidate winning its own shard:
+//
+//	C_i = ∫ S_in(r)·S_cross(r) dG_i(r) / ∫ S_in(r) dG_i(r)
+//
+// where S_in(r) = Π_{j∈s, j≠i} (1 − G_j(q,r)) is the in-shard survival
+// and S_cross(r) = Π_{t≠s} S_t(r) the cross-shard one. Multiplying the
+// shard's own π estimate (≈ the denominator) by C_i recovers the full
+// Eq. (2) integral ∫ Π_{j≠i} (1 − G_j) dG_i: the former unconditional
+// weighting factorized E[S_in]·E[S_cross] where the exact value needs
+// E[S_in·S_cross] — both survivals shrink with r, so the factorization
+// systematically overweighted far candidates. With the conditioning the
+// sharded Monte-Carlo path is exact in the limit of the per-shard
+// estimates; only the backend's own error and the discretization remain.
+func (sx *ShardedIndex) conditionalCrossSurvival(q geom.Point, gi int, ordered []boundedShard, own int) float64 {
+	cross := func(r float64) float64 {
 		prod := 1.0
 		for si, t := range ordered {
 			if si == own {
 				continue
 			}
-			prod *= sx.survival(q, lo, t, gi)
+			prod *= sx.survival(q, r, t, gi)
+			if prod == 0 {
+				break
+			}
 		}
 		return prod
 	}
+	lo, hi := sx.minDist(gi, q), sx.maxDist(gi, q)
+	if !(hi > lo) {
+		// Point mass at distance lo: the in-shard factor cancels between
+		// numerator and denominator.
+		return cross(lo)
+	}
 	const steps = 32
-	total := 0.0
+	num, den := 0.0, 0.0
+	uncond := 0.0 // fallback: the unconditional integral
 	gPrev := 0.0
 	for s := 1; s <= steps; s++ {
 		r := lo + (hi-lo)*float64(s)/steps
@@ -429,19 +451,20 @@ func (sx *ShardedIndex) crossSurvivalIntegral(q geom.Point, gi int, ordered []bo
 			continue
 		}
 		mid := r - (hi-lo)/(2*steps)
-		prod := 1.0
-		for si, t := range ordered {
-			if si == own {
-				continue
-			}
-			prod *= sx.survival(q, mid, t, gi)
-			if prod == 0 {
-				break
-			}
-		}
-		total += dg * prod
+		inShard := sx.survival(q, mid, ordered[own], gi)
+		xs := cross(mid)
+		num += dg * inShard * xs
+		den += dg * inShard
+		uncond += dg * xs
 	}
-	return total
+	if den <= 1e-12 {
+		// The discretized in-shard win probability vanished (the shard
+		// backend's estimate disagreed, e.g. Monte-Carlo noise); fall back
+		// to the unconditional weighting rather than zeroing a candidate
+		// the backend reported alive.
+		return uncond
+	}
+	return num / den
 }
 
 // mapIDs maps shard-local ascending indices to global ones (ids is

@@ -149,8 +149,8 @@ func TestShardedExpectedTieBreak(t *testing.T) {
 
 // TestShardedSquaresSurvival: the continuous-probs merge helpers used
 // to dereference ds.Points, which a squares-only dataset (FromSquares)
-// does not have — survival and crossSurvivalIntegral panicked. They now
-// derive the distance cdf from the square region itself.
+// does not have — survival and the cross-survival integral panicked.
+// They now derive the distance cdf from the square region itself.
 func TestShardedSquaresSurvival(t *testing.T) {
 	squares := []lmetric.Square{
 		{C: geom.Pt(0, 0), R: 1},
@@ -176,8 +176,8 @@ func TestShardedSquaresSurvival(t *testing.T) {
 		}
 	}
 	for gi := range squares {
-		if v := sx.crossSurvivalIntegral(q, gi, ordered, 0); v < 0 || v > 1 || math.IsNaN(v) {
-			t.Fatalf("crossSurvivalIntegral(%d) = %v out of [0,1]", gi, v)
+		if v := sx.conditionalCrossSurvival(q, gi, ordered, 0); v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("conditionalCrossSurvival(%d) = %v out of [0,1]", gi, v)
 		}
 	}
 	// No squares backend quantifies, so the public path still reports

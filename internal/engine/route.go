@@ -17,6 +17,8 @@ import (
 type routedIndex struct {
 	parts []Index
 	caps  Capability
+	hint  float64
+	n     int
 }
 
 func (r *routedIndex) Name() string {
@@ -37,8 +39,16 @@ func (r *routedIndex) Build(ds *Dataset) error {
 		}
 		r.caps |= p.Capabilities()
 	}
+	r.hint = autoQuantum(ds)
+	r.n = ds.N()
 	return nil
 }
+
+// QuantumHint implements the adaptive cache-quantum hint.
+func (r *routedIndex) QuantumHint() float64 { return r.hint }
+
+// Len reports the dataset size (Engine.ObserveInto reads it).
+func (r *routedIndex) Len() int { return r.n }
 
 func (r *routedIndex) route(c Capability) Index {
 	for _, p := range r.parts {
@@ -47,6 +57,28 @@ func (r *routedIndex) route(c Capability) Index {
 		}
 	}
 	return nil
+}
+
+// kindBackend reports which part serves kind (Engine.ObserveInto and
+// Explain read it).
+func (r *routedIndex) kindBackend(kind Capability) (Backend, bool) {
+	if p := r.route(kind); p != nil {
+		return Backend(p.Name()), true
+	}
+	return "", false
+}
+
+// Explain renders the first-capable routing rule — the baseline the
+// cost-based planner (planner.go) replaces.
+func (r *routedIndex) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rule-based auto (%s): first capable part answers\n", r.Name())
+	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+		if b, ok := r.kindBackend(kind); ok {
+			fmt.Fprintf(&sb, "  %-8s → %s\n", kind, b)
+		}
+	}
+	return sb.String()
 }
 
 func (r *routedIndex) QueryNonzero(q geom.Point) ([]int, error) {

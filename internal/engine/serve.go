@@ -103,7 +103,9 @@ func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 }
 
 // answer executes one stream query through the cached single-query
-// path, or applies a mutation op through the dynamic layer.
+// path — so Serve traffic feeds the same per-query-kind latency
+// counters (Engine.Stats) that calibrate the planner's cost model — or
+// applies a mutation op through the dynamic layer.
 func (e *Engine) answer(qr Query) Answer {
 	a := Answer{Seq: qr.Seq, Kind: qr.Kind}
 	switch qr.Kind {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"unn/internal/geom"
@@ -26,9 +27,11 @@ const (
 // Shards disables sharding (see BuildSharded).
 type ShardOptions struct {
 	// Shards is the number of spatial shards k (k ≥ 1). Shards may be
-	// empty when k exceeds the dataset size. It also fixes the dynamic
-	// layer's per-shard size target at ⌈n/k⌉ of the initial build, so a
-	// growing dataset gains shards instead of growing each shard.
+	// empty when k exceeds the dataset size. It also seeds the dynamic
+	// layer's per-shard size target at ⌈n/k⌉ of the initial build; under
+	// Insert/Delete the target tracks ⌈n/k⌉ of the *live* size with
+	// hysteresis (see dynamic.go), so long streams keep the shard count
+	// near k instead of fragmenting into ever more shards.
 	Shards int
 	// Split selects the partitioner. Default SplitKDMedian.
 	Split Split
@@ -123,12 +126,19 @@ type ShardedIndex struct {
 	opt     ShardOptions
 	bopt    BuildOptions
 
+	// planNote is the dataset-level plan description when the factory is
+	// the cost-based planner (BuildPlanned); Explain prepends it.
+	planNote string
+
 	// mu is the mutation epoch lock: queries hold it shared, Insert and
 	// Delete exclusively, so every query observes a consistent epoch —
 	// never a half-applied mutation or mid-rebalance shard list.
-	mu     sync.RWMutex
-	epoch  uint64
-	target int // per-shard size target, fixed at Build (⌈n/k⌉)
+	mu    sync.RWMutex
+	epoch uint64
+	// target is the per-shard size target: seeded at Build as ⌈n/k⌉ and
+	// re-tracked against the live n with hysteresis by the dynamic layer
+	// (see retarget).
+	target int
 	// broken poisons the index after a mutation failed mid-rebuild: the
 	// dataset and id remap were already updated, so shard backends no
 	// longer agree with the global numbering and every answer would be
@@ -419,6 +429,48 @@ func (sx *ShardedIndex) Build(ds *Dataset) error {
 	return nil
 }
 
+// QuantumHint implements the adaptive cache-quantum hint: the finest
+// hint among the built shards (each knows its own cell geometry),
+// falling back to the dataset-spacing estimate. Sampled when the engine
+// is constructed; mutations that reshape the dataset faster than the
+// hint tracks only affect sharing granularity, never correctness beyond
+// the documented one-cell quantization error.
+func (sx *ShardedIndex) QuantumHint() float64 {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	best := autoQuantum(sx.ds)
+	for _, s := range sx.shards {
+		if h, ok := s.ix.(quantumHinter); ok {
+			if q := h.QuantumHint(); q > 0 && (best <= 0 || q < best) {
+				best = q
+			}
+		}
+	}
+	return best
+}
+
+// Explain describes the sharded composition: the dataset-level plan (for
+// planner-built fleets), then one line per shard with its size and the
+// backend the factory chose for it — the per-shard planner's decisions
+// are read directly off the built parts.
+func (sx *ShardedIndex) Explain() string {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	var sb strings.Builder
+	if sx.planNote != "" {
+		sb.WriteString(sx.planNote)
+	}
+	fmt.Fprintf(&sb, "sharded(%s): %d shards, per-shard target %d\n", sx.name, len(sx.shards), sx.target)
+	for si, s := range sx.shards {
+		name := "(empty)"
+		if s.ix != nil {
+			name = s.ix.Name()
+		}
+		fmt.Fprintf(&sb, "  shard %d: %d items → %s\n", si, len(s.ids), name)
+	}
+	return sb.String()
+}
+
 // recomputeCaps refreshes the capability intersection over the built
 // shards, reporting whether at least one shard is built. The dynamic
 // layer calls it after every mutation; for named backends the result
@@ -439,7 +491,7 @@ func (sx *ShardedIndex) recomputeCaps() bool {
 		sx.caps = 0
 	}
 	if sx.backend != "" {
-		sx.caps &= staticCaps(sx.backend, sx.ds)
+		sx.caps &= datasetCaps(sx.backend, sx.ds)
 	}
 	return built > 0
 }

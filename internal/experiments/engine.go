@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"slices"
+	"strings"
 	"time"
 
 	"unn/internal/constructions"
@@ -58,6 +59,13 @@ type BenchRecord struct {
 	// sharded index from scratch, i.e. what one mutation would cost
 	// without the dynamic layer; 0 outside E18.
 	RebuildNsOp float64 `json:"rebuild_ns_op,omitempty"`
+	// CacheQuantum is the adaptive cache quantum the hit-rate probe
+	// resolved from the built structure (cell extents / centroid
+	// spacing); 0 when the probe fell back to exact keys.
+	CacheQuantum float64 `json:"cache_quantum,omitempty"`
+	// Plan describes the cost-based planner's per-kind backend assignment
+	// on the E19 row measuring it; empty elsewhere.
+	Plan string `json:"plan,omitempty"`
 }
 
 // WriteBenchJSON renders records as indented JSON (the BENCH_engine.json
@@ -176,7 +184,7 @@ func EngineBench(opt Options) ([]BenchRecord, *Table) {
 				continue
 			}
 			batchPer := batchTot / time.Duration(len(qs))
-			hitRate := cacheHitRate(ix, caps, side, opt.seed()+int64(n))
+			hitRate, quantum := cacheHitRate(ix, caps, side, opt.seed()+int64(n))
 			recs = append(recs, BenchRecord{
 				Exp:          "E16",
 				Backend:      string(w.backend),
@@ -187,6 +195,7 @@ func EngineBench(opt Options) ([]BenchRecord, *Table) {
 				QueryNsOp:    float64(single.Nanoseconds()),
 				BatchNsOp:    float64(batchPer.Nanoseconds()),
 				CacheHitRate: hitRate,
+				CacheQuantum: quantum,
 			})
 			t.AddRow(string(w.backend), itoa(n), dtoa(build), dtoa(single), dtoa(batchPer),
 				itoa(eng.Workers()), ftoa(hitRate))
@@ -198,27 +207,36 @@ func EngineBench(opt Options) ([]BenchRecord, *Table) {
 }
 
 // cacheHitRate measures the striped LRU on a localized serving workload:
-// 256 queries cluster around hotspots and cache keys snap to a quantum
-// grid, so the rate reflects how much answer sharing the workload admits
-// (hotspot collisions and quantum-cell reuse) rather than a constant —
-// it moves when the cache keying or the workload model changes.
+// 256 queries cluster around hotspots and cache keys snap to the
+// *adaptive* quantum grid — the engine derives the quantum from the
+// built structure (diagram cell extents, centroid spacing) — so the rate
+// reflects how much answer sharing the workload admits at the
+// granularity the structure itself reports. Queries scatter around each
+// hotspot at the resolved quantum's scale (repeat lookups near a cached
+// answer), so the rate stays comparable as the derivation changes. The
+// resolved quantum is returned alongside the rate and recorded in
+// BENCH_engine.json.
 //
 // The probe owns its rng (derived from the caller's seed, not the shared
 // sweep stream): consuming the sweep rng here would shift every workload
 // generated after it, breaking cross-PR comparability of the records at
 // a fixed -seed.
-func cacheHitRate(ix engine.Index, caps engine.Capability, side float64, seed int64) float64 {
+func cacheHitRate(ix engine.Index, caps engine.Capability, side float64, seed int64) (rate, quantum float64) {
 	const nq = 256
 	rng := rand.New(rand.NewSource(seed ^ 0xcac4e))
-	quantum := side / 64
-	eng := engine.NewEngine(ix, engine.Options{CacheSize: nq, CacheQuantum: quantum})
+	eng := engine.NewEngine(ix, engine.Options{CacheSize: nq, CacheQuantum: -1})
+	quantum = eng.CacheQuantum()
+	scatter := quantum
+	if scatter <= 0 {
+		scatter = side / 64
+	}
 	hotspots := make([]geom.Point, 24)
 	for i := range hotspots {
 		hotspots[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
 	}
 	for i := 0; i < nq; i++ {
 		h := hotspots[rng.Intn(len(hotspots))]
-		q := geom.Pt(h.X+rng.NormFloat64()*quantum, h.Y+rng.NormFloat64()*quantum)
+		q := geom.Pt(h.X+rng.NormFloat64()*scatter, h.Y+rng.NormFloat64()*scatter)
 		switch {
 		case caps.Has(engine.CapNonzero):
 			eng.QueryNonzero(q)
@@ -230,9 +248,9 @@ func cacheHitRate(ix engine.Index, caps engine.Capability, side float64, seed in
 	}
 	hits, misses := eng.CacheStats()
 	if hits+misses == 0 {
-		return 0
+		return 0, quantum
 	}
-	return float64(hits) / float64(hits+misses)
+	return float64(hits) / float64(hits+misses), quantum
 }
 
 // ShardBench (E17) sweeps the sharded execution layer on the E17
@@ -302,7 +320,7 @@ func ShardBench(opt Options) ([]BenchRecord, *Table) {
 		if k > 0 && batchPer > 0 {
 			speedup = fmt.Sprintf("%.2fx", float64(baseline)/float64(batchPer))
 		}
-		hitRate := cacheHitRate(ix, engine.CapNonzero, side, opt.seed()+int64(k))
+		hitRate, quantum := cacheHitRate(ix, engine.CapNonzero, side, opt.seed()+int64(k))
 		recs = append(recs, BenchRecord{
 			Exp:          "E17",
 			Backend:      string(engine.BackendBrute),
@@ -313,6 +331,7 @@ func ShardBench(opt Options) ([]BenchRecord, *Table) {
 			BuildNs:      build.Nanoseconds(),
 			BatchNsOp:    float64(batchPer.Nanoseconds()),
 			CacheHitRate: hitRate,
+			CacheQuantum: quantum,
 		})
 		t.AddRow(itoa(n), itoa(k), dtoa(build), dtoa(batchPer), speedup, ftoa(hitRate))
 	}
@@ -440,5 +459,133 @@ func E18Stream(opt Options) *Table {
 // E16Engine is the Table-only driver registered in All.
 func E16Engine(opt Options) *Table {
 	_, t := EngineBench(opt)
+	return t
+}
+
+// PlannerBench (E19) measures the cost-based query planner against the
+// rule-based auto router on a mixed workload: one discrete dataset,
+// queries cycling NN≠0 → π → E[d]. The rule-based choice serves all
+// three kinds from the brute reference (O(n) NN≠0 and E[d], Õ(n²) π);
+// the planner assigns each kind its cheapest calibrated backend
+// (two-stage / spiral / expected on this workload). The acceptance
+// criterion of the planner PR is ≥1.2× mixed-workload throughput over
+// the rule-based auto.
+func PlannerBench(opt Options) ([]BenchRecord, *Table) {
+	t := &Table{
+		ID:     "E19",
+		Title:  "cost-based planner vs rule-based auto (mixed workload)",
+		Claim:  "per-kind cost-based assignment ≥1.2× the rule-based auto's throughput",
+		Header: []string{"router", "n", "build", "mixedQ", "speedup", "plan"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n := 2000
+	if opt.Quick {
+		n = 600
+	}
+	side := 10 * float64(n)
+	ds := engine.FromDiscrete(constructions.RandomDiscrete(rng, n, 3, side, 2.0, 1))
+	qs := make([]geom.Point, 192)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	// The mixed loop: query i runs the kind i mod 3, so both routers see
+	// an identical interleaving of all three semantics.
+	mixed := func(eng *engine.Engine) error {
+		for i, q := range qs {
+			var err error
+			switch i % 3 {
+			case 0:
+				_, err = eng.QueryNonzero(q)
+			case 1:
+				_, err = eng.QueryProbs(q, 0)
+			default:
+				_, _, err = eng.QueryExpected(q)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var recs []BenchRecord
+	var autoPer time.Duration
+	for _, router := range []string{"auto", "planner"} {
+		var (
+			ix   engine.Index
+			plan *engine.Plan
+			err  error
+		)
+		build := timeIt(func() {
+			if router == "auto" {
+				ix, err = engine.BuildAuto(ds, engine.BuildOptions{}, engine.ShardOptions{})
+			} else {
+				ix, plan, err = engine.BuildPlanned(ds, engine.BuildOptions{},
+					engine.ShardOptions{}, engine.PlannerOptions{})
+			}
+		})
+		if err != nil {
+			t.Note("%s: %v", router, err)
+			continue
+		}
+		eng := engine.NewEngine(ix, engine.Options{})
+		best := time.Duration(1<<62 - 1)
+		for attempt := 0; attempt < 2; attempt++ {
+			d := timeIt(func() {
+				if e := mixed(eng); e != nil && err == nil {
+					err = e
+				}
+			})
+			if d < best {
+				best = d
+			}
+		}
+		if err != nil {
+			t.Note("%s: %v", router, err)
+			continue
+		}
+		per := best / time.Duration(len(qs))
+		if router == "auto" {
+			autoPer = per
+		}
+		speedup := "1.00x"
+		if router == "planner" && per > 0 && autoPer > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(autoPer)/float64(per))
+		}
+		planStr := ""
+		if plan != nil {
+			planStr = planSummary(plan)
+		}
+		recs = append(recs, BenchRecord{
+			Exp:       "E19",
+			Backend:   router,
+			N:         n,
+			Queries:   len(qs),
+			Workers:   eng.Workers(),
+			BuildNs:   build.Nanoseconds(),
+			QueryNsOp: float64(per.Nanoseconds()),
+			Plan:      planStr,
+		})
+		t.AddRow(router, itoa(n), dtoa(build), dtoa(per), speedup, planStr)
+	}
+	t.Note("mixedQ is per-query cost over an interleaved NN≠0 / π / E[d] stream (single-query path)")
+	t.Note("auto = rule-based (brute serves everything on discrete data); planner = cost-based per-kind assignment")
+	return recs, t
+}
+
+// planSummary compacts a plan to its per-kind backend choices.
+func planSummary(p *engine.Plan) string {
+	var parts []string
+	for _, kind := range []engine.Capability{engine.CapNonzero, engine.CapProbs, engine.CapExpected} {
+		if ch, ok := p.Choices[kind]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%s", kind, ch.Backend))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// E19Planner is the Table-only driver registered in All.
+func E19Planner(opt Options) *Table {
+	_, t := PlannerBench(opt)
 	return t
 }

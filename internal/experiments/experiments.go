@@ -123,6 +123,7 @@ var All = []struct {
 	{"E16", "engine layer: all backends, single vs batch", E16Engine},
 	{"E17", "sharded engine: shard-scaling sweep, batch throughput", E17Shard},
 	{"E18", "dynamic shards: streaming insert/delete vs full rebuild", E18Stream},
+	{"E19", "cost-based planner vs rule-based auto, mixed workload", E19Planner},
 }
 
 // Lookup finds a driver by ID.

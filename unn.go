@@ -25,6 +25,21 @@
 // backend behind a capability-checked Handle with single, batched
 // (parallel, deterministic order) and cached execution.
 //
+// # Cost-based planning
+//
+// WithPlanner replaces the rule-based automatic backend choice with a
+// query planner: per-backend build and query costs are estimated from
+// the paper's own asymptotics, calibrated to the machine (a Build-time
+// micro-probe, or a persisted BENCH_engine.json via WithCalibration),
+// and each query kind is assigned its cheapest capable backend — e.g.
+// one discrete handle serving NN≠0 from the Theorem 3.2 two-stage
+// structure, π from the Theorem 4.7 spiral search, and E[d] from the
+// [AESZ12] centroid index, where the rule-based choice would pay the
+// brute oracle's O(n) (or Õ(n²) for π) on every query. WithPlannerMix
+// declares the expected workload; Handle.Explain reports the decision
+// with its cost estimates; Handle.Stats exposes the measured per-kind
+// latencies that close the calibration loop.
+//
 // # Sharding
 //
 // WithShards(k) turns on the sharded execution layer: the dataset is
@@ -57,8 +72,10 @@
 // slice). Mutations route to the owning shard by centroid and rebuild
 // only that shard's backend; a shard drifting past 2× the per-shard
 // size target splits, one falling below ½× merges with its nearest
-// spatial neighbor, so a growing stream gains shards instead of
-// degrading them. Every mutation is serialized against in-flight
+// spatial neighbor — and the target itself tracks ⌈n/k⌉ of the live
+// dataset with hysteresis, so a long stream keeps about k shards of
+// growing size instead of fragmenting far past the core count. Every
+// mutation is serialized against in-flight
 // queries (reads see the index strictly before or after a mutation,
 // never mid-rebalance) and flushes the answer cache. On the Serve
 // stream the same mutations travel as OpInsert/OpDelete ops in
@@ -247,9 +264,12 @@ type openConfig struct {
 	build       engine.BuildOptions
 	run         engine.Options
 	shard       engine.ShardOptions
-	shardsSet   bool // WithShards given (its k must then be ≥ 1)
-	splitSet    bool // WithShardGrid given (meaningless without WithShards)
-	adaptiveSet bool // WithShardAdaptive given (meaningless without WithShards)
+	planner     engine.PlannerOptions
+	plannerSet  bool  // WithPlanner (or a planner shaping option) given
+	shardsSet   bool  // WithShards given (its k must then be ≥ 1)
+	splitSet    bool  // WithShardGrid given (meaningless without WithShards)
+	adaptiveSet bool  // WithShardAdaptive given (meaningless without WithShards)
+	calErr      error // WithCalibration load failure, surfaced by Open
 }
 
 // WithBackend selects the index structure. Default BackendAuto.
@@ -292,11 +312,55 @@ func WithShardGrid() Option {
 // BackendAuto (which already picks the full-capability reference) the
 // knob has no effect; pair it with an explicit NN≠0 backend such as
 // BackendTwoStageDiscrete or BackendTwoStageDisks. Requires WithShards.
+// WithPlanner generalizes this fixed rule: under the cost-based planner
+// every shard re-plans all its query kinds at its own size from
+// calibrated costs, no cutoff to tune — combining the two is rejected.
 func WithShardAdaptive(cutoff int) Option {
 	return func(c *openConfig) {
 		c.shard.Adaptive = true
 		c.shard.AdaptiveCutoff = cutoff
 		c.adaptiveSet = true
+	}
+}
+
+// WithPlanner replaces the rule-based automatic backend choice with the
+// cost-based query planner: per query kind, the cheapest capable backend
+// is picked from calibrated build/query cost estimates (a Build-time
+// micro-probe by default; see WithCalibration for using a persisted
+// table), and the handle serves each kind through its assigned backend —
+// possibly a composite, e.g. the two-stage structure for NN≠0, spiral
+// search for π, and the expected-distance index for E[d] on one discrete
+// dataset. Handle.Explain reports the decision with its cost estimates.
+// Combined with WithShards, every shard re-plans at its own size (a
+// small shard may keep the cheap-to-rebuild oracle while large ones buy
+// the fast structures). Requires the default BackendAuto: the planner
+// *is* a backend selection, so pairing it with WithBackend is rejected.
+func WithPlanner() Option { return func(c *openConfig) { c.plannerSet = true } }
+
+// WithPlannerMix declares the expected query mix the planner optimizes
+// for — relative weights per query kind (only ratios matter; kinds with
+// weight 0 still work, they just don't influence the choice). Implies
+// WithPlanner.
+func WithPlannerMix(nonzero, probs, expected float64) Option {
+	return func(c *openConfig) {
+		c.plannerSet = true
+		c.planner.Mix = engine.Workload{Nonzero: nonzero, Probs: probs, Expected: expected}
+	}
+}
+
+// WithCalibration loads the planner's cost-model coefficients from a
+// persisted BENCH_engine.json (written by `unnbench -json`) instead of
+// micro-probing at Build time. Implies WithPlanner; a missing or
+// malformed table fails Open rather than silently planning on defaults.
+func WithCalibration(path string) Option {
+	return func(c *openConfig) {
+		c.plannerSet = true
+		cal, err := engine.LoadCalibration(path)
+		if err != nil {
+			c.calErr = err
+			return
+		}
+		c.planner.Calibration = cal
 	}
 }
 
@@ -307,13 +371,22 @@ func WithServeBuffer(n int) Option { return func(c *openConfig) { c.run.ServeBuf
 // WithCache enables the engine-level LRU answer cache with the given
 // capacity (entries). Quantum sets the grid step used to quantize query
 // points into cache keys — queries within one quantum cell share an
-// answer; pass 0 to require exact coordinate matches.
+// answer; pass 0 to require exact coordinate matches, or any negative
+// value to derive the quantum from the built structure itself (the V≠0
+// diagram reports a robust minimum of its cell extents, other backends
+// the dataset's centroid-spacing estimate — see Handle.Stats for the
+// resolved value).
 func WithCache(capacity int, quantum float64) Option {
 	return func(c *openConfig) {
 		c.run.CacheSize = capacity
 		c.run.CacheQuantum = quantum
 	}
 }
+
+// WithAutoCache is WithCache with the adaptive quantum: answer sharing
+// at the granularity the built structure reports its answers actually
+// change.
+func WithAutoCache(capacity int) Option { return WithCache(capacity, -1) }
 
 // WithEps sets the default additive error for approximating probability
 // backends when a query passes eps ≤ 0 (default 0.02).
@@ -398,6 +471,29 @@ func (h *Handle) ShardCount() int {
 	return 0
 }
 
+// Stats is a snapshot of a handle's serving counters: per-query-kind
+// latency (count and total/mean nanoseconds — batch and Serve traffic
+// funnels through the same counters), cache hits/misses, and the
+// effective cache quantum (the resolved value when WithCache was given a
+// negative, adaptive quantum).
+type Stats = engine.Stats
+
+// KindStats is the latency record of one query kind within Stats.
+type KindStats = engine.KindStats
+
+// Stats snapshots the handle's per-kind latency counters and cache
+// traffic — the measured side of the planner's cost model (the same
+// numbers a calibration table persists).
+func (h *Handle) Stats() Stats { return h.Engine.Stats() }
+
+// Explain describes how the handle answers each query kind: for planner
+// handles (WithPlanner) the per-kind backend assignment with its
+// estimated build and query costs and the beaten alternatives; for
+// rule-based auto handles the routing rule; for sharded handles the
+// per-shard composition (with each shard's own plan under WithPlanner);
+// for plain backends a capability summary.
+func (h *Handle) Explain() string { return h.Engine.Explain() }
+
 func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
 	cfg := openConfig{backend: BackendAuto}
 	for _, o := range opts {
@@ -412,17 +508,31 @@ func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
 	if cfg.adaptiveSet && !cfg.shardsSet {
 		return nil, fmt.Errorf("unn: WithShardAdaptive requires WithShards(k) to enable sharding")
 	}
+	if cfg.calErr != nil {
+		return nil, fmt.Errorf("unn: WithCalibration: %w", cfg.calErr)
+	}
+	if cfg.plannerSet && cfg.backend != BackendAuto {
+		return nil, fmt.Errorf("unn: WithPlanner replaces the backend choice; drop WithBackend(%s)", cfg.backend)
+	}
+	if cfg.plannerSet && cfg.adaptiveSet {
+		return nil, fmt.Errorf("unn: WithPlanner already plans every shard by cost; drop WithShardAdaptive")
+	}
 	var (
 		ix  engine.Index
 		err error
 	)
-	if cfg.backend == BackendAuto {
+	switch {
+	case cfg.plannerSet:
+		// The cost-based planner: per query kind, the cheapest capable
+		// backend by calibrated estimate (micro-probe or table).
+		ix, _, err = engine.BuildPlanned(ds, cfg.build, cfg.shard, cfg.planner)
+	case cfg.backend == BackendAuto:
 		// Auto picks per dataset kind so no query kind any backend could
 		// answer lands on one that cannot: squares → two-stage L∞,
 		// discrete → brute (all three kinds exact), continuous/mixed →
 		// brute routed together with Monte Carlo for quantification.
 		ix, err = engine.BuildAuto(ds, cfg.build, cfg.shard)
-	} else {
+	default:
 		ix, err = engine.BuildSharded(cfg.backend, ds, cfg.build, cfg.shard)
 	}
 	if err != nil {

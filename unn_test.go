@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"unn"
@@ -422,5 +423,144 @@ func TestOpenSquaresShardedProbs(t *testing.T) {
 		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
 			t.Fatalf("q=%v: nonzero %v, want %v", q, got, want)
 		}
+	}
+}
+
+// TestOpenWithPlanner: the cost-based planner through the public API —
+// full capability set, parity with the rule-based auto handle, Explain
+// with cost estimates, Stats counters, and the option-combination
+// errors.
+func TestOpenWithPlanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x91a))
+	pts := testDiscretes(t, rng, 40, 3, 60)
+	h, err := unn.OpenDiscrete(pts, unn.WithPlanner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := unn.OpenDiscrete(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Capabilities().Has(auto.Capabilities()) {
+		t.Fatalf("planner caps %v lost some of auto's %v", h.Capabilities(), auto.Capabilities())
+	}
+	for i := 0; i < 12; i++ {
+		q := unn.Pt(rng.Float64()*60, rng.Float64()*60)
+		want, err := auto.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+			t.Fatalf("q=%v: planner NN≠0 %v, want %v", q, got, want)
+		}
+		wi, wd, err := auto.QueryExpected(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gi, gd, err := h.QueryExpected(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gd-wd) > 1e-9 || (gi != wi && gd != wd) {
+			t.Fatalf("q=%v: planner E[d] (%d,%v), want (%d,%v)", q, gi, gd, wi, wd)
+		}
+	}
+	expl := h.Explain()
+	if !strings.Contains(expl, "plan: n=40") {
+		t.Fatalf("Explain missing the plan header:\n%s", expl)
+	}
+	st := h.Stats()
+	if st.Nonzero.Count == 0 || st.Expected.Count == 0 {
+		t.Fatalf("Stats counters empty after queries: %+v", st)
+	}
+	// WithPlanner replaces the backend choice: pinning a backend too is a
+	// contradiction.
+	if _, err := unn.OpenDiscrete(pts, unn.WithPlanner(), unn.WithBackend(unn.BackendBrute)); err == nil {
+		t.Fatal("WithPlanner + WithBackend accepted")
+	}
+	// A missing calibration table fails Open, not silently.
+	if _, err := unn.OpenDiscrete(pts, unn.WithCalibration("/nonexistent/bench.json")); err == nil {
+		t.Fatal("WithCalibration over a missing file accepted")
+	}
+	// The legacy adaptive cutoff is subsumed by per-shard planning;
+	// combining them would silently ignore the cutoff, so it is rejected.
+	if _, err := unn.OpenDiscrete(pts, unn.WithPlanner(), unn.WithShards(2), unn.WithShardAdaptive(8)); err == nil {
+		t.Fatal("WithPlanner + WithShardAdaptive accepted")
+	}
+	// An all-π mix still serves every kind.
+	hm, err := unn.OpenDiscrete(pts, unn.WithPlannerMix(0, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hm.QueryNonzero(unn.Pt(1, 1)); err != nil {
+		t.Fatalf("zero-weight kind stopped working: %v", err)
+	}
+}
+
+// TestOpenAutoCache: the adaptive cache quantum resolves from the built
+// structure and shows up in Stats.
+func TestOpenAutoCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xcac))
+	pts := testDiscretes(t, rng, 24, 2, 30)
+	h, err := unn.OpenDiscrete(pts, unn.WithAutoCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.CacheQuantum <= 0 {
+		t.Fatalf("adaptive cache quantum = %v, want > 0", st.CacheQuantum)
+	}
+	q := unn.Pt(15, 15)
+	if _, err := h.QueryNonzero(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.QueryNonzero(unn.Pt(q.X+st.CacheQuantum/64, q.Y)); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := h.CacheStats(); hits == 0 {
+		t.Fatal("nearby queries missed the adaptive-quantum cache")
+	}
+}
+
+// TestOpenPlannerSharded: planner + shards composes with the dynamic
+// mutation API end to end.
+func TestOpenPlannerSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5a9))
+	pts := testDiscretes(t, rng, 30, 2, 50)
+	h, err := unn.OpenDiscrete(pts, unn.WithPlanner(), unn.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Mutable() {
+		t.Fatal("sharded planner handle is not mutable")
+	}
+	extra := testDiscretes(t, rng, 1, 2, 50)[0]
+	if _, err := h.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	mono, err := unn.OpenDiscrete(append(pts[1:30:30], extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		q := unn.Pt(rng.Float64()*50, rng.Float64()*50)
+		want, _ := mono.QueryNonzero(q)
+		got, err := h.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+			t.Fatalf("q=%v: nonzero %v, want %v", q, got, want)
+		}
+	}
+	if expl := h.Explain(); !strings.Contains(expl, "shard 0") {
+		t.Fatalf("sharded planner Explain missing shard lines:\n%s", expl)
 	}
 }
