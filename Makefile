@@ -31,15 +31,16 @@ bench:
 		-bench 'EngineBatch|EngineSequential|ShardedBatch|UnshardedBatch' -benchtime 5x
 
 # Machine-readable perf trajectory: one JSON record per backend/size
-# (E16) plus the shard-scaling (E17), streaming-mutation (E18) and
-# planner-vs-auto (E19) sweeps.
+# (E16) plus the shard-scaling (E17), streaming-mutation (E18),
+# planner-vs-auto (E19) and mutation-batching (E20) sweeps.
 bench-json:
 	$(GO) run ./cmd/unnbench -quick -json BENCH_engine.json >/dev/null
 
 # Compare the fresh BENCH_engine.json against a previous run's artifact
 # (OLD=path, fetched by CI from the last uploaded BENCH_engine), warning
-# on >20% regressions in the E17/E18/E19 throughput metrics — and, within
-# the fresh file, on the E19 planner dropping below the rule-based auto.
+# on >20% regressions in the E17/E18/E19/E20 throughput metrics — and,
+# within the fresh file, on the E19 planner dropping below the
+# rule-based auto.
 OLD ?= prev/BENCH_engine.json
 benchdiff:
 	@if [ -f "$(OLD)" ]; then \

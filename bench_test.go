@@ -318,6 +318,53 @@ func BenchmarkE18_DynamicMutation_n2000_k16(b *testing.B) {
 	}
 }
 
+// BenchmarkE20_BatchMutate measures one 64-mutation burst through the
+// epoch-coalesced BatchMutate path (experiment E20) — compare against
+// 64 iterations of BenchmarkE18_DynamicMutation's per-item path.
+func BenchmarkE20_BatchMutate_n2000_k16(b *testing.B) {
+	rng := rand.New(rand.NewSource(0xe20))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithShards(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := constructions.RandomDiscrete(rng, 1024, 2, 2000, 2.0, 1)
+	next := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms := make([]unn.Mutation, 64)
+		for j := range ms {
+			if j%2 == 0 {
+				ms[j] = unn.InsertMutation(pool[next%len(pool)])
+				next++
+			} else {
+				ms[j] = unn.DeleteMutation(rng.Intn(2000))
+			}
+		}
+		if _, err := h.BatchMutate(ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE20_BufferedInsert measures the amortized buffered insert on
+// a WithInsertBuffer fleet (the log-structured append of E20).
+func BenchmarkE20_BufferedInsert_n2000_k16(b *testing.B) {
+	rng := rand.New(rand.NewSource(0xe20b))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithShards(16), unn.WithInsertBuffer(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := constructions.RandomDiscrete(rng, 1024, 2, 2000, 2.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(pool[i%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkE19_PlannerMixed measures the cost-based planner's composite
 // on the E19 mixed workload (NN≠0 / π / E[d] interleaved) — the
 // counterpart of the rule-based-auto baseline below it.
@@ -363,7 +410,7 @@ func benchmarkE19(b *testing.B, planner bool) {
 
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 19 {
+	if len(experiments.All) != 20 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }

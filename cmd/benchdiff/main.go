@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchdiff -old prev/BENCH_engine.json -new BENCH_engine.json
-//	benchdiff -threshold 0.2 -exp E17,E18,E19 -fail ...
+//	benchdiff -threshold 0.2 -exp E17,E18,E19,E20 -fail ...
 //
 // Records are matched by (exp, backend, n, shards); within a matched
 // pair every populated per-op cost (query_ns_op, batch_ns_op,
@@ -58,7 +58,7 @@ func main() {
 		oldPath   = flag.String("old", "", "previous BENCH_engine.json (the baseline)")
 		newPath   = flag.String("new", "BENCH_engine.json", "fresh BENCH_engine.json")
 		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
-		exps      = flag.String("exp", "E17,E18,E19", "comma-separated experiments to compare")
+		exps      = flag.String("exp", "E17,E18,E19,E20", "comma-separated experiments to compare")
 		failFlag  = flag.Bool("fail", false, "exit non-zero when regressions are found")
 	)
 	flag.Parse()

@@ -18,8 +18,10 @@
 // sweep (E18) runs interleaved insert/delete/query against the dynamic
 // shard layer (amortized mutation cost vs the full-rebuild baseline),
 // the planner sweep (E19) pits the cost-based query planner against the
-// rule-based auto router on a mixed NN≠0/π/E[d] workload, and records
-// of the form
+// rule-based auto router on a mixed NN≠0/π/E[d] workload, the mutation-
+// batching sweep (E20) pits BatchMutate bursts against per-item
+// mutations and measures the insert buffer's amortization (batched vs
+// per-item ns/op, buffer hit fraction), and records of the form
 //
 //	{"backend": "montecarlo", "n": 1000, "queries": 256, "workers": 8,
 //	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...,
@@ -81,6 +83,11 @@ func main() {
 			fatal(err)
 		}
 		recs = append(recs, planRecs...)
+		mutRecs, mutTab := experiments.MutationBench(opt)
+		if _, err := mutTab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		recs = append(recs, mutRecs...)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -53,11 +54,16 @@ func (o Options) withDefaults() Options {
 // Returned slices may be shared with the answer cache (and with other
 // callers that hit the same cache entry); treat them as read-only.
 type Engine struct {
-	ix      Index
-	opt     Options
-	cache   *cache
-	quantum float64 // effective cache quantum (resolved from the hint when adaptive)
-	stats   engineStats
+	ix    Index
+	opt   Options
+	cache *cache
+	// quantum is the effective cache quantum (float64 bits; resolved
+	// from the hint when adaptive). It is atomic because mutation epochs
+	// tighten it concurrently with queries reading it (see
+	// maybeTightenQuantum in dynamic.go).
+	quantum  atomic.Uint64
+	adaptive bool // Options.CacheQuantum was negative: track the hint
+	stats    engineStats
 }
 
 // engineStats is the per-query-kind latency record: every single query
@@ -116,17 +122,19 @@ type Stats struct {
 func NewEngine(ix Index, opt Options) *Engine {
 	opt = opt.withDefaults()
 	e := &Engine{ix: ix, opt: opt}
-	e.quantum = opt.CacheQuantum
-	if e.quantum < 0 {
-		e.quantum = 0
+	q := opt.CacheQuantum
+	if q < 0 {
+		e.adaptive = true
+		q = 0
 		if h, ok := ix.(quantumHinter); ok {
-			if q := h.QuantumHint(); q > 0 {
-				e.quantum = q
+			if hq := h.QuantumHint(); hq > 0 {
+				q = hq
 			}
 		}
 	}
+	e.quantum.Store(math.Float64bits(q))
 	if opt.CacheSize > 0 {
-		e.cache = newCache(opt.CacheSize, e.quantum)
+		e.cache = newCache(opt.CacheSize, q)
 	}
 	return e
 }
@@ -152,16 +160,18 @@ func (e *Engine) CacheStats() (hits, misses uint64) {
 	return e.cache.stats()
 }
 
-// CacheQuantum returns the effective cache quantum: the configured knob,
-// or the resolved adaptive hint when Options.CacheQuantum was negative.
-func (e *Engine) CacheQuantum() float64 { return e.quantum }
+// CacheQuantum returns the effective cache quantum: the configured
+// knob, or the resolved adaptive hint when Options.CacheQuantum was
+// negative — which mutation epochs may tighten as the dataset
+// densifies (see maybeTightenQuantum).
+func (e *Engine) CacheQuantum() float64 { return math.Float64frombits(e.quantum.Load()) }
 
 // Stats snapshots the engine's per-query-kind latency counters and
 // cache traffic. Latencies include cache hits — they are the serving
 // latencies a client observes, which is exactly what the planner's cost
 // model wants to track.
 func (e *Engine) Stats() Stats {
-	s := Stats{CacheQuantum: e.quantum}
+	s := Stats{CacheQuantum: e.CacheQuantum()}
 	read := func(i int) KindStats {
 		return KindStats{Count: e.stats.count[i].Load(), TotalNs: e.stats.ns[i].Load()}
 	}

@@ -109,7 +109,12 @@ type cacheKey struct {
 // piecewise constant, so a fine quantum trades a bounded spatial error
 // for hit rate). With quantum = 0 keys are the exact float bit patterns.
 type cache struct {
-	quantum  float64
+	// quantum holds the grid step as float64 bits: mutation epochs may
+	// tighten the adaptive quantum (Engine.maybeTightenQuantum) while
+	// queries quantize keys concurrently, so reads and writes are
+	// atomic. The tighten always pairs with an invalidate, so entries
+	// keyed under two different quanta never coexist.
+	quantum  atomic.Uint64
 	capacity int64
 	total    atomic.Int64
 	clock    atomic.Int64 // rotates the eviction scan start
@@ -143,7 +148,8 @@ func newCache(capacity int, quantum float64) *cache {
 	if n < 1 {
 		n = 1
 	}
-	c := &cache{quantum: quantum, capacity: int64(capacity), stripes: make([]*cacheStripe, n)}
+	c := &cache{capacity: int64(capacity), stripes: make([]*cacheStripe, n)}
+	c.quantum.Store(math.Float64bits(quantum))
 	for i := range c.stripes {
 		c.stripes[i] = &cacheStripe{
 			ll:    list.New(),
@@ -153,11 +159,36 @@ func newCache(capacity int, quantum float64) *cache {
 	return c
 }
 
+// setQuantum retunes the grid step (the adaptive-quantum refresh on
+// mutation epochs); callers must invalidate so old-grid keys never mix
+// with new-grid ones.
+func (c *cache) setQuantum(q float64) { c.quantum.Store(math.Float64bits(q)) }
+
 func (c *cache) quantize(v float64) uint64 {
-	if c.quantum > 0 {
-		return uint64(int64(math.Floor(v / c.quantum)))
+	if q := math.Float64frombits(c.quantum.Load()); q > 0 {
+		return quantizeCell(v, q)
 	}
 	return math.Float64bits(v)
+}
+
+// quantizeCell snaps v to its grid cell index at step q, saturating at
+// the int64 range. The saturation matters: for coordinates beyond
+// ±2⁶³·q the float→int conversion is implementation-specific in Go
+// (spec: "behavior is implementation-specific" for out-of-range
+// values), so without the clamp the same query point could produce
+// different cache keys on different architectures — or alias a finite
+// cell. Saturated cells collapse the far tails onto two sentinel cells,
+// which only coarsens sharing out there, never correctness of the keys.
+func quantizeCell(v, q float64) uint64 {
+	f := math.Floor(v / q)
+	const lim = 1 << 63 // 2⁶³, exactly representable as a float64
+	switch {
+	case !(f > -lim): // f ≤ −2⁶³, and NaN (0/0-shaped inputs)
+		return 1 << 63 // the bit pattern of math.MinInt64
+	case f >= lim: // 2⁶³−1 rounds up to 2⁶³ in float64, so clamp at ≥
+		return 1<<63 - 1 // math.MaxInt64
+	}
+	return uint64(int64(f))
 }
 
 func (c *cache) key(kind uint8, q geom.Point, eps float64) cacheKey {

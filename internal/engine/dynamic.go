@@ -21,6 +21,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 	"sync"
@@ -101,58 +102,16 @@ func (sx *ShardedIndex) ensureOwned() {
 	sx.owned = true
 }
 
-// Insert implements Mutable: append the item at global index n, route
-// it to the nearest shard by centroid, rebuild that shard's backend,
-// and split the shard if it drifted past 2× the size target.
+// Insert implements Mutable: a one-mutation batch through the
+// epoch-coalesced path (mutlog.go) — append the item at global index n,
+// route it to the nearest shard by centroid (or the insert buffer when
+// enabled), rebuild the touched shard's backend once, and rebalance.
 func (sx *ShardedIndex) Insert(it Item) (int, error) {
-	sx.mu.Lock()
-	defer sx.mu.Unlock()
-	if sx.ds == nil {
-		return -1, fmt.Errorf("sharded(%s): Insert before Build", sx.name)
-	}
-	if sx.broken != nil {
-		return -1, sx.broken
-	}
-	if err := sx.checkItem(it); err != nil {
+	res, err := sx.BatchMutate([]Mutation{InsertMutation(it)})
+	if err != nil {
 		return -1, err
 	}
-	sx.ensureOwned()
-	gi := sx.n
-	if sx.ds.Squares != nil {
-		sx.ds.Squares = append(sx.ds.Squares, *it.Square)
-	} else {
-		sx.ds.Points = append(sx.ds.Points, it.Point)
-		if sx.ds.Discrete != nil {
-			sx.ds.Discrete = append(sx.ds.Discrete, it.Point.(*uncertain.Discrete))
-		}
-		if sx.ds.Disks != nil {
-			d, _ := diskOf(it.Point)
-			sx.ds.Disks = append(sx.ds.Disks, d)
-		}
-	}
-	sx.n++
-	sx.retarget()
-
-	si := sx.routeShard(centroid(sx.ds, gi))
-	s := sx.shards[si]
-	s.ids = append(s.ids, gi) // gi is the maximum id: stays ascending
-	s.bbox = s.bbox.Union(itemBounds(sx.ds, gi))
-	// An insert can only grow the shard, so the rebalance choice is
-	// split-or-nothing — and splitShard rebuilds both replacement
-	// backends itself, so the pre-split rebuild is skipped rather than
-	// built and immediately discarded.
-	var err error
-	if len(s.ids) > 2*sx.target {
-		err = sx.splitShard(si)
-	} else {
-		err = sx.rebuildShard(s)
-	}
-	if err != nil {
-		return -1, sx.poison(err)
-	}
-	sx.epoch++
-	sx.recomputeCaps()
-	return gi, nil
+	return res[0], nil
 }
 
 // poison marks the index broken after a mutation failed past the point
@@ -167,91 +126,18 @@ func (sx *ShardedIndex) poison(err error) error {
 	return sx.broken
 }
 
-// Delete implements Mutable: remove global item i, remap every index
-// above it, rebuild the owning shard's backend, and rebalance — an
-// emptied shard is dropped, an underfull one merges with its nearest
-// spatial neighbor (re-splitting if the merge overshoots). The
-// returned count is the live size right after this mutation.
+// Delete implements Mutable: a one-mutation batch through the
+// epoch-coalesced path (mutlog.go) — remove global item i, remap every
+// index above it, rebuild the owning shard's backend once, and
+// rebalance (an emptied shard is dropped, an underfull one merges with
+// its nearest spatial neighbor, re-splitting if the merge overshoots).
+// The returned count is the live size right after this mutation.
 func (sx *ShardedIndex) Delete(i int) (int, error) {
-	sx.mu.Lock()
-	defer sx.mu.Unlock()
-	if sx.ds == nil {
-		return 0, fmt.Errorf("sharded(%s): Delete before Build", sx.name)
+	res, err := sx.BatchMutate([]Mutation{DeleteMutation(i)})
+	if err != nil {
+		return 0, err
 	}
-	if sx.broken != nil {
-		return 0, sx.broken
-	}
-	if i < 0 || i >= sx.n {
-		return 0, fmt.Errorf("sharded(%s): Delete(%d) out of range [0,%d)", sx.name, i, sx.n)
-	}
-	if sx.n == 1 {
-		return 0, fmt.Errorf("sharded(%s): cannot delete the last item", sx.name)
-	}
-	sx.ensureOwned()
-
-	// Global id remap: drop i from the views, shift ids > i down by one
-	// in every shard. Members of other shards keep their items, so only
-	// the owning shard's backend is rebuilt.
-	owner := -1
-	for si, s := range sx.shards {
-		pos := sort.SearchInts(s.ids, i)
-		if pos < len(s.ids) && s.ids[pos] == i {
-			owner = si
-			s.ids = append(s.ids[:pos], s.ids[pos+1:]...)
-		}
-		for j := sort.SearchInts(s.ids, i); j < len(s.ids); j++ {
-			s.ids[j]--
-		}
-	}
-	if owner < 0 {
-		return 0, sx.poison(fmt.Errorf("id remap lost item %d", i))
-	}
-	if sx.ds.Squares != nil {
-		sx.ds.Squares = append(sx.ds.Squares[:i], sx.ds.Squares[i+1:]...)
-	} else {
-		sx.ds.Points = append(sx.ds.Points[:i], sx.ds.Points[i+1:]...)
-		if sx.ds.Discrete != nil {
-			sx.ds.Discrete = append(sx.ds.Discrete[:i], sx.ds.Discrete[i+1:]...)
-		}
-		if sx.ds.Disks != nil {
-			sx.ds.Disks = append(sx.ds.Disks[:i], sx.ds.Disks[i+1:]...)
-		}
-	}
-	sx.n--
-	shrunk := sx.retarget()
-
-	s := sx.shards[owner]
-	if len(s.ids) == 0 {
-		// Another shard must be non-empty (n ≥ 1), so drop this one.
-		s.sub, s.ix = nil, nil
-		sx.shards = append(sx.shards[:owner], sx.shards[owner+1:]...)
-	} else {
-		sx.refreshBounds(s)
-		// A delete can only shrink the shard, so the rebalance choice is
-		// merge-or-nothing — and mergeShard rebuilds the union itself, so
-		// the owner's backend is rebuilt only when the shard survives
-		// as-is (building it pre-merge would be discarded work).
-		var err error
-		if len(s.ids) < (sx.target+1)/2 {
-			err = sx.mergeShard(owner)
-		} else {
-			err = sx.rebuildShard(s)
-		}
-		if err != nil {
-			return 0, sx.poison(err)
-		}
-	}
-	if shrunk {
-		// The size bound tightened for every shard, not just the mutated
-		// one; restore the ≤ 2×target invariant eagerly so queries never
-		// observe a shard the rebalancer has silently outgrown.
-		if err := sx.splitOversized(); err != nil {
-			return 0, sx.poison(err)
-		}
-	}
-	sx.epoch++
-	sx.recomputeCaps()
-	return sx.n, nil
+	return res[0], nil
 }
 
 // retarget tracks the per-shard size target against the live dataset
@@ -445,8 +331,10 @@ func (sx *ShardedIndex) splitShard(si int) error {
 // bounding-box center distance) and rebuilds the union; if the merged
 // shard overshoots 2×target it is immediately re-split. The caller
 // skips si's own rebuild, so when no partner exists (si is the only
-// non-empty shard) si itself is rebuilt here.
-func (sx *ShardedIndex) mergeShard(si int) error {
+// non-empty shard) si itself is rebuilt here. Shards this call rebuilds
+// are removed from dirty (nil is fine), so the epoch finisher never
+// builds them a second time.
+func (sx *ShardedIndex) mergeShard(si int, dirty map[*shard]bool) error {
 	s := sx.shards[si]
 	c := s.bbox.Center()
 	best, bestD := -1, 0.0
@@ -460,6 +348,7 @@ func (sx *ShardedIndex) mergeShard(si int) error {
 		}
 	}
 	if best < 0 {
+		delete(dirty, s)
 		return sx.rebuildShard(s)
 	}
 	t := sx.shards[best]
@@ -472,16 +361,18 @@ func (sx *ShardedIndex) mergeShard(si int) error {
 	if err := sx.rebuildShard(t); err != nil {
 		return err
 	}
+	delete(dirty, s)
+	delete(dirty, t)
 	s.sub, s.ix = nil, nil
 	sx.shards = append(sx.shards[:si], sx.shards[si+1:]...)
 	ti := best
 	if best > si {
 		ti--
 	}
-	if len(t.ids) > 2*sx.target {
-		return sx.splitShard(ti)
-	}
-	return nil
+	// The union can overshoot 2×target (and, when the partner had
+	// already grown this epoch, even 4×target), so split until every
+	// piece honors the bound.
+	return sx.splitUntilBounded(ti, dirty)
 }
 
 // --- Engine-level mutation wrappers ----------------------------------------
@@ -501,20 +392,18 @@ func (e *Engine) Epoch() uint64 {
 	return 0
 }
 
-// Insert routes an insertion to a mutable index and invalidates the
-// answer cache: every cached answer may change when the dataset does.
-// The flush happens even when the mutation errors — a failure past the
-// point of no return poisons the index, and a stale cache hit would
-// otherwise dodge the broken-index error that misses see.
+// Insert routes an insertion to a mutable index and closes the
+// engine-side epoch (cache flush + adaptive-quantum refresh). The flush
+// happens even when the mutation errors — a failure past the point of
+// no return poisons the index, and a stale cache hit would otherwise
+// dodge the broken-index error that misses see.
 func (e *Engine) Insert(it Item) (int, error) {
 	m, ok := e.ix.(Mutable)
 	if !ok {
 		return -1, fmt.Errorf("%w: %s", ErrImmutable, e.ix.Name())
 	}
 	gi, err := m.Insert(it)
-	if e.cache != nil {
-		e.cache.invalidate()
-	}
+	e.afterMutation()
 	return gi, err
 }
 
@@ -534,8 +423,72 @@ func (e *Engine) deleteN(i int) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrImmutable, e.ix.Name())
 	}
 	n, err := m.Delete(i)
+	e.afterMutation()
+	return n, err
+}
+
+// BatchMutate applies a mutation burst through the epoch-coalesced path
+// of a batch-mutable index (ShardedIndex): the whole batch runs under
+// one write lock, each touched shard rebuilds once, and the engine-side
+// epoch (cache flush + adaptive-quantum refresh) closes once for the
+// burst instead of once per item. Results are per mutation: the
+// assigned global index for inserts, the live count for deletes.
+func (e *Engine) BatchMutate(ms []Mutation) ([]int, error) {
+	bm, ok := e.ix.(BatchMutable)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrImmutable, e.ix.Name())
+	}
+	if len(ms) == 0 {
+		return nil, nil // a guaranteed no-op must not flush a hot cache
+	}
+	res, err := bm.BatchMutate(ms)
+	e.afterMutation()
+	return res, err
+}
+
+// afterMutation closes one engine-side mutation epoch: re-derive the
+// adaptive cache quantum, then flush the answer cache (every cached
+// answer may change when the dataset does). The tighten MUST precede
+// the flush — in the other order a concurrent miss could key an entry
+// under the old coarse grid after the flush and have it survive, mixing
+// two grids in one cache. The flush runs even when the mutation erred —
+// see Insert.
+func (e *Engine) afterMutation() {
+	e.maybeTightenQuantum()
 	if e.cache != nil {
 		e.cache.invalidate()
 	}
-	return n, err
+}
+
+// maybeTightenQuantum refreshes the adaptive cache quantum after a
+// mutation epoch. The quantum was resolved from the built structure at
+// Open, but mutations change centroid spacing: a stream that densifies
+// the dataset would leave the quantum too coarse, and nearby-but-
+// distinct queries would share one cached answer. The refresh is
+// monotone — the quantum only tightens — so answer sharing can only get
+// more precise mid-stream, never coarser (a coarsening could silently
+// glue previously distinct cells together).
+func (e *Engine) maybeTightenQuantum() {
+	if !e.adaptive {
+		return
+	}
+	var q float64
+	switch h := e.ix.(type) {
+	case *ShardedIndex:
+		// The cheap O(k) source: per-part hints, re-derived by the very
+		// rebuilds this mutation paid for. The full QuantumHint would
+		// re-estimate over the whole dataset on every mutation.
+		q = h.shardQuantumHint()
+	case quantumHinter:
+		q = h.QuantumHint()
+	default:
+		return
+	}
+	cur := e.CacheQuantum()
+	if q > 0 && cur > 0 && q < cur {
+		e.quantum.Store(math.Float64bits(q))
+		if e.cache != nil {
+			e.cache.setQuantum(q)
+		}
+	}
 }

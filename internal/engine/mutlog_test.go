@@ -1,0 +1,634 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+	"unn/internal/uncertain"
+)
+
+// TestDynamicParityBatchedMutations extends the dynamic layer's core
+// contract to the epoch-coalesced path: after ANY interleaving of
+// BatchMutate bursts and single mutations — with and without the
+// insert buffer, in both split modes — the index answers every query
+// kind like a freshly built monolithic backend over the survivors
+// (bit-identical NN≠0 and E[d], π within eps), including right after
+// every buffer flush, and the epoch advances once per batch.
+func TestDynamicParityBatchedMutations(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		split  Split
+		buffer bool
+	}{
+		{"kdmedian", SplitKDMedian, false},
+		{"grid", SplitGrid, false},
+		{"kdmedian-buffer", SplitKDMedian, true},
+		{"grid-buffer", SplitGrid, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xba7c4 ^ int64(tc.split)))
+			const side = 80.0
+			pool := constructions.RandomDiscrete(rng, 400, 3, side, 2.0, 1)
+			live := append([]*uncertain.Discrete(nil), pool[:32]...)
+			next := 32
+			sopt := ShardOptions{Shards: 4, Split: tc.split}
+			if tc.buffer {
+				sopt.InsertBuffer = true
+				sopt.FlushThreshold = 6 // small, so the sweep crosses several flushes
+			}
+			sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), live...)), sopt)
+			qs := randQueries(rng, 8, side)
+			epochs := uint64(0)
+			for step := 0; step < 24; step++ {
+				if step%3 == 2 {
+					// A single mutation between bursts.
+					i := rng.Intn(len(live))
+					if _, err := sx.Delete(i); err != nil {
+						t.Fatalf("step %d: delete: %v", step, err)
+					}
+					live = append(live[:i], live[i+1:]...)
+					epochs++
+				} else {
+					// A burst of 4–12 mutations, ~2/3 inserts.
+					m := 4 + rng.Intn(9)
+					var ms []Mutation
+					virtual := append([]*uncertain.Discrete(nil), live...)
+					for j := 0; j < m; j++ {
+						if (rng.Intn(3) > 0 && next < len(pool)) || len(virtual) <= 2 {
+							p := pool[next]
+							next++
+							ms = append(ms, InsertMutation(Item{Point: p}))
+							virtual = append(virtual, p)
+						} else {
+							i := rng.Intn(len(virtual))
+							ms = append(ms, DeleteMutation(i))
+							virtual = append(virtual[:i], virtual[i+1:]...)
+						}
+					}
+					res, err := sx.BatchMutate(ms)
+					if err != nil {
+						t.Fatalf("step %d: batch: %v", step, err)
+					}
+					// Results carry the sequential semantics: inserted global
+					// indices and post-delete live counts.
+					vn := len(live)
+					for mi, mu := range ms {
+						if mu.Op == OpInsert {
+							if res[mi] != vn {
+								t.Fatalf("step %d: insert %d returned index %d, want %d", step, mi, res[mi], vn)
+							}
+							vn++
+						} else {
+							vn--
+							if res[mi] != vn {
+								t.Fatalf("step %d: delete %d returned count %d, want %d", step, mi, res[mi], vn)
+							}
+						}
+					}
+					live = virtual
+					epochs++
+				}
+				if sx.Len() != len(live) {
+					t.Fatalf("step %d: Len=%d, want %d", step, sx.Len(), len(live))
+				}
+				if sx.Epoch() != epochs {
+					t.Fatalf("step %d: epoch=%d, want one bump per batch (%d)", step, sx.Epoch(), epochs)
+				}
+				checkSizeInvariant(t, sx, tc.name)
+				checkDynamicParity(t, sx, live, qs, tc.name)
+			}
+			if tc.buffer {
+				_, inserts, flushes := sx.BufferStats()
+				if inserts == 0 {
+					t.Fatal("insert buffer absorbed no inserts")
+				}
+				if flushes == 0 {
+					t.Fatal("insert buffer never flushed despite the tiny threshold")
+				}
+			}
+		})
+	}
+}
+
+// TestBatchMutateValidation: validation is atomic — an invalid entry
+// anywhere in the batch (simulated index-wise against the virtual size)
+// rejects the whole burst before anything is applied.
+func TestBatchMutateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xa70))
+	pts := constructions.RandomDiscrete(rng, 10, 2, 30, 1.0, 1)
+	sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), pts...)),
+		ShardOptions{Shards: 2})
+	q := geom.Pt(15, 15)
+	before, err := sx.QueryNonzero(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]Mutation{
+		// Out-of-range delete behind a valid insert: index 11 is valid
+		// only after the insert applies; 12 never is.
+		{InsertMutation(Item{Point: pts[0]}), DeleteMutation(12)},
+		// Delete made invalid by the deletes before it.
+		{DeleteMutation(9), DeleteMutation(9)},
+		// Wrong payload kind.
+		{InsertMutation(Item{})},
+		{InsertMutation(Item{Point: uncertain.UniformDisk{D: geom.DiskAt(1, 1, 1)}})},
+		// Not a mutation op.
+		{{Op: CapNonzero}},
+		// Deleting down to zero items.
+		{
+			DeleteMutation(0), DeleteMutation(0), DeleteMutation(0), DeleteMutation(0),
+			DeleteMutation(0), DeleteMutation(0), DeleteMutation(0), DeleteMutation(0),
+			DeleteMutation(0), DeleteMutation(0),
+		},
+	}
+	for ci, ms := range cases {
+		if _, err := sx.BatchMutate(ms); err == nil {
+			t.Fatalf("case %d: batch with an invalid entry was accepted", ci)
+		}
+		if sx.Len() != 10 || sx.Epoch() != 0 {
+			t.Fatalf("case %d: rejected batch mutated the index (n=%d, epoch=%d)", ci, sx.Len(), sx.Epoch())
+		}
+		after, err := sx.QueryNonzero(q)
+		if err != nil {
+			t.Fatalf("case %d: query after rejected batch: %v", ci, err)
+		}
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("case %d: rejected batch changed answers: %v vs %v", ci, after, before)
+		}
+	}
+	// The empty batch is a no-op, not an epoch.
+	if res, err := sx.BatchMutate(nil); err != nil || res != nil {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+	if sx.Epoch() != 0 {
+		t.Fatalf("empty batch bumped the epoch to %d", sx.Epoch())
+	}
+}
+
+// TestBatchMutateCoalescesRebuilds is the point of the tentpole: a
+// burst landing in one region rebuilds the owning shard once, not once
+// per item — observed through the untouched shards' backend identity
+// (the same built instance survives the batch).
+func TestBatchMutateCoalescesRebuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xc0a1))
+	const side = 100.0
+	pts := constructions.RandomDiscrete(rng, 64, 2, side, 1.0, 1)
+	sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), pts...)),
+		ShardOptions{Shards: 4})
+	// Remember every shard's built instance, keyed by its bbox center.
+	type key struct{ x, y float64 }
+	prev := map[key]Index{}
+	for _, s := range sx.shards {
+		c := s.bbox.Center()
+		prev[key{c.X, c.Y}] = s.ix
+	}
+	// A burst clustered at one corner: at most a couple of shards own it.
+	var ms []Mutation
+	for j := 0; j < 12; j++ {
+		loc := geom.Pt(rng.Float64()*3, rng.Float64()*3)
+		ms = append(ms, InsertMutation(Item{Point: uncertain.UniformDiscrete([]geom.Point{loc})}))
+	}
+	if _, err := sx.BatchMutate(ms); err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for _, s := range sx.shards {
+		c := s.bbox.Center()
+		if old, ok := prev[key{c.X, c.Y}]; ok && old == s.ix {
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Fatalf("a 12-insert burst at one corner rebuilt every one of %d shards", len(sx.shards))
+	}
+}
+
+// TestDynamicInsertBuffer drives the log-structured buffer directly:
+// inserts below the threshold leave every main shard's backend
+// untouched (the log-structured append), queries still see the buffered
+// items exactly, and the flush drains the buffer into the owners.
+func TestDynamicInsertBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xb0f))
+	const side = 60.0
+	pool := constructions.RandomDiscrete(rng, 64, 2, side, 1.0, 1)
+	live := append([]*uncertain.Discrete(nil), pool[:24]...)
+	sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), live...)),
+		ShardOptions{Shards: 3, InsertBuffer: true, FlushThreshold: 8})
+	mains := make([]Index, 0, len(sx.shards))
+	for _, s := range sx.shards {
+		mains = append(mains, s.ix)
+	}
+	qs := randQueries(rng, 8, side)
+	for j := 0; j < 7; j++ { // stays below the threshold of 8
+		p := pool[24+j]
+		if _, err := sx.Insert(Item{Point: p}); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+		checkDynamicParity(t, sx, live, qs, "buffered")
+	}
+	for si, s := range sx.shards {
+		if s.ix != mains[si] {
+			t.Fatalf("a buffered insert rebuilt main shard %d", si)
+		}
+	}
+	if buffered, inserts, flushes := sx.BufferStats(); buffered != 7 || inserts != 7 || flushes != 0 {
+		t.Fatalf("BufferStats = (%d, %d, %d), want (7, 7, 0)", buffered, inserts, flushes)
+	}
+	// The 8th insert crosses the threshold: the buffer flushes into the
+	// owning shards and resets.
+	p := pool[31]
+	if _, err := sx.Insert(Item{Point: p}); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, p)
+	if buffered, _, flushes := sx.BufferStats(); buffered != 0 || flushes != 1 {
+		t.Fatalf("after the flush: buffered=%d flushes=%d, want 0 and 1", buffered, flushes)
+	}
+	total := 0
+	for _, s := range sx.shards {
+		total += len(s.ids)
+	}
+	if total != len(live) {
+		t.Fatalf("main shards hold %d items after the flush, want all %d", total, len(live))
+	}
+	checkDynamicParity(t, sx, live, qs, "flushed")
+
+	// Deleting a buffered item removes it from the buffer in place.
+	if _, err := sx.Insert(Item{Point: pool[32]}); err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, pool[32])
+	if _, err := sx.Delete(len(live) - 1); err != nil {
+		t.Fatal(err)
+	}
+	live = live[:len(live)-1]
+	if buffered, _, _ := sx.BufferStats(); buffered != 0 {
+		t.Fatalf("deleting the buffered item left %d in the buffer", buffered)
+	}
+	checkDynamicParity(t, sx, live, qs, "buffer-delete")
+}
+
+// TestDynamicFlushOvershootSplits is the regression for the >4×target
+// overshoot: a large spatially-local flush lands in ONE hot shard, so a
+// single halving leaves BOTH halves above the 2×target bound —
+// splitUntilBounded must recurse until every piece honors it.
+func TestDynamicFlushOvershootSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0e5))
+	// 32 items in a tight corner: kd-median shards both stay near it.
+	mk := func(x, y float64) *uncertain.Discrete {
+		return uncertain.UniformDiscrete([]geom.Point{geom.Pt(x, y)})
+	}
+	var pts []*uncertain.Discrete
+	for i := 0; i < 32; i++ {
+		pts = append(pts, mk(rng.Float64()*4, rng.Float64()*4))
+	}
+	sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), pts...)),
+		ShardOptions{Shards: 2, InsertBuffer: true, FlushThreshold: 96})
+	live := append([]*uncertain.Discrete(nil), pts...)
+	// 96 buffered inserts in the same corner: the flush routes the whole
+	// run into the hot shards — a >4×target overshoot.
+	for i := 0; i < 96; i++ {
+		p := mk(rng.Float64()*4, rng.Float64()*4)
+		if _, err := sx.Insert(Item{Point: p}); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, p)
+	}
+	if buffered, _, flushes := sx.BufferStats(); buffered != 0 || flushes != 1 {
+		t.Fatalf("BufferStats after the overshoot flush: buffered=%d flushes=%d", buffered, flushes)
+	}
+	checkSizeInvariant(t, sx, "overshoot flush")
+	checkDynamicParity(t, sx, live, randQueries(rng, 8, 4), "overshoot flush")
+}
+
+// TestSplitUntilBounded drives the recursive split directly: a shard at
+// 16× the target must end as a fleet of pieces all within 2×target,
+// partitioning exactly the original members.
+func TestSplitUntilBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5b1))
+	pts := constructions.RandomDiscrete(rng, 128, 2, 50, 1.0, 1)
+	sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), pts...)),
+		ShardOptions{Shards: 1})
+	sx.mu.Lock()
+	sx.target = 8
+	err := sx.splitUntilBounded(0, nil)
+	sx.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSizeInvariant(t, sx, "direct split")
+	seen := map[int]bool{}
+	for _, s := range sx.shards {
+		if s.ix == nil {
+			t.Fatal("a split piece was left unbuilt")
+		}
+		for _, id := range s.ids {
+			if seen[id] {
+				t.Fatalf("id %d landed in two pieces", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != 128 {
+		t.Fatalf("split pieces cover %d of 128 members", len(seen))
+	}
+	checkDynamicParity(t, sx, pts, randQueries(rng, 8, 50), "direct split")
+}
+
+// TestFlushThresholdCostModel: the auto threshold is the cost model's
+// minimizer — positive, clamped, and growing with the configured
+// backend's rebuild cost (an expensive backend affords a larger buffer).
+func TestFlushThresholdCostModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xf1a5))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 400, 2, 100, 1.0, 1))
+	mk := func(b Backend) *ShardedIndex {
+		sx := dynamicOver(t, b, ds, ShardOptions{Shards: 4, InsertBuffer: true})
+		return sx
+	}
+	brute := mk(BackendBrute).flushThreshold()
+	ts := mk(BackendTwoStageDiscrete).flushThreshold()
+	if brute < 8 || ts < 8 {
+		t.Fatalf("thresholds below the floor: brute=%d twostage=%d", brute, ts)
+	}
+	if hi := 2 * ((400 + 3) / 4); brute > hi || ts > hi {
+		t.Fatalf("thresholds above the 2×target clamp %d: brute=%d twostage=%d", hi, brute, ts)
+	}
+	if ts <= brute {
+		t.Fatalf("two-stage flush threshold %d not above brute's %d despite the costlier rebuild", ts, brute)
+	}
+}
+
+// TestRouteShardDegenerate: routeShard reports −1 when every main shard
+// is empty, and the mutation paths route to a fresh shard instead of
+// panicking on shards[-1] — both driven directly and through the
+// natural buffer path (deletes drain the main shards, the next flush
+// re-seeds them).
+func TestRouteShardDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xdead))
+	pts := constructions.RandomDiscrete(rng, 6, 2, 20, 1.0, 1)
+
+	t.Run("direct", func(t *testing.T) {
+		sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), pts...)),
+			ShardOptions{Shards: 2})
+		// Drive the degenerate state directly: every shard emptied.
+		sx.mu.Lock()
+		sx.ds = &Dataset{}
+		sx.n = 0
+		sx.owned = true
+		for _, s := range sx.shards {
+			s.ids, s.sub, s.ix = nil, nil, nil
+		}
+		if got := sx.routeShard(geom.Pt(1, 1)); got != -1 {
+			sx.mu.Unlock()
+			t.Fatalf("routeShard over empty shards = %d, want -1", got)
+		}
+		sx.mu.Unlock()
+		gi, err := sx.Insert(Item{Point: pts[0]})
+		if err != nil {
+			t.Fatalf("Insert into the degenerate state: %v", err)
+		}
+		if gi != 0 {
+			t.Fatalf("Insert returned index %d, want 0", gi)
+		}
+		got, err := sx.QueryNonzero(pts[0].Support().Center())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, []int{0}) {
+			t.Fatalf("fresh-shard answer %v, want [0]", got)
+		}
+	})
+
+	t.Run("buffer-drain", func(t *testing.T) {
+		sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), pts[:2]...)),
+			ShardOptions{Shards: 1, InsertBuffer: true, FlushThreshold: 3})
+		live := append([]*uncertain.Discrete(nil), pts[:2]...)
+		// Buffer one item, then delete both originals: the sole main
+		// shard empties and is dropped.
+		if _, err := sx.Insert(Item{Point: pts[2]}); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, pts[2])
+		for i := 0; i < 2; i++ {
+			if _, err := sx.Delete(0); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+			live = live[1:]
+		}
+		if got := sx.Shards(); got != 0 {
+			t.Fatalf("main shard count = %d, want 0 (all live items buffered)", got)
+		}
+		qs := randQueries(rng, 6, 20)
+		checkDynamicParity(t, sx, live, qs, "all-buffered")
+		// Two more inserts cross the threshold; the flush must seed a
+		// fresh main shard rather than indexing shards[-1].
+		for _, p := range pts[3:5] {
+			if _, err := sx.Insert(Item{Point: p}); err != nil {
+				t.Fatalf("insert into the drained state: %v", err)
+			}
+			live = append(live, p)
+		}
+		if got := sx.Shards(); got < 1 {
+			t.Fatalf("flush into the drained state left %d main shards", got)
+		}
+		if buffered, _, _ := sx.BufferStats(); buffered != 0 {
+			t.Fatalf("flush left %d items buffered", buffered)
+		}
+		checkDynamicParity(t, sx, live, qs, "reseeded")
+	})
+}
+
+// TestServeCoalescesMutations: runs of queued mutation ops on the Serve
+// stream apply as one epoch-coalesced batch (observable through the
+// epoch counter), with per-op answers carrying the exact sequential
+// live counts.
+func TestServeCoalescesMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eca))
+	const side = 50.0
+	pool := constructions.RandomDiscrete(rng, 64, 2, side, 1.0, 1)
+	live := append([]*uncertain.Discrete(nil), pool[:16]...)
+	sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), live...)),
+		ShardOptions{Shards: 3})
+	eng := NewEngine(sx, Options{Workers: 1})
+
+	const ops = 24
+	in := make(chan Query, ops)
+	want := map[uint64]int{} // seq → expected Answer.N
+	vn := len(live)
+	for i := 0; i < ops; i++ {
+		seq := uint64(i + 1)
+		if i%4 == 3 {
+			di := rng.Intn(vn)
+			in <- Query{Seq: seq, Kind: OpDelete, Del: di}
+			live = append(live[:di], live[di+1:]...)
+			vn--
+		} else {
+			p := pool[16+i]
+			in <- Query{Seq: seq, Kind: OpInsert, Item: Item{Point: p}}
+			live = append(live, p)
+			vn++
+		}
+		want[seq] = vn
+	}
+	close(in)
+	got := 0
+	for a := range eng.Serve(context.Background(), in) {
+		if a.Err != nil {
+			t.Fatalf("seq %d: %v", a.Seq, a.Err)
+		}
+		if a.N != want[a.Seq] {
+			t.Fatalf("seq %d: N=%d, want %d", a.Seq, a.N, want[a.Seq])
+		}
+		got++
+	}
+	if got != ops {
+		t.Fatalf("stream answered %d of %d ops", got, ops)
+	}
+	// All ops were queued before the worker started, so they coalesce
+	// into far fewer epochs than ops (one per run of ≤ serveCoalesce).
+	if ep := sx.Epoch(); ep >= ops {
+		t.Fatalf("epoch=%d after %d queued ops: the stream did not coalesce", ep, ops)
+	}
+	checkDynamicParity(t, sx, live, randQueries(rng, 8, side), "serve-coalesced")
+}
+
+// TestQuantizeExtremeCoordinates is the regression for the
+// float→int64→uint64 conversion in cache key quantization: coordinates
+// far outside ±2⁶³·quantum used to hit Go's implementation-specific
+// out-of-range conversion, so keys could differ across architectures or
+// alias finite cells. The clamp saturates them deterministically.
+func TestQuantizeExtremeCoordinates(t *testing.T) {
+	const q = 1e-9 // tiny quantum: moderate coordinates already overflow
+	cases := []struct {
+		v    float64
+		want uint64
+	}{
+		{1e300, 1<<63 - 1},         // saturates high
+		{math.Inf(1), 1<<63 - 1},   // +Inf too
+		{-1e300, 1 << 63},          // saturates low (MinInt64 bits)
+		{math.Inf(-1), 1 << 63},    // −Inf too
+		{math.NaN(), 1 << 63},      // NaN pinned to the low sentinel
+		{1e-9, 1},                  // in-range values keep exact cells
+		{-3e-9, uint64(1<<64 - 3)}, // int64(−3) bits
+		{9.3e9, 1<<63 - 1},         // 9.3e18 cells: just past 2⁶³, saturates
+	}
+	// Just inside the range: converts exactly. The expectation divides at
+	// runtime (variables, not constants), folding the same float rounding
+	// the implementation sees.
+	v, quant := 9e9, q
+	cases = append(cases, struct {
+		v    float64
+		want uint64
+	}{v, uint64(int64(math.Floor(v / quant)))})
+	for _, tc := range cases {
+		if got := quantizeCell(tc.v, q); got != tc.want {
+			t.Errorf("quantizeCell(%g, %g) = %#x, want %#x", tc.v, q, got, tc.want)
+		}
+	}
+	// Saturated extremes must not alias each other or a finite cell.
+	lo, hi, mid := quantizeCell(-1e300, q), quantizeCell(1e300, q), quantizeCell(1.0, q)
+	if lo == hi || lo == mid || hi == mid {
+		t.Fatalf("extreme cells alias: lo=%#x hi=%#x mid=%#x", lo, hi, mid)
+	}
+	// End to end: a cache with a tiny quantum must keep extreme keys
+	// deterministic (same key → hit; distinct extremes → distinct).
+	c := newCache(8, q)
+	gen := c.generation()
+	c.put(kindNonzero, geom.Pt(1e300, 0), 0, []int{1}, gen)
+	if _, ok := c.get(kindNonzero, geom.Pt(1e300, 0), 0); !ok {
+		t.Fatal("extreme-coordinate key not stable across put/get")
+	}
+	if _, ok := c.get(kindNonzero, geom.Pt(-1e300, 0), 0); ok {
+		t.Fatal("opposite extremes alias one cache cell")
+	}
+}
+
+// TestAdaptiveQuantumTightensOnMutation is the regression for the
+// frozen adaptive cache quantum: a stream that densifies the dataset
+// used to leave the Build-time quantum too coarse, so
+// nearby-but-distinct queries shared one cached answer. Mutation epochs
+// now tighten the quantum monotonically.
+func TestAdaptiveQuantumTightensOnMutation(t *testing.T) {
+	// A sparse 4×4 grid of discrete points, spacing 10.
+	var pts []*uncertain.Discrete
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			pts = append(pts, uncertain.UniformDiscrete([]geom.Point{geom.Pt(float64(i)*10, float64(j)*10)}))
+		}
+	}
+	sx := dynamicOver(t, BackendBrute, FromDiscrete(append([]*uncertain.Discrete(nil), pts...)),
+		ShardOptions{Shards: 2})
+	eng := NewEngine(sx, Options{Workers: 1, CacheSize: 64, CacheQuantum: -1})
+	coarse := eng.CacheQuantum()
+	if coarse <= 1 {
+		t.Fatalf("build-time adaptive quantum %g, want the grid-spacing scale", coarse)
+	}
+	// Insert a tight cluster: centroid spacing collapses to 0.05.
+	for i := 0; i < 6; i++ {
+		p := uncertain.UniformDiscrete([]geom.Point{geom.Pt(25+float64(i)*0.05, 25)})
+		if _, err := eng.Insert(Item{Point: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fine := eng.CacheQuantum()
+	if fine >= coarse {
+		t.Fatalf("quantum %g did not tighten after densifying (was %g)", fine, coarse)
+	}
+	// No cross-cell sharing: two queries near distinct cluster points
+	// (within ONE stale cell, but different tight cells) must answer
+	// independently.
+	q1, q2 := geom.Pt(25.0, 25.0), geom.Pt(25.25, 25.0)
+	a1, err := eng.QueryNonzero(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := eng.QueryNonzero(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, _ := sx.QueryNonzero(q1)
+	want2, _ := sx.QueryNonzero(q2)
+	if !reflect.DeepEqual(a1, want1) || !reflect.DeepEqual(a2, want2) {
+		t.Fatalf("cached answers diverge from the index: %v/%v vs %v/%v", a1, a2, want1, want2)
+	}
+	if reflect.DeepEqual(want1, want2) {
+		t.Fatal("test workload degenerate: both queries have the same true answer")
+	}
+	if reflect.DeepEqual(a1, a2) {
+		t.Fatalf("nearby-but-distinct queries share one cached answer: %v", a1)
+	}
+	// The tightening is monotone: deleting the cluster must not coarsen
+	// the quantum back (coarsening could glue distinct cells together).
+	for eng.Epoch() < 12 {
+		if err := eng.Delete(sx.Len() - 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.CacheQuantum(); got > fine {
+		t.Fatalf("quantum loosened from %g to %g after deletes", fine, got)
+	}
+}
+
+// TestBatchMutateImmutable: monolithic engines reject batches with
+// ErrImmutable, like the per-item path.
+func TestBatchMutateImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 6, 2, 20, 1.0, 1))
+	mono, err := Build(BackendBrute, ds, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(mono, Options{})
+	if _, err := eng.BatchMutate([]Mutation{DeleteMutation(0)}); err == nil ||
+		!strings.Contains(err.Error(), ErrImmutable.Error()) {
+		t.Fatalf("BatchMutate on a monolithic engine: err=%v, want ErrImmutable", err)
+	}
+}

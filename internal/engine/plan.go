@@ -76,29 +76,44 @@ type boundedShard struct {
 	lb float64
 }
 
-func (sx *ShardedIndex) byLowerBound(q geom.Point) []boundedShard {
-	out := make([]boundedShard, 0, len(sx.shards))
+// queryParts returns every built part the merge planner combines: the
+// main shards plus the insert buffer (mutlog.go) when it holds items —
+// the buffer is just one more shard to the planner, so every merge
+// (the Lemma 2.1 filter, the cross-shard renormalization, the E[d]
+// min-reduce) covers buffered items exactly.
+func (sx *ShardedIndex) queryParts(yield func(*shard)) {
 	for _, s := range sx.shards {
-		if s.ix == nil {
-			continue
+		if s.ix != nil {
+			yield(s)
 		}
-		out = append(out, boundedShard{s: s, lb: sx.metric.rectDist(q, s.bbox)})
 	}
+	if sx.buf != nil && sx.buf.ix != nil {
+		yield(sx.buf)
+	}
+}
+
+func (sx *ShardedIndex) byLowerBound(q geom.Point) []boundedShard {
+	out := make([]boundedShard, 0, len(sx.shards)+1)
+	sx.queryParts(func(s *shard) {
+		out = append(out, boundedShard{s: s, lb: sx.metric.rectDist(q, s.bbox)})
+	})
 	sort.SliceStable(out, func(a, b int) bool { return out[a].lb < out[b].lb })
 	return out
 }
 
-// soleShard returns the only built shard, or nil when several exist.
+// soleShard returns the only built part (main shard or insert buffer),
+// or nil when several exist.
 func (sx *ShardedIndex) soleShard() *shard {
 	var sole *shard
-	for _, s := range sx.shards {
-		if s.ix == nil {
-			continue
-		}
+	several := false
+	sx.queryParts(func(s *shard) {
 		if sole != nil {
-			return nil
+			several = true
 		}
 		sole = s
+	})
+	if several {
+		return nil
 	}
 	return sole
 }

@@ -425,6 +425,7 @@ func BuildPlanned(ds *Dataset, bopt BuildOptions, sopt ShardOptions, popt Planne
 		sx.metric = metricLinf
 	}
 	sx.planNote = plan.Explain()
+	sx.model = model // prices the insert-buffer flush threshold (mutlog.go)
 	if err := sx.Build(ds); err != nil {
 		return nil, nil, fmt.Errorf("engine: build planned: %w", err)
 	}

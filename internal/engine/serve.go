@@ -67,17 +67,33 @@ type Answer struct {
 // even with a full answer channel and an abandoned consumer. Per-query
 // failures (e.g. an unsupported kind) are reported in Answer.Err;
 // they do not stop the stream.
+// Runs of queued mutation ops are opportunistically coalesced: a worker
+// that picks up an OpInsert/OpDelete greedily drains any immediately
+// available mutation ops behind it (never blocking on the channel) and
+// applies the run as one BatchMutate — one write lock, one rebuild per
+// touched shard, one cache flush — while still emitting one Answer per
+// op with the exact sequential semantics. A query encountered mid-drain
+// ends the run and is answered right after it.
 func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 	buf := e.opt.ServeBuffer
 	if buf <= 0 {
 		buf = 2 * e.opt.Workers
 	}
 	out := make(chan Answer, buf)
+	_, canBatch := e.ix.(BatchMutable)
 	var wg sync.WaitGroup
 	for w := 0; w < e.opt.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			send := func(a Answer) bool {
+				select {
+				case out <- a:
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			}
 			for {
 				select {
 				case <-ctx.Done():
@@ -86,9 +102,22 @@ func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 					if !ok {
 						return
 					}
-					select {
-					case out <- e.answer(qr):
-					case <-ctx.Done():
+					if canBatch && isMutOp(qr.Kind) {
+						ops, leftover, closed := drainMutations(in, qr)
+						for _, a := range e.answerMutations(ops) {
+							if !send(a) {
+								return
+							}
+						}
+						if leftover != nil && !send(e.answer(*leftover)) {
+							return
+						}
+						if closed {
+							return
+						}
+						continue
+					}
+					if !send(e.answer(qr)) {
 						return
 					}
 				}
@@ -100,6 +129,71 @@ func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 		close(out)
 	}()
 	return out
+}
+
+// serveCoalesce caps one coalesced mutation run — large enough to
+// amortize the per-epoch costs, small enough that the write lock never
+// starves readers for a whole backlog.
+const serveCoalesce = 64
+
+// isMutOp reports whether kind is a Serve-stream mutation op.
+func isMutOp(kind Capability) bool { return kind == OpInsert || kind == OpDelete }
+
+// drainMutations greedily extends the run started by first with
+// mutation ops already queued on in, without ever blocking: the first
+// non-mutation query ends the run (returned as leftover), as does an
+// empty channel or its closure (closed).
+func drainMutations(in <-chan Query, first Query) (ops []Query, leftover *Query, closed bool) {
+	ops = []Query{first}
+	for len(ops) < serveCoalesce {
+		select {
+		case qr, ok := <-in:
+			if !ok {
+				return ops, nil, true
+			}
+			if isMutOp(qr.Kind) {
+				ops = append(ops, qr)
+				continue
+			}
+			return ops, &qr, false
+		default:
+			return ops, nil, false
+		}
+	}
+	return ops, nil, false
+}
+
+// answerMutations applies one coalesced run. The batch path validates
+// atomically, so on a batch error (one bad op rejects the burst, or a
+// poisoned index) the run falls back to per-op application — each op
+// then reports its own error, exactly the uncoalesced semantics.
+func (e *Engine) answerMutations(ops []Query) []Answer {
+	if len(ops) > 1 {
+		ms := make([]Mutation, len(ops))
+		for i, op := range ops {
+			if op.Kind == OpInsert {
+				ms[i] = InsertMutation(op.Item)
+			} else {
+				ms[i] = DeleteMutation(op.Del)
+			}
+		}
+		if res, err := e.BatchMutate(ms); err == nil {
+			as := make([]Answer, len(ops))
+			for i, op := range ops {
+				a := Answer{Seq: op.Seq, Kind: op.Kind, N: res[i]}
+				if op.Kind == OpInsert {
+					a.N = res[i] + 1 // res is the inserted index; N is the live count
+				}
+				as[i] = a
+			}
+			return as
+		}
+	}
+	as := make([]Answer, len(ops))
+	for i, op := range ops {
+		as[i] = e.answer(op)
+	}
+	return as
 }
 
 // answer executes one stream query through the cached single-query

@@ -51,6 +51,15 @@ type ShardOptions struct {
 	// AdaptiveCutoff is the small-shard threshold for Adaptive.
 	// Default 32.
 	AdaptiveCutoff int
+	// InsertBuffer enables the log-structured insert buffer (mutlog.go):
+	// inserts append to a small delta shard queried alongside the main
+	// shards instead of rebuilding an owning shard per item, and the
+	// buffer flushes into the owning shards when it crosses the flush
+	// threshold.
+	InsertBuffer bool
+	// FlushThreshold overrides the insert-buffer capacity; ≤ 0 lets the
+	// cost model choose (see ShardedIndex.flushThreshold).
+	FlushThreshold int
 }
 
 func (o ShardOptions) withDefaults() ShardOptions {
@@ -151,6 +160,18 @@ type ShardedIndex struct {
 	shards []*shard
 	caps   Capability
 	n      int
+
+	// buf is the log-structured insert buffer (nil unless
+	// ShardOptions.InsertBuffer): a delta shard outside the rebalancer's
+	// jurisdiction, queried alongside the main shards and flushed into
+	// them when it crosses the flush threshold (mutlog.go).
+	buf        *shard
+	bufInserts uint64
+	bufFlushes uint64
+	// model prices the flush threshold; BuildPlanned shares the
+	// planner's calibrated model, everything else lazily falls back to
+	// the seeded defaults.
+	model *CostModel
 }
 
 // NewSharded returns an unbuilt sharded wrapper over the named backend.
@@ -378,6 +399,15 @@ func (sx *ShardedIndex) Build(ds *Dataset) error {
 	if sx.target < 1 {
 		sx.target = 1
 	}
+	if sx.opt.InsertBuffer {
+		sx.buf = &shard{bbox: geom.EmptyRect()}
+		if sx.model == nil {
+			// Resolve the flush-pricing model up front: flushThreshold is
+			// also read under the query RLock (Explain), so the lazy
+			// fallback must never fire there.
+			sx.model = NewCostModel(nil)
+		}
+	}
 	groups := partition(ds, sx.opt.Shards, sx.opt.Split)
 	sx.shards = make([]*shard, len(groups))
 	for si, ids := range groups {
@@ -439,13 +469,37 @@ func (sx *ShardedIndex) QuantumHint() float64 {
 	sx.mu.RLock()
 	defer sx.mu.RUnlock()
 	best := autoQuantum(sx.ds)
-	for _, s := range sx.shards {
+	sx.queryParts(func(s *shard) {
 		if h, ok := s.ix.(quantumHinter); ok {
 			if q := h.QuantumHint(); q > 0 && (best <= 0 || q < best) {
 				best = q
 			}
 		}
-	}
+	})
+	return best
+}
+
+// shardQuantumHint is the cheap per-mutation refresh source for the
+// adaptive cache quantum (Engine.maybeTightenQuantum): the finest hint
+// among the built parts only. Each part re-derived its own hint from
+// its sub-dataset when it was last rebuilt, so the mutated region's
+// spacing is already reflected there and reading it is O(k) — unlike
+// QuantumHint, which re-estimates over the whole dataset (O(n log n))
+// and would dominate the very rebuild cost the mutation path amortizes.
+// A cluster split exactly across a shard boundary can escape the
+// per-shard estimates; the refresh then simply keeps the coarser value
+// (no worse than the pre-refresh behavior).
+func (sx *ShardedIndex) shardQuantumHint() float64 {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	best := 0.0
+	sx.queryParts(func(s *shard) {
+		if h, ok := s.ix.(quantumHinter); ok {
+			if q := h.QuantumHint(); q > 0 && (best <= 0 || q < best) {
+				best = q
+			}
+		}
+	})
 	return best
 }
 
@@ -468,6 +522,14 @@ func (sx *ShardedIndex) Explain() string {
 		}
 		fmt.Fprintf(&sb, "  shard %d: %d items → %s\n", si, len(s.ids), name)
 	}
+	if sx.buf != nil {
+		name := "(empty)"
+		if sx.buf.ix != nil {
+			name = sx.buf.ix.Name()
+		}
+		fmt.Fprintf(&sb, "  insert buffer: %d items (flush at %d) → %s\n",
+			len(sx.buf.ids), sx.flushThreshold(), name)
+	}
 	return sb.String()
 }
 
@@ -486,6 +548,10 @@ func (sx *ShardedIndex) recomputeCaps() bool {
 			sx.caps &= s.ix.Capabilities()
 			built++
 		}
+	}
+	if sx.buf != nil && sx.buf.ix != nil {
+		sx.caps &= sx.buf.ix.Capabilities()
+		built++
 	}
 	if built == 0 {
 		sx.caps = 0

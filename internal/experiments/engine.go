@@ -66,6 +66,10 @@ type BenchRecord struct {
 	// Plan describes the cost-based planner's per-kind backend assignment
 	// on the E19 row measuring it; empty elsewhere.
 	Plan string `json:"plan,omitempty"`
+	// BufferHitRate is the fraction of inserts the E20 log-structured
+	// insert buffer absorbed without a main-shard rebuild
+	// (1 − flushes/inserts); 0 outside the E20 buffer row.
+	BufferHitRate float64 `json:"buffer_hit_rate,omitempty"`
 }
 
 // WriteBenchJSON renders records as indented JSON (the BENCH_engine.json
@@ -459,6 +463,208 @@ func E18Stream(opt Options) *Table {
 // E16Engine is the Table-only driver registered in All.
 func E16Engine(opt Options) *Table {
 	_, t := EngineBench(opt)
+	return t
+}
+
+// MutationBench (E20) measures the mutation-batching layer on two
+// workloads at n = 10k behind a 16-shard brute fleet:
+//
+//   - Burst coalescing: rounds of 64-mutation bursts with spatial
+//     locality (the motivating scenario — a convoy of inserts plus a few
+//     deletes landing in one region) applied through BatchMutate on one
+//     index and as 64 single mutations on an identical twin. The
+//     epoch-coalesced path rebuilds each touched shard once per burst
+//     where the per-item path pays one rebuild per mutation, so the
+//     acceptance bar is batched ≥ 5× cheaper per mutation.
+//   - Insert buffering: a pure-insert stream against a
+//     WithInsertBuffer fleet. The buffer absorbs inserts without any
+//     main-shard rebuild until the cost-model flush threshold F, so a
+//     threshold's worth of inserts must amortize below ONE owning-shard
+//     rebuild (the per-item path's cost for the same stream is F
+//     rebuilds). buffer_hit_rate records 1 − flushes/inserts.
+func MutationBench(opt Options) ([]BenchRecord, *Table) {
+	t := &Table{
+		ID:     "E20",
+		Title:  "mutation batching: coalesced bursts and the insert buffer",
+		Claim:  "BatchMutate ≥5× cheaper per mutation than singles; buffered inserts amortize below one shard rebuild per flush",
+		Header: []string{"mode", "n", "muts", "batchedOp", "singleOp", "speedup", "bufferHit"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n, rounds, burst := 10000, 6, 64
+	if opt.Quick {
+		n, rounds = 2000, 3
+	}
+	side := float64(n)
+	const k = 16
+	pool := constructions.RandomDiscrete(rng, n+rounds*burst, 2, side, 2.0, 1)
+	build := func(sopt engine.ShardOptions) (*engine.ShardedIndex, error) {
+		sx, err := engine.NewSharded(engine.BackendBrute, engine.BuildOptions{}, sopt)
+		if err != nil {
+			return nil, err
+		}
+		if err := sx.Build(engine.FromDiscrete(append([]*uncertain.Discrete(nil), pool[:n]...))); err != nil {
+			return nil, err
+		}
+		return sx, nil
+	}
+
+	// --- burst coalescing: BatchMutate vs an identical twin fed singles.
+	batched, err := build(engine.ShardOptions{Shards: k})
+	var single *engine.ShardedIndex
+	if err == nil {
+		single, err = build(engine.ShardOptions{Shards: k})
+	}
+	if err != nil {
+		t.Note("%v", err)
+		return nil, t
+	}
+	var batchTotal, singleTotal time.Duration
+	next := n
+	for r := 0; r < rounds && err == nil; r++ {
+		// A spatially local burst: inserts drawn around one hotspot (so
+		// one or two shards own the whole run), deletes of random items.
+		hot := geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		live := batched.Len()
+		ms := make([]engine.Mutation, burst)
+		for j := range ms {
+			if j%8 == 7 {
+				ms[j] = engine.DeleteMutation(rng.Intn(live))
+				live--
+			} else {
+				p := pool[next]
+				next++
+				p = relocate(p, hot, rng)
+				ms[j] = engine.InsertMutation(engine.Item{Point: p})
+				live++
+			}
+		}
+		batchTotal += timeIt(func() { _, err = batched.BatchMutate(ms) })
+		if err != nil {
+			break
+		}
+		singleTotal += timeIt(func() {
+			for _, m := range ms {
+				if m.Op == engine.OpInsert {
+					_, err = single.Insert(m.Item)
+				} else {
+					_, err = single.Delete(m.Del)
+				}
+				if err != nil {
+					return
+				}
+			}
+		})
+	}
+	if err != nil {
+		t.Note("burst sweep: %v", err)
+		return nil, t
+	}
+	muts := rounds * burst
+	batchPer := batchTotal / time.Duration(muts)
+	singlePer := singleTotal / time.Duration(muts)
+	recs := []BenchRecord{{
+		Exp:        "E20",
+		Backend:    string(engine.BackendBrute),
+		N:          n,
+		Queries:    muts,
+		Shards:     k,
+		BatchNsOp:  float64(batchPer.Nanoseconds()),
+		MutateNsOp: float64(singlePer.Nanoseconds()),
+	}}
+	t.AddRow("burst64", itoa(n), itoa(muts), dtoa(batchPer), dtoa(singlePer),
+		fmt.Sprintf("%.1fx", float64(singlePer)/float64(batchPer)), "-")
+
+	// --- insert buffering: a pure-insert stream with the same arrival
+	// locality as the bursts (a hotspot that moves every `burst`
+	// arrivals), fed identically to the buffered fleet and the per-item
+	// baseline.
+	stream := muts
+	streamPts := make([]*uncertain.Discrete, stream)
+	var hot geom.Point
+	for i := range streamPts {
+		if i%burst == 0 {
+			hot = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+		}
+		streamPts[i] = relocate(pool[n+i%(rounds*burst)], hot, rng)
+	}
+	buffered, err := build(engine.ShardOptions{Shards: k, InsertBuffer: true})
+	if err != nil {
+		t.Note("buffer sweep: %v", err)
+		return recs, t
+	}
+	var insTotal time.Duration
+	for i := 0; i < stream && err == nil; i++ {
+		p := streamPts[i]
+		insTotal += timeIt(func() { _, err = buffered.Insert(engine.Item{Point: p}) })
+	}
+	if err != nil {
+		t.Note("buffer sweep: %v", err)
+		return recs, t
+	}
+	insertPer := insTotal / time.Duration(stream)
+	_, inserts, flushes := buffered.BufferStats()
+	hit := 0.0
+	if inserts > 0 {
+		hit = 1 - float64(flushes)/float64(inserts)
+	}
+	// The no-buffer baseline for the same stream: one owning-shard
+	// rebuild per insert (the per-item dynamic path).
+	base, err := build(engine.ShardOptions{Shards: k})
+	if err != nil {
+		t.Note("buffer baseline: %v", err)
+		return recs, t
+	}
+	var basePer time.Duration
+	{
+		var baseTotal time.Duration
+		for i := 0; i < stream && err == nil; i++ {
+			p := streamPts[i]
+			baseTotal += timeIt(func() { _, err = base.Insert(engine.Item{Point: p}) })
+		}
+		if err != nil {
+			t.Note("buffer baseline: %v", err)
+			return recs, t
+		}
+		basePer = baseTotal / time.Duration(stream)
+	}
+	recs = append(recs, BenchRecord{
+		Exp:           "E20",
+		Backend:       string(engine.BackendBrute) + "+buffer",
+		N:             n,
+		Queries:       stream,
+		Shards:        k,
+		MutateNsOp:    float64(insertPer.Nanoseconds()),
+		RebuildNsOp:   float64(basePer.Nanoseconds()),
+		BufferHitRate: hit,
+	})
+	t.AddRow("insert-buffer", itoa(n), itoa(stream), dtoa(insertPer), dtoa(basePer),
+		fmt.Sprintf("%.1fx", float64(basePer)/float64(insertPer)), ftoa(hit))
+	t.Note("burst64: 64 spatially-local mutations per round, BatchMutate vs the same ops applied singly on a twin index")
+	t.Note("insert-buffer: pure-insert stream; batchedOp is the amortized buffered insert, singleOp the per-item rebuild path")
+	t.Note("bufferHit is the fraction of inserts absorbed without a main-shard rebuild (1 − flushes/inserts)")
+	return recs, t
+}
+
+// relocate clones discrete point p translated so its centroid lands
+// near hot — the E20 burst generator's spatial locality.
+func relocate(p *uncertain.Discrete, hot geom.Point, rng *rand.Rand) *uncertain.Discrete {
+	c := p.Support().Center()
+	dx := hot.X - c.X + rng.NormFloat64()*2
+	dy := hot.Y - c.Y + rng.NormFloat64()*2
+	locs := make([]geom.Point, len(p.Locs))
+	for i, l := range p.Locs {
+		locs[i] = geom.Pt(l.X+dx, l.Y+dy)
+	}
+	out, err := uncertain.NewDiscrete(locs, append([]float64(nil), p.W...))
+	if err != nil {
+		return p
+	}
+	return out
+}
+
+// E20Mutation is the Table-only driver registered in All.
+func E20Mutation(opt Options) *Table {
+	_, t := MutationBench(opt)
 	return t
 }
 

@@ -124,6 +124,7 @@ var All = []struct {
 	{"E17", "sharded engine: shard-scaling sweep, batch throughput", E17Shard},
 	{"E18", "dynamic shards: streaming insert/delete vs full rebuild", E18Stream},
 	{"E19", "cost-based planner vs rule-based auto, mixed workload", E19Planner},
+	{"E20", "mutation batching: coalesced bursts + insert buffer", E20Mutation},
 }
 
 // Lookup finds a driver by ID.

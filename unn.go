@@ -85,6 +85,14 @@
 // large ones the two-stage structure, whenever the swap preserves the
 // handle's capability set.
 //
+// Bursts amortize further: Handle.BatchMutate applies a whole run of
+// mutations under one write lock and rebuilds each touched shard once
+// per batch instead of once per item (the Serve stream coalesces runs
+// of queued mutation ops into such batches automatically), and
+// WithInsertBuffer adds a log-structured delta shard that absorbs
+// inserts without any main-shard rebuild until a cost-model-chosen
+// flush threshold is reached.
+//
 // The quickstart example under examples/quickstart exercises every
 // query type through the engine, and examples/streaming drives a live
 // fleet through the dynamic mutation API; DESIGN.md maps each theorem
@@ -237,6 +245,26 @@ type ExpectedResult = engine.ExpectedResult
 // handles, Square for OpenSquares handles).
 type Item = engine.Item
 
+// Mutation is one entry of a Handle.BatchMutate burst — an insert or a
+// delete, built with InsertMutation / InsertSquareMutation /
+// DeleteMutation. Delete indices use sequential semantics: each is
+// interpreted against the dataset state left by the mutations before it
+// in the batch, exactly as if the batch ran one mutation at a time.
+type Mutation = engine.Mutation
+
+// InsertMutation builds a batch entry inserting uncertain point p.
+func InsertMutation(p Uncertain) Mutation {
+	return engine.InsertMutation(engine.Item{Point: p})
+}
+
+// InsertSquareMutation is InsertMutation for OpenSquares handles.
+func InsertSquareMutation(s Square) Mutation {
+	return engine.InsertMutation(engine.Item{Square: &s})
+}
+
+// DeleteMutation builds a batch entry deleting global item i.
+func DeleteMutation(i int) Mutation { return engine.DeleteMutation(i) }
+
 // OpInsert and OpDelete are the Serve-stream mutation ops: a Query
 // carrying one of them in Kind applies Handle.Insert / Handle.Delete
 // through the stream, serialized against in-flight queries.
@@ -269,6 +297,7 @@ type openConfig struct {
 	shardsSet   bool  // WithShards given (its k must then be ≥ 1)
 	splitSet    bool  // WithShardGrid given (meaningless without WithShards)
 	adaptiveSet bool  // WithShardAdaptive given (meaningless without WithShards)
+	bufferSet   bool  // WithInsertBuffer given (meaningless without WithShards)
 	calErr      error // WithCalibration load failure, surfaced by Open
 }
 
@@ -320,6 +349,25 @@ func WithShardAdaptive(cutoff int) Option {
 		c.shard.Adaptive = true
 		c.shard.AdaptiveCutoff = cutoff
 		c.adaptiveSet = true
+	}
+}
+
+// WithInsertBuffer enables the log-structured insert buffer on a
+// sharded handle: Insert (and the insert entries of BatchMutate and the
+// Serve stream) appends to a small delta shard that is queried
+// alongside the main shards — NN≠0 merged exactly through the merge
+// planner, π/E[d] through the cross-shard renormalization — instead of
+// rebuilding an owning shard per item. When the buffer crosses the
+// flush threshold it drains into the owning shards, which rebuild once:
+// one shard rebuild amortized over a threshold's worth of inserts.
+// threshold ≤ 0 lets the cost model choose (the minimizer of amortized
+// flush cost against per-query buffer-scan overhead). Requires
+// WithShards.
+func WithInsertBuffer(threshold int) Option {
+	return func(c *openConfig) {
+		c.shard.InsertBuffer = true
+		c.shard.FlushThreshold = threshold
+		c.bufferSet = true
 	}
 }
 
@@ -453,6 +501,19 @@ func (h *Handle) InsertSquare(s Square) (int, error) {
 // slice. Deleting the last remaining item is rejected.
 func (h *Handle) Delete(i int) error { return h.Engine.Delete(i) }
 
+// BatchMutate applies a burst of mutations to a dynamic (sharded)
+// handle through the epoch-coalesced path: the whole batch runs under
+// one write lock with sequential semantics, each shard the burst
+// touches rebuilds once (instead of once per mutation), the rebalancer
+// runs once at the end, and the answer cache flushes once. The returned
+// slice has one entry per mutation — the assigned global index for an
+// insert, the live item count right after the op for a delete.
+// Validation is atomic: one invalid entry rejects the whole batch
+// before anything is applied. Monolithic handles return ErrImmutable.
+func (h *Handle) BatchMutate(ms []Mutation) ([]int, error) {
+	return h.Engine.BatchMutate(ms)
+}
+
 // Mutable reports whether the handle accepts Insert/Delete (true for
 // sharded handles, see WithShards).
 func (h *Handle) Mutable() bool { return h.Engine.Mutable() }
@@ -507,6 +568,9 @@ func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
 	}
 	if cfg.adaptiveSet && !cfg.shardsSet {
 		return nil, fmt.Errorf("unn: WithShardAdaptive requires WithShards(k) to enable sharding")
+	}
+	if cfg.bufferSet && !cfg.shardsSet {
+		return nil, fmt.Errorf("unn: WithInsertBuffer requires WithShards(k) to enable sharding")
 	}
 	if cfg.calErr != nil {
 		return nil, fmt.Errorf("unn: WithCalibration: %w", cfg.calErr)

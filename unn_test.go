@@ -359,6 +359,64 @@ func TestHandleDynamic(t *testing.T) {
 	}
 }
 
+// TestHandleBatchMutate drives the epoch-coalesced mutation path
+// through the public API: a BatchMutate burst applies with sequential
+// semantics and one epoch bump, the insert buffer absorbs inserts
+// between flushes, and answers stay identical to a fresh monolithic
+// handle over the survivors.
+func TestHandleBatchMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xba7))
+	const side = 50.0
+	pool := testDiscretes(t, rng, 80, 2, side)
+	live := append([]*unn.Discrete(nil), pool[:24]...)
+	h, err := unn.OpenDiscrete(live, unn.WithShards(4), unn.WithInsertBuffer(8), unn.WithAutoCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []unn.Mutation
+	for _, p := range pool[24:56] {
+		ms = append(ms, unn.InsertMutation(p))
+	}
+	ms = append(ms, unn.DeleteMutation(0), unn.DeleteMutation(0))
+	res, err := h.BatchMutate(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, pool[24:56]...)[2:]
+	if got, want := res[0], 24; got != want {
+		t.Fatalf("first insert landed at %d, want %d", got, want)
+	}
+	if got, want := res[len(res)-1], len(live); got != want {
+		t.Fatalf("final delete reported %d live items, want %d", got, want)
+	}
+	if h.Epoch() != 1 {
+		t.Fatalf("epoch = %d after one batch, want 1", h.Epoch())
+	}
+	mono, err := unn.OpenDiscrete(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		q := unn.Pt(rng.Float64()*side, rng.Float64()*side)
+		want, _ := mono.QueryNonzero(q)
+		got, err := h.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+			t.Fatalf("q=%v: nonzero %v, want %v", q, got, want)
+		}
+	}
+	// Option validation: the buffer needs the sharded layer, and batches
+	// on monolithic handles report ErrImmutable.
+	if _, err := unn.OpenDiscrete(pool[:8], unn.WithInsertBuffer(0)); err == nil {
+		t.Fatal("WithInsertBuffer without WithShards was accepted")
+	}
+	if _, err := mono.BatchMutate([]unn.Mutation{unn.DeleteMutation(0)}); !errors.Is(err, unn.ErrImmutable) {
+		t.Fatalf("BatchMutate on monolithic handle: err = %v, want ErrImmutable", err)
+	}
+}
+
 // TestHandleImmutable: monolithic handles refuse mutations, and the
 // adaptive knob demands sharding.
 func TestHandleImmutable(t *testing.T) {
