@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test race bench bench-json benchdiff examples clean
+.PHONY: verify build vet fmtcheck test race bench bench-allocs bench-json benchdiff examples clean
 
 # The tier-1 gate: everything CI runs.
 verify: build vet fmtcheck test race
@@ -29,6 +29,18 @@ race:
 bench:
 	$(GO) test ./internal/engine -run xxx \
 		-bench 'EngineBatch|EngineSequential|ShardedBatch|UnshardedBatch' -benchtime 5x
+
+# Zero-alloc gate for the flat-kernel query path: the E16/E17
+# single-query benchmarks drive QueryNonzeroInto with a pooled scratch
+# and report allocs/op; any nonzero steady-state figure fails the
+# target (the one-time pool fill amortizes to 0 over the fixed
+# iteration count).
+bench-allocs:
+	@out="$$($(GO) test . -run xxx -bench 'SingleNonzero' -benchtime 200x)"; \
+	echo "$$out"; \
+	bad="$$(echo "$$out" | awk '/allocs\/op/ && $$(NF-1)+0 != 0')"; \
+	if [ -n "$$bad" ]; then \
+		echo "bench-allocs: query path allocates:"; echo "$$bad"; exit 1; fi
 
 # Machine-readable perf trajectory: one JSON record per backend/size
 # (E16) plus the shard-scaling (E17), streaming-mutation (E18),

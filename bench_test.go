@@ -480,3 +480,54 @@ func BenchmarkE6_TwoStageLinfQuery_n32(b *testing.B) {
 		ts.Query(qs[i%len(qs)])
 	}
 }
+
+// E16 extension (flat-kernel PR): single NN≠0 query on the brute engine
+// via the zero-alloc entry point. Pre-kernel baseline (AoS double-pass
+// oracle through Engine.QueryNonzero): ≈44µs/op, 1 alloc/op on the
+// bench/history reference box; the fused SoA kernel halves the hypot
+// count and the scratch arena removes the steady-state allocations
+// (bench/history/README.md has the interleaved A/B numbers).
+func BenchmarkE16_SingleNonzero_Brute_n1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	pts := constructions.RandomDiscrete(rng, 1000, 3, 10000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendBrute))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 10000, 22)
+	buf := make([]int, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := h.QueryNonzeroInto(qs[i%len(qs)], buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+// E17 extension (flat-kernel PR): single NN≠0 query through the sharded
+// merge, k = 8 shards. Pre-kernel baseline (per-shard AoS backend calls
+// + per-query candidate allocations): ≈18.5µs/op, 7 allocs/op; the flat
+// merge applies the Lemma 2.1 filter directly to shard member rows from
+// one pooled scratch (≈3× faster, 0 allocs/op steady state).
+func BenchmarkE17_SingleNonzero_Sharded_n2000_k8(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendBrute), unn.WithShards(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 2000, 24)
+	buf := make([]int, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := h.QueryNonzeroInto(qs[i%len(qs)], buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}

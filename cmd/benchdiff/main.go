@@ -16,7 +16,10 @@
 // cost-based planner's mixed-workload throughput must not fall below
 // the rule-based auto's in the *new* file (a planner that plans itself
 // slower than the rule it replaced is a calibration bug, whatever the
-// previous run did). Benchmark noise makes hard failures
+// previous run did). A second intra-run invariant guards the flat
+// kernels: measured allocs_per_query on the kernel-served NN≠0 rows
+// (E17, and the E16 brute / two-stage backends) must stay at zero
+// steady state. Benchmark noise makes hard failures
 // counterproductive, so the exit status stays 0 unless -fail is given.
 package main
 
@@ -115,6 +118,7 @@ func main() {
 	if want["E19"] {
 		regressions += checkPlannerInvariant(newRecs, *threshold)
 	}
+	regressions += checkAllocFree(newRecs, want)
 	fmt.Printf("benchdiff: %d metrics compared, %d regressions beyond %.0f%% (%s)\n",
 		compared, regressions, 100**threshold, *exps)
 	if *failFlag && regressions > 0 {
@@ -153,6 +157,36 @@ func checkPlannerInvariant(recs map[key]experiments.BenchRecord, threshold float
 			violations++
 			fmt.Printf("WARN: E19 n=%d planner mixed throughput below rule-based auto (%.0fns vs %.0fns per query; plan %s)\n",
 				n, pr.QueryNsOp, ar.QueryNsOp, pr.Plan)
+		}
+	}
+	return violations
+}
+
+// checkAllocFree enforces the flat-kernel invariant on the fresh file:
+// every measured allocs_per_query on the kernel-served NN≠0 rows —
+// E17 sharded rows and the E16 brute / two-stage rows — must stay at
+// zero steady state. The bar is 0.5, not literally 0: the measurement
+// amortizes one post-GC scratch-pool refill over its rounds, so an
+// allocation-free path reads ≪ 0.5 and a path that re-grew a real
+// per-query allocation reads ≥ 1. Rows with allocs_per_query = -1
+// (backend without an NN≠0 path, e.g. the diagram's label store, or a
+// pre-kernel baseline file) are skipped. Scoped by -exp like the rest.
+func checkAllocFree(recs map[key]experiments.BenchRecord, want map[string]bool) int {
+	allocFree := map[string]bool{
+		"brute": true, "twostage-disks": true, "twostage-discrete": true,
+		"twostage-linf": true, "twostage-l1": true,
+	}
+	violations := 0
+	for k, r := range recs {
+		if !want[strings.ToUpper(k.exp)] || r.AllocsPerQuery < 0 {
+			continue
+		}
+		measured := strings.EqualFold(k.exp, "E17") ||
+			(strings.EqualFold(k.exp, "E16") && allocFree[k.backend])
+		if measured && r.AllocsPerQuery > 0.5 {
+			violations++
+			fmt.Printf("WARN: %s %s n=%d k=%d allocates on the NN≠0 query path (%.2f allocs/op, want 0 steady state)\n",
+				k.exp, k.backend, k.n, k.shards, r.AllocsPerQuery)
 		}
 	}
 	return violations

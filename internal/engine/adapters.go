@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"unn/internal/expected"
 	"unn/internal/geom"
+	"unn/internal/kernel"
 	"unn/internal/lmetric"
 	"unn/internal/nonzero"
 	"unn/internal/quantify"
@@ -75,6 +77,15 @@ func (noExpected) QueryExpected(geom.Point) (int, float64, error) {
 type bruteIndex struct {
 	opt BuildOptions
 	ds  *Dataset
+	// flat is the SoA mirror of the point rows: the fused one-pass NN≠0
+	// kernel and the contiguous E[d] scan run on it (bit-identical to the
+	// AoS oracles — same operations in the same order, half the distance
+	// evaluations for NN≠0). It is lowered lazily on the first query
+	// (ensureFlat): the dynamic layer rebuilds shard backends on every
+	// mutation epoch, and a mutation-only window would otherwise pay a
+	// full O(shard) lowering per rebuild that no query ever reads.
+	flatOnce sync.Once
+	flat     *kernel.Flat
 }
 
 func (ix *bruteIndex) Name() string { return string(BackendBrute) }
@@ -95,8 +106,50 @@ func (ix *bruteIndex) Build(ds *Dataset) error {
 	return nil
 }
 
+// ensureFlat lowers the dataset into the SoA mirror on first use. Mixed
+// region families stay on the AoS oracle (nil). Concurrent queries hold
+// the sharded layer's RLock, so the sync.Once is the only guard needed;
+// rebuildShard reads ix.flat under the write lock, after every reader
+// has drained.
+func (ix *bruteIndex) ensureFlat() *kernel.Flat {
+	ix.flatOnce.Do(func() {
+		switch {
+		case ix.ds.Discrete != nil:
+			ix.flat = kernel.FromDiscreteInto(takeShardFlat(), ix.ds.Discrete)
+		case ix.ds.Disks != nil:
+			ix.flat = kernel.FromDisksInto(takeShardFlat(), ix.ds.Disks)
+		}
+	})
+	return ix.flat
+}
+
+// shardFlatPool recycles per-backend SoA mirrors across the dynamic
+// layer's shard rebuilds (rebuildShard returns the replaced backend's
+// mirror). A Get that comes back with the wrong kind is simply dropped
+// by the FromXxxInto constructors — correctness never depends on what
+// the pool holds.
+var shardFlatPool sync.Pool
+
+func takeShardFlat() *kernel.Flat {
+	f, _ := shardFlatPool.Get().(*kernel.Flat)
+	return f
+}
+
+func recycleShardFlat(f *kernel.Flat) { shardFlatPool.Put(f) }
+
 func (ix *bruteIndex) QueryNonzero(q geom.Point) ([]int, error) {
-	return nonzero.Brute(ix.ds.Points, q), nil
+	return ix.appendNonzero(q, nil)
+}
+
+func (ix *bruteIndex) appendNonzero(q geom.Point, dst []int) ([]int, error) {
+	f := ix.ensureFlat()
+	if f == nil {
+		return append(dst, nonzero.Brute(ix.ds.Points, q)...), nil
+	}
+	sc := kernel.GetScratch()
+	dst = f.AppendNonzero(q.X, q.Y, dst, sc)
+	kernel.PutScratch(sc)
+	return dst, nil
 }
 
 func (ix *bruteIndex) QueryProbs(q geom.Point, _ float64) ([]quantify.Prob, error) {
@@ -109,6 +162,10 @@ func (ix *bruteIndex) QueryProbs(q geom.Point, _ float64) ([]quantify.Prob, erro
 func (ix *bruteIndex) QueryExpected(q geom.Point) (int, float64, error) {
 	if ix.ds.Discrete == nil {
 		return -1, 0, ErrUnsupported
+	}
+	if f := ix.ensureFlat(); f != nil && f.Kind == kernel.KindDiscrete {
+		i, d := f.ExpectedArgmin(q.X, q.Y)
+		return i, d, nil
 	}
 	best, bestD := -1, math.Inf(1)
 	for i, p := range ix.ds.Discrete {
@@ -146,6 +203,23 @@ func (ix *diagramIndex) Build(ds *Dataset) error {
 
 func (ix *diagramIndex) QueryNonzero(q geom.Point) ([]int, error) {
 	return ix.diag.Query(q), nil
+}
+
+// cellID returns the identity of the arrangement cell containing q:
+// within one cell of the V≠0 diagram the answer is constant, so the
+// engine cache can key NN≠0 entries by (slab, gap) — every query in the
+// cell shares one entry, and no quantum-grid rounding can alias two
+// cells across a slab boundary. Points outside the located box (or on a
+// degenerate locate) report no identity and fall back to quantized keys.
+func (ix *diagramIndex) cellID(q geom.Point) (uint64, bool) {
+	if ix.diag.Loc == nil || !ix.diag.Box.Contains(q) {
+		return 0, false
+	}
+	s, g, ok := ix.diag.Loc.Locate(q)
+	if !ok {
+		return 0, false
+	}
+	return uint64(s)<<32 | uint64(uint32(g)), true
 }
 
 // QuantumHint derives the adaptive cache quantum from the built
@@ -195,6 +269,10 @@ func (ix *twoStageDisksIndex) QueryNonzero(q geom.Point) ([]int, error) {
 	return ix.ts.Query(q), nil
 }
 
+func (ix *twoStageDisksIndex) appendNonzero(q geom.Point, dst []int) ([]int, error) {
+	return ix.ts.QueryAppend(q, dst), nil
+}
+
 type twoStageDiscreteIndex struct {
 	noProbs
 	noExpected
@@ -214,6 +292,10 @@ func (ix *twoStageDiscreteIndex) Build(ds *Dataset) error {
 
 func (ix *twoStageDiscreteIndex) QueryNonzero(q geom.Point) ([]int, error) {
 	return ix.ts.Query(q), nil
+}
+
+func (ix *twoStageDiscreteIndex) appendNonzero(q geom.Point, dst []int) ([]int, error) {
+	return ix.ts.QueryAppend(q, dst), nil
 }
 
 // --- V_Pr: exact probabilistic Voronoi diagram (Thm 4.2) --------------------
@@ -352,6 +434,10 @@ func (ix *linfIndex) QueryNonzero(q geom.Point) ([]int, error) {
 	return ix.ts.Query(q), nil
 }
 
+func (ix *linfIndex) appendNonzero(q geom.Point, dst []int) ([]int, error) {
+	return ix.ts.QueryAppend(q, dst), nil
+}
+
 type l1Index struct {
 	noProbs
 	noExpected
@@ -371,4 +457,8 @@ func (ix *l1Index) Build(ds *Dataset) error {
 
 func (ix *l1Index) QueryNonzero(q geom.Point) ([]int, error) {
 	return ix.ts.Query(q), nil
+}
+
+func (ix *l1Index) appendNonzero(q geom.Point, dst []int) ([]int, error) {
+	return ix.ts.QueryAppend(q, dst), nil
 }

@@ -63,7 +63,22 @@ type Engine struct {
 	// maybeTightenQuantum in dynamic.go).
 	quantum  atomic.Uint64
 	adaptive bool // Options.CacheQuantum was negative: track the hint
+	// appender is the backend's allocation-free NN≠0 path (nil when the
+	// backend has none); cells its exact cell identity for cache keys
+	// (diagram backends). Both are resolved once at construction by
+	// unwrapping the quantum-hint wrapper.
+	appender nonzeroAppender
+	cells    cellIdentifier
 	stats    engineStats
+}
+
+// cellIdentifier is the optional backend interface behind the
+// cell-identity cache keys: a backend whose NN≠0 answer is piecewise
+// constant on known cells (the V≠0 diagram) reports the id of the cell
+// containing q, and the engine keys the cache by that id instead of the
+// quantized point.
+type cellIdentifier interface {
+	cellID(q geom.Point) (uint64, bool)
 }
 
 // engineStats is the per-query-kind latency record: every single query
@@ -135,6 +150,16 @@ func NewEngine(ix Index, opt Options) *Engine {
 	e.quantum.Store(math.Float64bits(q))
 	if opt.CacheSize > 0 {
 		e.cache = newCache(opt.CacheSize, q)
+	}
+	ux := ix
+	if h, ok := ux.(hintedIndex); ok {
+		ux = h.Index
+	}
+	if na, ok := ux.(nonzeroAppender); ok {
+		e.appender = na
+	}
+	if ci, ok := ux.(cellIdentifier); ok {
+		e.cells = ci
 	}
 	return e
 }
@@ -266,6 +291,19 @@ func (e *Engine) check(c Capability) error {
 	return nil
 }
 
+// nonzeroKey builds the cache key of an NN≠0 answer: the exact cell
+// identity when the backend locates one (two same-cell queries share an
+// entry, two across a cell boundary never can), else the quantized
+// query point.
+func (e *Engine) nonzeroKey(q geom.Point) cacheKey {
+	if e.cells != nil {
+		if id, ok := e.cells.cellID(q); ok {
+			return cacheKey{kind: kindNonzeroCell, x: id}
+		}
+	}
+	return e.cache.key(kindNonzero, q, 0)
+}
+
 // QueryNonzero answers a single NN≠0 query through the cache.
 func (e *Engine) QueryNonzero(q geom.Point) ([]int, error) {
 	if err := e.check(CapNonzero); err != nil {
@@ -273,17 +311,49 @@ func (e *Engine) QueryNonzero(q geom.Point) ([]int, error) {
 	}
 	defer func(t0 time.Time) { e.stats.record(CapNonzero, time.Since(t0)) }(time.Now())
 	var gen uint64
+	var key cacheKey
 	if e.cache != nil {
 		gen = e.cache.generation()
-		if v, ok := e.cache.get(kindNonzero, q, 0); ok {
+		key = e.nonzeroKey(q)
+		if v, ok := e.cache.getKey(key); ok {
 			return v.([]int), nil
 		}
 	}
 	out, err := e.ix.QueryNonzero(q)
 	if err == nil && e.cache != nil {
-		e.cache.put(kindNonzero, q, 0, out, gen)
+		e.cache.putKey(key, out, gen)
 	}
 	return out, err
+}
+
+// QueryNonzeroInto answers a single NN≠0 query by appending into dst —
+// the zero-allocation entry point: with caching disabled and a backend
+// that implements the appending contract (brute, the two-stage family,
+// and the sharded planner over them), a steady-state query performs no
+// heap allocation beyond growing dst once to its high-water mark. Cache
+// hits append the shared entry (the entry itself stays read-only);
+// misses are answered into dst directly and are NOT installed in the
+// cache — the cache stores owned slices, and taking ownership would
+// force a copy per miss, defeating the point of the Into path. Callers
+// mixing caching with Into should expect only hit-path sharing.
+func (e *Engine) QueryNonzeroInto(q geom.Point, dst []int) ([]int, error) {
+	if err := e.check(CapNonzero); err != nil {
+		return dst, err
+	}
+	defer func(t0 time.Time) { e.stats.record(CapNonzero, time.Since(t0)) }(time.Now())
+	if e.cache != nil {
+		if v, ok := e.cache.getKey(e.nonzeroKey(q)); ok {
+			return append(dst, v.([]int)...), nil
+		}
+	}
+	if e.appender != nil {
+		return e.appender.appendNonzero(q, dst)
+	}
+	out, err := e.ix.QueryNonzero(q)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, out...), nil
 }
 
 // QueryProbs answers a single quantification query through the cache.

@@ -16,6 +16,12 @@ const (
 	kindNonzero uint8 = iota
 	kindProbs
 	kindExpected
+	// kindNonzeroCell keys an NN≠0 answer by the exact arrangement cell
+	// containing the query (diagram backends; see diagramIndex.cellID):
+	// the located cell id goes in x, y and eps stay zero. Same-cell
+	// queries share one entry regardless of the grid quantum, and two
+	// queries across a cell boundary can never alias.
+	kindNonzeroCell
 )
 
 // quantumHinter is the optional interface a built index implements to
@@ -216,7 +222,12 @@ func (c *cache) stripe(k cacheKey) *cacheStripe {
 }
 
 func (c *cache) get(kind uint8, q geom.Point, eps float64) (any, bool) {
-	k := c.key(kind, q, eps)
+	return c.getKey(c.key(kind, q, eps))
+}
+
+// getKey looks up a pre-built key (the cell-identity path builds keys
+// without a query point).
+func (c *cache) getKey(k cacheKey) (any, bool) {
 	s := c.stripe(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -251,7 +262,11 @@ func (c *cache) invalidate() {
 }
 
 func (c *cache) put(kind uint8, q geom.Point, eps float64, val any, gen uint64) {
-	k := c.key(kind, q, eps)
+	c.putKey(c.key(kind, q, eps), val, gen)
+}
+
+// putKey installs val under a pre-built key.
+func (c *cache) putKey(k cacheKey, val any, gen uint64) {
 	s := c.stripe(k)
 	s.mu.Lock()
 	if gen != c.gen.Load() {

@@ -127,9 +127,13 @@ func DefaultCalibration() Calibration {
 		seed(b, OpQueryExpected, 400)
 	}
 	seed(BackendBrute, OpBuild, 5)
-	seed(BackendBrute, OpQueryNonzero, 25)
+	// The brute query seeds reflect the flat SoA kernels (internal/kernel):
+	// the fused δ/Δ scan halves the per-row distance evaluations of the
+	// old AoS double pass, so the per-row nanoseconds dropped ≈2×
+	// (measured 21.6µs per NN≠0 query at n=1000, k=3 locations).
+	seed(BackendBrute, OpQueryNonzero, 12)
 	seed(BackendBrute, OpQueryProbs, 12)
-	seed(BackendBrute, OpQueryExpected, 30)
+	seed(BackendBrute, OpQueryExpected, 15)
 	seed(BackendDiagram, OpBuild, 60)
 	seed(BackendVPr, OpBuild, 800)
 	seed(BackendMonteCarlo, OpBuild, 3000) // × s instantiations

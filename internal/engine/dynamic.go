@@ -235,14 +235,22 @@ func (sx *ShardedIndex) refreshBounds(s *shard) {
 }
 
 // rebuildShard re-projects the shard's sub-dataset and rebuilds its
-// backend; only mutated shards pay this cost.
+// backend; only mutated shards pay this cost. The replaced backend's
+// SoA mirror goes back to the recycle pool — the write lock excludes
+// queries, so nothing can still be reading it — keeping sustained churn
+// (the insert buffer rebuilds on every insert) off the allocator.
 func (sx *ShardedIndex) rebuildShard(s *shard) error {
 	s.sub = subset(sx.ds, s.ids)
+	old := s.ix
 	ix, err := sx.shardFactory(s.sub)
 	if err != nil {
 		return fmt.Errorf("sharded(%s): rebuild shard: %w", sx.name, err)
 	}
 	s.ix = ix
+	if ob, ok := old.(*bruteIndex); ok && ob.flat != nil {
+		recycleShardFlat(ob.flat)
+		ob.flat = nil
+	}
 	return nil
 }
 

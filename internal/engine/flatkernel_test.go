@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+	"unn/internal/lmetric"
+	"unn/internal/nonzero"
+)
+
+// flatParityCase pairs a backend with a dataset whose flat path the
+// sharded planner exercises, plus the monolithic AoS oracle.
+type flatParityCase struct {
+	name    string
+	backend Backend
+	ds      *Dataset
+	side    float64
+	oracle  func(q geom.Point) []int
+}
+
+func flatParityCases(t *testing.T) []flatParityCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(0xf1a7))
+	disks := constructions.RandomDisks(rng, 40, 30, 0.5, 2.0)
+	discrete := constructions.RandomDiscrete(rng, 40, 3, 30, 1.0, 1)
+	squares := randSquares(rng, 40, 30)
+	return []flatParityCase{
+		{"brute/disks", BackendBrute, FromDisks(disks), 30,
+			func(q geom.Point) []int { return nonzero.BruteDisks(disks, q) }},
+		{"brute/discrete", BackendBrute, FromDiscrete(discrete), 30,
+			func(q geom.Point) []int { return nonzero.Brute(nonzero.DiscreteAsUncertain(discrete), q) }},
+		{"twostage-disks", BackendTwoStageDisks, FromDisks(disks), 30,
+			func(q geom.Point) []int { return nonzero.BruteDisks(disks, q) }},
+		{"twostage-discrete", BackendTwoStageDiscrete, FromDiscrete(discrete), 30,
+			func(q geom.Point) []int { return nonzero.Brute(nonzero.DiscreteAsUncertain(discrete), q) }},
+		{"twostage-linf", BackendTwoStageLinf, FromSquares(squares), 30,
+			func(q geom.Point) []int { return lmetric.BruteLinf(squares, q) }},
+		{"twostage-l1", BackendTwoStageL1, FromSquares(squares), 30,
+			func(q geom.Point) []int { return lmetric.BruteL1(squares, q) }},
+	}
+}
+
+// nilAsEmpty lets reflect-free set comparison treat nil and the empty
+// slice as the same answer.
+func eqIDs(a, b []int) bool {
+	return slices.Equal(a, b) || (len(a) == 0 && len(b) == 0)
+}
+
+// TestFlatParityShards is the flat-kernel contract: for every dataset
+// kind with a SoA mirror and every shard count (0 = monolithic), the
+// NN≠0 answer through the appending fast path is identical to the AoS
+// brute oracle — including through a non-empty destination prefix,
+// which must be preserved untouched.
+func TestFlatParityShards(t *testing.T) {
+	for _, tc := range flatParityCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x7e57))
+			qs := randQueries(rng, 64, tc.side)
+			for _, k := range []int{0, 1, 2, 4, 7} {
+				var ix Index
+				var err error
+				if k == 0 {
+					ix, err = Build(tc.backend, tc.ds, BuildOptions{})
+				} else {
+					ix, err = BuildSharded(tc.backend, tc.ds, BuildOptions{}, ShardOptions{Shards: k})
+				}
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				prefix := []int{-7, 99}
+				for _, q := range qs {
+					want := tc.oracle(q)
+					got, err := ix.QueryNonzero(q)
+					if err != nil {
+						t.Fatalf("k=%d: %v", k, err)
+					}
+					if !eqIDs(want, got) {
+						t.Fatalf("k=%d q=%v: nonzero %v, want %v", k, q, got, want)
+					}
+					app, err := appendNonzeroOf(ix, q, slices.Clone(prefix))
+					if err != nil {
+						t.Fatalf("k=%d: append: %v", k, err)
+					}
+					if !slices.Equal(app[:2], prefix) {
+						t.Fatalf("k=%d q=%v: prefix clobbered: %v", k, q, app[:2])
+					}
+					if !eqIDs(want, app[2:]) {
+						t.Fatalf("k=%d q=%v: appended %v, want %v", k, q, app[2:], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchNonzeroScratchRace drives concurrent batch queries through
+// the shared scratch pools (kernel.Scratch, planScratch) and checks the
+// answers stay deterministic; under -race this is the data-race probe
+// for the pooled hot path.
+func TestBatchNonzeroScratchRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xace))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 60, 3, 40, 1.0, 1))
+	sx, err := BuildSharded(BackendBrute, ds, BuildOptions{}, ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := randQueries(rng, 256, 40)
+	eng := NewEngine(sx, Options{Workers: 8})
+	want, err := NewEngine(sx, Options{Workers: 1}).BatchNonzero(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		got, err := eng.BatchNonzero(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round %d: concurrent batch diverges from sequential", round)
+		}
+	}
+}
+
+// TestZeroAllocQueryPath: with caching off, a steady-state
+// QueryNonzeroInto performs no heap allocation — the tentpole's 0
+// allocs/op acceptance. sync.Pool contents may be dropped by a GC
+// mid-measurement, so one retry is allowed before failing.
+func TestZeroAllocQueryPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xa110c))
+	cases := []struct {
+		name    string
+		backend Backend
+		ds      *Dataset
+		shards  int
+	}{
+		{"brute/disks/mono", BackendBrute, FromDisks(constructions.RandomDisks(rng, 64, 30, 0.5, 2.0)), 0},
+		{"brute/discrete/k4", BackendBrute, FromDiscrete(constructions.RandomDiscrete(rng, 64, 3, 30, 1.0, 1)), 4},
+		{"twostage-disks/mono", BackendTwoStageDisks, FromDisks(constructions.RandomDisks(rng, 64, 30, 0.5, 2.0)), 0},
+		{"twostage-linf/k2", BackendTwoStageLinf, FromSquares(randSquares(rng, 64, 30)), 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var ix Index
+			var err error
+			if tc.shards == 0 {
+				ix, err = Build(tc.backend, tc.ds, BuildOptions{})
+			} else {
+				ix, err = BuildSharded(tc.backend, tc.ds, BuildOptions{}, ShardOptions{Shards: tc.shards})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := NewEngine(ix, Options{Workers: 1})
+			qs := randQueries(rng, 16, 30)
+			var dst []int
+			for _, q := range qs { // warm pools and the dst high-water mark
+				dst, err = eng.QueryNonzeroInto(q, dst[:0])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			var allocs float64
+			for attempt := 0; attempt < 2; attempt++ {
+				allocs = testing.AllocsPerRun(200, func() {
+					for _, q := range qs {
+						dst, _ = eng.QueryNonzeroInto(q, dst[:0])
+					}
+				})
+				if allocs == 0 {
+					return
+				}
+			}
+			t.Fatalf("QueryNonzeroInto allocs/run = %v, want 0", allocs)
+		})
+	}
+}
+
+// TestCellIdentityCacheKeys is the regression for the diagram cache
+// keys: entries are keyed by the exact located cell, so (a) two
+// distinct same-cell query points share one entry, and (b) even a
+// pathologically coarse grid quantum can never alias answers across a
+// cell boundary — every cached answer still matches the brute oracle.
+func TestCellIdentityCacheKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xce11))
+	disks := constructions.RandomDisks(rng, 12, 20, 0.5, 1.5)
+	ds := FromDisks(disks)
+	ix, err := Build(BackendDiagram, ds, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A quantum the size of the whole scene: grid keys would collapse
+	// every query to one cache cell, serving wrong answers. Cell identity
+	// must keep them apart.
+	eng := NewEngine(ix, Options{Workers: 1, CacheSize: 1024, CacheQuantum: 1000})
+	di, ok := eng.cells.(*diagramIndex)
+	if !ok {
+		t.Fatalf("diagram engine did not resolve a cell identifier (got %T)", eng.cells)
+	}
+	for _, q := range randQueries(rng, 128, 20) {
+		got, err := eng.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := nonzero.BruteDisks(disks, q); !eqIDs(want, got) {
+			t.Fatalf("q=%v: cached answer %v, want %v (cross-cell aliasing?)", q, got, want)
+		}
+	}
+
+	// Same-cell sharing: find two distinct points the locator puts in one
+	// cell and check the second is a cache hit.
+	var q1, q2 geom.Point
+	found := false
+	for tries := 0; tries < 1000 && !found; tries++ {
+		q1 = geom.Pt(rng.Float64()*20, rng.Float64()*20)
+		q2 = geom.Pt(q1.X+1e-7, q1.Y+1e-7)
+		id1, ok1 := di.cellID(q1)
+		id2, ok2 := di.cellID(q2)
+		found = ok1 && ok2 && id1 == id2
+	}
+	if !found {
+		t.Fatal("no same-cell query pair found")
+	}
+	if _, err := eng.QueryNonzero(q1); err != nil {
+		t.Fatal(err)
+	}
+	hits0, _ := eng.CacheStats()
+	if _, err := eng.QueryNonzero(q2); err != nil {
+		t.Fatal(err)
+	}
+	if hits1, _ := eng.CacheStats(); hits1 != hits0+1 {
+		t.Fatalf("same-cell query was not a cache hit (hits %d → %d)", hits0, hits1)
+	}
+
+	// Across a cell boundary the ids differ, so the entries must too:
+	// the second query of a cross-cell pair is a miss, never a hit.
+	found = false
+	for tries := 0; tries < 1000 && !found; tries++ {
+		q1 = geom.Pt(rng.Float64()*20, rng.Float64()*20)
+		q2 = geom.Pt(q1.X+1e-3, q1.Y)
+		id1, ok1 := di.cellID(q1)
+		id2, ok2 := di.cellID(q2)
+		found = ok1 && ok2 && id1 != id2
+	}
+	if !found {
+		t.Fatal("no cross-cell query pair found")
+	}
+	if _, err := eng.QueryNonzero(q1); err != nil {
+		t.Fatal(err)
+	}
+	_, misses0 := eng.CacheStats()
+	if _, err := eng.QueryNonzero(q2); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses1 := eng.CacheStats(); misses1 != misses0+1 {
+		t.Fatalf("cross-cell query did not miss (misses %d → %d)", misses0, misses1)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"unn/internal/geom"
+	"unn/internal/kernel"
 	"unn/internal/uncertain"
 )
 
@@ -111,6 +112,24 @@ func (sx *ShardedIndex) BatchMutate(ms []Mutation) ([]int, error) {
 	}
 	sx.ensureOwned()
 
+	// Each delete splices the SoA mirror in O(n); a delete-heavy burst
+	// would pay that per op where one re-derivation at the end of the
+	// epoch (finishEpoch) costs a single O(n) refill into the same
+	// slices. Break-even sits at a handful of deletes — past it, mark
+	// the mirror stale so the per-op maintenance skips.
+	const rebuildMirrorDeletes = 4
+	if sx.flat != nil {
+		dels := 0
+		for _, m := range ms {
+			if m.Op == OpDelete {
+				dels++
+			}
+		}
+		if dels >= rebuildMirrorDeletes {
+			sx.flatStale = true
+		}
+	}
+
 	dirty := make(map[*shard]bool)
 	shrunk := make(map[*shard]bool)
 	res := make([]int, len(ms))
@@ -149,6 +168,7 @@ func (sx *ShardedIndex) applyInsert(it Item, dirty map[*shard]bool) int {
 		}
 	}
 	sx.n++
+	sx.flatInsertRow(gi)
 	if sx.buf != nil {
 		sx.bufInserts++
 		sx.buf.ids = append(sx.buf.ids, gi)
@@ -216,9 +236,57 @@ func (sx *ShardedIndex) applyDelete(i int, dirty, shrunk map[*shard]bool) error 
 		}
 	}
 	sx.n--
+	if f := sx.flat; f != nil && !sx.flatStale {
+		if f.N == sx.n+1 {
+			f.DeleteRow(i)
+		} else {
+			// Mirror out of step with the views (only possible when the
+			// dataset was swapped out from under the index): re-derive it.
+			sx.flat = flatForDataset(sx.ds, sx.metric)
+		}
+	}
 	dirty[owner] = true
 	shrunk[owner] = true
 	return nil
+}
+
+// flatInsertRow mirrors the freshly appended dataset row gi into the
+// SoA mirror, following flatForDataset's family precedence (the mirror
+// keeps exactly one layout even when a dataset carries several views).
+// Keeping the mirror in step per-op costs O(k) on insert and the same
+// O(n) splice the views already pay on delete — where a full
+// flatForDataset rebuild per epoch would put an O(n) copy on every
+// mutation, tripling the streaming-mutation cost at E18 scale. When the
+// mirror disagrees with the views (a swapped-out dataset), it is
+// re-derived instead of extended.
+func (sx *ShardedIndex) flatInsertRow(gi int) {
+	f := sx.flat
+	if f == nil || sx.flatStale {
+		return
+	}
+	ok := f.N == gi
+	if ok {
+		switch f.Kind {
+		case kernel.KindSquares:
+			if ok = len(sx.ds.Squares) > gi; ok {
+				s := sx.ds.Squares[gi]
+				f.AppendRegionRow(s.C.X, s.C.Y, s.R)
+			}
+		case kernel.KindDiscrete:
+			if ok = len(sx.ds.Discrete) > gi; ok {
+				p := sx.ds.Discrete[gi]
+				f.AppendDiscreteRow(p.Locs, p.W)
+			}
+		default:
+			if ok = len(sx.ds.Disks) > gi; ok {
+				d := sx.ds.Disks[gi]
+				f.AppendRegionRow(d.C.X, d.C.Y, d.R)
+			}
+		}
+	}
+	if !ok {
+		sx.flat = flatForDataset(sx.ds, sx.metric)
+	}
 }
 
 // finishEpoch closes one mutation epoch (a single op or a whole batch):
@@ -291,6 +359,16 @@ func (sx *ShardedIndex) finishEpoch(dirty, shrunk map[*shard]bool) error {
 	}
 	if err := sx.rebuildDirty(dirty); err != nil {
 		return err
+	}
+	// The SoA mirror normally needs no refresh here:
+	// flatInsertRow/applyDelete keep it in step row-by-row, and
+	// rebalancing only regroups shard id lists — the mirror is indexed by
+	// global id, which rebalancing never changes. It is re-derived only
+	// when a delete-heavy batch marked it stale (BatchMutate) in favor of
+	// one O(n) refill — into the stale mirror's own slices — per epoch.
+	if sx.flatStale {
+		sx.flat = flatForDatasetInto(sx.flat, sx.ds, sx.metric)
+		sx.flatStale = false
 	}
 	sx.epoch++
 	sx.recomputeCaps()

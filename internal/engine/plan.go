@@ -8,12 +8,19 @@
 // visited in ascending lower-bound order so the bound tightens as early
 // as possible.
 //
-//   - QueryNonzero unions shard answers under the global Lemma 2.1
-//     predicate: a two-smallest scan of Δ over the unpruned shards fixes
-//     the global threshold, shard answers supply the candidates (each
-//     shard's NN≠0 set is a superset of its members' global NN≠0 set,
-//     because removing competitors only weakens the threshold), and a
-//     final δ_i filter reproduces the monolithic answer bit-for-bit.
+//   - QueryNonzero applies the global Lemma 2.1 predicate
+//     δ_i(q) < min_{j≠i} Δ_j(q) directly. On the flat path (every
+//     dataset with a kernel.Flat mirror) one fused SoA pass over the
+//     unpruned shards stages each member's δ_i and folds its Δ_i into
+//     the two-smallest scan, and the filter then reads the staged δ's —
+//     no per-shard backend calls, and half the distance evaluations of
+//     the two-pass AoS oracle. Pruned shards cannot qualify (δ_i ≥ lb ≥
+//     m2 ≥ the filter bound, which the strict < rejects) nor shift
+//     m1/m2 (their Δ's are ≥ lb), so the answer is the monolithic
+//     oracle's, bit for bit. Datasets without a flat mirror keep the
+//     historical merge: shard answers supply the candidates (each
+//     shard's NN≠0 set is a superset of its members' global NN≠0 set)
+//     and the same global filter reproduces the monolithic answer.
 //   - QueryProbs combines per-shard sparse π vectors under the
 //     independence model: within a shard the backend already accounts
 //     for in-shard competition, so the merge multiplies each candidate
@@ -29,20 +36,31 @@
 //     the integral's discretization.
 //   - QueryExpected min-reduces the per-shard expected-distance winners,
 //     tie-breaking on the global index.
+//
+// Every planner runs on a pooled planScratch (shard order, staged δ's,
+// candidate ids), so steady-state queries through the appending entry
+// points allocate nothing.
 package engine
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"unn/internal/geom"
+	"unn/internal/kernel"
 	"unn/internal/lmetric"
 	"unn/internal/quantify"
 )
 
-// minDist returns δ_i(q) in the planner's metric.
+// minDist returns δ_i(q) in the planner's metric (the flat row kernel
+// when the dataset has one; the kernels replicate the AoS arithmetic
+// operation for operation, so the value is bit-identical).
 func (sx *ShardedIndex) minDist(i int, q geom.Point) float64 {
+	if f := sx.flat; f != nil {
+		return f.MinDist(i, q.X, q.Y)
+	}
 	if sx.ds.Squares != nil {
 		s := sx.ds.Squares[i]
 		switch sx.metric {
@@ -57,6 +75,9 @@ func (sx *ShardedIndex) minDist(i int, q geom.Point) float64 {
 
 // maxDist returns Δ_i(q) in the planner's metric.
 func (sx *ShardedIndex) maxDist(i int, q geom.Point) float64 {
+	if f := sx.flat; f != nil {
+		return f.MaxDist(i, q.X, q.Y)
+	}
 	if sx.ds.Squares != nil {
 		s := sx.ds.Squares[i]
 		switch sx.metric {
@@ -69,12 +90,26 @@ func (sx *ShardedIndex) maxDist(i int, q geom.Point) float64 {
 	return sx.ds.Points[i].MaxDist(q)
 }
 
-// byLowerBound returns the non-empty shards ordered by ascending
-// bounding-box lower-bound distance from q, with the bound attached.
+// boundedShard is one merge part ordered by its bounding-box lower-bound
+// distance from q.
 type boundedShard struct {
 	s  *shard
 	lb float64
 }
+
+// planScratch is the merge planner's pooled per-query arena: the kernel
+// scratch (staged δ's, candidate ids) plus the ordered shard list. One
+// lease serves a whole query, so the steady-state appending paths
+// allocate nothing.
+type planScratch struct {
+	sc    kernel.Scratch
+	parts []boundedShard
+}
+
+var planPool = sync.Pool{New: func() any { return new(planScratch) }}
+
+func getPlanScratch() *planScratch   { return planPool.Get().(*planScratch) }
+func putPlanScratch(ps *planScratch) { planPool.Put(ps) }
 
 // queryParts returns every built part the merge planner combines: the
 // main shards plus the insert buffer (mutlog.go) when it holds items —
@@ -92,13 +127,29 @@ func (sx *ShardedIndex) queryParts(yield func(*shard)) {
 	}
 }
 
-func (sx *ShardedIndex) byLowerBound(q geom.Point) []boundedShard {
-	out := make([]boundedShard, 0, len(sx.shards)+1)
-	sx.queryParts(func(s *shard) {
-		out = append(out, boundedShard{s: s, lb: sx.metric.rectDist(q, s.bbox)})
+// appendParts appends every built part to buf with its lower bound and
+// sorts ascending (stable, so equal bounds keep shard order) — the
+// closure-free byLowerBound that reuses the planScratch backing array.
+func (sx *ShardedIndex) appendParts(q geom.Point, buf []boundedShard) []boundedShard {
+	for _, s := range sx.shards {
+		if s.ix != nil {
+			buf = append(buf, boundedShard{s: s, lb: sx.metric.rectDist(q, s.bbox)})
+		}
+	}
+	if sx.buf != nil && sx.buf.ix != nil {
+		buf = append(buf, boundedShard{s: sx.buf, lb: sx.metric.rectDist(q, sx.buf.bbox)})
+	}
+	slices.SortStableFunc(buf, func(a, b boundedShard) int {
+		switch {
+		case a.lb < b.lb:
+			return -1
+		case a.lb > b.lb:
+			return 1
+		default:
+			return 0
+		}
 	})
-	sort.SliceStable(out, func(a, b int) bool { return out[a].lb < out[b].lb })
-	return out
+	return buf
 }
 
 // soleShard returns the only built part (main shard or insert buffer),
@@ -118,26 +169,76 @@ func (sx *ShardedIndex) soleShard() *shard {
 	return sole
 }
 
-// QueryNonzero implements Index: the union of shard NN≠0 answers,
-// filtered by the global Lemma 2.1 predicate δ_i(q) < min_{j≠i} Δ_j(q).
+// nonzeroAppender is the allocation-free NN≠0 contract: backends (and
+// the sharded planner itself) that can append their sorted answer into a
+// caller-supplied buffer implement it, and the engine's Into path and
+// the shard merge use it to avoid the per-query result allocation.
+type nonzeroAppender interface {
+	appendNonzero(q geom.Point, dst []int) ([]int, error)
+}
+
+// appendNonzeroOf appends ix's NN≠0 answer to dst, preferring the
+// appending fast path when ix (possibly behind the quantum-hint wrapper)
+// implements it. Interface embedding does not promote unexported
+// methods across the hintedIndex wrapper, hence the explicit unwrap.
+func appendNonzeroOf(ix Index, q geom.Point, dst []int) ([]int, error) {
+	for {
+		if na, ok := ix.(nonzeroAppender); ok {
+			return na.appendNonzero(q, dst)
+		}
+		if h, ok := ix.(hintedIndex); ok {
+			ix = h.Index
+			continue
+		}
+		loc, err := ix.QueryNonzero(q)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, loc...), nil
+	}
+}
+
+// QueryNonzero implements Index: the global Lemma 2.1 answer
+// δ_i(q) < min_{j≠i} Δ_j(q) over all shards.
 func (sx *ShardedIndex) QueryNonzero(q geom.Point) ([]int, error) {
+	return sx.appendNonzero(q, nil)
+}
+
+// appendNonzero implements nonzeroAppender over the sharded merge.
+func (sx *ShardedIndex) appendNonzero(q geom.Point, dst []int) ([]int, error) {
 	sx.mu.RLock()
 	defer sx.mu.RUnlock()
 	if sx.broken != nil {
-		return nil, sx.broken
+		return dst, sx.broken
 	}
 	if !sx.caps.Has(CapNonzero) {
-		return nil, ErrUnsupported
+		return dst, ErrUnsupported
 	}
+	ps := getPlanScratch()
+	dst, err := sx.nonzeroInto(q, dst, ps)
+	putPlanScratch(ps)
+	return dst, err
+}
+
+// nonzeroInto is the merge body: callers hold the read lock and have
+// checked broken/caps.
+func (sx *ShardedIndex) nonzeroInto(q geom.Point, dst []int, ps *planScratch) ([]int, error) {
 	if sole := sx.soleShard(); sole != nil {
-		loc, err := sole.ix.QueryNonzero(q)
+		start := len(dst)
+		out, err := appendNonzeroOf(sole.ix, q, dst)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		return mapIDs(loc, sole.ids), nil
+		dst = out
+		for i := start; i < len(dst); i++ {
+			dst[i] = sole.ids[dst[i]] // ids ascending: stays sorted
+		}
+		return dst, nil
 	}
 
-	ordered := sx.byLowerBound(q)
+	ps.parts = sx.appendParts(q, ps.parts[:0])
+	ordered := ps.parts
+	start := len(dst)
 
 	// Two smallest Δ over every unpruned shard. A shard with lb ≥ m2 can
 	// neither lower m1/m2 (its Δ's are ≥ lb) nor contribute a candidate
@@ -145,7 +246,44 @@ func (sx *ShardedIndex) QueryNonzero(q geom.Point) ([]int, error) {
 	// the order, so the scan stops at the first such shard.
 	m1, m2 := math.Inf(1), math.Inf(1)
 	arg1 := -1
-	var active []boundedShard
+
+	if f := sx.flat; f != nil {
+		// Flat path: one fused SoA pass per active shard stages δ_i into
+		// the dense scratch row (indexed by global id) while folding Δ_i
+		// into the two-smallest state; the filter then applies the global
+		// predicate straight off the staged values — no backend calls.
+		deltas := ps.sc.Dists
+		if cap(deltas) < f.N {
+			deltas = make([]float64, f.N)
+			ps.sc.Dists = deltas
+		}
+		deltas = deltas[:f.N]
+		cut := 0
+		for _, bs := range ordered {
+			if bs.lb >= m2 {
+				break
+			}
+			m1, m2, arg1 = f.ScanTwoMin(bs.s.ids, q.X, q.Y, deltas, m1, m2, arg1)
+			cut++
+		}
+		for _, bs := range ordered[:cut] {
+			for _, i := range bs.s.ids {
+				bound := m1
+				if i == arg1 {
+					bound = m2
+				}
+				if deltas[i] < bound || sx.n == 1 {
+					dst = append(dst, i)
+				}
+			}
+		}
+		slices.Sort(dst[start:])
+		return dst, nil
+	}
+
+	// AoS fallback (no flat mirror): the per-shard merge — shard answers
+	// supply the candidates, the global filter decides.
+	cut := 0
 	for _, bs := range ordered {
 		if bs.lb >= m2 {
 			break
@@ -159,14 +297,13 @@ func (sx *ShardedIndex) QueryNonzero(q geom.Point) ([]int, error) {
 				m2 = d
 			}
 		}
-		active = append(active, bs)
+		cut++
 	}
-
-	var out []int
-	for _, bs := range active {
-		loc, err := bs.s.ix.QueryNonzero(q)
+	for _, bs := range ordered[:cut] {
+		loc, err := appendNonzeroOf(bs.s.ix, q, ps.sc.Loc[:0])
+		ps.sc.Loc = loc
 		if err != nil {
-			return nil, fmt.Errorf("shard merge: %w", err)
+			return dst, fmt.Errorf("shard merge: %w", err)
 		}
 		for _, li := range loc {
 			i := bs.s.ids[li]
@@ -175,12 +312,12 @@ func (sx *ShardedIndex) QueryNonzero(q geom.Point) ([]int, error) {
 				bound = m2
 			}
 			if sx.minDist(i, q) < bound || sx.n == 1 {
-				out = append(out, i)
+				dst = append(dst, i)
 			}
 		}
 	}
-	sort.Ints(out)
-	return out, nil
+	slices.Sort(dst[start:])
+	return dst, nil
 }
 
 // QueryExpected implements Index: a min-reduce over the per-shard
@@ -197,8 +334,11 @@ func (sx *ShardedIndex) QueryExpected(q geom.Point) (int, float64, error) {
 	if !sx.caps.Has(CapExpected) {
 		return -1, 0, ErrUnsupported
 	}
+	ps := getPlanScratch()
+	defer putPlanScratch(ps)
+	ps.parts = sx.appendParts(q, ps.parts[:0])
 	bestI, bestD := -1, math.Inf(1)
-	for _, bs := range sx.byLowerBound(q) {
+	for _, bs := range ps.parts {
 		if bs.lb > bestD {
 			break
 		}
@@ -237,12 +377,10 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 		return out, nil
 	}
 
-	ordered := sx.byLowerBound(q)
-	type cand struct {
-		gi      int
-		shard   int // position in ordered
-		shardPi float64
-	}
+	ps := getPlanScratch()
+	defer putPlanScratch(ps)
+	ps.parts = sx.appendParts(q, ps.parts[:0])
+	ordered := ps.parts
 	var out []quantify.Prob
 	if sx.ds.Discrete != nil {
 		// Exact path: the shard answers fix the candidate set, and each
@@ -253,11 +391,13 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 		// sets) and is far cheaper than the shard's full π sweep; backends
 		// without CapNonzero (vpr, montecarlo, spiral) fall back to their
 		// sparse π vector.
-		var cands []int
+		cands := ps.sc.Cand[:0]
 		for _, bs := range ordered {
 			if bs.s.ix.Capabilities().Has(CapNonzero) {
-				loc, err := bs.s.ix.QueryNonzero(q)
+				loc, err := appendNonzeroOf(bs.s.ix, q, ps.sc.Loc[:0])
+				ps.sc.Loc = loc
 				if err != nil {
+					ps.sc.Cand = cands
 					return nil, fmt.Errorf("shard merge: %w", err)
 				}
 				for _, li := range loc {
@@ -267,12 +407,14 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 			}
 			loc, err := bs.s.ix.QueryProbs(q, eps)
 			if err != nil {
+				ps.sc.Cand = cands
 				return nil, fmt.Errorf("shard merge: %w", err)
 			}
 			for _, pr := range loc {
 				cands = append(cands, bs.s.ids[pr.I])
 			}
 		}
+		ps.sc.Cand = cands
 		for _, gi := range cands {
 			p := sx.exactPi(q, gi, ordered)
 			if p > 0 {
@@ -280,21 +422,29 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 			}
 		}
 	} else {
-		var cands []cand
+		// Continuous path: candidates staged as parallel scratch rows
+		// (global id, owning-shard position, shard-local π).
+		cands := ps.sc.Cand[:0]
+		owners := ps.sc.Loc[:0]
+		pis := ps.sc.Probs[:0]
 		for si, bs := range ordered {
 			loc, err := bs.s.ix.QueryProbs(q, eps)
 			if err != nil {
+				ps.sc.Cand, ps.sc.Loc, ps.sc.Probs = cands, owners, pis
 				return nil, fmt.Errorf("shard merge: %w", err)
 			}
 			for _, pr := range loc {
-				cands = append(cands, cand{gi: bs.s.ids[pr.I], shard: si, shardPi: pr.P})
+				cands = append(cands, bs.s.ids[pr.I])
+				owners = append(owners, si)
+				pis = append(pis, pr.P)
 			}
 		}
+		ps.sc.Cand, ps.sc.Loc, ps.sc.Probs = cands, owners, pis
 		total := 0.0
-		for _, c := range cands {
-			p := c.shardPi * sx.conditionalCrossSurvival(q, c.gi, ordered, c.shard)
+		for ci, gi := range cands {
+			p := pis[ci] * sx.conditionalCrossSurvival(q, gi, ordered, owners[ci])
 			if p > 0 {
-				out = append(out, quantify.Prob{I: c.gi, P: p})
+				out = append(out, quantify.Prob{I: gi, P: p})
 				total += p
 			}
 		}
@@ -308,16 +458,30 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].I < out[b].I })
+	slices.SortFunc(out, func(a, b quantify.Prob) int {
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out, nil
 }
 
 // distCDF returns G_i(q, r) = Pr[d(q, P_i) ≤ r] in the planner's
-// metric. Point datasets delegate to the uncertain point's own cdf; a
-// squares-only dataset (ds.Points == nil, built by FromSquares) derives
-// the cdf from the uniform distribution over the square region instead
-// of dereferencing the absent Points view.
+// metric. Discrete datasets read the flat location rows (bit-identical
+// to the AoS cdf — same fold order, same ≤); other point datasets
+// delegate to the uncertain point's own cdf; a squares-only dataset
+// (ds.Points == nil, built by FromSquares) derives the cdf from the
+// uniform distribution over the square region instead of dereferencing
+// the absent Points view.
 func (sx *ShardedIndex) distCDF(i int, q geom.Point, r float64) float64 {
+	if f := sx.flat; f != nil && f.Kind == kernel.KindDiscrete {
+		return f.DistCDF(i, q.X, q.Y, r)
+	}
 	if sx.ds.Points != nil {
 		return sx.ds.Points[i].DistCDF(q, r)
 	}
@@ -400,8 +564,25 @@ func (sx *ShardedIndex) survival(q geom.Point, r float64, t boundedShard, skip i
 //
 // where the product runs over every shard — in-shard competitors and the
 // cross-shard renormalization alike — with shard-level pruning on the
-// survival factors. This reproduces the monolithic exact sweep.
+// survival factors. This reproduces the monolithic exact sweep. The
+// candidate's locations are read off the flat rows when the dataset has
+// them (same order, same arithmetic as the AoS loop).
 func (sx *ShardedIndex) exactPi(q geom.Point, gi int, ordered []boundedShard) float64 {
+	if f := sx.flat; f != nil && f.Kind == kernel.KindDiscrete {
+		total := 0.0
+		for a := f.Off[gi]; a < f.Off[gi+1]; a++ {
+			r := math.Hypot(q.X-f.Xs[a], q.Y-f.Ys[a])
+			prod := 1.0
+			for _, t := range ordered {
+				prod *= sx.survival(q, r, t, gi)
+				if prod == 0 {
+					break
+				}
+			}
+			total += f.W[a] * prod
+		}
+		return total
+	}
 	p := sx.ds.Discrete[gi]
 	total := 0.0
 	for a, loc := range p.Locs {
@@ -480,14 +661,4 @@ func (sx *ShardedIndex) conditionalCrossSurvival(q geom.Point, gi int, ordered [
 		return uncond
 	}
 	return num / den
-}
-
-// mapIDs maps shard-local ascending indices to global ones (ids is
-// ascending, so the result stays sorted).
-func mapIDs(loc []int, ids []int) []int {
-	out := make([]int, len(loc))
-	for i, li := range loc {
-		out[i] = ids[li]
-	}
-	return out
 }

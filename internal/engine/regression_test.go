@@ -167,7 +167,7 @@ func TestShardedSquaresSurvival(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := geom.Pt(1, 1)
-	ordered := sx.byLowerBound(q)
+	ordered := sx.appendParts(q, nil)
 	for _, bs := range ordered {
 		for _, r := range []float64{0, 0.5, 2, 20} {
 			if v := sx.survival(q, r, bs, -1); v < 0 || v > 1 || math.IsNaN(v) {

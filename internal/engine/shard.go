@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"unn/internal/geom"
+	"unn/internal/kernel"
 )
 
 // Split selects the spatial partitioner of a ShardedIndex.
@@ -156,6 +157,17 @@ type ShardedIndex struct {
 
 	ds    *Dataset
 	owned bool // ds views are private copies (first mutation clones)
+
+	// flat is the SoA mirror of ds for the flat merge kernels (plan.go):
+	// built at Build, kept in step row-by-row by the mutation paths
+	// (flatInsertRow / kernel.Flat.DeleteRow), nil for dataset shapes
+	// without a flat layout (mixed region families). Indexed by global
+	// id, so shard id lists index straight into it. flatStale marks a
+	// mirror a delete-heavy batch chose not to maintain per-op; it is
+	// re-derived (reusing the stale slices) once in finishEpoch and never
+	// read while stale — both flags only change under the write lock.
+	flat      *kernel.Flat
+	flatStale bool
 
 	shards []*shard
 	caps   Capability
@@ -386,6 +398,36 @@ func gridSplit(ds *Dataset, idx []int, k int) [][]int {
 	return groups
 }
 
+// flatForDataset builds the SoA mirror the flat merge kernels run on:
+// squares flatten under the planner's metric (L∞ natively, L1 on the
+// unrotated centers — kernel.MetricL1 computes Manhattan distances
+// directly, matching the planner's DistL1 arithmetic), discrete and disk
+// datasets flatten their location/region rows. Dataset shapes with no
+// uniform region family (mixed Points) return nil and the planner keeps
+// the AoS merge.
+func flatForDataset(ds *Dataset, m qmetric) *kernel.Flat {
+	return flatForDatasetInto(nil, ds, m)
+}
+
+// flatForDatasetInto is flatForDataset reusing prev's slice capacity
+// (matching kinds only); prev must not be read afterward.
+func flatForDatasetInto(prev *kernel.Flat, ds *Dataset, m qmetric) *kernel.Flat {
+	switch {
+	case ds.Squares != nil:
+		km := kernel.MetricLinf
+		if m == metricL1 {
+			km = kernel.MetricL1
+		}
+		return kernel.FromSquaresInto(prev, ds.Squares, km)
+	case ds.Discrete != nil:
+		return kernel.FromDiscreteInto(prev, ds.Discrete)
+	case ds.Disks != nil:
+		return kernel.FromDisksInto(prev, ds.Disks)
+	default:
+		return nil
+	}
+}
+
 // Build implements Index: partition, then build one backend instance per
 // non-empty shard in parallel (bounded by BuildWorkers).
 func (sx *ShardedIndex) Build(ds *Dataset) error {
@@ -395,6 +437,7 @@ func (sx *ShardedIndex) Build(ds *Dataset) error {
 	}
 	sx.ds = ds
 	sx.n = n
+	sx.flat = flatForDataset(ds, sx.metric)
 	sx.target = (n + sx.opt.Shards - 1) / sx.opt.Shards
 	if sx.target < 1 {
 		sx.target = 1

@@ -45,6 +45,13 @@ type BenchRecord struct {
 	BuildNs   int64   `json:"build_ns"`
 	QueryNsOp float64 `json:"query_ns_op"` // sequential single queries
 	BatchNsOp float64 `json:"batch_ns_op"` // parallel batch, per query
+	// AllocsPerQuery is the steady-state heap allocations per single
+	// NN≠0 query through the zero-alloc path (QueryNonzeroInto), with
+	// scratch pools warm; -1 when the row's backend does not serve NN≠0
+	// or the sweep does not measure allocations. The flat-kernel PR's
+	// acceptance bar is 0 for the brute / two-stage / sharded rows
+	// (cmd/benchdiff warns when a measured row drifts above zero).
+	AllocsPerQuery float64 `json:"allocs_per_query"`
 	// Shards is the shard count of the sharded execution layer; 0 is the
 	// monolithic path (all E16 rows, and the E17 baseline row).
 	Shards int `json:"shards"`
@@ -131,7 +138,7 @@ func EngineBench(opt Options) ([]BenchRecord, *Table) {
 		ID:     "E16",
 		Title:  "engine layer: every backend through one Index interface",
 		Claim:  "one driver exercises all backends; batch path parallelizes the hot loop",
-		Header: []string{"backend", "n", "build", "singleQ", "batchQ", "workers", "cacheHit"},
+		Header: []string{"backend", "n", "build", "singleQ", "batchQ", "workers", "allocs", "cacheHit"},
 	}
 	rng := rand.New(rand.NewSource(opt.seed()))
 	var recs []BenchRecord
@@ -188,26 +195,70 @@ func EngineBench(opt Options) ([]BenchRecord, *Table) {
 				continue
 			}
 			batchPer := batchTot / time.Duration(len(qs))
+			allocs := -1.0
+			if caps.Has(engine.CapNonzero) {
+				allocs = allocsPerQuery(eng, qs)
+			}
 			hitRate, quantum := cacheHitRate(ix, caps, side, opt.seed()+int64(n))
 			recs = append(recs, BenchRecord{
-				Exp:          "E16",
-				Backend:      string(w.backend),
-				N:            n,
-				Queries:      len(qs),
-				Workers:      eng.Workers(),
-				BuildNs:      build.Nanoseconds(),
-				QueryNsOp:    float64(single.Nanoseconds()),
-				BatchNsOp:    float64(batchPer.Nanoseconds()),
-				CacheHitRate: hitRate,
-				CacheQuantum: quantum,
+				Exp:            "E16",
+				Backend:        string(w.backend),
+				N:              n,
+				Queries:        len(qs),
+				Workers:        eng.Workers(),
+				BuildNs:        build.Nanoseconds(),
+				QueryNsOp:      float64(single.Nanoseconds()),
+				BatchNsOp:      float64(batchPer.Nanoseconds()),
+				AllocsPerQuery: allocs,
+				CacheHitRate:   hitRate,
+				CacheQuantum:   quantum,
 			})
 			t.AddRow(string(w.backend), itoa(n), dtoa(build), dtoa(single), dtoa(batchPer),
-				itoa(eng.Workers()), ftoa(hitRate))
+				itoa(eng.Workers()), allocsCell(allocs), ftoa(hitRate))
 		}
 	}
 	t.Note("batchQ is per-query cost through the parallel batch path (workers = NumCPU)")
+	t.Note("allocs is steady-state heap allocations per NN≠0 query via QueryNonzeroInto (- = backend has no NN≠0 path)")
 	t.Note("cacheHit is the striped-LRU hit rate on a hotspot workload with quantized keys")
 	return recs, t
+}
+
+// allocsCell renders an allocs-per-query figure for the table (-1 = not
+// measured).
+func allocsCell(a float64) string {
+	if a < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", a)
+}
+
+// allocsPerQuery measures steady-state heap allocations per NN≠0 query
+// through the zero-alloc entry point. The warmup pass populates the
+// scratch pools and grows the result buffer to its high-water mark;
+// the explicit GC then empties the pools, so the measured figure
+// honestly charges the one-time pool refill — amortized over the
+// measured rounds it stays ≪ 1 for a genuinely allocation-free path.
+func allocsPerQuery(eng *engine.Engine, qs []geom.Point) float64 {
+	const rounds = 4
+	buf := make([]int, 0, 64)
+	for _, q := range qs {
+		out, err := eng.QueryNonzeroInto(q, buf[:0])
+		if err != nil {
+			return -1
+		}
+		buf = out[:0]
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for r := 0; r < rounds; r++ {
+		for _, q := range qs {
+			out, _ := eng.QueryNonzeroInto(q, buf[:0])
+			buf = out[:0]
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(rounds*len(qs))
 }
 
 // cacheHitRate measures the striped LRU on a localized serving workload:
@@ -268,7 +319,7 @@ func ShardBench(opt Options) ([]BenchRecord, *Table) {
 		ID:     "E17",
 		Title:  "sharded execution layer: shard-scaling sweep (brute backend)",
 		Claim:  "per-shard backends + bbox pruning: sharded batch ≥1.5× unsharded batch",
-		Header: []string{"n", "shards", "build", "batchQ", "speedup", "cacheHit"},
+		Header: []string{"n", "shards", "build", "singleQ", "batchQ", "speedup", "allocs", "cacheHit"},
 	}
 	rng := rand.New(rand.NewSource(opt.seed()))
 	n := 2000
@@ -324,20 +375,33 @@ func ShardBench(opt Options) ([]BenchRecord, *Table) {
 		if k > 0 && batchPer > 0 {
 			speedup = fmt.Sprintf("%.2fx", float64(baseline)/float64(batchPer))
 		}
+		single := timePer(len(qs), func(i int) {
+			if _, e := eng.QueryNonzero(qs[i]); e != nil && err == nil {
+				err = e
+			}
+		})
+		if err != nil {
+			t.Note("k=%d singles: %v", k, err)
+			continue
+		}
+		allocs := allocsPerQuery(eng, qs)
 		hitRate, quantum := cacheHitRate(ix, engine.CapNonzero, side, opt.seed()+int64(k))
 		recs = append(recs, BenchRecord{
-			Exp:          "E17",
-			Backend:      string(engine.BackendBrute),
-			N:            n,
-			Queries:      len(qs),
-			Workers:      eng.Workers(),
-			Shards:       k,
-			BuildNs:      build.Nanoseconds(),
-			BatchNsOp:    float64(batchPer.Nanoseconds()),
-			CacheHitRate: hitRate,
-			CacheQuantum: quantum,
+			Exp:            "E17",
+			Backend:        string(engine.BackendBrute),
+			N:              n,
+			Queries:        len(qs),
+			Workers:        eng.Workers(),
+			Shards:         k,
+			BuildNs:        build.Nanoseconds(),
+			QueryNsOp:      float64(single.Nanoseconds()),
+			BatchNsOp:      float64(batchPer.Nanoseconds()),
+			AllocsPerQuery: allocs,
+			CacheHitRate:   hitRate,
+			CacheQuantum:   quantum,
 		})
-		t.AddRow(itoa(n), itoa(k), dtoa(build), dtoa(batchPer), speedup, ftoa(hitRate))
+		t.AddRow(itoa(n), itoa(k), dtoa(build), dtoa(single), dtoa(batchPer), speedup,
+			allocsCell(allocs), ftoa(hitRate))
 	}
 	t.Note("shards=0 is the monolithic baseline; speedup is baseline batchQ / sharded batchQ")
 	t.Note("workload: spread discrete points (local queries), so bbox pruning skips far shards")
@@ -436,15 +500,16 @@ func StreamBench(opt Options) ([]BenchRecord, *Table) {
 	queryPer := queryTotal / time.Duration(muts)
 
 	rec := BenchRecord{
-		Exp:         "E18",
-		Backend:     string(engine.BackendBrute),
-		N:           n,
-		Queries:     muts,
-		Workers:     eng.Workers(),
-		Shards:      k,
-		MutateNsOp:  float64(mutatePer.Nanoseconds()),
-		RebuildNsOp: float64(rebuildPer.Nanoseconds()),
-		QueryNsOp:   float64(queryPer.Nanoseconds()),
+		Exp:            "E18",
+		AllocsPerQuery: -1,
+		Backend:        string(engine.BackendBrute),
+		N:              n,
+		Queries:        muts,
+		Workers:        eng.Workers(),
+		Shards:         k,
+		MutateNsOp:     float64(mutatePer.Nanoseconds()),
+		RebuildNsOp:    float64(rebuildPer.Nanoseconds()),
+		QueryNsOp:      float64(queryPer.Nanoseconds()),
 	}
 	t.AddRow(itoa(n), fmt.Sprintf("%d→%d", k, sx.Shards()), itoa(muts), dtoa(mutatePer),
 		dtoa(rebuildPer), fmt.Sprintf("%.1fx", amort), dtoa(queryPer))
@@ -563,13 +628,14 @@ func MutationBench(opt Options) ([]BenchRecord, *Table) {
 	batchPer := batchTotal / time.Duration(muts)
 	singlePer := singleTotal / time.Duration(muts)
 	recs := []BenchRecord{{
-		Exp:        "E20",
-		Backend:    string(engine.BackendBrute),
-		N:          n,
-		Queries:    muts,
-		Shards:     k,
-		BatchNsOp:  float64(batchPer.Nanoseconds()),
-		MutateNsOp: float64(singlePer.Nanoseconds()),
+		Exp:            "E20",
+		AllocsPerQuery: -1,
+		Backend:        string(engine.BackendBrute),
+		N:              n,
+		Queries:        muts,
+		Shards:         k,
+		BatchNsOp:      float64(batchPer.Nanoseconds()),
+		MutateNsOp:     float64(singlePer.Nanoseconds()),
 	}}
 	t.AddRow("burst64", itoa(n), itoa(muts), dtoa(batchPer), dtoa(singlePer),
 		fmt.Sprintf("%.1fx", float64(singlePer)/float64(batchPer)), "-")
@@ -628,14 +694,15 @@ func MutationBench(opt Options) ([]BenchRecord, *Table) {
 		basePer = baseTotal / time.Duration(stream)
 	}
 	recs = append(recs, BenchRecord{
-		Exp:           "E20",
-		Backend:       string(engine.BackendBrute) + "+buffer",
-		N:             n,
-		Queries:       stream,
-		Shards:        k,
-		MutateNsOp:    float64(insertPer.Nanoseconds()),
-		RebuildNsOp:   float64(basePer.Nanoseconds()),
-		BufferHitRate: hit,
+		Exp:            "E20",
+		AllocsPerQuery: -1,
+		Backend:        string(engine.BackendBrute) + "+buffer",
+		N:              n,
+		Queries:        stream,
+		Shards:         k,
+		MutateNsOp:     float64(insertPer.Nanoseconds()),
+		RebuildNsOp:    float64(basePer.Nanoseconds()),
+		BufferHitRate:  hit,
 	})
 	t.AddRow("insert-buffer", itoa(n), itoa(stream), dtoa(insertPer), dtoa(basePer),
 		fmt.Sprintf("%.1fx", float64(basePer)/float64(insertPer)), ftoa(hit))
@@ -763,14 +830,15 @@ func PlannerBench(opt Options) ([]BenchRecord, *Table) {
 			planStr = planSummary(plan)
 		}
 		recs = append(recs, BenchRecord{
-			Exp:       "E19",
-			Backend:   router,
-			N:         n,
-			Queries:   len(qs),
-			Workers:   eng.Workers(),
-			BuildNs:   build.Nanoseconds(),
-			QueryNsOp: float64(per.Nanoseconds()),
-			Plan:      planStr,
+			Exp:            "E19",
+			AllocsPerQuery: -1,
+			Backend:        router,
+			N:              n,
+			Queries:        len(qs),
+			Workers:        eng.Workers(),
+			BuildNs:        build.Nanoseconds(),
+			QueryNsOp:      float64(per.Nanoseconds()),
+			Plan:           planStr,
 		})
 		t.AddRow(router, itoa(n), dtoa(build), dtoa(per), speedup, planStr)
 	}

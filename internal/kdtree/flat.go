@@ -1,0 +1,280 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"unn/internal/geom"
+)
+
+// FlatTree is the implicit-array twin of Tree: the same median-split
+// kd-tree stored without pointer nodes. Node i's children live at
+// 2i+1 / 2i+2, leaves hold [lo, hi) ranges into SoA item arrays
+// permuted in build order, and per-node bounds/weight aggregates are
+// parallel float64 slices. Traversals replicate Tree's pruning tests
+// and visit order operation for operation, so every query result is
+// bit-identical to the pointer tree built from the same items — the
+// flat layout only removes the pointer chases and the per-callback
+// closure allocations (queries append into caller-supplied slices).
+type FlatTree struct {
+	n int
+	// Node SoA in implicit heap order. lo[i] >= 0 marks a leaf owning
+	// items [lo[i], hi[i]); lo[i] == -1 is an internal node (slots below
+	// leaves are never visited).
+	minX, minY, maxX, maxY []float64
+	minW, maxW             []float64
+	lo, hi                 []int32
+	// Item SoA, permuted so each leaf's payload is contiguous.
+	xs, ys, ws []float64
+	ids        []int32
+}
+
+// FlatNeighbor is a FlatTree query result: the item's coordinates,
+// weight, caller ID, and distance to the query.
+type FlatNeighbor struct {
+	X, Y, W float64
+	ID      int
+	Dist    float64
+}
+
+// NewFlat builds a FlatTree over the given items. The slice is copied;
+// the tree is immutable afterwards and safe for concurrent queries.
+func NewFlat(items []Item) *FlatTree {
+	t := &FlatTree{n: len(items)}
+	if t.n == 0 {
+		return t
+	}
+	buf := make([]Item, len(items))
+	copy(buf, items)
+	// Leaf depth bound: every split hands a child at most ⌈m/2⌉ items,
+	// so ⌈·/2⌉-iterating n down to leafSize bounds the deepest leaf, and
+	// the implicit array needs 2^(d+1)−1 slots.
+	d := 0
+	for m := len(buf); m > leafSize; m = (m + 1) / 2 {
+		d++
+	}
+	size := 1<<(uint(d)+1) - 1
+	t.minX = make([]float64, size)
+	t.minY = make([]float64, size)
+	t.maxX = make([]float64, size)
+	t.maxY = make([]float64, size)
+	t.minW = make([]float64, size)
+	t.maxW = make([]float64, size)
+	t.lo = make([]int32, size)
+	t.hi = make([]int32, size)
+	for i := range t.lo {
+		t.lo[i] = -1
+	}
+	t.xs = make([]float64, t.n)
+	t.ys = make([]float64, t.n)
+	t.ws = make([]float64, t.n)
+	t.ids = make([]int32, t.n)
+	t.buildAt(0, buf, 0)
+	return t
+}
+
+// buildAt mirrors build() exactly — same aggregate folds, same
+// wider-axis comparator, same median — writing node ni and placing
+// leaf payloads at item offset off onward.
+func (t *FlatTree) buildAt(ni int, items []Item, off int) {
+	bounds := geom.EmptyRect()
+	minW, maxW := math.Inf(1), math.Inf(-1)
+	for _, it := range items {
+		bounds = bounds.Extend(it.P)
+		minW = math.Min(minW, it.W)
+		maxW = math.Max(maxW, it.W)
+	}
+	t.minX[ni], t.minY[ni] = bounds.Min.X, bounds.Min.Y
+	t.maxX[ni], t.maxY[ni] = bounds.Max.X, bounds.Max.Y
+	t.minW[ni], t.maxW[ni] = minW, maxW
+	if len(items) <= leafSize {
+		t.lo[ni], t.hi[ni] = int32(off), int32(off+len(items))
+		for k, it := range items {
+			t.xs[off+k], t.ys[off+k] = it.P.X, it.P.Y
+			t.ws[off+k], t.ids[off+k] = it.W, int32(it.ID)
+		}
+		return
+	}
+	byX := bounds.Width() >= bounds.Height()
+	sort.Slice(items, func(i, j int) bool {
+		if byX {
+			return items[i].P.X < items[j].P.X
+		}
+		return items[i].P.Y < items[j].P.Y
+	})
+	mid := len(items) / 2
+	t.buildAt(2*ni+1, items[:mid], off)
+	t.buildAt(2*ni+2, items[mid:], off+mid)
+}
+
+// Len returns the number of items in the tree.
+func (t *FlatTree) Len() int { return t.n }
+
+// nodeDist replicates Rect.DistToPoint on node ni's bounds.
+func (t *FlatTree) nodeDist(ni int, qx, qy float64) float64 {
+	dx := math.Max(0, math.Max(t.minX[ni]-qx, qx-t.maxX[ni]))
+	dy := math.Max(0, math.Max(t.minY[ni]-qy, qy-t.maxY[ni]))
+	return math.Hypot(dx, dy)
+}
+
+// nodeDistLinf replicates Rect.DistToPointLinf on node ni's bounds.
+func (t *FlatTree) nodeDistLinf(ni int, qx, qy float64) float64 {
+	dx := math.Max(0, math.Max(t.minX[ni]-qx, qx-t.maxX[ni]))
+	dy := math.Max(0, math.Max(t.minY[ni]-qy, qy-t.maxY[ni]))
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// NearestAdditive returns the item minimizing d(q,p) + w and that
+// minimum value — Tree.NearestAdditive on the flat layout.
+func (t *FlatTree) NearestAdditive(q geom.Point) (FlatNeighbor, float64, bool) {
+	if t.n == 0 {
+		return FlatNeighbor{}, 0, false
+	}
+	best := FlatNeighbor{ID: -1, Dist: math.Inf(1)}
+	bestVal := math.Inf(1)
+	t.nearestAdd(0, q.X, q.Y, &best, &bestVal)
+	return best, bestVal, true
+}
+
+func (t *FlatTree) nearestAdd(ni int, qx, qy float64, best *FlatNeighbor, bestVal *float64) {
+	if t.nodeDist(ni, qx, qy)+t.minW[ni] >= *bestVal {
+		return
+	}
+	if lo := t.lo[ni]; lo >= 0 {
+		for k := lo; k < t.hi[ni]; k++ {
+			d := math.Hypot(qx-t.xs[k], qy-t.ys[k])
+			if v := d + t.ws[k]; v < *bestVal {
+				*best = FlatNeighbor{X: t.xs[k], Y: t.ys[k], W: t.ws[k], ID: int(t.ids[k]), Dist: d}
+				*bestVal = v
+			}
+		}
+		return
+	}
+	a, b := 2*ni+1, 2*ni+2
+	if t.nodeDist(b, qx, qy)+t.minW[b] < t.nodeDist(a, qx, qy)+t.minW[a] {
+		a, b = b, a
+	}
+	t.nearestAdd(a, qx, qy, best, bestVal)
+	t.nearestAdd(b, qx, qy, best, bestVal)
+}
+
+// AppendBelow appends the ID of every item with d(q,p) − w < T to dst —
+// Tree.ReportBelow without the callback (and its closure allocation).
+func (t *FlatTree) AppendBelow(q geom.Point, T float64, dst []int) []int {
+	if t.n == 0 {
+		return dst
+	}
+	return t.appendBelow(0, q.X, q.Y, T, dst)
+}
+
+func (t *FlatTree) appendBelow(ni int, qx, qy, T float64, dst []int) []int {
+	if t.nodeDist(ni, qx, qy)-t.maxW[ni] >= T {
+		return dst
+	}
+	if lo := t.lo[ni]; lo >= 0 {
+		for k := lo; k < t.hi[ni]; k++ {
+			if math.Hypot(qx-t.xs[k], qy-t.ys[k])-t.ws[k] < T {
+				dst = append(dst, int(t.ids[k]))
+			}
+		}
+		return dst
+	}
+	dst = t.appendBelow(2*ni+1, qx, qy, T, dst)
+	return t.appendBelow(2*ni+2, qx, qy, T, dst)
+}
+
+// AppendWithin appends the ID of every item with d(q,p) ≤ r (strictly
+// < r if strict) to dst, visiting leaves in Tree.WithinDist's order.
+func (t *FlatTree) AppendWithin(q geom.Point, r float64, strict bool, dst []int) []int {
+	if t.n == 0 {
+		return dst
+	}
+	return t.appendWithin(0, q.X, q.Y, r, strict, dst)
+}
+
+func (t *FlatTree) appendWithin(ni int, qx, qy, r float64, strict bool, dst []int) []int {
+	d := t.nodeDist(ni, qx, qy)
+	if d > r || (strict && d >= r) {
+		return dst
+	}
+	if lo := t.lo[ni]; lo >= 0 {
+		for k := lo; k < t.hi[ni]; k++ {
+			dd := math.Hypot(qx-t.xs[k], qy-t.ys[k])
+			if dd < r || (!strict && dd == r) {
+				dst = append(dst, int(t.ids[k]))
+			}
+		}
+		return dst
+	}
+	dst = t.appendWithin(2*ni+1, qx, qy, r, strict, dst)
+	return t.appendWithin(2*ni+2, qx, qy, r, strict, dst)
+}
+
+// NearestAdditiveLinf is NearestAdditive under the Chebyshev metric.
+func (t *FlatTree) NearestAdditiveLinf(q geom.Point) (FlatNeighbor, float64, bool) {
+	if t.n == 0 {
+		return FlatNeighbor{}, 0, false
+	}
+	best := FlatNeighbor{ID: -1, Dist: math.Inf(1)}
+	bestVal := math.Inf(1)
+	t.nearestAddLinf(0, q.X, q.Y, &best, &bestVal)
+	return best, bestVal, true
+}
+
+func (t *FlatTree) nearestAddLinf(ni int, qx, qy float64, best *FlatNeighbor, bestVal *float64) {
+	if t.nodeDistLinf(ni, qx, qy)+t.minW[ni] >= *bestVal {
+		return
+	}
+	if lo := t.lo[ni]; lo >= 0 {
+		for k := lo; k < t.hi[ni]; k++ {
+			dx, dy := math.Abs(qx-t.xs[k]), math.Abs(qy-t.ys[k])
+			d := dx
+			if dy > dx {
+				d = dy
+			}
+			if v := d + t.ws[k]; v < *bestVal {
+				*best = FlatNeighbor{X: t.xs[k], Y: t.ys[k], W: t.ws[k], ID: int(t.ids[k]), Dist: d}
+				*bestVal = v
+			}
+		}
+		return
+	}
+	a, b := 2*ni+1, 2*ni+2
+	if t.nodeDistLinf(b, qx, qy)+t.minW[b] < t.nodeDistLinf(a, qx, qy)+t.minW[a] {
+		a, b = b, a
+	}
+	t.nearestAddLinf(a, qx, qy, best, bestVal)
+	t.nearestAddLinf(b, qx, qy, best, bestVal)
+}
+
+// AppendBelowLinf appends every item with d_∞(q,p) − w < T to dst.
+func (t *FlatTree) AppendBelowLinf(q geom.Point, T float64, dst []int) []int {
+	if t.n == 0 {
+		return dst
+	}
+	return t.appendBelowLinf(0, q.X, q.Y, T, dst)
+}
+
+func (t *FlatTree) appendBelowLinf(ni int, qx, qy, T float64, dst []int) []int {
+	if t.nodeDistLinf(ni, qx, qy)-t.maxW[ni] >= T {
+		return dst
+	}
+	if lo := t.lo[ni]; lo >= 0 {
+		for k := lo; k < t.hi[ni]; k++ {
+			dx, dy := math.Abs(qx-t.xs[k]), math.Abs(qy-t.ys[k])
+			d := dx
+			if dy > dx {
+				d = dy
+			}
+			if d-t.ws[k] < T {
+				dst = append(dst, int(t.ids[k]))
+			}
+		}
+		return dst
+	}
+	dst = t.appendBelowLinf(2*ni+1, qx, qy, T, dst)
+	return t.appendBelowLinf(2*ni+2, qx, qy, T, dst)
+}

@@ -1,0 +1,121 @@
+package kdtree
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"unn/internal/geom"
+)
+
+// flatItems reuses the package helper but pins item 0 to zero weight so
+// a certain (radius-0) region is always in play.
+func flatItems(rng *rand.Rand, n int) []Item {
+	items := randItems(rng, n)
+	if n > 0 {
+		items[0].W = 0
+	}
+	return items
+}
+
+// TestFlatNearestAdditiveParity: the implicit-array tree and the pointer
+// tree share the same split rule and traversal order, so the
+// additively-weighted NN must agree exactly — value, coordinates and id.
+func TestFlatNearestAdditiveParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 63, 64, 65, 200} {
+		items := flatItems(rng, n)
+		pt := New(slices.Clone(items))
+		ft := NewFlat(slices.Clone(items))
+		if pt.Len() != ft.Len() {
+			t.Fatalf("n=%d: Len %d != %d", n, ft.Len(), pt.Len())
+		}
+		for q := 0; q < 64; q++ {
+			p := geom.Pt(rng.Float64()*60-5, rng.Float64()*60-5)
+			wn, wv, wok := pt.NearestAdditive(p)
+			gn, gv, gok := ft.NearestAdditive(p)
+			if wok != gok || wv != gv || wn.Item.ID != gn.ID {
+				t.Fatalf("n=%d q=%v: flat (%v,%v,%d) vs pointer (%v,%v,%d)",
+					n, p, gok, gv, gn.ID, wok, wv, wn.Item.ID)
+			}
+			wn, wv, wok = pt.NearestAdditiveLinf(p)
+			gn, gv, gok = ft.NearestAdditiveLinf(p)
+			if wok != gok || wv != gv || wn.Item.ID != gn.ID {
+				t.Fatalf("n=%d q=%v linf: flat (%v,%v,%d) vs pointer (%v,%v,%d)",
+					n, p, gok, gv, gn.ID, wok, wv, wn.Item.ID)
+			}
+		}
+	}
+}
+
+// TestFlatReportParity: the flat appenders report the same id sets as
+// the pointer callbacks, for the strict weighted threshold (AppendBelow,
+// both metrics) and the circular range query (AppendWithin).
+func TestFlatReportParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 9, 64, 200} {
+		items := flatItems(rng, n)
+		pt := New(slices.Clone(items))
+		ft := NewFlat(slices.Clone(items))
+		for q := 0; q < 48; q++ {
+			p := geom.Pt(rng.Float64()*60-5, rng.Float64()*60-5)
+			for _, T := range []float64{0.5, 3, 10, 80} {
+				var want []int
+				pt.ReportBelow(p, T, func(it Item, _ float64) bool {
+					want = append(want, it.ID)
+					return true
+				})
+				got := ft.AppendBelow(p, T, nil)
+				slices.Sort(want)
+				slices.Sort(got)
+				if !slices.Equal(want, got) {
+					t.Fatalf("n=%d T=%v: below %v, want %v", n, T, got, want)
+				}
+
+				want = want[:0]
+				pt.ReportBelowLinf(p, T, func(it Item, _ float64) bool {
+					want = append(want, it.ID)
+					return true
+				})
+				got = ft.AppendBelowLinf(p, T, nil)
+				slices.Sort(want)
+				slices.Sort(got)
+				if !slices.Equal(want, got) {
+					t.Fatalf("n=%d T=%v: belowLinf %v, want %v", n, T, got, want)
+				}
+
+				for _, strict := range []bool{false, true} {
+					want = want[:0]
+					pt.WithinDist(p, T, strict, func(it Item, _ float64) bool {
+						want = append(want, it.ID)
+						return true
+					})
+					got = ft.AppendWithin(p, T, strict, nil)
+					slices.Sort(want)
+					slices.Sort(got)
+					if !slices.Equal(want, got) {
+						t.Fatalf("n=%d r=%v strict=%v: within %v, want %v", n, T, strict, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatZeroAlloc: steady-state flat-tree queries allocate nothing
+// once the destination buffer reached its high-water mark.
+func TestFlatZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ft := NewFlat(flatItems(rng, 256))
+	q := geom.Pt(25, 25)
+	var dst []int
+	dst = ft.AppendBelow(q, 20, dst)
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _, _ = ft.NearestAdditive(q)
+		dst = ft.AppendBelow(q, 20, dst[:0])
+		dst = ft.AppendWithin(q, 20, true, dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("flat tree query allocs/op = %v, want 0", allocs)
+	}
+}

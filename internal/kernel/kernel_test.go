@@ -1,0 +1,322 @@
+package kernel_test
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"unn/internal/geom"
+	"unn/internal/kernel"
+	"unn/internal/lmetric"
+	"unn/internal/nonzero"
+	"unn/internal/uncertain"
+)
+
+func randDisks(rng *rand.Rand, n int, side float64) []geom.Disk {
+	out := make([]geom.Disk, n)
+	for i := range out {
+		out[i] = geom.Disk{
+			C: geom.Pt(rng.Float64()*side, rng.Float64()*side),
+			R: rng.Float64() * 2,
+		}
+	}
+	if n > 0 {
+		out[0].R = 0 // always exercise a certain point
+	}
+	return out
+}
+
+func randDiscrete(rng *rand.Rand, n, k int, side float64) []*uncertain.Discrete {
+	out := make([]*uncertain.Discrete, n)
+	for i := range out {
+		locs := make([]geom.Point, k)
+		w := make([]float64, k)
+		for a := range locs {
+			locs[a] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+			w[a] = 1 / float64(k)
+		}
+		out[i] = &uncertain.Discrete{Locs: locs, W: w}
+	}
+	return out
+}
+
+func randSquares(rng *rand.Rand, n int, side float64) []lmetric.Square {
+	out := make([]lmetric.Square, n)
+	for i := range out {
+		out[i] = lmetric.Square{
+			C: geom.Pt(rng.Float64()*side, rng.Float64()*side),
+			R: rng.Float64() * 2,
+		}
+	}
+	return out
+}
+
+func randQueries(rng *rand.Rand, n int, side float64) []geom.Point {
+	qs := make([]geom.Point, n)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side*1.2-side*0.1, rng.Float64()*side*1.2-side*0.1)
+	}
+	return qs
+}
+
+// TestAppendNonzeroParityDisks: the fused one-pass kernel must be
+// bit-identical to the AoS Lemma 2.1 oracle over disks.
+func TestAppendNonzeroParityDisks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 17, 100} {
+		disks := randDisks(rng, n, 20)
+		f := kernel.FromDisks(disks)
+		sc := kernel.GetScratch()
+		defer kernel.PutScratch(sc)
+		for _, q := range randQueries(rng, 64, 20) {
+			want := nonzero.BruteDisks(disks, q)
+			got := f.AppendNonzero(q.X, q.Y, nil, sc)
+			if !slices.Equal(want, got) {
+				t.Fatalf("n=%d q=%v: got %v, want %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendNonzeroParityDiscrete: same contract over discrete points.
+func TestAppendNonzeroParityDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 9, 40} {
+		pts := randDiscrete(rng, n, 3, 20)
+		f := kernel.FromDiscrete(pts)
+		sc := kernel.GetScratch()
+		defer kernel.PutScratch(sc)
+		for _, q := range randQueries(rng, 64, 20) {
+			want := nonzero.Brute(nonzero.DiscreteAsUncertain(pts), q)
+			got := f.AppendNonzero(q.X, q.Y, nil, sc)
+			if !slices.Equal(want, got) {
+				t.Fatalf("n=%d q=%v: got %v, want %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendNonzeroParitySquares: square rows under both L∞ and
+// (pre-rotated) L1 against the lmetric brute oracles.
+func TestAppendNonzeroParitySquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 9, 40} {
+		sqs := randSquares(rng, n, 20)
+		flinf := kernel.FromSquares(sqs, kernel.MetricLinf)
+		fl1 := kernel.FromSquares(sqs, kernel.MetricL1)
+		sc := kernel.GetScratch()
+		defer kernel.PutScratch(sc)
+		for _, q := range randQueries(rng, 64, 20) {
+			want := lmetric.BruteLinf(sqs, q)
+			got := flinf.AppendNonzero(q.X, q.Y, nil, sc)
+			if !slices.Equal(want, got) {
+				t.Fatalf("linf n=%d q=%v: got %v, want %v", n, q, got, want)
+			}
+			want = lmetric.BruteL1(sqs, q)
+			got = fl1.AppendNonzero(q.X, q.Y, nil, sc)
+			if !slices.Equal(want, got) {
+				t.Fatalf("l1 n=%d q=%v: got %v, want %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestMinMaxDistParity: the per-row extreme distances equal the AoS
+// region methods bit for bit, and MinMaxDist agrees with the pair.
+func TestMinMaxDistParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	disks := randDisks(rng, 20, 20)
+	pts := randDiscrete(rng, 20, 4, 20)
+	fd := kernel.FromDisks(disks)
+	fp := kernel.FromDiscrete(pts)
+	for _, q := range randQueries(rng, 32, 20) {
+		for i := range disks {
+			if got, want := fd.MinDist(i, q.X, q.Y), disks[i].MinDist(q); got != want {
+				t.Fatalf("disk min %d: %v != %v", i, got, want)
+			}
+			if got, want := fd.MaxDist(i, q.X, q.Y), disks[i].MaxDist(q); got != want {
+				t.Fatalf("disk max %d: %v != %v", i, got, want)
+			}
+		}
+		for i := range pts {
+			if got, want := fp.MinDist(i, q.X, q.Y), pts[i].MinDist(q); got != want {
+				t.Fatalf("discrete min %d: %v != %v", i, got, want)
+			}
+			if got, want := fp.MaxDist(i, q.X, q.Y), pts[i].MaxDist(q); got != want {
+				t.Fatalf("discrete max %d: %v != %v", i, got, want)
+			}
+			lo, hi := fp.MinMaxDist(i, q.X, q.Y)
+			if lo != pts[i].MinDist(q) || hi != pts[i].MaxDist(q) {
+				t.Fatalf("discrete minmax %d: (%v,%v)", i, lo, hi)
+			}
+		}
+	}
+}
+
+// TestExpectedArgminParity: the contiguous E[d] scan matches the AoS
+// strict-< argmin fold.
+func TestExpectedArgminParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randDiscrete(rng, 30, 3, 20)
+	f := kernel.FromDiscrete(pts)
+	for _, q := range randQueries(rng, 48, 20) {
+		wantI, wantD := -1, math.Inf(1)
+		for i, p := range pts {
+			if d := p.ExpectedDist(q); d < wantD {
+				wantI, wantD = i, d
+			}
+		}
+		gotI, gotD := f.ExpectedArgmin(q.X, q.Y)
+		if gotI != wantI || gotD != wantD {
+			t.Fatalf("q=%v: got (%d,%v), want (%d,%v)", q, gotI, gotD, wantI, wantD)
+		}
+	}
+}
+
+// TestDistCDFParity: the flat distance cdf matches the AoS one exactly
+// (same fold order, same ≤ comparisons), including at exact location
+// distances.
+func TestDistCDFParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randDiscrete(rng, 10, 4, 20)
+	f := kernel.FromDiscrete(pts)
+	for _, q := range randQueries(rng, 16, 20) {
+		for i, p := range pts {
+			for _, r := range []float64{0, 1, 5, p.MinDist(q), p.MaxDist(q), 100} {
+				if got, want := f.DistCDF(i, q.X, q.Y, r), p.DistCDF(q, r); got != want {
+					t.Fatalf("i=%d r=%v: %v != %v", i, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendNonzeroZeroAlloc: a warmed scratch answers queries with no
+// heap allocation beyond the result buffer's one-time growth.
+func TestAppendNonzeroZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	disks := randDisks(rng, 64, 20)
+	f := kernel.FromDisks(disks)
+	sc := kernel.GetScratch()
+	defer kernel.PutScratch(sc)
+	q := geom.Pt(10, 10)
+	var dst []int
+	dst = f.AppendNonzero(q.X, q.Y, dst, sc) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = f.AppendNonzero(q.X, q.Y, dst[:0], sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendNonzero allocs/op = %v, want 0", allocs)
+	}
+}
+
+// FuzzKernelParity drives the flat kernels and the implicit-kd
+// two-stage structures against the AoS oracles on fuzzer-chosen
+// geometry: every dataset kind (disks, discrete with k ∈ {1,2,4,7}
+// locations, L∞/L1 squares) rebuilt from the fuzzed seed, NN≠0 answers
+// compared element-for-element, and the per-row extreme distances plus
+// the E[d] argmin compared bit-for-bit.
+func FuzzKernelParity(f *testing.F) {
+	f.Add(int64(1), uint8(5), 3.0, 4.0)
+	f.Add(int64(42), uint8(1), -1.5, 25.0)
+	f.Add(int64(9), uint8(60), 10.0, 10.0)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, qx, qy float64) {
+		if math.IsNaN(qx) || math.IsInf(qx, 0) || math.IsNaN(qy) || math.IsInf(qy, 0) {
+			t.Skip()
+		}
+		n := int(nRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		q := geom.Pt(qx, qy)
+		sc := kernel.GetScratch()
+		defer kernel.PutScratch(sc)
+
+		disks := randDisks(rng, n, 20)
+		fd := kernel.FromDisks(disks)
+		if got, want := fd.AppendNonzero(qx, qy, nil, sc), nonzero.BruteDisks(disks, q); !slices.Equal(got, want) {
+			t.Fatalf("disks n=%d: got %v, want %v", n, got, want)
+		}
+		ts := nonzero.NewTwoStageDisks(disks)
+		if got, want := ts.Query(q), nonzero.BruteDisks(disks, q); !slices.Equal(got, want) {
+			t.Fatalf("twostage disks n=%d: got %v, want %v", n, got, want)
+		}
+
+		for _, k := range []int{1, 2, 4, 7} {
+			pts := randDiscrete(rng, n, k, 20)
+			fp := kernel.FromDiscrete(pts)
+			asU := nonzero.DiscreteAsUncertain(pts)
+			if got, want := fp.AppendNonzero(qx, qy, nil, sc), nonzero.Brute(asU, q); !slices.Equal(got, want) {
+				t.Fatalf("discrete n=%d k=%d: got %v, want %v", n, k, got, want)
+			}
+			tsd := nonzero.NewTwoStageDiscrete(pts)
+			if got, want := tsd.Query(q), nonzero.Brute(asU, q); !slices.Equal(got, want) {
+				t.Fatalf("twostage discrete n=%d k=%d: got %v, want %v", n, k, got, want)
+			}
+			for i, p := range pts {
+				lo, hi := fp.MinMaxDist(i, qx, qy)
+				if lo != p.MinDist(q) || hi != p.MaxDist(q) {
+					t.Fatalf("discrete minmax n=%d k=%d i=%d: (%v,%v) vs (%v,%v)",
+						n, k, i, lo, hi, p.MinDist(q), p.MaxDist(q))
+				}
+			}
+			wantI, wantD := -1, math.Inf(1)
+			for i, p := range pts {
+				if d := p.ExpectedDist(q); d < wantD {
+					wantI, wantD = i, d
+				}
+			}
+			if gotI, gotD := fp.ExpectedArgmin(qx, qy); gotI != wantI || gotD != wantD {
+				t.Fatalf("expected argmin n=%d k=%d: got (%d,%v), want (%d,%v)", n, k, gotI, gotD, wantI, wantD)
+			}
+		}
+
+		sqs := randSquares(rng, n, 20)
+		if got, want := kernel.FromSquares(sqs, kernel.MetricLinf).AppendNonzero(qx, qy, nil, sc), lmetric.BruteLinf(sqs, q); !slices.Equal(got, want) {
+			t.Fatalf("squares linf n=%d: got %v, want %v", n, got, want)
+		}
+		if got, want := kernel.FromSquares(sqs, kernel.MetricL1).AppendNonzero(qx, qy, nil, sc), lmetric.BruteL1(sqs, q); !slices.Equal(got, want) {
+			t.Fatalf("squares l1 n=%d: got %v, want %v", n, got, want)
+		}
+	})
+}
+
+// TestMutateRowsMatchesRebuild: a mirror maintained by
+// AppendRegionRow/AppendDiscreteRow/DeleteRow through a random
+// append/delete sequence must equal a fresh From* build of the final
+// rows — the invariant the engine's mutation epochs rely on instead of
+// rebuilding the whole mirror per epoch.
+func TestMutateRowsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+
+	disks := randDisks(rng, 10, 20)
+	fd := kernel.FromDisks(disks)
+	pts := randDiscrete(rng, 10, 3, 20)
+	fp := kernel.FromDiscrete(pts)
+	for step := 0; step < 300; step++ {
+		if rng.Intn(2) == 0 || len(disks) == 0 {
+			d := geom.Disk{C: geom.Pt(rng.Float64()*20, rng.Float64()*20), R: rng.Float64()}
+			disks = append(disks, d)
+			fd.AppendRegionRow(d.C.X, d.C.Y, d.R)
+			k := 1 + rng.Intn(4)
+			p := randDiscrete(rng, 1, k, 20)[0]
+			pts = append(pts, p)
+			fp.AppendDiscreteRow(p.Locs, p.W)
+		} else {
+			i := rng.Intn(len(disks))
+			disks = append(disks[:i], disks[i+1:]...)
+			fd.DeleteRow(i)
+			i = rng.Intn(len(pts))
+			pts = append(pts[:i], pts[i+1:]...)
+			fp.DeleteRow(i)
+		}
+	}
+	wantD := kernel.FromDisks(disks)
+	if fd.N != wantD.N || !slices.Equal(fd.CX, wantD.CX) || !slices.Equal(fd.CY, wantD.CY) || !slices.Equal(fd.R, wantD.R) {
+		t.Fatalf("disk mirror diverged from rebuild after mutations (n=%d vs %d)", fd.N, wantD.N)
+	}
+	wantP := kernel.FromDiscrete(pts)
+	if fp.N != wantP.N || !slices.Equal(fp.Xs, wantP.Xs) || !slices.Equal(fp.Ys, wantP.Ys) ||
+		!slices.Equal(fp.W, wantP.W) || !slices.Equal(fp.Off, wantP.Off) {
+		t.Fatalf("discrete mirror diverged from rebuild after mutations (n=%d vs %d)", fp.N, wantP.N)
+	}
+}

@@ -1,0 +1,29 @@
+package kernel
+
+import "sync"
+
+// Scratch is the reusable per-query arena: every buffer a query kernel
+// needs to stage candidates, per-row distances, or probabilities lives
+// here, so a steady-state query allocates nothing. Buffers keep their
+// capacity across uses; callers reslice to [:0] (or resize Dists) at
+// acquisition and may store grown slices back before releasing.
+type Scratch struct {
+	// Cand stages candidate / merged row ids.
+	Cand []int
+	// Loc stages shard-local answer ids.
+	Loc []int
+	// Dists stages per-row distance values (δ in the fused Lemma 2.1
+	// scan), indexed by row id.
+	Dists []float64
+	// Probs stages probability values for the π merge.
+	Probs []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch leases a scratch arena from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a scratch arena to the pool. The caller must not
+// retain any of its buffers (results must be copied out first).
+func PutScratch(s *Scratch) { scratchPool.Put(s) }

@@ -14,7 +14,7 @@ package lmetric
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"unn/internal/geom"
 	"unn/internal/kdtree"
@@ -72,10 +72,11 @@ func BruteLinf(squares []Square, q geom.Point) []int {
 // stage 1 computes Δ_∞(q) by an additively-weighted Chebyshev NN query,
 // stage 2 reports all squares intersecting the open query square of
 // radius Δ_∞(q) — exactly the square-intersects-square reduction of the
-// paper's remark.
+// paper's remark. Both stages run on the implicit-array kd-tree, and the
+// QueryAppend path is allocation-free in steady state.
 type TwoStageLinf struct {
 	squares []Square
-	tree    *kdtree.Tree
+	tree    *kdtree.FlatTree
 }
 
 // NewTwoStageLinf preprocesses the squares in O(n log n).
@@ -84,7 +85,7 @@ func NewTwoStageLinf(squares []Square) *TwoStageLinf {
 	for i, s := range squares {
 		items[i] = kdtree.Item{P: s.C, W: s.R, ID: i}
 	}
-	return &TwoStageLinf{squares: squares, tree: kdtree.New(items)}
+	return &TwoStageLinf{squares: squares, tree: kdtree.NewFlat(items)}
 }
 
 // Delta returns Δ_∞(q).
@@ -98,24 +99,26 @@ func (t *TwoStageLinf) Delta(q geom.Point) float64 {
 
 // Query returns NN≠0(q) under L∞, sorted ascending.
 func (t *TwoStageLinf) Query(q geom.Point) []int {
+	return t.QueryAppend(q, nil)
+}
+
+// QueryAppend appends NN≠0(q) under L∞, sorted ascending, to dst.
+func (t *TwoStageLinf) QueryAppend(q geom.Point, dst []int) []int {
 	n := len(t.squares)
 	switch n {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return []int{0}
+		return append(dst, 0)
 	}
 	nb, delta, _ := t.tree.NearestAdditiveLinf(q)
 	if delta <= 0 {
-		return BruteLinf(t.squares, q)
+		return append(dst, BruteLinf(t.squares, q)...)
 	}
-	var out []int
-	t.tree.ReportBelowLinf(q, delta, func(it kdtree.Item, d float64) bool {
-		out = append(out, it.ID)
-		return true
-	})
-	if nb.Item.W == 0 { // degenerate certain point at the minimum
-		i := nb.Item.ID
+	start := len(dst)
+	dst = t.tree.AppendBelowLinf(q, delta, dst)
+	if nb.W == 0 { // degenerate certain point at the minimum
+		i := nb.ID
 		min2 := math.Inf(1)
 		for j, s := range t.squares {
 			if j != i {
@@ -123,21 +126,25 @@ func (t *TwoStageLinf) Query(q geom.Point) []int {
 			}
 		}
 		if t.squares[i].MinDist(q) < min2 {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	sort.Ints(out)
-	return dedupSorted(out)
+	return sortDedupTail(dst, start)
 }
 
-func dedupSorted(xs []int) []int {
-	out := xs[:0]
-	for _, x := range xs {
-		if len(out) == 0 || out[len(out)-1] != x {
-			out = append(out, x)
+// sortDedupTail sorts dst[start:] ascending and removes duplicates in
+// place, leaving dst[:start] untouched.
+func sortDedupTail(dst []int, start int) []int {
+	tail := dst[start:]
+	slices.Sort(tail)
+	w := 0
+	for r := 0; r < len(tail); r++ {
+		if w == 0 || tail[w-1] != tail[r] {
+			tail[w] = tail[r]
+			w++
 		}
 	}
-	return out
+	return dst[:start+w]
 }
 
 // ---------------------------------------------------------------------------
@@ -147,6 +154,11 @@ func dedupSorted(xs []int) []int {
 // rotating all centers and queries into L∞ coordinates.
 type TwoStageL1 struct {
 	inner *TwoStageLinf
+}
+
+// QueryAppend appends NN≠0(q) under L1, sorted ascending, to dst.
+func (t *TwoStageL1) QueryAppend(q geom.Point, dst []int) []int {
+	return t.inner.QueryAppend(q.RotL1(), dst)
 }
 
 // NewTwoStageL1 preprocesses diamonds given as (center, L1 radius).

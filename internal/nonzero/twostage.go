@@ -2,10 +2,11 @@ package nonzero
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"unn/internal/geom"
 	"unn/internal/kdtree"
+	"unn/internal/kernel"
 	"unn/internal/uncertain"
 )
 
@@ -18,14 +19,15 @@ import (
 //	stage 2: report {i : δ_i(q) < Δ(q)} — all disks intersecting the open
 //	         disk of radius Δ(q) centered at q.
 //
-// Both stages run on weighted kd-trees (the practical stand-in for the
-// [KMR+16] structure; see DESIGN.md §3). Space is O(n); queries are
-// output-sensitive. Results agree exactly with the Brute oracle,
-// including zero-radius (certain) regions, which need the
-// second-minimum test of Lemma 2.1 on a rare slow path.
+// Both stages run on implicit-array weighted kd-trees (the practical
+// stand-in for the [KMR+16] structure; see DESIGN.md §3). Space is O(n);
+// queries are output-sensitive and allocation-free on the QueryAppend
+// path. Results agree exactly with the Brute oracle, including
+// zero-radius (certain) regions, which need the second-minimum test of
+// Lemma 2.1 on a rare slow path.
 type TwoStageDisks struct {
 	disks []geom.Disk
-	tree  *kdtree.Tree
+	tree  *kdtree.FlatTree
 }
 
 // NewTwoStageDisks preprocesses the disks in O(n log n).
@@ -34,7 +36,7 @@ func NewTwoStageDisks(disks []geom.Disk) *TwoStageDisks {
 	for i, d := range disks {
 		items[i] = kdtree.Item{P: d.C, W: d.R, ID: i}
 	}
-	return &TwoStageDisks{disks: disks, tree: kdtree.New(items)}
+	return &TwoStageDisks{disks: disks, tree: kdtree.NewFlat(items)}
 }
 
 // Delta returns Δ(q) = min_i Δ_i(q).
@@ -48,28 +50,31 @@ func (t *TwoStageDisks) Delta(q geom.Point) float64 {
 
 // Query returns NN≠0(q), sorted ascending.
 func (t *TwoStageDisks) Query(q geom.Point) []int {
+	return t.QueryAppend(q, nil)
+}
+
+// QueryAppend appends NN≠0(q), sorted ascending, to dst — without
+// allocating on the steady-state path (the buffer aside).
+func (t *TwoStageDisks) QueryAppend(q geom.Point, dst []int) []int {
 	n := len(t.disks)
 	switch n {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return []int{0}
+		return append(dst, 0)
 	}
 	nb, delta, _ := t.tree.NearestAdditive(q)
 	if delta <= 0 {
 		// A certain point coincides with q; measure-zero tie handling.
-		return BruteDisks(t.disks, q)
+		return append(dst, BruteDisks(t.disks, q)...)
 	}
-	var out []int
-	t.tree.ReportBelow(q, delta, func(it kdtree.Item, d float64) bool {
-		out = append(out, it.ID)
-		return true
-	})
+	start := len(dst)
+	dst = t.tree.AppendBelow(q, delta, dst)
 	// Degenerate slow path: a zero-radius minimizer has δ = Δ = delta and
 	// is never caught by the strict stage-2 test, yet qualifies under
 	// Lemma 2.1 iff it beats the second-smallest Δ.
-	if nb.Item.W == 0 {
-		i := nb.Item.ID
+	if nb.W == 0 {
+		i := nb.ID
 		min2 := math.Inf(1)
 		for j, d := range t.disks {
 			if j != i {
@@ -77,21 +82,25 @@ func (t *TwoStageDisks) Query(q geom.Point) []int {
 			}
 		}
 		if t.disks[i].MinDist(q) < min2 {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
 	}
-	sort.Ints(out)
-	return dedupSorted(out)
+	return sortDedupTail(dst, start)
 }
 
-func dedupSorted(xs []int) []int {
-	out := xs[:0]
-	for _, x := range xs {
-		if len(out) == 0 || out[len(out)-1] != x {
-			out = append(out, x)
+// sortDedupTail sorts dst[start:] ascending and removes duplicates in
+// place, leaving dst[:start] untouched.
+func sortDedupTail(dst []int, start int) []int {
+	tail := dst[start:]
+	slices.Sort(tail)
+	w := 0
+	for r := 0; r < len(tail); r++ {
+		if w == 0 || tail[w-1] != tail[r] {
+			tail[w] = tail[r]
+			w++
 		}
 	}
-	return out
+	return dst[:start+w]
 }
 
 // ---------------------------------------------------------------------------
@@ -108,8 +117,8 @@ func dedupSorted(xs []int) []int {
 //	         locations reports every i with δ_i(q) < Δ(q).
 type TwoStageDiscrete struct {
 	pts     []*uncertain.Discrete
-	centers *kdtree.Tree // SEB centers with weight = SEB radius
-	locs    *kdtree.Tree // all N locations; ID = owner index
+	centers *kdtree.FlatTree // SEB centers with weight = SEB radius
+	locs    *kdtree.FlatTree // all N locations; ID = owner index
 }
 
 // NewTwoStageDiscrete preprocesses in O(N log N), storing O(N).
@@ -123,72 +132,85 @@ func NewTwoStageDiscrete(pts []*uncertain.Discrete) *TwoStageDiscrete {
 			locs = append(locs, kdtree.Item{P: l, ID: i})
 		}
 	}
-	return &TwoStageDiscrete{pts: pts, centers: kdtree.New(centers), locs: kdtree.New(locs)}
+	return &TwoStageDiscrete{pts: pts, centers: kdtree.NewFlat(centers), locs: kdtree.NewFlat(locs)}
 }
 
 // Delta returns Δ(q) = min_i Δ_i(q) exactly, along with the minimizing
 // point index.
 func (t *TwoStageDiscrete) Delta(q geom.Point) (float64, int) {
+	sc := kernel.GetScratch()
+	defer kernel.PutScratch(sc)
+	return t.delta(q, sc)
+}
+
+func (t *TwoStageDiscrete) delta(q geom.Point, sc *kernel.Scratch) (float64, int) {
 	// Upper bound from the additively-weighted NN over SEBs:
 	// min_i Δ_i(q) ≤ min_i (d(q,o_i) + ρ_i).
 	nb, ub, ok := t.centers.NearestAdditive(q)
 	if !ok {
 		return math.Inf(1), -1
 	}
-	best, arg := t.pts[nb.Item.ID].MaxDist(q), nb.Item.ID
+	best, arg := t.pts[nb.ID].MaxDist(q), nb.ID
 	if best > ub {
 		best = ub // cannot happen, but keep the invariant tight
 	}
 	// Any point whose SEB-center lower bound d(q,o_i) beats the current
 	// best must be evaluated exactly. The center of a smallest enclosing
 	// disk lies in the convex hull of the locations, so
-	// max_a d(q,p_ia) ≥ d(q,o_i).
-	t.centers.WithinDist(q, best, true, func(it kdtree.Item, d float64) bool {
-		if v := t.pts[it.ID].MaxDist(q); v < best {
-			best, arg = v, it.ID
+	// max_a d(q,p_ia) ≥ d(q,o_i). The refinement visits candidates in the
+	// tree's reporting order, matching the callback traversal.
+	cands := t.centers.AppendWithin(q, best, true, sc.Loc[:0])
+	sc.Loc = cands
+	for _, id := range cands {
+		if v := t.pts[id].MaxDist(q); v < best {
+			best, arg = v, id
 		}
-		return true
-	})
+	}
 	return best, arg
 }
 
 // Query returns NN≠0(q), sorted ascending.
 func (t *TwoStageDiscrete) Query(q geom.Point) []int {
+	return t.QueryAppend(q, nil)
+}
+
+// QueryAppend appends NN≠0(q), sorted ascending, to dst. Steady-state
+// queries allocate nothing beyond the result buffer: owner ids reported
+// by the range query are deduplicated by sort rather than a set map.
+func (t *TwoStageDiscrete) QueryAppend(q geom.Point, dst []int) []int {
 	n := len(t.pts)
 	switch n {
 	case 0:
-		return nil
+		return dst
 	case 1:
-		return []int{0}
+		return append(dst, 0)
 	}
-	delta, arg := t.Delta(q)
+	sc := kernel.GetScratch()
+	defer kernel.PutScratch(sc)
+	delta, arg := t.delta(q, sc)
 	if delta <= 0 {
-		return Brute(DiscreteAsUncertain(t.pts), q)
+		return append(dst, Brute(DiscreteAsUncertain(t.pts), q)...)
 	}
-	seen := map[int]bool{}
-	t.locs.WithinDist(q, delta, true, func(it kdtree.Item, d float64) bool {
-		seen[it.ID] = true
-		return true
-	})
+	start := len(dst)
+	dst = t.locs.AppendWithin(q, delta, true, dst)
+	dst = sortDedupTail(dst, start)
 	// Degenerate slow path: if every location of the minimizer is at
 	// distance exactly Δ(q) (e.g. a single-location point), the strict
 	// stage-2 test misses it; Lemma 2.1 then compares against
 	// min_{j≠arg} Δ_j.
-	if arg >= 0 && !seen[arg] {
-		min2 := math.Inf(1)
-		for j, p := range t.pts {
-			if j != arg {
-				min2 = math.Min(min2, p.MaxDist(q))
+	if arg >= 0 {
+		if _, found := slices.BinarySearch(dst[start:], arg); !found {
+			min2 := math.Inf(1)
+			for j, p := range t.pts {
+				if j != arg {
+					min2 = math.Min(min2, p.MaxDist(q))
+				}
+			}
+			if t.pts[arg].MinDist(q) < min2 {
+				dst = append(dst, arg)
+				dst = sortDedupTail(dst, start)
 			}
 		}
-		if t.pts[arg].MinDist(q) < min2 {
-			seen[arg] = true
-		}
 	}
-	out := make([]int, 0, len(seen))
-	for i := range seen {
-		out = append(out, i)
-	}
-	sort.Ints(out)
-	return out
+	return dst
 }
