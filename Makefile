@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test race bench bench-allocs bench-json benchdiff examples clean
+.PHONY: verify build vet fmtcheck test race bench bench-allocs bench-json benchdiff snapshot-roundtrip examples clean
 
 # The tier-1 gate: everything CI runs.
 verify: build vet fmtcheck test race
@@ -42,17 +42,25 @@ bench-allocs:
 	if [ -n "$$bad" ]; then \
 		echo "bench-allocs: query path allocates:"; echo "$$bad"; exit 1; fi
 
+# Snapshot round-trip gate: build an index, write its binary snapshot,
+# restore it through unn.OpenSnapshot, and require bit-identical
+# answers plus an identical Explain plan (DESIGN.md §9).
+snapshot-roundtrip:
+	$(GO) test . -run TestSnapshotRoundTripGate -count=1 -v
+
 # Machine-readable perf trajectory: one JSON record per backend/size
 # (E16) plus the shard-scaling (E17), streaming-mutation (E18),
-# planner-vs-auto (E19) and mutation-batching (E20) sweeps.
+# planner-vs-auto (E19), mutation-batching (E20) and snapshot (E21)
+# sweeps.
 bench-json:
 	$(GO) run ./cmd/unnbench -quick -json BENCH_engine.json >/dev/null
 
 # Compare the fresh BENCH_engine.json against a previous run's artifact
 # (OLD=path, fetched by CI from the last uploaded BENCH_engine), warning
-# on >20% regressions in the E17/E18/E19/E20 throughput metrics — and,
-# within the fresh file, on the E19 planner dropping below the
-# rule-based auto.
+# on >20% regressions in the E17/E18/E19/E20/E21 throughput metrics —
+# and, within the fresh file, on the E19 planner dropping below the
+# rule-based auto, on E21 snapshot restore dropping below 10× the cold
+# build, and on snapshot parity breaking.
 OLD ?= prev/BENCH_engine.json
 benchdiff:
 	@if [ -f "$(OLD)" ]; then \

@@ -5,6 +5,7 @@
 package unn_test
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -410,7 +411,7 @@ func benchmarkE19(b *testing.B, planner bool) {
 
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 20 {
+	if len(experiments.All) != 21 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }
@@ -516,6 +517,40 @@ func BenchmarkE17_SingleNonzero_Sharded_n2000_k8(b *testing.B) {
 	rng := rand.New(rand.NewSource(23))
 	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
 	h, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendBrute), unn.WithShards(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 2000, 24)
+	buf := make([]int, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := h.QueryNonzeroInto(qs[i%len(qs)], buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+// E21 extension (snapshot PR): the same sharded single-query workload as
+// BenchmarkE17_SingleNonzero_Sharded, but on a handle restored from a
+// binary snapshot instead of the live-built one. Guards the snapshot
+// small-fix: restored shards must come up wired through the pooled
+// flat-kernel path, so steady-state queries stay at 0 allocs/op
+// (`make bench-allocs` greps every SingleNonzero benchmark).
+func BenchmarkE21_SingleNonzero_Restored_n2000_k8(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	built, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendBrute), unn.WithShards(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := built.Snapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	h, err := unn.OpenSnapshot(bytes.NewReader(snap.Bytes()))
 	if err != nil {
 		b.Fatal(err)
 	}

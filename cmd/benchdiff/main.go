@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchdiff -old prev/BENCH_engine.json -new BENCH_engine.json
-//	benchdiff -threshold 0.2 -exp E17,E18,E19,E20 -fail ...
+//	benchdiff -threshold 0.2 -exp E17,E18,E19,E20,E21 -fail ...
 //
 // Records are matched by (exp, backend, n, shards); within a matched
 // pair every populated per-op cost (query_ns_op, batch_ns_op,
@@ -19,7 +19,11 @@
 // previous run did). A second intra-run invariant guards the flat
 // kernels: measured allocs_per_query on the kernel-served NN≠0 rows
 // (E17, and the E16 brute / two-stage backends) must stay at zero
-// steady state. Benchmark noise makes hard failures
+// steady state. A third set guards the E21 snapshot layer: within the
+// new file, snapshot restore must stay ≥10× faster than the cold build
+// it replaces and the parity checksum must read ok; against the
+// baseline, snapshot_bytes must not grow beyond the threshold.
+// Benchmark noise makes hard failures
 // counterproductive, so the exit status stays 0 unless -fail is given.
 package main
 
@@ -61,7 +65,7 @@ func main() {
 		oldPath   = flag.String("old", "", "previous BENCH_engine.json (the baseline)")
 		newPath   = flag.String("new", "BENCH_engine.json", "fresh BENCH_engine.json")
 		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
-		exps      = flag.String("exp", "E17,E18,E19,E20", "comma-separated experiments to compare")
+		exps      = flag.String("exp", "E17,E18,E19,E20,E21", "comma-separated experiments to compare")
 		failFlag  = flag.Bool("fail", false, "exit non-zero when regressions are found")
 	)
 	flag.Parse()
@@ -90,6 +94,7 @@ func main() {
 		{"batch_ns_op", func(r experiments.BenchRecord) float64 { return r.BatchNsOp }},
 		{"mutate_ns_op", func(r experiments.BenchRecord) float64 { return r.MutateNsOp }},
 		{"rebuild_ns_op", func(r experiments.BenchRecord) float64 { return r.RebuildNsOp }},
+		{"snapshot_load_ns", func(r experiments.BenchRecord) float64 { return float64(r.SnapshotLoadNs) }},
 	}
 	compared, regressions := 0, 0
 	for k, nr := range newRecs {
@@ -119,6 +124,9 @@ func main() {
 		regressions += checkPlannerInvariant(newRecs, *threshold)
 	}
 	regressions += checkAllocFree(newRecs, want)
+	if want["E21"] {
+		regressions += checkSnapshotInvariant(newRecs, oldRecs, *threshold)
+	}
 	fmt.Printf("benchdiff: %d metrics compared, %d regressions beyond %.0f%% (%s)\n",
 		compared, regressions, 100**threshold, *exps)
 	if *failFlag && regressions > 0 {
@@ -187,6 +195,50 @@ func checkAllocFree(recs map[key]experiments.BenchRecord, want map[string]bool) 
 			violations++
 			fmt.Printf("WARN: %s %s n=%d k=%d allocates on the NN≠0 query path (%.2f allocs/op, want 0 steady state)\n",
 				k.exp, k.backend, k.n, k.shards, r.AllocsPerQuery)
+		}
+	}
+	return violations
+}
+
+// checkSnapshotInvariant guards the E21 snapshot layer. Intra-run, on
+// the fresh file: snapshot restore must stay ≥10× faster than the cold
+// build it replaces (the snapshot PR's acceptance bar), and the parity
+// field must read ok — an answer or Explain mismatch between live and
+// restored engines is a correctness bug regardless of timing. Against
+// the baseline: snapshot_bytes must not grow beyond the threshold (a
+// silently fattening format erodes the load-time win). Rows without a
+// build measurement (reused-snapshot runs) only get the parity and
+// size checks, as do quick-sized rows (n < 10k): the 10× bar is stated
+// at n = 100k, and at toy sizes the cold build is too cheap for the
+// ratio to be meaningful. Returns the number of violations.
+func checkSnapshotInvariant(newRecs, oldRecs map[key]experiments.BenchRecord, threshold float64) int {
+	const minSpeedup = 10.0
+	const minN = 10000
+	violations := 0
+	for k, r := range newRecs {
+		if !strings.EqualFold(k.exp, "E21") {
+			continue
+		}
+		if r.Parity != "" && r.Parity != "reused" && !strings.HasPrefix(r.Parity, "ok") {
+			violations++
+			fmt.Printf("WARN: E21 %s n=%d snapshot parity broken (%s): restored engine disagrees with live build\n",
+				k.backend, k.n, r.Parity)
+		}
+		if r.BuildNs > 0 && r.SnapshotLoadNs > 0 && k.n >= minN {
+			speedup := float64(r.BuildNs) / float64(r.SnapshotLoadNs)
+			if speedup < minSpeedup {
+				violations++
+				fmt.Printf("WARN: E21 %s n=%d snapshot load only %.1fx faster than cold build (want ≥%.0fx; %dns vs %dns)\n",
+					k.backend, k.n, speedup, minSpeedup, r.SnapshotLoadNs, r.BuildNs)
+			}
+		}
+		if or, ok := oldRecs[k]; ok && or.SnapshotBytes > 0 && r.SnapshotBytes > 0 {
+			rel := float64(r.SnapshotBytes)/float64(or.SnapshotBytes) - 1
+			if rel > threshold {
+				violations++
+				fmt.Printf("WARN: E21 %s n=%d snapshot grew %+.1f%% (%dB → %dB)\n",
+					k.backend, k.n, 100*rel, or.SnapshotBytes, r.SnapshotBytes)
+			}
 		}
 	}
 	return violations

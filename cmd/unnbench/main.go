@@ -11,6 +11,7 @@
 //	unnbench -list           # list experiments and claims
 //	unnbench -seed 42        # reproducible workloads
 //	unnbench -json out.json  # engine benchmark → machine-readable JSON
+//	unnbench -snapshot p.unns  # persist/reuse the E21 flagship index
 //
 // With -json, the engine sweep (E16) runs every adapted backend through
 // the unified engine layer, the shard-scaling sweep (E17) runs the
@@ -21,7 +22,10 @@
 // rule-based auto router on a mixed NN≠0/π/E[d] workload, the mutation-
 // batching sweep (E20) pits BatchMutate bursts against per-item
 // mutations and measures the insert buffer's amortization (batched vs
-// per-item ns/op, buffer hit fraction), and records of the form
+// per-item ns/op, buffer hit fraction), the snapshot sweep (E21) times
+// restoring an engine from its versioned binary snapshot against the
+// cold build it replaces (snapshot_load_ns vs build_ns, snapshot_bytes,
+// and a parity checksum over NN≠0 answers), and records of the form
 //
 //	{"backend": "montecarlo", "n": 1000, "queries": 256, "workers": 8,
 //	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...,
@@ -51,6 +55,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "workload seed (0 = default)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonPath = flag.String("json", "", "write the engine benchmark (E16) as JSON to this path")
+		snapPath = flag.String("snapshot", "", "persist the E21 flagship index snapshot to this path and reuse it across runs")
 	)
 	flag.Parse()
 
@@ -61,7 +66,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, SnapshotPath: *snapPath}
 
 	if *jsonPath != "" {
 		recs, tab := experiments.EngineBench(opt)
@@ -88,6 +93,11 @@ func main() {
 			fatal(err)
 		}
 		recs = append(recs, mutRecs...)
+		snapRecs, snapTab := experiments.SnapshotBench(opt)
+		if _, err := snapTab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		recs = append(recs, snapRecs...)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

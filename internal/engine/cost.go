@@ -160,6 +160,18 @@ func NewCostModel(cal Calibration) *CostModel {
 	return &CostModel{coef: coef}
 }
 
+// Coefficients returns a copy of the model's calibration table — the
+// serialization hook for snapshots, which persist the fitted
+// coefficients so a restored engine plans (and prices insert-buffer
+// flushes) identically without re-probing.
+func (m *CostModel) Coefficients() Calibration {
+	out := make(Calibration, len(m.coef))
+	for k, v := range m.coef {
+		out[k] = v
+	}
+	return out
+}
+
 // BuildCost estimates the construction cost (ns) of backend b at size n.
 func (m *CostModel) BuildCost(b Backend, n int) float64 {
 	return m.coef[CostKey{b, OpBuild}] * term(b, OpBuild, n)

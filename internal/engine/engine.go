@@ -245,6 +245,9 @@ type hintedIndex struct {
 	Index
 	hint float64
 	n    int
+	// ds is the built dataset, retained for snapshot export (the adapters
+	// behind the wrapper do not all keep a handle to it).
+	ds *Dataset
 }
 
 // QuantumHint implements quantumHinter.
@@ -259,7 +262,7 @@ func (h hintedIndex) Len() int { return h.n }
 // widths) when it has one, the autoQuantum estimate of ds otherwise —
 // plus the dataset size for the latency-observation feedback loop.
 func withQuantumHint(ix Index, ds *Dataset) Index {
-	h := hintedIndex{Index: ix, hint: autoQuantum(ds), n: ds.N()}
+	h := hintedIndex{Index: ix, hint: autoQuantum(ds), n: ds.N(), ds: ds}
 	if qh, ok := ix.(quantumHinter); ok {
 		if q := qh.QuantumHint(); q > 0 {
 			h.hint = q

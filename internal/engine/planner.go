@@ -300,6 +300,7 @@ type plannedIndex struct {
 	caps      Capability
 	hint      float64
 	n         int
+	ds        *Dataset // retained for snapshot export
 }
 
 func (px *plannedIndex) Name() string {
@@ -339,6 +340,7 @@ func (px *plannedIndex) Build(ds *Dataset) error {
 	px.byKind = map[Capability]Index{}
 	px.caps = 0
 	px.n = ds.N()
+	px.ds = ds
 	for kind, ch := range px.plan.Choices {
 		ix, ok := parts[ch.Backend]
 		if !ok {
@@ -420,12 +422,14 @@ func BuildPlanned(ds *Dataset, bopt BuildOptions, sopt ShardOptions, popt Planne
 		}
 		return ix, plan, nil
 	}
-	sx := newShardedFunc("planned", factory, sopt)
+	sx := newShardedFunc("planned", factory, bopt, sopt)
 	if ds.Squares != nil {
 		sx.metric = metricLinf
 	}
 	sx.planNote = plan.Explain()
 	sx.model = model // prices the insert-buffer flush threshold (mutlog.go)
+	sx.popt = &popt
+	sx.probed = probed
 	if err := sx.Build(ds); err != nil {
 		return nil, nil, fmt.Errorf("engine: build planned: %w", err)
 	}

@@ -19,6 +19,7 @@ type routedIndex struct {
 	caps  Capability
 	hint  float64
 	n     int
+	ds    *Dataset // retained for snapshot export
 }
 
 func (r *routedIndex) Name() string {
@@ -41,6 +42,7 @@ func (r *routedIndex) Build(ds *Dataset) error {
 	}
 	r.hint = autoQuantum(ds)
 	r.n = ds.N()
+	r.ds = ds
 	return nil
 }
 
@@ -154,7 +156,7 @@ func BuildAuto(ds *Dataset, bopt BuildOptions, sopt ShardOptions) (Index, error)
 		}
 		return ix, nil
 	}
-	sx := newShardedFunc(name, factory, sopt)
+	sx := newShardedFunc(name, factory, bopt, sopt)
 	if ds.Squares != nil {
 		sx.metric = metricLinf
 	}

@@ -184,6 +184,13 @@ type ShardedIndex struct {
 	// planner's calibrated model, everything else lazily falls back to
 	// the seeded defaults.
 	model *CostModel
+
+	// popt/probed record the planner configuration when the factory is
+	// the cost-based planner (BuildPlanned). Snapshots persist them (with
+	// the model's coefficients) so a restored index re-plans shards
+	// identically under future mutations without re-probing.
+	popt   *PlannerOptions
+	probed bool
 }
 
 // NewSharded returns an unbuilt sharded wrapper over the named backend.
@@ -205,9 +212,11 @@ func NewSharded(b Backend, bopt BuildOptions, sopt ShardOptions) (*ShardedIndex,
 }
 
 // newShardedFunc is NewSharded for factory-built backends (the auto
-// router); the metric is always L2 there.
-func newShardedFunc(name string, factory func(*Dataset) (Index, error), sopt ShardOptions) *ShardedIndex {
-	return &ShardedIndex{name: name, factory: factory, metric: metricL2, opt: sopt.withDefaults()}
+// router and the planner); the metric is always L2 there. bopt is the
+// build configuration the factory closes over — recorded so adaptive
+// rebuilds and snapshots see the same options the factory uses.
+func newShardedFunc(name string, factory func(*Dataset) (Index, error), bopt BuildOptions, sopt ShardOptions) *ShardedIndex {
+	return &ShardedIndex{name: name, factory: factory, metric: metricL2, opt: sopt.withDefaults(), bopt: bopt}
 }
 
 // BuildSharded builds backend b over ds, wrapped in a ShardedIndex when

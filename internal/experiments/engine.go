@@ -77,6 +77,18 @@ type BenchRecord struct {
 	// insert buffer absorbed without a main-shard rebuild
 	// (1 − flushes/inserts); 0 outside the E20 buffer row.
 	BufferHitRate float64 `json:"buffer_hit_rate,omitempty"`
+	// SnapshotLoadNs is the time to restore the engine from its binary
+	// snapshot (E21); cmd/benchdiff warns when build_ns/snapshot_load_ns
+	// falls below the 10× acceptance bar. 0 outside E21.
+	SnapshotLoadNs int64 `json:"snapshot_load_ns,omitempty"`
+	// SnapshotBytes is the encoded snapshot size (E21); cmd/benchdiff
+	// warns when it grows >20% against the committed baseline.
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	// Parity fingerprints answer equivalence between the live and the
+	// restored engine on the E21 row: "ok:<fnv32a over NN≠0 answers>"
+	// when live and restored hash identically (and Explain matches),
+	// otherwise the mismatch kind.
+	Parity string `json:"parity,omitempty"`
 }
 
 // WriteBenchJSON renders records as indented JSON (the BENCH_engine.json

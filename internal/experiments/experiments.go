@@ -24,6 +24,10 @@ type Options struct {
 	Quick bool
 	// Seed makes workloads reproducible.
 	Seed int64
+	// SnapshotPath, when non-empty, makes the E21 snapshot sweep persist
+	// its flagship index to that file and reuse it on subsequent runs
+	// instead of rebuilding cold (unnbench -snapshot <path>).
+	SnapshotPath string
 }
 
 func (o Options) seed() int64 {
@@ -125,6 +129,7 @@ var All = []struct {
 	{"E18", "dynamic shards: streaming insert/delete vs full rebuild", E18Stream},
 	{"E19", "cost-based planner vs rule-based auto, mixed workload", E19Planner},
 	{"E20", "mutation batching: coalesced bursts + insert buffer", E20Mutation},
+	{"E21", "index snapshots: cold build vs zero-copy restore", E21Snapshot},
 }
 
 // Lookup finds a driver by ID.

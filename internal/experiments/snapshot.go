@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"unn/internal/constructions"
+	"unn/internal/engine"
+	"unn/internal/geom"
+)
+
+// SnapshotBench (E21) measures the versioned binary snapshot layer:
+// cold build vs snapshot restore for the same engine, snapshot size,
+// and answer parity (a checksum over NN≠0 answers that must match
+// between the live and the restored handle, plus an identical Explain
+// plan). The acceptance bar of the snapshot PR is restore ≥10× faster
+// than the cold build at n = 100k with bit-identical answers.
+//
+// With Options.SnapshotPath set (unnbench -snapshot), the flagship row
+// persists its snapshot to that path; when the file already exists the
+// row restores from it instead of building cold, so consecutive runs
+// reuse the index.
+func SnapshotBench(opt Options) ([]BenchRecord, *Table) {
+	t := &Table{
+		ID:     "E21",
+		Title:  "index snapshots: cold build vs zero-copy restore",
+		Claim:  "snapshot restore ≥10× faster than cold build at n=100k, bit-identical answers",
+		Header: []string{"config", "n", "build", "load", "speedup", "bytes", "allocs", "parity"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	ns := []int{10000, 100000}
+	if opt.Quick {
+		ns = []int{2000}
+	}
+	type snapCase struct {
+		name  string
+		build func(n int) (engine.Index, float64, error)
+	}
+	cases := []snapCase{
+		{"twostage-disks/8sh", func(n int) (engine.Index, float64, error) {
+			// Side grows with √n so disk overlap density stays constant.
+			side := 4 * math.Sqrt(float64(n))
+			ds := engine.FromDisks(constructions.RandomDisks(rng, n, side, 0.5, 2.0))
+			ix, err := engine.BuildSharded(engine.BackendTwoStageDisks, ds,
+				engine.BuildOptions{}, engine.ShardOptions{Shards: 8})
+			return ix, side, err
+		}},
+		{"planned-discrete/8sh", func(n int) (engine.Index, float64, error) {
+			side := 10 * float64(n)
+			ds := engine.FromDiscrete(constructions.RandomDiscrete(rng, n, 3, side, 2.0, 1))
+			ix, _, err := engine.BuildPlanned(ds, engine.BuildOptions{},
+				engine.ShardOptions{Shards: 8},
+				engine.PlannerOptions{Mix: engine.Workload{Nonzero: 1}})
+			return ix, side, err
+		}},
+	}
+
+	var recs []BenchRecord
+	for ci, sc := range cases {
+		for ni, n := range ns {
+			flagship := ci == 0 && ni == len(ns)-1
+			rec, row, err := snapshotRow(sc.name, n, flagship, opt, sc.build)
+			if err != nil {
+				t.Note("%s n=%d: %v", sc.name, n, err)
+				continue
+			}
+			recs = append(recs, rec)
+			t.AddRow(row...)
+		}
+	}
+	t.Note("load restores dataset + kd-trees + kernel mirrors as raw slabs: no geometry recomputation, no calibration probes")
+	t.Note("parity is an FNV-1a checksum over NN≠0 answers, equal between live and restored (and Explain matches)")
+	t.Note("allocs is steady-state heap allocations per NN≠0 query on the RESTORED handle (0 = pooled flat-kernel path intact)")
+	return recs, t
+}
+
+// snapshotRow measures one (config, n) cell: cold build, snapshot
+// encode, restore (best of 3), parity, restored-handle allocations.
+func snapshotRow(name string, n int, flagship bool, opt Options,
+	build func(n int) (engine.Index, float64, error)) (BenchRecord, []string, error) {
+
+	reusePath := ""
+	if flagship && opt.SnapshotPath != "" {
+		reusePath = opt.SnapshotPath
+	}
+
+	if reusePath != "" {
+		if data, err := os.ReadFile(reusePath); err == nil {
+			// Reuse: the index comes from the persisted snapshot; no cold
+			// build this run.
+			var eng *engine.Engine
+			load := timeIt(func() { eng, err = engine.ReadSnapshot(bytes.NewReader(data)) })
+			if err != nil {
+				return BenchRecord{}, nil, fmt.Errorf("reuse %s: %w", reusePath, err)
+			}
+			_ = eng
+			rec := BenchRecord{
+				Exp: "E21", Backend: name, N: n, AllocsPerQuery: -1,
+				SnapshotLoadNs: load.Nanoseconds(),
+				SnapshotBytes:  int64(len(data)),
+				Parity:         "reused",
+			}
+			row := []string{name, itoa(n), "-", dtoa(load), "-", itoa(len(data)), "-", "reused"}
+			return rec, row, nil
+		}
+	}
+
+	var (
+		ix  engine.Index
+		err error
+	)
+	var side float64
+	buildTime := timeIt(func() { ix, side, err = build(n) })
+	if err != nil {
+		return BenchRecord{}, nil, err
+	}
+	live := engine.NewEngine(ix, engine.Options{})
+
+	var buf bytes.Buffer
+	if err := engine.WriteSnapshot(&buf, live); err != nil {
+		return BenchRecord{}, nil, err
+	}
+	data := buf.Bytes()
+	if reusePath != "" {
+		if werr := os.WriteFile(reusePath, data, 0o644); werr != nil {
+			return BenchRecord{}, nil, fmt.Errorf("persist %s: %w", reusePath, werr)
+		}
+	}
+
+	var restored *engine.Engine
+	load := time.Duration(1<<62 - 1)
+	for attempt := 0; attempt < 3; attempt++ {
+		d := timeIt(func() { restored, err = engine.ReadSnapshot(bytes.NewReader(data)) })
+		if err != nil {
+			return BenchRecord{}, nil, err
+		}
+		if d < load {
+			load = d
+		}
+	}
+
+	// Parity: identical Explain and bit-identical NN≠0 answers.
+	qrng := rand.New(rand.NewSource(opt.seed() ^ int64(n)))
+	qs := make([]geom.Point, 64)
+	for i := range qs {
+		qs[i] = geom.Pt(qrng.Float64()*side, qrng.Float64()*side)
+	}
+	parity := "ok"
+	if live.Explain() != restored.Explain() {
+		parity = "explain-mismatch"
+	}
+	hLive, err := nonzeroChecksum(live, qs)
+	if err != nil {
+		return BenchRecord{}, nil, err
+	}
+	hRest, err := nonzeroChecksum(restored, qs)
+	if err != nil {
+		return BenchRecord{}, nil, err
+	}
+	if hLive != hRest {
+		parity = "answer-mismatch"
+	} else if parity == "ok" {
+		parity = fmt.Sprintf("ok:%08x", hRest)
+	}
+
+	allocs := allocsPerQuery(restored, qs)
+	speedup := float64(buildTime) / float64(load)
+	rec := BenchRecord{
+		Exp:            "E21",
+		Backend:        name,
+		N:              n,
+		Queries:        len(qs),
+		Workers:        live.Workers(),
+		Shards:         8,
+		BuildNs:        buildTime.Nanoseconds(),
+		AllocsPerQuery: allocs,
+		SnapshotLoadNs: load.Nanoseconds(),
+		SnapshotBytes:  int64(len(data)),
+		Parity:         parity,
+	}
+	row := []string{name, itoa(n), dtoa(buildTime), dtoa(load),
+		fmt.Sprintf("%.1fx", speedup), itoa(len(data)), allocsCell(allocs), parity}
+	return rec, row, nil
+}
+
+// nonzeroChecksum folds every NN≠0 answer over qs into one FNV-1a hash —
+// the parity fingerprint recorded in BENCH_engine.json.
+func nonzeroChecksum(e *engine.Engine, qs []geom.Point) (uint32, error) {
+	h := fnv.New32a()
+	var scratch [8]byte
+	for _, q := range qs {
+		ids, err := e.QueryNonzero(q)
+		if err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(ids)))
+		h.Write(scratch[:])
+		for _, id := range ids {
+			binary.LittleEndian.PutUint64(scratch[:], uint64(id))
+			h.Write(scratch[:])
+		}
+	}
+	return h.Sum32(), nil
+}
+
+// E21Snapshot is the Table-only driver registered in All.
+func E21Snapshot(opt Options) *Table {
+	_, t := SnapshotBench(opt)
+	return t
+}

@@ -1,0 +1,85 @@
+package kdtree
+
+import (
+	"fmt"
+)
+
+// Slab is FlatTree's state as raw arrays, for binary persistence: the
+// node SoA in implicit heap order plus the leaf-permuted item SoA.
+// A Slab taken from a tree aliases the tree's arrays (trees are
+// immutable after build), and FlatFromSlab adopts the given arrays
+// without copying — the zero-copy restore path.
+type Slab struct {
+	N                                  int
+	MinX, MinY, MaxX, MaxY, MinW, MaxW []float64
+	Lo, Hi                             []int32
+	Xs, Ys, Ws                         []float64
+	IDs                                []int32
+}
+
+// Slab exposes the tree's arrays for serialization. The returned slices
+// alias the tree; callers must treat them as read-only.
+func (t *FlatTree) Slab() Slab {
+	return Slab{
+		N:    t.n,
+		MinX: t.minX, MinY: t.minY, MaxX: t.maxX, MaxY: t.maxY,
+		MinW: t.minW, MaxW: t.maxW,
+		Lo: t.lo, Hi: t.hi,
+		Xs: t.xs, Ys: t.ys, Ws: t.ws,
+		IDs: t.ids,
+	}
+}
+
+// FlatFromSlab reassembles a FlatTree around decoded arrays, adopting
+// them without copying. It validates the shape an adversarial payload
+// could break — array-length consistency plus leaf/child invariants on
+// every node reachable from the root — so traversals can never index out
+// of bounds, while trusting the geometry itself (bounds and weight
+// aggregates are whatever the writer stored).
+func FlatFromSlab(s Slab) (*FlatTree, error) {
+	if s.N < 0 {
+		return nil, fmt.Errorf("kdtree: slab has negative item count %d", s.N)
+	}
+	if s.N == 0 {
+		// NewFlat's empty-tree shape: no arrays at all.
+		return &FlatTree{}, nil
+	}
+	size := len(s.MinX)
+	if size == 0 {
+		return nil, fmt.Errorf("kdtree: slab has %d items but no nodes", s.N)
+	}
+	if len(s.MinY) != size || len(s.MaxX) != size || len(s.MaxY) != size ||
+		len(s.MinW) != size || len(s.MaxW) != size ||
+		len(s.Lo) != size || len(s.Hi) != size {
+		return nil, fmt.Errorf("kdtree: slab node arrays disagree on length")
+	}
+	if len(s.Xs) != s.N || len(s.Ys) != s.N || len(s.Ws) != s.N || len(s.IDs) != s.N {
+		return nil, fmt.Errorf("kdtree: slab item arrays disagree with item count %d", s.N)
+	}
+	// Walk from the root exactly as queries do: internal nodes need both
+	// children in range, leaves need a sane [lo, hi) item window.
+	// Unreachable slots are never touched by traversals and need no check.
+	stack := []int{0}
+	for len(stack) > 0 {
+		ni := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if lo := s.Lo[ni]; lo >= 0 {
+			if hi := s.Hi[ni]; hi < lo || int(hi) > s.N {
+				return nil, fmt.Errorf("kdtree: slab leaf %d has item window [%d,%d) outside [0,%d)", ni, lo, hi, s.N)
+			}
+			continue
+		}
+		if 2*ni+2 >= size {
+			return nil, fmt.Errorf("kdtree: slab internal node %d is missing children (size %d)", ni, size)
+		}
+		stack = append(stack, 2*ni+1, 2*ni+2)
+	}
+	return &FlatTree{
+		n:    s.N,
+		minX: s.MinX, minY: s.MinY, maxX: s.MaxX, maxY: s.MaxY,
+		minW: s.MinW, maxW: s.MaxW,
+		lo: s.Lo, hi: s.Hi,
+		xs: s.Xs, ys: s.Ys, ws: s.Ws,
+		ids: s.IDs,
+	}, nil
+}

@@ -1,0 +1,31 @@
+package lmetric
+
+import (
+	"unn/internal/kdtree"
+)
+
+// Tree exposes the kd-tree over square centers for serialization.
+func (t *TwoStageLinf) Tree() *kdtree.FlatTree { return t.tree }
+
+// Tree exposes the inner (rotated-frame) kd-tree for serialization.
+func (t *TwoStageL1) Tree() *kdtree.FlatTree { return t.inner.tree }
+
+// RestoreTwoStageLinf reassembles a TwoStageLinf around an already-built
+// tree — the snapshot path, skipping the O(n log n) kd-tree build. The
+// tree must be the one NewTwoStageLinf would build over the same squares.
+func RestoreTwoStageLinf(squares []Square, tree *kdtree.FlatTree) *TwoStageLinf {
+	return &TwoStageLinf{squares: squares, tree: tree}
+}
+
+// RestoreTwoStageL1 reassembles a TwoStageL1 from the original
+// (unrotated) diamonds and the persisted tree, which is built over the
+// rotated squares (NewTwoStageL1 rotates before delegating to
+// NewTwoStageLinf). The rotation is recomputed here — it is a cheap,
+// deterministic O(n) pass, so only the tree needs persisting.
+func RestoreTwoStageL1(diamonds []Square, tree *kdtree.FlatTree) *TwoStageL1 {
+	rot := make([]Square, len(diamonds))
+	for i, d := range diamonds {
+		rot[i] = Square{C: d.C.RotL1(), R: d.R}
+	}
+	return &TwoStageL1{inner: &TwoStageLinf{squares: rot, tree: tree}}
+}

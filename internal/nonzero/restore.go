@@ -1,0 +1,33 @@
+package nonzero
+
+import (
+	"unn/internal/geom"
+	"unn/internal/kdtree"
+	"unn/internal/uncertain"
+)
+
+// Tree exposes the kd-tree over disk centers for serialization.
+func (t *TwoStageDisks) Tree() *kdtree.FlatTree { return t.tree }
+
+// Trees exposes the SEB-center and location kd-trees for serialization.
+func (t *TwoStageDiscrete) Trees() (centers, locs *kdtree.FlatTree) {
+	return t.centers, t.locs
+}
+
+// RestoreTwoStageDisks reassembles a TwoStageDisks around an
+// already-built tree — the snapshot path, which skips the O(n log n)
+// kd-tree build. The tree must be the one NewTwoStageDisks would build
+// over the same disks (items centered at d.C with weight d.R, ID = i);
+// callers decode both from the same snapshot, so this holds by
+// construction.
+func RestoreTwoStageDisks(disks []geom.Disk, tree *kdtree.FlatTree) *TwoStageDisks {
+	return &TwoStageDisks{disks: disks, tree: tree}
+}
+
+// RestoreTwoStageDiscrete reassembles a TwoStageDiscrete around its two
+// persisted trees, skipping both the kd-tree builds and — the expensive
+// part — the per-point smallest-enclosing-disk computation that seeds
+// the centers tree.
+func RestoreTwoStageDiscrete(pts []*uncertain.Discrete, centers, locs *kdtree.FlatTree) *TwoStageDiscrete {
+	return &TwoStageDiscrete{pts: pts, centers: centers, locs: locs}
+}

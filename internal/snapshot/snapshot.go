@@ -1,0 +1,353 @@
+// Package snapshot implements the versioned binary container behind
+// index persistence (unn.OpenSnapshot / Handle.Snapshot): a little-endian
+// format carrying a magic, a format version, endianness/arch flags, and a
+// section table of typed blobs — the sheet-format idiom of putting the
+// decode contract (endianness + header sizes) up front so a reader can
+// reject a foreign file before touching any payload.
+//
+// Layout:
+//
+//	offset 0   magic   "UNNS" (4 bytes)
+//	offset 4   version uint16 (little-endian)
+//	offset 6   flags   uint8  (bit 0: payload is little-endian, always set;
+//	                           bit 1: written on a 64-bit word size)
+//	offset 7   reserved uint8 (zero)
+//	offset 8   count   uint32 — number of section-table entries
+//	offset 12  table   count × {id uint32, flags uint32, offset uint64,
+//	                            length uint64} (24 bytes per entry)
+//	...        payload blobs, each addressed by its table entry
+//
+// Sections are typed blobs: the id says what the blob is, the per-section
+// flags record restore semantics (e.g. FlagRebuilt marks state the reader
+// reconstructs from the dataset instead of decoding — the fallback for
+// backends without flat state). Payload values are fixed-width
+// little-endian; slabs are a uint64 count followed by the raw values.
+// Every decode validates lengths against the remaining input BEFORE
+// allocating, so truncated or corrupted input fails with an error instead
+// of a panic or an attacker-sized allocation.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+)
+
+// Magic identifies a snapshot file.
+const Magic = "UNNS"
+
+// Version is the current format version; readers reject anything else.
+const Version = 1
+
+// Header flags.
+const (
+	// FlagLittleEndian marks a little-endian payload (always set by this
+	// writer; a reader rejects files without it).
+	FlagLittleEndian = 1 << 0
+	// FlagArch64 records that the writer ran on a 64-bit word size —
+	// informational: the payload itself is word-size independent.
+	FlagArch64 = 1 << 1
+)
+
+// FlagRebuilt is a per-section flag: the section's backend state was not
+// serialized (it has no flat representation) and the reader rebuilds it
+// from the dataset on restore.
+const FlagRebuilt = 1 << 0
+
+const (
+	headerSize = 12
+	entrySize  = 24
+)
+
+// ErrCorrupt wraps every malformed-input failure so callers can test for
+// the class with errors.Is.
+var ErrCorrupt = fmt.Errorf("snapshot: corrupt input")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// --- writer -----------------------------------------------------------------
+
+type wsec struct {
+	id, flags uint32
+	payload   []byte
+}
+
+// Writer accumulates sections and serializes them behind a header and
+// section table.
+type Writer struct {
+	secs []wsec
+}
+
+// Add appends one section. Sections are written in Add order; ids must
+// be unique within a container (NewReader rejects duplicates).
+func (w *Writer) Add(id, flags uint32, payload []byte) {
+	w.secs = append(w.secs, wsec{id: id, flags: flags, payload: payload})
+}
+
+// WriteTo writes the container: header, section table, then payloads.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	head := make([]byte, headerSize+entrySize*len(w.secs))
+	copy(head[0:4], Magic)
+	binary.LittleEndian.PutUint16(head[4:6], Version)
+	flags := uint8(FlagLittleEndian)
+	if bits.UintSize == 64 {
+		flags |= FlagArch64
+	}
+	head[6] = flags
+	head[7] = 0
+	binary.LittleEndian.PutUint32(head[8:12], uint32(len(w.secs)))
+	off := uint64(len(head))
+	for i, s := range w.secs {
+		e := head[headerSize+entrySize*i:]
+		binary.LittleEndian.PutUint32(e[0:4], s.id)
+		binary.LittleEndian.PutUint32(e[4:8], s.flags)
+		binary.LittleEndian.PutUint64(e[8:16], off)
+		binary.LittleEndian.PutUint64(e[16:24], uint64(len(s.payload)))
+		off += uint64(len(s.payload))
+	}
+	total := int64(0)
+	n, err := out.Write(head)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, s := range w.secs {
+		n, err := out.Write(s.payload)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// --- reader -----------------------------------------------------------------
+
+// SectionInfo describes one decoded section-table entry.
+type SectionInfo struct {
+	ID    uint32
+	Flags uint32
+	Len   int
+}
+
+// Reader parses a snapshot container held fully in memory. Payload
+// slices alias the input buffer; callers must not retain them past the
+// buffer's lifetime unless they copy.
+type Reader struct {
+	secs     []wsec
+	infos    []SectionInfo
+	hdrFlags uint8
+}
+
+// NewReader validates the header and section table of data.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < headerSize {
+		return nil, corruptf("short header: %d bytes", len(data))
+	}
+	if string(data[0:4]) != Magic {
+		return nil, corruptf("bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (want %d)", v, Version)
+	}
+	flags := data[6]
+	if flags&FlagLittleEndian == 0 {
+		return nil, corruptf("payload not marked little-endian (flags 0x%02x)", flags)
+	}
+	count := binary.LittleEndian.Uint32(data[8:12])
+	// The table must fit in the input — checked before any allocation
+	// sized by count.
+	if uint64(count) > uint64(len(data)-headerSize)/entrySize {
+		return nil, corruptf("section count %d exceeds input", count)
+	}
+	r := &Reader{
+		secs:     make([]wsec, 0, count),
+		infos:    make([]SectionInfo, 0, count),
+		hdrFlags: flags,
+	}
+	seen := make(map[uint32]bool, count)
+	for i := uint32(0); i < count; i++ {
+		e := data[headerSize+entrySize*int(i):]
+		id := binary.LittleEndian.Uint32(e[0:4])
+		sf := binary.LittleEndian.Uint32(e[4:8])
+		off := binary.LittleEndian.Uint64(e[8:16])
+		ln := binary.LittleEndian.Uint64(e[16:24])
+		if off > uint64(len(data)) || ln > uint64(len(data))-off {
+			return nil, corruptf("section %d (id %d) out of bounds: off %d len %d of %d", i, id, off, ln, len(data))
+		}
+		if seen[id] {
+			return nil, corruptf("duplicate section id %d", id)
+		}
+		seen[id] = true
+		r.secs = append(r.secs, wsec{id: id, flags: sf, payload: data[off : off+ln]})
+		r.infos = append(r.infos, SectionInfo{ID: id, Flags: sf, Len: int(ln)})
+	}
+	return r, nil
+}
+
+// Sections lists the decoded section-table entries in file order.
+func (r *Reader) Sections() []SectionInfo { return r.infos }
+
+// Section returns the payload and flags of the first section with the
+// given id.
+func (r *Reader) Section(id uint32) (payload []byte, flags uint32, ok bool) {
+	for _, s := range r.secs {
+		if s.id == id {
+			return s.payload, s.flags, true
+		}
+	}
+	return nil, 0, false
+}
+
+// --- payload codec ----------------------------------------------------------
+
+// Enc builds one section payload out of fixed-width little-endian values
+// and count-prefixed slabs.
+type Enc struct {
+	b []byte
+}
+
+// Bytes returns the accumulated payload.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.b = append(e.b, v) }
+
+// U32 appends a uint32.
+func (e *Enc) U32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+
+// U64 appends a uint64.
+func (e *Enc) U64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+// F64 appends a float64 bit pattern.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// String appends a length-prefixed UTF-8 string.
+func (e *Enc) String(s string) {
+	e.U32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// F64s appends a count-prefixed float64 slab.
+func (e *Enc) F64s(vs []float64) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.F64(v)
+	}
+}
+
+// I32s appends a count-prefixed int32 slab.
+func (e *Enc) I32s(vs []int32) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.U32(uint32(v))
+	}
+}
+
+// Dec consumes one section payload. Every read validates the remaining
+// length first; slab reads additionally bound their element count by the
+// remaining bytes before allocating.
+type Dec struct {
+	b []byte
+}
+
+// NewDec wraps payload for decoding.
+func NewDec(payload []byte) *Dec { return &Dec{b: payload} }
+
+// Remaining reports the unread byte count.
+func (d *Dec) Remaining() int { return len(d.b) }
+
+func (d *Dec) take(n int) ([]byte, error) {
+	if len(d.b) < n {
+		return nil, corruptf("need %d bytes, have %d", n, len(d.b))
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v, nil
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() (uint8, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// U32 reads a uint32.
+func (d *Dec) U32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// U64 reads a uint64.
+func (d *Dec) U64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// F64 reads a float64.
+func (d *Dec) F64() (float64, error) {
+	v, err := d.U64()
+	return math.Float64frombits(v), err
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() (string, error) {
+	n, err := d.U32()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// F64s reads a count-prefixed float64 slab. The count is validated
+// against the remaining bytes before the slab is allocated.
+func (d *Dec) F64s() ([]float64, error) {
+	n, err := d.U64()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b))/8 {
+		return nil, corruptf("float64 slab of %d elements exceeds %d remaining bytes", n, len(d.b))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[8*i:]))
+	}
+	d.b = d.b[8*n:]
+	return out, nil
+}
+
+// I32s reads a count-prefixed int32 slab, bounds-checked before
+// allocation.
+func (d *Dec) I32s() ([]int32, error) {
+	n, err := d.U64()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b))/4 {
+		return nil, corruptf("int32 slab of %d elements exceeds %d remaining bytes", n, len(d.b))
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(d.b[4*i:]))
+	}
+	d.b = d.b[4*n:]
+	return out, nil
+}

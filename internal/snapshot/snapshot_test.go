@@ -1,0 +1,182 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestContainerRoundTrip(t *testing.T) {
+	var e1 Enc
+	e1.U8(7)
+	e1.U32(0xdeadbeef)
+	e1.U64(1 << 40)
+	e1.F64(math.Pi)
+	e1.String("hello")
+	e1.F64s([]float64{1, 2.5, math.Inf(1), math.Inf(-1)})
+	e1.I32s([]int32{-1, 0, 42})
+
+	var w Writer
+	w.Add(1, 0, e1.Bytes())
+	w.Add(0x100, FlagRebuilt, []byte("raw"))
+	w.Add(2, 0, nil)
+
+	var buf bytes.Buffer
+	n, err := w.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if got := len(r.Sections()); got != 3 {
+		t.Fatalf("sections = %d, want 3", got)
+	}
+	payload, flags, ok := r.Section(0x100)
+	if !ok || flags != FlagRebuilt || string(payload) != "raw" {
+		t.Fatalf("section 0x100 = %q flags %d ok %v", payload, flags, ok)
+	}
+	if _, _, ok := r.Section(999); ok {
+		t.Fatal("lookup of absent section succeeded")
+	}
+
+	p1, _, ok := r.Section(1)
+	if !ok {
+		t.Fatal("section 1 missing")
+	}
+	d := NewDec(p1)
+	if v, _ := d.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v, _ := d.U32(); v != 0xdeadbeef {
+		t.Fatalf("U32 = %x", v)
+	}
+	if v, _ := d.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v, _ := d.F64(); v != math.Pi {
+		t.Fatalf("F64 = %v", v)
+	}
+	if s, _ := d.String(); s != "hello" {
+		t.Fatalf("String = %q", s)
+	}
+	fs, err := d.F64s()
+	if err != nil || len(fs) != 4 || fs[1] != 2.5 || !math.IsInf(fs[2], 1) || !math.IsInf(fs[3], -1) {
+		t.Fatalf("F64s = %v (%v)", fs, err)
+	}
+	is, err := d.I32s()
+	if err != nil || len(is) != 3 || is[0] != -1 || is[2] != 42 {
+		t.Fatalf("I32s = %v (%v)", is, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after full decode", d.Remaining())
+	}
+	if _, err := d.U8(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("read past end: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderRejectsMalformed(t *testing.T) {
+	var w Writer
+	var e Enc
+	e.F64s([]float64{1, 2, 3})
+	w.Add(1, 0, e.Bytes())
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":             {},
+		"short":             good[:5],
+		"bad magic":         append([]byte("XXXX"), good[4:]...),
+		"truncated payload": good[:len(good)-4],
+	}
+	// Section length pointing past the end of the buffer.
+	bad2 := append([]byte(nil), good...)
+	bad2[headerSize+16] = 0xff // section 0 length low byte
+	cases["oversized section"] = bad2
+
+	for name, data := range cases {
+		if _, err := NewReader(data); err == nil {
+			t.Errorf("%s: NewReader accepted malformed input", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+
+	// A wrong format version is rejected, but as its own error (a future
+	// reader may handle it), not as corruption.
+	bad := append([]byte(nil), good...)
+	bad[4], bad[5] = 0xff, 0xff
+	if _, err := NewReader(bad); err == nil {
+		t.Error("bad version: NewReader accepted unsupported version")
+	}
+}
+
+func TestDecRejectsOversizedSlabs(t *testing.T) {
+	// A slab header claiming 2^60 elements must error before allocating.
+	var e Enc
+	e.U64(1 << 60)
+	d := NewDec(e.Bytes())
+	if _, err := d.F64s(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("F64s on absurd count: %v, want ErrCorrupt", err)
+	}
+	d = NewDec(e.Bytes())
+	if _, err := d.I32s(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("I32s on absurd count: %v, want ErrCorrupt", err)
+	}
+	var es Enc
+	es.U32(0xffffffff) // string length prefix far past the payload end
+	d = NewDec(es.Bytes())
+	if _, err := d.String(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("String on absurd count: %v, want ErrCorrupt", err)
+	}
+}
+
+func FuzzReader(f *testing.F) {
+	var w Writer
+	var e Enc
+	e.F64s([]float64{1, 2, 3})
+	e.String("seed")
+	w.Add(1, 0, e.Bytes())
+	w.Add(2, FlagRebuilt, []byte{1, 2, 3, 4})
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data)
+		if err != nil {
+			return
+		}
+		// A successfully opened container must serve every listed
+		// section, and decoding each payload must never panic.
+		for _, si := range r.Sections() {
+			payload, _, ok := r.Section(si.ID)
+			if !ok {
+				t.Fatalf("listed section %d not retrievable", si.ID)
+			}
+			if len(payload) != si.Len {
+				t.Fatalf("section %d payload %d bytes, table says %d", si.ID, len(payload), si.Len)
+			}
+			d := NewDec(payload)
+			for d.Remaining() > 0 {
+				if _, err := d.F64s(); err != nil {
+					break
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+
+	"unn/internal/geom"
+)
+
+// RestoreDiscrete reassembles a Discrete from weights that are already
+// normalized — the snapshot path. Unlike NewDiscrete it adopts locs and
+// w without copying or renormalizing, and rebuilds the cumulative-weight
+// table with the same running sum NewDiscrete uses, so a point restored
+// from weights that NewDiscrete produced is bit-identical to the
+// original (including Sample's binary-search table). Inputs are still
+// validated (matching non-empty lengths, finite positive weights) so a
+// corrupted snapshot fails here instead of corrupting queries.
+func RestoreDiscrete(locs []geom.Point, w []float64) (*Discrete, error) {
+	if len(locs) == 0 || len(locs) != len(w) {
+		return nil, fmt.Errorf("uncertain: restore needs matching non-empty locations and weights")
+	}
+	for _, l := range locs {
+		if math.IsNaN(l.X) || math.IsNaN(l.Y) || math.IsInf(l.X, 0) || math.IsInf(l.Y, 0) {
+			return nil, fmt.Errorf("uncertain: non-finite location %v", l)
+		}
+	}
+	d := &Discrete{Locs: locs, W: w, cum: make([]float64, len(w))}
+	run := 0.0
+	for i, v := range w {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("uncertain: location probabilities must be positive and finite (got %v)", v)
+		}
+		run += v
+		d.cum[i] = run
+	}
+	return d, nil
+}

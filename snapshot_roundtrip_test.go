@@ -1,0 +1,89 @@
+// The snapshot round-trip gate: build → Snapshot → OpenSnapshot →
+// parity, over the public API, at CI-friendly sizes. `make
+// snapshot-roundtrip` runs exactly this test; the engine-internal
+// suite (internal/engine/snapshot_test.go) covers the per-backend
+// matrix, this gate proves the end-to-end contract a downstream user
+// relies on: a restored handle answers every query kind bit-identically
+// to the handle that wrote the snapshot, with the same Explain plan.
+package unn_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"unn"
+	"unn/internal/constructions"
+)
+
+func TestSnapshotRoundTripGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xe21))
+	cases := []struct {
+		name string
+		side float64
+		open func() (*unn.Handle, error)
+	}{
+		{"sharded-disks", 300, func() (*unn.Handle, error) {
+			disks := constructions.RandomDisks(rng, 5000, 300, 0.5, 2.0)
+			return unn.OpenDisks(disks, unn.WithShards(8))
+		}},
+		{"planned-discrete", 20000, func() (*unn.Handle, error) {
+			pts := constructions.RandomDiscrete(rng, 2000, 3, 20000, 2.0, 1)
+			return unn.OpenDiscrete(pts, unn.WithPlanner(), unn.WithShards(4))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			live, err := tc.open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := live.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := unn.OpenSnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lx, rx := live.Explain(), restored.Explain(); lx != rx {
+				t.Fatalf("Explain diverged after restore:\nlive:\n%s\nrestored:\n%s", lx, rx)
+			}
+			qs := randQueries(128, tc.side, 0xe21)
+			for _, q := range qs {
+				li, err := live.QueryNonzero(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ri, err := restored.QueryNonzero(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(li) != len(ri) {
+					t.Fatalf("NN≠0 diverged at %v: %d vs %d ids", q, len(li), len(ri))
+				}
+				for i := range li {
+					if li[i] != ri[i] {
+						t.Fatalf("NN≠0 diverged at %v: ids %v vs %v", q, li, ri)
+					}
+				}
+				lp, err1 := live.QueryProbs(q, 0)
+				rp, err2 := restored.QueryProbs(q, 0)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("probs support diverged at %v: %v vs %v", q, err1, err2)
+				}
+				if err1 == nil {
+					if len(lp) != len(rp) {
+						t.Fatalf("probs diverged at %v: %d vs %d entries", q, len(lp), len(rp))
+					}
+					for i := range lp {
+						if lp[i].I != rp[i].I || math.Abs(lp[i].P-rp[i].P) > 1e-12 {
+							t.Fatalf("probs diverged at %v: %v vs %v", q, lp[i], rp[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
