@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test race bench bench-allocs bench-json benchdiff snapshot-roundtrip examples clean
+.PHONY: verify build vet fmtcheck test race bench bench-allocs bench-json benchdiff snapshot-roundtrip fuzz-short examples clean
 
 # The tier-1 gate: everything CI runs.
 verify: build vet fmtcheck test race
@@ -48,19 +48,28 @@ bench-allocs:
 snapshot-roundtrip:
 	$(GO) test . -run TestSnapshotRoundTripGate -count=1 -v
 
+# Short fuzz pass over the two decode/parity surfaces with seeded
+# corpora: the flat-kernel vs reference-path parity fuzzer and the
+# snapshot container decoder (which must reject arbitrary corruption
+# with an error, never a panic or an attacker-sized allocation).
+fuzz-short:
+	$(GO) test ./internal/kernel -run xxx -fuzz FuzzKernelParity -fuzztime 30s
+	$(GO) test ./internal/engine -run xxx -fuzz FuzzSnapshotDecode -fuzztime 30s
+
 # Machine-readable perf trajectory: one JSON record per backend/size
 # (E16) plus the shard-scaling (E17), streaming-mutation (E18),
-# planner-vs-auto (E19), mutation-batching (E20) and snapshot (E21)
-# sweeps.
+# planner-vs-auto (E19), mutation-batching (E20), snapshot (E21) and
+# top-k (E22) sweeps.
 bench-json:
 	$(GO) run ./cmd/unnbench -quick -json BENCH_engine.json >/dev/null
 
 # Compare the fresh BENCH_engine.json against a previous run's artifact
 # (OLD=path, fetched by CI from the last uploaded BENCH_engine), warning
-# on >20% regressions in the E17/E18/E19/E20/E21 throughput metrics —
-# and, within the fresh file, on the E19 planner dropping below the
+# on >20% regressions in the E17/E18/E19/E20/E21/E22 throughput metrics
+# — and, within the fresh file, on the E19 planner dropping below the
 # rule-based auto, on E21 snapshot restore dropping below 10× the cold
-# build, and on snapshot parity breaking.
+# build, on snapshot parity breaking, and on an E22 top-k query costing
+# more than 1.5× its own configuration's π baseline.
 OLD ?= prev/BENCH_engine.json
 benchdiff:
 	@if [ -f "$(OLD)" ]; then \

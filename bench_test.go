@@ -411,7 +411,7 @@ func benchmarkE19(b *testing.B, planner bool) {
 
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 21 {
+	if len(experiments.All) != 22 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }
@@ -564,5 +564,39 @@ func BenchmarkE21_SingleNonzero_Restored_n2000_k8(b *testing.B) {
 			b.Fatal(err)
 		}
 		buf = out[:0]
+	}
+}
+
+// BenchmarkE22_TopK measures the registry-dispatched top-k
+// most-likely-NN kind on a sharded discrete engine; pairs with the
+// π benchmark below it — the E22 claim is that top-k costs one π
+// sweep plus an O(n log k) selection.
+func BenchmarkE22_TopK_n2000_k8(b *testing.B) {
+	benchmarkE22(b, true)
+}
+
+func BenchmarkE22_Probs_n2000_k8(b *testing.B) {
+	benchmarkE22(b, false)
+}
+
+func benchmarkE22(b *testing.B, topk bool) {
+	rng := rand.New(rand.NewSource(0xe22))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendBrute), unn.WithShards(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 2000, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if topk {
+			_, err = h.QueryTopK(q, 10, 0)
+		} else {
+			_, err = h.QueryProbs(q, 0)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -65,7 +65,7 @@ func main() {
 		oldPath   = flag.String("old", "", "previous BENCH_engine.json (the baseline)")
 		newPath   = flag.String("new", "BENCH_engine.json", "fresh BENCH_engine.json")
 		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
-		exps      = flag.String("exp", "E17,E18,E19,E20,E21", "comma-separated experiments to compare")
+		exps      = flag.String("exp", "E17,E18,E19,E20,E21,E22", "comma-separated experiments to compare")
 		failFlag  = flag.Bool("fail", false, "exit non-zero when regressions are found")
 	)
 	flag.Parse()
@@ -126,6 +126,9 @@ func main() {
 	regressions += checkAllocFree(newRecs, want)
 	if want["E21"] {
 		regressions += checkSnapshotInvariant(newRecs, oldRecs, *threshold)
+	}
+	if want["E22"] {
+		regressions += checkTopKInvariant(newRecs, *threshold)
 	}
 	fmt.Printf("benchdiff: %d metrics compared, %d regressions beyond %.0f%% (%s)\n",
 		compared, regressions, 100**threshold, *exps)
@@ -239,6 +242,48 @@ func checkSnapshotInvariant(newRecs, oldRecs map[key]experiments.BenchRecord, th
 				fmt.Printf("WARN: E21 %s n=%d snapshot grew %+.1f%% (%dB → %dB)\n",
 					k.backend, k.n, 100*rel, or.SnapshotBytes, r.SnapshotBytes)
 			}
+		}
+	}
+	return violations
+}
+
+// checkTopKInvariant is the E22 intra-run sanity bound: a top-k query
+// is one π sweep plus an O(n log k) selection, so a "<config>-topk<k>"
+// row's query_ns_op must stay within a small factor of the same
+// configuration's "<config>-probs" baseline at the same (n, shards).
+// The bar is 1.5× plus the noise threshold — far above the selection's
+// real cost, low enough to catch a top-k path that re-runs the sweep
+// per rank or fell off the shared merge. Returns the violation count.
+func checkTopKInvariant(recs map[key]experiments.BenchRecord, threshold float64) int {
+	const selectionSlack = 1.5
+	type cfg struct {
+		name   string
+		n      int
+		shards int
+	}
+	probs := map[cfg]experiments.BenchRecord{}
+	for k, r := range recs {
+		if strings.EqualFold(k.exp, "E22") && strings.HasSuffix(k.backend, "-probs") {
+			probs[cfg{strings.TrimSuffix(k.backend, "-probs"), k.n, k.shards}] = r
+		}
+	}
+	violations := 0
+	for k, r := range recs {
+		if !strings.EqualFold(k.exp, "E22") {
+			continue
+		}
+		i := strings.LastIndex(k.backend, "-topk")
+		if i < 0 {
+			continue
+		}
+		pr, ok := probs[cfg{k.backend[:i], k.n, k.shards}]
+		if !ok || pr.QueryNsOp <= 0 || r.QueryNsOp <= 0 {
+			continue
+		}
+		if r.QueryNsOp > pr.QueryNsOp*selectionSlack*(1+threshold) {
+			violations++
+			fmt.Printf("WARN: E22 %s n=%d k=%d top-k latency %.0fns exceeds %.1fx its π baseline (%.0fns)\n",
+				k.backend, k.n, k.shards, r.QueryNsOp, selectionSlack*(1+threshold), pr.QueryNsOp)
 		}
 	}
 	return violations

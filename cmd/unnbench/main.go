@@ -98,6 +98,11 @@ func main() {
 			fatal(err)
 		}
 		recs = append(recs, snapRecs...)
+		topkRecs, topkTab := experiments.TopKBench(opt)
+		if _, err := topkTab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		recs = append(recs, topkRecs...)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

@@ -93,7 +93,7 @@ func (ix *bruteIndex) Name() string { return string(BackendBrute) }
 func (ix *bruteIndex) Capabilities() Capability {
 	c := CapNonzero
 	if ix.ds != nil && ix.ds.Discrete != nil {
-		c |= CapProbs | CapExpected
+		c |= CapProbs | CapExpected | CapTopK
 	}
 	return c
 }
@@ -157,6 +157,18 @@ func (ix *bruteIndex) QueryProbs(q geom.Point, _ float64) ([]quantify.Prob, erro
 		return nil, ErrUnsupported
 	}
 	return quantify.ExactPositive(ix.ds.Discrete, q), nil
+}
+
+// QueryTopK is the brute reference for top-k most-likely NN: the exact
+// Eq. (2) sweep followed by the shared deterministic selection.
+func (ix *bruteIndex) QueryTopK(q geom.Point, k int, _ float64) ([]quantify.Prob, error) {
+	if ix.ds.Discrete == nil {
+		return nil, ErrUnsupported
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("engine: topk: k must be ≥ 1, got %d", k)
+	}
+	return topKSelect(quantify.ExactPositive(ix.ds.Discrete, q), k), nil
 }
 
 func (ix *bruteIndex) QueryExpected(q geom.Point) (int, float64, error) {
@@ -308,7 +320,7 @@ type vprIndex struct {
 }
 
 func (ix *vprIndex) Name() string             { return string(BackendVPr) }
-func (ix *vprIndex) Capabilities() Capability { return CapProbs }
+func (ix *vprIndex) Capabilities() Capability { return CapProbs | CapTopK }
 
 func (ix *vprIndex) Build(ds *Dataset) error {
 	if ds.Discrete == nil {
@@ -333,7 +345,7 @@ type monteCarloIndex struct {
 }
 
 func (ix *monteCarloIndex) Name() string             { return string(BackendMonteCarlo) }
-func (ix *monteCarloIndex) Capabilities() Capability { return CapProbs }
+func (ix *monteCarloIndex) Capabilities() Capability { return CapProbs | CapTopK }
 
 func (ix *monteCarloIndex) Build(ds *Dataset) error {
 	if len(ds.Points) == 0 {
@@ -363,7 +375,7 @@ type spiralIndex struct {
 }
 
 func (ix *spiralIndex) Name() string             { return string(BackendSpiral) }
-func (ix *spiralIndex) Capabilities() Capability { return CapProbs }
+func (ix *spiralIndex) Capabilities() Capability { return CapProbs | CapTopK }
 
 func (ix *spiralIndex) Build(ds *Dataset) error {
 	if ds.Discrete == nil {

@@ -84,26 +84,19 @@ type cellIdentifier interface {
 // engineStats is the per-query-kind latency record: every single query
 // (and therefore every batch slot and Serve completion, which funnel
 // through the single-query path) adds its wall time to its kind's
-// counters. The counters are the measured side of the cost model —
-// Stats exposes them and ObserveInto folds them back into a CostModel.
+// counters, indexed by registry slot. The counters are the measured
+// side of the cost model — Stats exposes them and ObserveInto folds
+// them back into a CostModel.
 type engineStats struct {
-	count [3]atomic.Uint64
-	ns    [3]atomic.Uint64
-}
-
-func kindSlot(kind Capability) int {
-	switch kind {
-	case CapNonzero:
-		return 0
-	case CapProbs:
-		return 1
-	default:
-		return 2
-	}
+	count [numKinds]atomic.Uint64
+	ns    [numKinds]atomic.Uint64
 }
 
 func (s *engineStats) record(kind Capability, d time.Duration) {
 	i := kindSlot(kind)
+	if i < 0 {
+		return
+	}
 	s.count[i].Add(1)
 	s.ns[i].Add(uint64(d.Nanoseconds()))
 }
@@ -122,15 +115,40 @@ func (k KindStats) MeanNs() float64 {
 	return float64(k.TotalNs) / float64(k.Count)
 }
 
-// Stats is a snapshot of an Engine's counters: per-kind query latencies,
-// cache traffic, and the effective cache quantum.
+// ShardKindCounts is the per-shard slice of the query counters: how many
+// queries of each registered kind (indexed by registry slot, see
+// Stats.Kind) actually scanned the shard — merges that prune a shard by
+// its lower bound do not count it. The counters are the groundwork for
+// workload-aware shard planning (hot shards buying expensive structures
+// cold shards skip); they reset when rebalancing replaces the shard.
+type ShardKindCounts struct {
+	// Shard is the position in the fleet's current shard order.
+	Shard int
+	// Counts is indexed by registry slot (kindSlot order: the same order
+	// Stats.Kinds uses).
+	Counts [NumKinds]uint64
+}
+
+// Stats is a snapshot of an Engine's counters: per-kind query latencies
+// (one slot per registered kind, in registry order — see Kind), cache
+// traffic, the effective cache quantum, and — for sharded backends —
+// the per-shard per-kind query counters.
 type Stats struct {
-	Nonzero      KindStats
-	Probs        KindStats
-	Expected     KindStats
+	Kinds        [NumKinds]KindStats
 	CacheHits    uint64
 	CacheMisses  uint64
 	CacheQuantum float64
+	// ShardQueries is nil for unsharded backends.
+	ShardQueries []ShardKindCounts
+}
+
+// Kind returns the latency record of one registered query kind (the
+// zero record for a value that is not a registered kind).
+func (s Stats) Kind(kind Capability) KindStats {
+	if i := kindSlot(kind); i >= 0 {
+		return s.Kinds[i]
+	}
+	return KindStats{}
 }
 
 // NewEngine wraps a built Index.
@@ -197,11 +215,17 @@ func (e *Engine) CacheQuantum() float64 { return math.Float64frombits(e.quantum.
 // model wants to track.
 func (e *Engine) Stats() Stats {
 	s := Stats{CacheQuantum: e.CacheQuantum()}
-	read := func(i int) KindStats {
-		return KindStats{Count: e.stats.count[i].Load(), TotalNs: e.stats.ns[i].Load()}
+	for i := range s.Kinds {
+		s.Kinds[i] = KindStats{Count: e.stats.count[i].Load(), TotalNs: e.stats.ns[i].Load()}
 	}
-	s.Nonzero, s.Probs, s.Expected = read(0), read(1), read(2)
 	s.CacheHits, s.CacheMisses = e.CacheStats()
+	ix := e.ix
+	if h, ok := ix.(hintedIndex); ok {
+		ix = h.Index
+	}
+	if sq, ok := ix.(interface{ shardQueryStats() []ShardKindCounts }); ok {
+		s.ShardQueries = sq.shardQueryStats()
+	}
 	return s
 }
 
@@ -220,18 +244,16 @@ func (e *Engine) ObserveInto(model *CostModel) {
 		return
 	}
 	st := e.Stats()
-	for _, kb := range []struct {
-		kind Capability
-		ks   KindStats
-	}{{CapNonzero, st.Nonzero}, {CapProbs, st.Probs}, {CapExpected, st.Expected}} {
-		if kb.ks.Count == 0 {
+	for i := range kindTable {
+		ks := st.Kinds[i]
+		if ks.Count == 0 {
 			continue
 		}
-		b, ok := e.kindBackend(kb.kind)
+		b, ok := e.kindBackend(kindTable[i].cap)
 		if !ok {
 			continue
 		}
-		model.Observe(b, queryOp(kb.kind), n, kb.ks.MeanNs())
+		model.Observe(b, kindTable[i].op, n, ks.MeanNs())
 	}
 }
 
@@ -273,7 +295,7 @@ func (e *Engine) Explain() string {
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "backend %s: all kinds served directly\n", ix.Name())
-	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+	for _, kind := range queryKinds() {
 		if ix.Capabilities().Has(kind) {
 			fmt.Fprintf(&sb, "  %-8s → %s\n", kind, ix.Name())
 		}
@@ -301,29 +323,82 @@ func (e *Engine) nonzeroKey(q geom.Point) cacheKey {
 			return cacheKey{kind: kindNonzeroCell, x: id}
 		}
 	}
-	return e.cache.key(kindNonzero, q, 0)
+	return e.cache.key(kindNonzero, q, 0, 0)
 }
 
-// QueryNonzero answers a single NN≠0 query through the cache.
-func (e *Engine) QueryNonzero(q geom.Point) ([]int, error) {
-	if err := e.check(CapNonzero); err != nil {
+// requestKey builds the cache key of a registered-kind request through
+// the one shared builder, canonicalizing the knobs the kind ignores to
+// zero. NN≠0 keeps its cell-identity upgrade (see nonzeroKey).
+func (e *Engine) requestKey(spec *kindSpec, req Request) cacheKey {
+	if spec.cap == CapNonzero {
+		return e.nonzeroKey(req.Q)
+	}
+	eps, k := 0.0, 0
+	if spec.usesEps {
+		eps = req.Eps
+	}
+	if spec.usesK {
+		k = req.K
+	}
+	return e.cache.key(spec.cacheKind, req.Q, eps, k)
+}
+
+// Query is the unified typed entry point: it dispatches req to its
+// registered kind through the cache and the per-kind latency counters.
+// The typed wrappers (QueryNonzero, QueryProbs, QueryExpected,
+// QueryTopK) all funnel through here, so every registered kind gets the
+// same caching, stats and capability-check behavior for free.
+func (e *Engine) Query(req Request) (Result, error) {
+	spec := kindByCap(req.Kind)
+	if spec == nil {
+		return Result{}, fmt.Errorf("engine: request kind %s is not a registered query kind", req.Kind)
+	}
+	res := Result{Kind: req.Kind}
+	v, err := e.queryValue(spec, req)
+	if err != nil {
+		return Result{}, err
+	}
+	spec.fill(&res, v)
+	return res, nil
+}
+
+// queryValue is the shared body of Query and the typed wrappers: the
+// capability check, the latency counter, the canonical cache probe, and
+// the kind's run hook. It returns the answer in its boxed (cacheable)
+// form so the typed wrappers can assert it back directly instead of
+// routing through a Result — that keeps their hot path at cache-layer
+// alloc parity with the pre-registry per-kind methods.
+func (e *Engine) queryValue(spec *kindSpec, req Request) (any, error) {
+	if err := e.check(spec.cap); err != nil {
 		return nil, err
 	}
-	defer func(t0 time.Time) { e.stats.record(CapNonzero, time.Since(t0)) }(time.Now())
+	defer func(t0 time.Time) { e.stats.record(spec.cap, time.Since(t0)) }(time.Now())
 	var gen uint64
 	var key cacheKey
 	if e.cache != nil {
 		gen = e.cache.generation()
-		key = e.nonzeroKey(q)
+		key = e.requestKey(spec, req)
 		if v, ok := e.cache.getKey(key); ok {
-			return v.([]int), nil
+			return v, nil
 		}
 	}
-	out, err := e.ix.QueryNonzero(q)
-	if err == nil && e.cache != nil {
-		e.cache.putKey(key, out, gen)
+	v, err := spec.run(e.ix, req)
+	if err != nil {
+		return nil, err
 	}
-	return out, err
+	if e.cache != nil {
+		e.cache.putKey(key, v, gen)
+	}
+	return v, nil
+}
+
+// QueryNonzero answers a single NN≠0 query through the cache.
+func (e *Engine) QueryNonzero(q geom.Point) ([]int, error) {
+	v, err := e.queryValue(&kindTable[slotNonzero], Request{Kind: CapNonzero, Q: q})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]int), nil
 }
 
 // QueryNonzeroInto answers a single NN≠0 query by appending into dst —
@@ -359,44 +434,35 @@ func (e *Engine) QueryNonzeroInto(q geom.Point, dst []int) ([]int, error) {
 // QueryProbs answers a single quantification query through the cache.
 // eps ≤ 0 selects the backend's build-time default.
 func (e *Engine) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, error) {
-	if err := e.check(CapProbs); err != nil {
+	v, err := e.queryValue(&kindTable[slotProbs], Request{Kind: CapProbs, Q: q, Eps: eps})
+	if err != nil {
 		return nil, err
 	}
-	defer func(t0 time.Time) { e.stats.record(CapProbs, time.Since(t0)) }(time.Now())
-	var gen uint64
-	if e.cache != nil {
-		gen = e.cache.generation()
-		if v, ok := e.cache.get(kindProbs, q, eps); ok {
-			return v.([]quantify.Prob), nil
-		}
-	}
-	out, err := e.ix.QueryProbs(q, eps)
-	if err == nil && e.cache != nil {
-		e.cache.put(kindProbs, q, eps, out, gen)
-	}
-	return out, err
+	return v.([]quantify.Prob), nil
 }
 
 // QueryExpected answers a single expected-distance NN query through the
 // cache.
 func (e *Engine) QueryExpected(q geom.Point) (int, float64, error) {
-	if err := e.check(CapExpected); err != nil {
+	v, err := e.queryValue(&kindTable[slotExpected], Request{Kind: CapExpected, Q: q})
+	if err != nil {
 		return -1, 0, err
 	}
-	defer func(t0 time.Time) { e.stats.record(CapExpected, time.Since(t0)) }(time.Now())
-	var gen uint64
-	if e.cache != nil {
-		gen = e.cache.generation()
-		if v, ok := e.cache.get(kindExpected, q, 0); ok {
-			ed := v.(expectedAnswer)
-			return ed.i, ed.d, nil
-		}
+	ans := v.(expectedAnswer)
+	return ans.i, ans.d, nil
+}
+
+// QueryTopK answers a single top-k most-likely-NN query through the
+// cache: the k indices with the largest π_i(q), ranked by probability
+// descending with index-ascending tie-break (fewer than k entries when
+// fewer points have π > 0). eps ≤ 0 selects the backend's build-time
+// default for the underlying π computation.
+func (e *Engine) QueryTopK(q geom.Point, k int, eps float64) ([]quantify.Prob, error) {
+	v, err := e.queryValue(&kindTable[slotTopK], Request{Kind: CapTopK, Q: q, Eps: eps, K: k})
+	if err != nil {
+		return nil, err
 	}
-	i, d, err := e.ix.QueryExpected(q)
-	if err == nil && e.cache != nil {
-		e.cache.put(kindExpected, q, 0, expectedAnswer{i, d}, gen)
-	}
-	return i, d, err
+	return v.([]quantify.Prob), nil
 }
 
 type expectedAnswer struct {
@@ -504,6 +570,18 @@ func (e *Engine) BatchExpected(qs []geom.Point) ([]ExpectedResult, error) {
 	return batch(e.opt.Workers, qs, func(q geom.Point) (ExpectedResult, error) {
 		i, d, err := e.QueryExpected(q)
 		return ExpectedResult{I: i, Dist: d}, err
+	})
+}
+
+// BatchTopK answers a slice of top-k most-likely-NN queries in
+// parallel; result i corresponds to qs[i] and is identical to
+// QueryTopK(qs[i], k, eps).
+func (e *Engine) BatchTopK(qs []geom.Point, k int, eps float64) ([][]quantify.Prob, error) {
+	if err := e.check(CapTopK); err != nil {
+		return nil, err
+	}
+	return batch(e.opt.Workers, qs, func(q geom.Point) ([]quantify.Prob, error) {
+		return e.QueryTopK(q, k, eps)
 	})
 }
 

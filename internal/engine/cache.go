@@ -22,6 +22,9 @@ const (
 	// queries share one entry regardless of the grid quantum, and two
 	// queries across a cell boundary can never alias.
 	kindNonzeroCell
+	// kindTopK keys top-k most-likely-NN answers; k participates in the
+	// key, so the same query point at different k never shares a cell.
+	kindTopK
 )
 
 // quantumHinter is the optional interface a built index implements to
@@ -93,11 +96,15 @@ func robustMin(vs []float64) float64 {
 }
 
 // cacheKey identifies one answer: query kind, the quantized query
-// point, and (for probability queries) the accuracy knob.
+// point, and the per-kind request knobs (the accuracy eps for
+// probability queries, k for top-k queries). Kinds that ignore a knob
+// key it as zero (see cache.key), so equivalent requests share a cell
+// and requests of distinct kinds or distinct k never do.
 type cacheKey struct {
 	kind uint8
 	x, y uint64
 	eps  uint64
+	k    uint64
 }
 
 // cache is a striped LRU answer cache keyed by quantized query point.
@@ -197,32 +204,40 @@ func quantizeCell(v, q float64) uint64 {
 	return uint64(int64(f))
 }
 
-func (c *cache) key(kind uint8, q geom.Point, eps float64) cacheKey {
+// key is the one shared cache-key builder: every query path funnels its
+// (kind, point, eps, k) through here so canonicalization is uniform.
+func (c *cache) key(kind uint8, q geom.Point, eps float64, k int) cacheKey {
 	// Every eps ≤ 0 means "backend default" (see Index.QueryProbs), so
 	// all of them share one canonical key — raw bit patterns would give
-	// eps = 0 and eps = -1 separate entries for the same answer.
+	// eps = 0 and eps = -1 separate entries for the same answer. Kinds
+	// that ignore eps or k pass them as zero.
 	if eps <= 0 {
 		eps = 0
+	}
+	if k < 0 {
+		k = 0
 	}
 	return cacheKey{
 		kind: kind,
 		x:    c.quantize(q.X),
 		y:    c.quantize(q.Y),
 		eps:  math.Float64bits(eps),
+		k:    uint64(k),
 	}
 }
 
 // stripe hashes k to its stripe (splitmix64-style mixing).
 func (c *cache) stripe(k cacheKey) *cacheStripe {
-	h := k.x*0x9e3779b97f4a7c15 ^ k.y*0xbf58476d1ce4e5b9 ^ k.eps*0x94d049bb133111eb ^ uint64(k.kind)
+	h := k.x*0x9e3779b97f4a7c15 ^ k.y*0xbf58476d1ce4e5b9 ^
+		k.eps*0x94d049bb133111eb ^ k.k*0xd6e8feb86659fd93 ^ uint64(k.kind)
 	h ^= h >> 31
 	h *= 0x9e3779b97f4a7c15
 	h ^= h >> 29
 	return c.stripes[h%uint64(len(c.stripes))]
 }
 
-func (c *cache) get(kind uint8, q geom.Point, eps float64) (any, bool) {
-	return c.getKey(c.key(kind, q, eps))
+func (c *cache) get(kind uint8, q geom.Point, eps float64, k int) (any, bool) {
+	return c.getKey(c.key(kind, q, eps, k))
 }
 
 // getKey looks up a pre-built key (the cell-identity path builds keys
@@ -261,8 +276,8 @@ func (c *cache) invalidate() {
 	}
 }
 
-func (c *cache) put(kind uint8, q geom.Point, eps float64, val any, gen uint64) {
-	c.putKey(c.key(kind, q, eps), val, gen)
+func (c *cache) put(kind uint8, q geom.Point, eps float64, k int, val any, gen uint64) {
+	c.putKey(c.key(kind, q, eps, k), val, gen)
 }
 
 // putKey installs val under a pre-built key.

@@ -38,6 +38,8 @@ const (
 	OpQueryProbs
 	// OpQueryExpected is one expected-distance query.
 	OpQueryExpected
+	// OpQueryTopK is one top-k most-likely-NN query.
+	OpQueryTopK
 )
 
 // String renders the op.
@@ -51,20 +53,18 @@ func (op CostOp) String() string {
 		return "probs"
 	case OpQueryExpected:
 		return "expected"
+	case OpQueryTopK:
+		return "topk"
 	}
 	return "unknown"
 }
 
-// queryOp maps a capability bit to its query CostOp.
+// queryOp maps a capability bit to its query CostOp (from the registry).
 func queryOp(kind Capability) CostOp {
-	switch kind {
-	case CapNonzero:
-		return OpQueryNonzero
-	case CapProbs:
-		return OpQueryProbs
-	default:
-		return OpQueryExpected
+	if s := kindByCap(kind); s != nil {
+		return s.op
 	}
+	return OpQueryExpected
 }
 
 // CostKey indexes one calibrated coefficient.
@@ -125,6 +125,9 @@ func DefaultCalibration() Calibration {
 		seed(b, OpQueryNonzero, 400)
 		seed(b, OpQueryProbs, 700)
 		seed(b, OpQueryExpected, 400)
+		// Top-k derives from the π sweep plus an O(n log k) selection, so
+		// its seeds track the probs seeds.
+		seed(b, OpQueryTopK, 700)
 	}
 	seed(BackendBrute, OpBuild, 5)
 	// The brute query seeds reflect the flat SoA kernels (internal/kernel):
@@ -134,11 +137,14 @@ func DefaultCalibration() Calibration {
 	seed(BackendBrute, OpQueryNonzero, 12)
 	seed(BackendBrute, OpQueryProbs, 12)
 	seed(BackendBrute, OpQueryExpected, 15)
+	seed(BackendBrute, OpQueryTopK, 12)
 	seed(BackendDiagram, OpBuild, 60)
 	seed(BackendVPr, OpBuild, 800)
 	seed(BackendMonteCarlo, OpBuild, 3000) // × s instantiations
 	seed(BackendMonteCarlo, OpQueryProbs, 2500)
+	seed(BackendMonteCarlo, OpQueryTopK, 2500)
 	seed(BackendSpiral, OpQueryProbs, 3000)
+	seed(BackendSpiral, OpQueryTopK, 3000)
 	return c
 }
 
@@ -216,7 +222,7 @@ func datasetCaps(b Backend, ds *Dataset) Capability {
 			c |= CapNonzero
 		}
 		if ds.Discrete != nil {
-			c |= CapProbs | CapExpected
+			c |= CapProbs | CapExpected | CapTopK
 		}
 		return c
 	case BackendDiagram:
@@ -233,11 +239,11 @@ func datasetCaps(b Backend, ds *Dataset) Capability {
 		}
 	case BackendVPr, BackendSpiral:
 		if ds.Discrete != nil {
-			return CapProbs
+			return CapProbs | CapTopK
 		}
 	case BackendMonteCarlo:
 		if len(ds.Points) > 0 {
-			return CapProbs
+			return CapProbs | CapTopK
 		}
 	case BackendExpected:
 		if ds.Discrete != nil {
@@ -288,7 +294,7 @@ func Calibrate(ds *Dataset, bopt BuildOptions, candidates []Backend) Calibration
 	n := ds.N()
 	cal := Calibration{}
 	const probeQueries = 8
-	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+	for _, kind := range queryKinds() {
 		best := math.Inf(1)
 		for _, b := range candidates {
 			if !datasetCaps(b, ds).Has(kind) {
@@ -368,6 +374,9 @@ func probeBackend(ds *Dataset, bopt BuildOptions, b Backend, queries int, cal Ca
 	}
 	if caps.Has(CapExpected) {
 		timeKind(OpQueryExpected, func(q geom.Point) { ix.QueryExpected(q) })
+	}
+	if caps.Has(CapTopK) {
+		timeKind(OpQueryTopK, func(q geom.Point) { queryTopKOf(ix, q, 3, 0) })
 	}
 }
 

@@ -383,8 +383,8 @@ func TestDynamicCacheInvalidation(t *testing.T) {
 	c := eng.cache
 	gen := c.generation()
 	c.invalidate()
-	c.put(kindNonzero, q, 0, []int{99}, gen)
-	if _, ok := c.get(kindNonzero, q, 0); ok {
+	c.put(kindNonzero, q, 0, 0, []int{99}, gen)
+	if _, ok := c.get(kindNonzero, q, 0, 0); ok {
 		t.Fatal("stale-generation put landed in the cache")
 	}
 }

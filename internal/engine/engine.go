@@ -7,14 +7,20 @@
 // adapts to one Index interface, so a single driver can build any
 // backend, fan a query stream across a worker pool, and cache answers.
 //
-// The three query kinds mirror the three query semantics of the papers:
+// The registered query kinds mirror the query semantics of the papers:
 //
 //   - QueryNonzero: NN≠0(q), the indices with π_i(q) > 0 (Section 2/3);
 //   - QueryProbs: sparse quantification probabilities π_i(q) (Section 4);
-//   - QueryExpected: the expected-distance NN (the [AESZ12] semantics).
+//   - QueryExpected: the expected-distance NN (the [AESZ12] semantics);
+//   - QueryTopK: the k most-likely nearest neighbors ranked by π_i(q)
+//     (the NNU-II top-k semantics), derived from any π-capable backend.
 //
-// A backend implements the subset it supports and reports the rest
-// through Capabilities; unsupported kinds return ErrUnsupported.
+// Each kind is one entry of the kind registry (kinds.go): its capability
+// bit, cost-model term, cache-key canonicalization, Stats slot and
+// dispatch all come from the registry, so a new kind is one registry
+// entry plus its backend implementations. A backend implements the
+// subset it supports and reports the rest through Capabilities;
+// unsupported kinds return ErrUnsupported.
 package engine
 
 import (
@@ -41,22 +47,37 @@ const (
 	CapProbs
 	// CapExpected marks support for expected-distance NN queries.
 	CapExpected
+	// CapTopK marks support for top-k most-likely-NN queries (ranking by
+	// π, so every π-capable backend supports it).
+	CapTopK
+)
+
+// The QueryKind names alias the capability bits when one is used as a
+// Request.Kind: a registered kind IS its capability bit, so the same
+// value both selects the query method and gates it per backend.
+const (
+	// QueryKindNonzero requests NN≠0(q) (Lemma 2.1 semantics).
+	QueryKindNonzero = CapNonzero
+	// QueryKindProbs requests the quantification probabilities π_i(q).
+	QueryKindProbs = CapProbs
+	// QueryKindExpected requests the expected-distance NN ([AESZ12]).
+	QueryKindExpected = CapExpected
+	// QueryKindTopK requests the top-k most-likely-NN query (NNU-II
+	// semantics): the k indices with the largest π_i(q), ranked by
+	// probability descending with index-ascending tie-break.
+	QueryKindTopK = CapTopK
 )
 
 // Has reports whether c includes all capabilities in want.
 func (c Capability) Has(want Capability) bool { return c&want == want }
 
-// String renders the capability set.
+// String renders the capability set in registry order.
 func (c Capability) String() string {
 	var parts []string
-	if c.Has(CapNonzero) {
-		parts = append(parts, "nonzero")
-	}
-	if c.Has(CapProbs) {
-		parts = append(parts, "probs")
-	}
-	if c.Has(CapExpected) {
-		parts = append(parts, "expected")
+	for i := range kindTable {
+		if c.Has(kindTable[i].cap) {
+			parts = append(parts, kindTable[i].name)
+		}
 	}
 	if len(parts) == 0 {
 		return "none"

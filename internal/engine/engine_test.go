@@ -48,15 +48,16 @@ func allBackendCases(t *testing.T) []backendCase {
 	vprPts := constructions.RandomDiscrete(rng, 4, 2, 10, 1.0, 1)
 	disks := constructions.RandomDisks(rng, 10, 30, 0.5, 2.0)
 	squares := randSquares(rng, 24, 30)
+	// Every π-capable backend also serves top-k (ranking by π).
 	return []backendCase{
-		{BackendBrute, FromDiscrete(discrete), CapNonzero | CapProbs | CapExpected, 30},
+		{BackendBrute, FromDiscrete(discrete), CapNonzero | CapProbs | CapExpected | CapTopK, 30},
 		{BackendDiagram, FromDisks(disks), CapNonzero, 30},
 		{BackendDiagram, FromDiscrete(smallDiscrete), CapNonzero, 20},
 		{BackendTwoStageDisks, FromDisks(disks), CapNonzero, 30},
 		{BackendTwoStageDiscrete, FromDiscrete(discrete), CapNonzero, 30},
-		{BackendVPr, FromDiscrete(vprPts), CapProbs, 10},
-		{BackendMonteCarlo, FromDiscrete(discrete), CapProbs, 30},
-		{BackendSpiral, FromDiscrete(discrete), CapProbs, 30},
+		{BackendVPr, FromDiscrete(vprPts), CapProbs | CapTopK, 10},
+		{BackendMonteCarlo, FromDiscrete(discrete), CapProbs | CapTopK, 30},
+		{BackendSpiral, FromDiscrete(discrete), CapProbs | CapTopK, 30},
 		{BackendExpected, FromDiscrete(discrete), CapExpected, 30},
 		{BackendTwoStageLinf, FromSquares(randSquares(rng, 24, 30)), CapNonzero, 30},
 		{BackendTwoStageL1, FromSquares(squares), CapNonzero, 30},
@@ -266,13 +267,13 @@ func TestCacheGlobalBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(0xcac4e))
 	qs := randQueries(rng, capacity, 100)
 	for _, q := range qs {
-		c.put(kindNonzero, q, 0, []int{1}, c.generation())
+		c.put(kindNonzero, q, 0, 0, []int{1}, c.generation())
 	}
 	if n := c.len(); n != capacity {
 		t.Fatalf("cache holds %d entries after %d distinct puts, want %d", n, capacity, capacity)
 	}
 	for _, q := range qs {
-		if _, ok := c.get(kindNonzero, q, 0); !ok {
+		if _, ok := c.get(kindNonzero, q, 0, 0); !ok {
 			t.Fatalf("entry for %v evicted below capacity", q)
 		}
 	}
@@ -297,8 +298,8 @@ func TestCacheNoSelfEviction(t *testing.T) {
 	rng := rand.New(rand.NewSource(0x5e1f))
 	for i := 0; i < 200; i++ {
 		q := geom.Pt(rng.Float64()*100, rng.Float64()*100)
-		c.put(kindNonzero, q, 0, []int{i}, c.generation())
-		if _, ok := c.get(kindNonzero, q, 0); !ok {
+		c.put(kindNonzero, q, 0, 0, []int{i}, c.generation())
+		if _, ok := c.get(kindNonzero, q, 0, 0); !ok {
 			t.Fatalf("put %d: freshly inserted entry already evicted", i)
 		}
 		if n := c.len(); n > capacity {

@@ -542,11 +542,11 @@ func TestQuantizeExtremeCoordinates(t *testing.T) {
 	// deterministic (same key → hit; distinct extremes → distinct).
 	c := newCache(8, q)
 	gen := c.generation()
-	c.put(kindNonzero, geom.Pt(1e300, 0), 0, []int{1}, gen)
-	if _, ok := c.get(kindNonzero, geom.Pt(1e300, 0), 0); !ok {
+	c.put(kindNonzero, geom.Pt(1e300, 0), 0, 0, []int{1}, gen)
+	if _, ok := c.get(kindNonzero, geom.Pt(1e300, 0), 0, 0); !ok {
 		t.Fatal("extreme-coordinate key not stable across put/get")
 	}
-	if _, ok := c.get(kindNonzero, geom.Pt(-1e300, 0), 0); ok {
+	if _, ok := c.get(kindNonzero, geom.Pt(-1e300, 0), 0, 0); ok {
 		t.Fatal("opposite extremes alias one cache cell")
 	}
 }

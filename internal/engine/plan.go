@@ -224,6 +224,7 @@ func (sx *ShardedIndex) appendNonzero(q geom.Point, dst []int) ([]int, error) {
 // checked broken/caps.
 func (sx *ShardedIndex) nonzeroInto(q geom.Point, dst []int, ps *planScratch) ([]int, error) {
 	if sole := sx.soleShard(); sole != nil {
+		sole.visits[slotNonzero].Add(1)
 		start := len(dst)
 		out, err := appendNonzeroOf(sole.ix, q, dst)
 		if err != nil {
@@ -263,6 +264,7 @@ func (sx *ShardedIndex) nonzeroInto(q geom.Point, dst []int, ps *planScratch) ([
 			if bs.lb >= m2 {
 				break
 			}
+			bs.s.visits[slotNonzero].Add(1)
 			m1, m2, arg1 = f.ScanTwoMin(bs.s.ids, q.X, q.Y, deltas, m1, m2, arg1)
 			cut++
 		}
@@ -288,6 +290,7 @@ func (sx *ShardedIndex) nonzeroInto(q geom.Point, dst []int, ps *planScratch) ([
 		if bs.lb >= m2 {
 			break
 		}
+		bs.s.visits[slotNonzero].Add(1)
 		for _, i := range bs.s.ids {
 			d := sx.maxDist(i, q)
 			if d < m1 {
@@ -342,6 +345,7 @@ func (sx *ShardedIndex) QueryExpected(q geom.Point) (int, float64, error) {
 		if bs.lb > bestD {
 			break
 		}
+		bs.s.visits[slotExpected].Add(1)
 		li, d, err := bs.s.ix.QueryExpected(q)
 		if err != nil {
 			return -1, 0, fmt.Errorf("shard merge: %w", err)
@@ -365,7 +369,41 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 	if !sx.caps.Has(CapProbs) {
 		return nil, ErrUnsupported
 	}
+	return sx.probsLocked(q, eps, slotProbs)
+}
+
+// QueryTopK implements the exact cross-shard top-k merge: the merged π
+// vector (identical to QueryProbs — exact for discrete datasets,
+// renormalized conditional-survival for continuous ones) ranked by the
+// shared deterministic selection. Correctness of the sole-shard
+// shortcut's id remap relies on shard ids being ascending: the
+// local→global remap is monotonic, so the probability-descending,
+// index-ascending order is preserved.
+func (sx *ShardedIndex) QueryTopK(q geom.Point, k int, eps float64) ([]quantify.Prob, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("engine: topk: k must be ≥ 1, got %d", k)
+	}
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	if sx.broken != nil {
+		return nil, sx.broken
+	}
+	if !sx.caps.Has(CapTopK) {
+		return nil, ErrUnsupported
+	}
+	probs, err := sx.probsLocked(q, eps, slotTopK)
+	if err != nil {
+		return nil, err
+	}
+	return topKSelect(probs, k), nil
+}
+
+// probsLocked is the merged-π body shared by QueryProbs and QueryTopK:
+// callers hold the read lock and have checked broken/caps. slot names
+// the querying kind for the per-shard visit counters.
+func (sx *ShardedIndex) probsLocked(q geom.Point, eps float64, slot int) ([]quantify.Prob, error) {
 	if sole := sx.soleShard(); sole != nil {
+		sole.visits[slot].Add(1)
 		loc, err := sole.ix.QueryProbs(q, eps)
 		if err != nil {
 			return nil, err
@@ -381,6 +419,11 @@ func (sx *ShardedIndex) QueryProbs(q geom.Point, eps float64) ([]quantify.Prob, 
 	defer putPlanScratch(ps)
 	ps.parts = sx.appendParts(q, ps.parts[:0])
 	ordered := ps.parts
+	// Both merge paths scan every part for candidates (pruning happens at
+	// the survival-factor level, not per shard), so every part counts.
+	for _, bs := range ordered {
+		bs.s.visits[slot].Add(1)
+	}
 	var out []quantify.Prob
 	if sx.ds.Discrete != nil {
 		// Exact path: the shard answers fix the candidate set, and each

@@ -27,6 +27,7 @@ type Workload struct {
 	Nonzero  float64
 	Probs    float64
 	Expected float64
+	TopK     float64
 }
 
 func (w Workload) weight(kind Capability) float64 {
@@ -35,12 +36,16 @@ func (w Workload) weight(kind Capability) float64 {
 		return w.Nonzero
 	case CapProbs:
 		return w.Probs
+	case CapTopK:
+		return w.TopK
 	default:
 		return w.Expected
 	}
 }
 
-func (w Workload) isZero() bool { return w.Nonzero == 0 && w.Probs == 0 && w.Expected == 0 }
+func (w Workload) isZero() bool {
+	return w.Nonzero == 0 && w.Probs == 0 && w.Expected == 0 && w.TopK == 0
+}
 
 // PlannerOptions tunes the cost-based planner.
 type PlannerOptions struct {
@@ -117,9 +122,15 @@ func (p *Plan) Capabilities() Capability {
 // alternatives — one line per query kind.
 func (p *Plan) Explain() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "plan: n=%d, horizon %.0f queries (mix nonzero=%.2f probs=%.2f expected=%.2f), calibration=%s\n",
-		p.N, p.Horizon, p.Mix.Nonzero, p.Mix.Probs, p.Mix.Expected, p.calibrationName())
-	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+	// The topk share only renders when set, so plans (and snapshots) of
+	// three-kind workloads keep their exact historical header.
+	topk := ""
+	if p.Mix.TopK != 0 {
+		topk = fmt.Sprintf(" topk=%.2f", p.Mix.TopK)
+	}
+	fmt.Fprintf(&sb, "plan: n=%d, horizon %.0f queries (mix nonzero=%.2f probs=%.2f expected=%.2f%s), calibration=%s\n",
+		p.N, p.Horizon, p.Mix.Nonzero, p.Mix.Probs, p.Mix.Expected, topk, p.calibrationName())
+	for _, kind := range queryKinds() {
 		ch, ok := p.Choices[kind]
 		if !ok {
 			continue
@@ -185,7 +196,17 @@ func planCandidates(ds *Dataset, kind Capability, model *CostModel, popt Planner
 // backend serving two kinds) are priced correctly.
 func planFor(ds *Dataset, model *CostModel, popt PlannerOptions) *Plan {
 	popt = popt.withDefaults()
+	// Top-k joins the exhaustive walk only when the workload weighs it:
+	// with weight 0 it cannot shift the assignment (it would add zero
+	// query cost and its backends are already candidates for probs), but
+	// a zero-weight fourth kind in the uniform default would dilute the
+	// three legacy shares and could flip near-threshold choices — so
+	// unweighted top-k instead rides the probs assignment after the walk
+	// (see the ride-along below), keeping three-kind plans bit-identical.
 	kinds := []Capability{CapNonzero, CapProbs, CapExpected}
+	if popt.Mix.TopK > 0 {
+		kinds = append(kinds, CapTopK)
+	}
 	cands := map[Capability][]Choice{}
 	var supported []Capability
 	for _, kind := range kinds {
@@ -264,6 +285,26 @@ func planFor(ds *Dataset, model *CostModel, popt PlannerOptions) *Plan {
 		}
 		plan.Choices[kind] = ch
 	}
+	// Ride-along: an unweighted top-k kind is served by the probs
+	// backend (every topk-capable backend is π-capable, so the part is
+	// already built — zero extra build cost, and the walk above stays
+	// identical to the three-kind planner).
+	if _, done := plan.Choices[CapTopK]; !done {
+		if chProbs, ok := plan.Choices[CapProbs]; ok && datasetCaps(chProbs.Backend, ds).Has(CapTopK) {
+			q := model.QueryCost(chProbs.Backend, CapTopK, ds.N())
+			if chProbs.Backend == BackendMonteCarlo {
+				q *= popt.RandomPenalty
+			}
+			ch := Choice{Backend: chProbs.Backend, QueryNs: q, BuildNs: chProbs.BuildNs}
+			for _, alt := range planCandidates(ds, CapTopK, model, popt) {
+				if alt.Backend != ch.Backend {
+					ch.RunnerUp, ch.RunnerUpNs = alt.Backend, alt.QueryNs
+					break
+				}
+			}
+			plan.Choices[CapTopK] = ch
+		}
+	}
 	return plan
 }
 
@@ -305,7 +346,7 @@ type plannedIndex struct {
 
 func (px *plannedIndex) Name() string {
 	var parts []string
-	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+	for _, kind := range queryKinds() {
 		if ch, ok := px.plan.Choices[kind]; ok {
 			parts = append(parts, fmt.Sprintf("%s=%s", kind, ch.Backend))
 		}
@@ -387,6 +428,13 @@ func (px *plannedIndex) QueryExpected(q geom.Point) (int, float64, error) {
 		return ix.QueryExpected(q)
 	}
 	return -1, 0, ErrUnsupported
+}
+
+func (px *plannedIndex) QueryTopK(q geom.Point, k int, eps float64) ([]quantify.Prob, error) {
+	if ix, ok := px.byKind[CapTopK]; ok {
+		return queryTopKOf(ix, q, k, eps)
+	}
+	return nil, ErrUnsupported
 }
 
 // BuildPlanned builds the cost-based composite for ds: the planner picks

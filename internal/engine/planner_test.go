@@ -423,13 +423,13 @@ func TestEngineStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := eng.Stats()
-	if st.Nonzero.Count != uint64(len(qs)) {
-		t.Fatalf("nonzero count = %d, want %d", st.Nonzero.Count, len(qs))
+	if got := st.Kind(CapNonzero).Count; got != uint64(len(qs)) {
+		t.Fatalf("nonzero count = %d, want %d", got, len(qs))
 	}
-	if st.Probs.Count != 1 || st.Expected.Count != 1 {
-		t.Fatalf("probs/expected counts = %d/%d, want 1/1", st.Probs.Count, st.Expected.Count)
+	if st.Kind(CapProbs).Count != 1 || st.Kind(CapExpected).Count != 1 {
+		t.Fatalf("probs/expected counts = %d/%d, want 1/1", st.Kind(CapProbs).Count, st.Kind(CapExpected).Count)
 	}
-	if st.Nonzero.MeanNs() <= 0 {
+	if st.Kind(CapNonzero).MeanNs() <= 0 {
 		t.Fatal("nonzero mean latency not recorded")
 	}
 	model := NewCostModel(nil)

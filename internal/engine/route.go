@@ -75,7 +75,7 @@ func (r *routedIndex) kindBackend(kind Capability) (Backend, bool) {
 func (r *routedIndex) Explain() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "rule-based auto (%s): first capable part answers\n", r.Name())
-	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+	for _, kind := range queryKinds() {
 		if b, ok := r.kindBackend(kind); ok {
 			fmt.Fprintf(&sb, "  %-8s → %s\n", kind, b)
 		}
@@ -102,6 +102,13 @@ func (r *routedIndex) QueryExpected(q geom.Point) (int, float64, error) {
 		return p.QueryExpected(q)
 	}
 	return -1, 0, ErrUnsupported
+}
+
+func (r *routedIndex) QueryTopK(q geom.Point, k int, eps float64) ([]quantify.Prob, error) {
+	if p := r.route(CapTopK); p != nil {
+		return queryTopKOf(p, q, k, eps)
+	}
+	return nil, ErrUnsupported
 }
 
 // autoFactory returns the builder the automatic selection uses for ds:

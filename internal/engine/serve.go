@@ -30,9 +30,11 @@ type Query struct {
 	Seq  uint64
 	Kind Capability
 	Q    geom.Point
-	// Eps is the accuracy knob for CapProbs queries (≤ 0 selects the
-	// backend's build-time default); ignored otherwise.
+	// Eps is the accuracy knob for CapProbs/CapTopK queries (≤ 0 selects
+	// the backend's build-time default); ignored otherwise.
 	Eps float64
+	// K is the result size for CapTopK queries; ignored otherwise.
+	K int
 	// Item is the OpInsert payload; ignored otherwise.
 	Item Item
 	// Del is the global index removed by OpDelete; ignored otherwise.
@@ -49,6 +51,7 @@ type Answer struct {
 	Kind     Capability
 	Nonzero  []int
 	Probs    []quantify.Prob
+	TopK     []quantify.Prob
 	Expected ExpectedResult
 	N        int
 	Err      error
@@ -203,12 +206,6 @@ func (e *Engine) answerMutations(ops []Query) []Answer {
 func (e *Engine) answer(qr Query) Answer {
 	a := Answer{Seq: qr.Seq, Kind: qr.Kind}
 	switch qr.Kind {
-	case CapNonzero:
-		a.Nonzero, a.Err = e.QueryNonzero(qr.Q)
-	case CapProbs:
-		a.Probs, a.Err = e.QueryProbs(qr.Q, qr.Eps)
-	case CapExpected:
-		a.Expected.I, a.Expected.Dist, a.Err = e.QueryExpected(qr.Q)
 	case OpInsert:
 		var gi int
 		if gi, a.Err = e.Insert(qr.Item); a.Err == nil {
@@ -217,7 +214,19 @@ func (e *Engine) answer(qr Query) Answer {
 	case OpDelete:
 		a.N, a.Err = e.deleteN(qr.Del)
 	default:
-		a.Err = fmt.Errorf("engine: serve: query kind %v is not a single capability or mutation op", qr.Kind)
+		if kindByCap(qr.Kind) == nil {
+			a.Err = fmt.Errorf("engine: serve: query kind %v is not a single capability or mutation op", qr.Kind)
+			return a
+		}
+		res, err := e.Query(Request{Kind: qr.Kind, Q: qr.Q, Eps: qr.Eps, K: qr.K})
+		a.Err = err
+		if err != nil {
+			if qr.Kind == CapExpected {
+				a.Expected.I = -1
+			}
+			return a
+		}
+		a.Nonzero, a.Probs, a.TopK, a.Expected = res.Nonzero, res.Probs, res.TopK, res.Expected
 	}
 	return a
 }

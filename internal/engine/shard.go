@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"unn/internal/geom"
 	"unn/internal/kernel"
@@ -119,6 +120,12 @@ type shard struct {
 	sub  *Dataset
 	ix   Index
 	bbox geom.Rect
+	// visits counts the queries per registered kind that actually scanned
+	// this shard — merges that prune the shard by its lower bound do not
+	// count it. Read by Engine.Stats (ShardQueries); the counters live on
+	// the shard struct, so they survive in-place rebuilds and reset when
+	// rebalancing replaces the shard.
+	visits [numKinds]atomic.Uint64
 }
 
 // ShardedIndex is the sharded execution layer: it splits a Dataset into
@@ -585,6 +592,23 @@ func (sx *ShardedIndex) Explain() string {
 	return sb.String()
 }
 
+// shardQueryStats snapshots the per-shard per-kind visit counters
+// (Engine.Stats surfaces them as Stats.ShardQueries). Only the main
+// shards are reported — the insert buffer is an implementation detail
+// of the mutation path, not a plannable partition.
+func (sx *ShardedIndex) shardQueryStats() []ShardKindCounts {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	out := make([]ShardKindCounts, len(sx.shards))
+	for si, s := range sx.shards {
+		out[si].Shard = si
+		for k := range s.visits {
+			out[si].Counts[k] = s.visits[k].Load()
+		}
+	}
+	return out
+}
+
 // recomputeCaps refreshes the capability intersection over the built
 // shards, reporting whether at least one shard is built. The dynamic
 // layer calls it after every mutation; for named backends the result
@@ -593,7 +617,7 @@ func (sx *ShardedIndex) Explain() string {
 // the configured two-stage) never let the reported set grow and then
 // shrink back mid-stream.
 func (sx *ShardedIndex) recomputeCaps() bool {
-	sx.caps = CapNonzero | CapProbs | CapExpected
+	sx.caps = allKindCaps()
 	built := 0
 	for _, s := range sx.shards {
 		if s.ix != nil {

@@ -61,12 +61,15 @@ type snapChoice struct {
 	RunnerUpNs float64
 }
 
-// snapPlan is a Plan.
+// snapPlan is a Plan. TopK (format version 2) is the top-k mix share;
+// version-1 files leave it absent and it unmarshals to 0 — the exact
+// mix a version-1 planner ran with.
 type snapPlan struct {
 	N        int
 	Nonzero  float64
 	Probs    float64
 	Expected float64
+	TopK     float64 `json:",omitempty"`
 	Horizon  float64
 	Probed   bool
 	Choices  []snapChoice
@@ -107,6 +110,7 @@ type snapPlanner struct {
 	Nonzero       float64
 	Probs         float64
 	Expected      float64
+	TopK          float64 `json:",omitempty"` // format version 2
 	Horizon       float64
 	RandomPenalty float64
 	Probed        bool
@@ -218,6 +222,7 @@ func exportSharded(sw *snapshot.Writer, meta *snapMeta, sx *ShardedIndex) error 
 			Nonzero:       sx.popt.Mix.Nonzero,
 			Probs:         sx.popt.Mix.Probs,
 			Expected:      sx.popt.Mix.Expected,
+			TopK:          sx.popt.Mix.TopK,
 			Horizon:       sx.popt.Horizon,
 			RandomPenalty: sx.popt.RandomPenalty,
 			Probed:        sx.probed,
@@ -518,13 +523,13 @@ func exportIndexPayload(e *snapshot.Enc, ix Index) error {
 	return nil // brute and rebuild kinds carry no payload
 }
 
-// partsInOrder lists the composite's distinct built parts in kind order
-// (nonzero, probs, expected) — the deterministic traversal both the meta
-// and payload writers follow.
+// partsInOrder lists the composite's distinct built parts in registry
+// kind order — the deterministic traversal both the meta and payload
+// writers follow.
 func (px *plannedIndex) partsInOrder() []Index {
 	var out []Index
 	seen := map[Index]bool{}
-	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+	for _, kind := range queryKinds() {
 		if ix, ok := px.byKind[kind]; ok && !seen[ix] {
 			seen[ix] = true
 			out = append(out, ix)
@@ -548,9 +553,9 @@ func containsRebuild(im *snapIndexMeta) bool {
 func planToSnap(p *Plan) *snapPlan {
 	sp := &snapPlan{
 		N: p.N, Nonzero: p.Mix.Nonzero, Probs: p.Mix.Probs, Expected: p.Mix.Expected,
-		Horizon: p.Horizon, Probed: p.Probed,
+		TopK: p.Mix.TopK, Horizon: p.Horizon, Probed: p.Probed,
 	}
-	for _, kind := range []Capability{CapNonzero, CapProbs, CapExpected} {
+	for _, kind := range queryKinds() {
 		if ch, ok := p.Choices[kind]; ok {
 			sp.Choices = append(sp.Choices, snapChoice{
 				Kind: uint8(kind), Backend: string(ch.Backend),
@@ -563,9 +568,14 @@ func planToSnap(p *Plan) *snapPlan {
 }
 
 func coefsFromCalibration(cal Calibration) []snapCoef {
+	ops := make([]CostOp, 0, numKinds+1)
+	ops = append(ops, OpBuild)
+	for i := range kindTable {
+		ops = append(ops, kindTable[i].op)
+	}
 	out := make([]snapCoef, 0, len(cal))
 	for _, b := range Backends() {
-		for _, op := range []CostOp{OpBuild, OpQueryNonzero, OpQueryProbs, OpQueryExpected} {
+		for _, op := range ops {
 			if v, ok := cal[CostKey{b, op}]; ok {
 				out = append(out, snapCoef{Backend: string(b), Op: uint8(op), Coef: v})
 			}
@@ -874,6 +884,7 @@ func restoreSharded(sr *snapshot.Reader, meta *snapMeta, dd *decodedDataset) (*S
 				Nonzero:  meta.Planner.Nonzero,
 				Probs:    meta.Planner.Probs,
 				Expected: meta.Planner.Expected,
+				TopK:     meta.Planner.TopK,
 			},
 			Horizon:       meta.Planner.Horizon,
 			RandomPenalty: meta.Planner.RandomPenalty,
@@ -1198,7 +1209,7 @@ func restoreAdapter(im *snapIndexMeta, d *snapshot.Dec, sub *Dataset, bopt Build
 func planFromSnap(sp *snapPlan) *Plan {
 	p := &Plan{
 		N:       sp.N,
-		Mix:     Workload{Nonzero: sp.Nonzero, Probs: sp.Probs, Expected: sp.Expected},
+		Mix:     Workload{Nonzero: sp.Nonzero, Probs: sp.Probs, Expected: sp.Expected, TopK: sp.TopK},
 		Horizon: sp.Horizon,
 		Probed:  sp.Probed,
 		Choices: map[Capability]Choice{},

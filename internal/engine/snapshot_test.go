@@ -71,6 +71,16 @@ func assertParity(t *testing.T, live, restored *Engine, qs []geom.Point) {
 				t.Fatalf("q%d expected = (%d, %v), want (%d, %v)", qi, gi, gd, wi, wd)
 			}
 		}
+		if caps.Has(CapTopK) {
+			want, err1 := live.QueryTopK(q, 3, 0)
+			got, err2 := restored.QueryTopK(q, 3, 0)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("q%d topk errs: live %v restored %v", qi, err1, err2)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("q%d topk = %v, want %v", qi, got, want)
+			}
+		}
 	}
 }
 

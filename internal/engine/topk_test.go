@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+	"unn/internal/quantify"
+)
+
+// bruteTopK is the reference enumeration: the full exact π vector,
+// sorted by probability descending with index-ascending tie-break,
+// truncated to k.
+func bruteTopK(ds *Dataset, q geom.Point, k int) []quantify.Prob {
+	probs := quantify.ExactPositive(ds.Discrete, q)
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].P != probs[j].P {
+			return probs[i].P > probs[j].P
+		}
+		return probs[i].I < probs[j].I
+	})
+	if k < len(probs) {
+		probs = probs[:k]
+	}
+	return probs
+}
+
+// significant truncates a ranked vector at the first entry whose π is
+// numerical noise: sharded and monolithic exact sweeps evaluate Eq. (2)
+// with different association orders, so candidates at the ~1e-16 floor
+// can round to zero on one side and survive on the other. Every entry
+// above the floor must agree exactly in ranking and to 1e-12 in value.
+func significant(ps []quantify.Prob) []quantify.Prob {
+	for i, p := range ps {
+		if p.P <= 1e-9 {
+			return ps[:i]
+		}
+	}
+	return ps
+}
+
+// assertTopK checks got against the reference ranking: identical index
+// order and probabilities within 1e-12 on the significant prefix.
+func assertTopK(t *testing.T, label string, got, want []quantify.Prob) {
+	t.Helper()
+	got, want = significant(got), significant(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d (%v vs %v)", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i].I != want[i].I {
+			t.Fatalf("%s: rank %d is item %d, want %d (%v vs %v)", label, i, got[i].I, want[i].I, got, want)
+		}
+		if math.Abs(got[i].P-want[i].P) > 1e-12 {
+			t.Fatalf("%s: rank %d π = %v, want %v", label, i, got[i].P, want[i].P)
+		}
+	}
+}
+
+// TestTopKParity is the top-k acceptance gate: monolithic brute,
+// sharded (k ∈ parityKs) and planned execution all reproduce the
+// brute-force enumeration — same deterministic ranking, π within
+// 1e-12 — for several result sizes including k > n.
+func TestTopKParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x70b4))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 40, 3, 40, 1.0, 1))
+	qs := randQueries(rng, 32, 44)
+
+	mono, err := Build(BackendBrute, ds, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, _, err := BuildPlanned(ds, BuildOptions{}, ShardOptions{},
+		PlannerOptions{Mix: Workload{Nonzero: 1, Probs: 1, Expected: 1, TopK: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planned.Capabilities().Has(CapTopK) {
+		t.Fatalf("planned index lacks topk: %v", planned.Capabilities())
+	}
+	for _, k := range []int{1, 3, 7, 100} {
+		for qi, q := range qs {
+			want := bruteTopK(ds, q, k)
+			got, err := queryTopKOf(mono, q, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTopK(t, "mono", got, want)
+			got, err = queryTopKOf(planned, q, k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTopK(t, "planned", got, want)
+			for _, shards := range parityKs {
+				sx := shardedOver(t, BackendBrute, ds, shards, BuildOptions{}).(*ShardedIndex)
+				got, err := sx.QueryTopK(q, k, 0)
+				if err != nil {
+					t.Fatalf("shards=%d q%d: %v", shards, qi, err)
+				}
+				assertTopK(t, "sharded", got, want)
+			}
+		}
+	}
+}
+
+// TestTopKSelect pins the selection kernel: both the copy-and-sort
+// (k ≥ n) and heap paths produce the deterministic ranking, ties break
+// by index ascending, and the input slice is never reordered (cached π
+// vectors are shared).
+func TestTopKSelect(t *testing.T) {
+	in := []quantify.Prob{{I: 4, P: 0.2}, {I: 1, P: 0.5}, {I: 7, P: 0.2}, {I: 2, P: 0.1}, {I: 0, P: 0.5}}
+	orig := append([]quantify.Prob(nil), in...)
+	want := []quantify.Prob{{I: 0, P: 0.5}, {I: 1, P: 0.5}, {I: 4, P: 0.2}, {I: 7, P: 0.2}, {I: 2, P: 0.1}}
+	for k := 1; k <= len(in)+2; k++ {
+		got := topKSelect(in, k)
+		wk := want
+		if k < len(wk) {
+			wk = wk[:k]
+		}
+		if !reflect.DeepEqual(got, wk) {
+			t.Fatalf("k=%d: %v, want %v", k, got, wk)
+		}
+		if !reflect.DeepEqual(in, orig) {
+			t.Fatalf("k=%d: topKSelect mutated its input: %v", k, in)
+		}
+	}
+}
+
+// TestEngineTopK covers the engine surface of the new kind: QueryTopK
+// and BatchTopK agree, distinct k values are distinct cache cells, k<1
+// and unsupported backends report errors, and the Serve stream carries
+// the kind end to end.
+func TestEngineTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x70b5))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 24, 3, 30, 1.0, 1))
+	ix, err := Build(BackendBrute, ds, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(ix, Options{Workers: 2, CacheSize: 64})
+	qs := randQueries(rng, 16, 34)
+
+	batch, err := eng.BatchTopK(qs, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		single, err := eng.QueryTopK(q, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i], single) {
+			t.Fatalf("q%d: batch %v, single %v", i, batch[i], single)
+		}
+		assertTopK(t, "engine", single, bruteTopK(ds, q, 3))
+	}
+	// Same point, different k: the cache must not serve the k=3 answer.
+	two, err := eng.QueryTopK(qs[0], 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTopK(t, "k=2 after k=3 cached", two, bruteTopK(ds, qs[0], 2))
+
+	if _, err := eng.QueryTopK(qs[0], 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	st := eng.Stats()
+	if st.Kind(CapTopK).Count == 0 {
+		t.Fatalf("topk stats slot empty: %+v", st)
+	}
+
+	// A nonzero-only backend reports ErrUnsupported through every path.
+	nz, err := Build(BackendTwoStageDiscrete, ds, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(nz, Options{}).QueryTopK(qs[0], 2, 0); err == nil {
+		t.Fatal("topk on a nonzero-only backend accepted")
+	}
+}

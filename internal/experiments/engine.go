@@ -862,7 +862,7 @@ func PlannerBench(opt Options) ([]BenchRecord, *Table) {
 // planSummary compacts a plan to its per-kind backend choices.
 func planSummary(p *engine.Plan) string {
 	var parts []string
-	for _, kind := range []engine.Capability{engine.CapNonzero, engine.CapProbs, engine.CapExpected} {
+	for _, kind := range []engine.Capability{engine.CapNonzero, engine.CapProbs, engine.CapExpected, engine.CapTopK} {
 		if ch, ok := p.Choices[kind]; ok {
 			parts = append(parts, fmt.Sprintf("%s=%s", kind, ch.Backend))
 		}
@@ -873,5 +873,119 @@ func planSummary(p *engine.Plan) string {
 // E19Planner is the Table-only driver registered in All.
 func E19Planner(opt Options) *Table {
 	_, t := PlannerBench(opt)
+	return t
+}
+
+// TopKBench (E22) measures the registry-added top-k query kind across
+// the execution layers: the monolithic brute reference, the exact
+// cross-shard merge, and the planned composite. Top-k is one π sweep
+// plus an O(n log k) selection, so its per-query cost must track the π
+// query at the same configuration — each configuration emits one
+// "<config>-probs" baseline row and one "<config>-topk<k>" row per k,
+// and cmd/benchdiff enforces the ratio as an intra-run invariant.
+func TopKBench(opt Options) ([]BenchRecord, *Table) {
+	t := &Table{
+		ID:     "E22",
+		Title:  "top-k most-likely NN through the query-kind registry",
+		Claim:  "top-k = one π sweep + O(n log k) selection: per-query cost tracks the π query per configuration",
+		Header: []string{"config", "n", "shards", "k", "πQ", "topkQ", "ratio"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n := 2000
+	if opt.Quick {
+		n = 600
+	}
+	side := 10 * float64(n)
+	ds := engine.FromDiscrete(constructions.RandomDiscrete(rng, n, 3, side, 2.0, 1))
+	qs := make([]geom.Point, 128)
+	for i := range qs {
+		qs[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+
+	configs := []struct {
+		name   string
+		shards int
+		build  func() (engine.Index, error)
+	}{
+		{"brute", 0, func() (engine.Index, error) {
+			return engine.Build(engine.BackendBrute, ds, engine.BuildOptions{})
+		}},
+		{"sharded", 4, func() (engine.Index, error) {
+			return engine.BuildSharded(engine.BackendBrute, ds, engine.BuildOptions{}, engine.ShardOptions{Shards: 4})
+		}},
+		{"planned", 0, func() (engine.Index, error) {
+			ix, _, err := engine.BuildPlanned(ds, engine.BuildOptions{}, engine.ShardOptions{},
+				engine.PlannerOptions{Mix: engine.Workload{Nonzero: 1, Probs: 1, Expected: 1, TopK: 1}})
+			return ix, err
+		}},
+	}
+	var recs []BenchRecord
+	for _, cfg := range configs {
+		var (
+			ix  engine.Index
+			err error
+		)
+		build := timeIt(func() { ix, err = cfg.build() })
+		if err != nil {
+			t.Note("%s: %v", cfg.name, err)
+			continue
+		}
+		eng := engine.NewEngine(ix, engine.Options{})
+		probsPer := timePer(len(qs), func(i int) {
+			if _, e := eng.QueryProbs(qs[i], 0); e != nil && err == nil {
+				err = e
+			}
+		})
+		if err != nil {
+			t.Note("%s: %v", cfg.name, err)
+			continue
+		}
+		recs = append(recs, BenchRecord{
+			Exp:            "E22",
+			AllocsPerQuery: -1,
+			Backend:        cfg.name + "-probs",
+			N:              n,
+			Queries:        len(qs),
+			Workers:        eng.Workers(),
+			Shards:         cfg.shards,
+			BuildNs:        build.Nanoseconds(),
+			QueryNsOp:      float64(probsPer.Nanoseconds()),
+		})
+		for _, k := range []int{1, 10} {
+			k := k
+			topkPer := timePer(len(qs), func(i int) {
+				if _, e := eng.QueryTopK(qs[i], k, 0); e != nil && err == nil {
+					err = e
+				}
+			})
+			if err != nil {
+				t.Note("%s k=%d: %v", cfg.name, k, err)
+				break
+			}
+			ratio := "n/a"
+			if probsPer > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(topkPer)/float64(probsPer))
+			}
+			recs = append(recs, BenchRecord{
+				Exp:            "E22",
+				AllocsPerQuery: -1,
+				Backend:        fmt.Sprintf("%s-topk%d", cfg.name, k),
+				N:              n,
+				Queries:        len(qs),
+				Workers:        eng.Workers(),
+				Shards:         cfg.shards,
+				QueryNsOp:      float64(topkPer.Nanoseconds()),
+			})
+			t.AddRow(cfg.name, itoa(n), itoa(cfg.shards), itoa(k), dtoa(probsPer), dtoa(topkPer), ratio)
+		}
+	}
+	t.Note("every row's top-k answer set is the ranked prefix of the same configuration's π sweep")
+	t.Note("rows pair as <config>-probs vs <config>-topk<k> in BENCH_engine.json; benchdiff bounds the ratio")
+	return recs, t
+}
+
+// E22TopK is the Table-only driver registered in All.
+func E22TopK(opt Options) *Table {
+	_, t := TopKBench(opt)
 	return t
 }

@@ -130,6 +130,7 @@ var All = []struct {
 	{"E19", "cost-based planner vs rule-based auto, mixed workload", E19Planner},
 	{"E20", "mutation batching: coalesced bursts + insert buffer", E20Mutation},
 	{"E21", "index snapshots: cold build vs zero-copy restore", E21Snapshot},
+	{"E22", "top-k most-likely NN: registry kind across execution layers", E22TopK},
 }
 
 // Lookup finds a driver by ID.

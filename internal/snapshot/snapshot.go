@@ -38,8 +38,15 @@ import (
 // Magic identifies a snapshot file.
 const Magic = "UNNS"
 
-// Version is the current format version; readers reject anything else.
-const Version = 1
+// Version is the current format version. Version 2 added per-kind plan
+// entries for registered query kinds beyond the original three (the
+// top-k kind); the container layout is unchanged, so readers accept
+// both versions — the engine layer treats missing per-kind entries as
+// "kind not planned", which is exactly what a version-1 writer meant.
+const Version = 2
+
+// MinVersion is the oldest format version readers still accept.
+const MinVersion = 1
 
 // Header flags.
 const (
@@ -151,8 +158,8 @@ func NewReader(data []byte) (*Reader, error) {
 	if string(data[0:4]) != Magic {
 		return nil, corruptf("bad magic %q", data[0:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
-		return nil, fmt.Errorf("snapshot: unsupported format version %d (want %d)", v, Version)
+	if v := binary.LittleEndian.Uint16(data[4:6]); v < MinVersion || v > Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (want %d–%d)", v, MinVersion, Version)
 	}
 	flags := data[6]
 	if flags&FlagLittleEndian == 0 {

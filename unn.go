@@ -19,6 +19,10 @@
 //     exactly (Eq. (2), or the V_Pr diagram of Theorem 4.2), by Monte
 //     Carlo (Theorem 4.3/4.5), or by deterministic spiral search
 //     (Theorem 4.7); plus threshold and top-k wrappers;
+//   - top-k most-likely NN (Handle.QueryTopK): the k points with the
+//     largest π_i(q), ranked by probability with deterministic
+//     index-order tie-break — a first-class query kind served by any
+//     π-capable backend;
 //   - expected-distance NN queries (the [AESZ12] semantics).
 //
 // All of these are served through one query engine: Open builds any
@@ -227,6 +231,17 @@ const (
 	CapNonzero  = engine.CapNonzero
 	CapProbs    = engine.CapProbs
 	CapExpected = engine.CapExpected
+	CapTopK     = engine.CapTopK
+)
+
+// The query-kind names alias the capability bits when one selects a
+// query method (Request dispatch, Serve-stream Query.Kind): a
+// registered kind IS its capability bit.
+const (
+	QueryKindNonzero  = engine.QueryKindNonzero
+	QueryKindProbs    = engine.QueryKindProbs
+	QueryKindExpected = engine.QueryKindExpected
+	QueryKindTopK     = engine.QueryKindTopK
 )
 
 // ErrUnsupported is returned when a Handle is asked for a query kind its
@@ -393,7 +408,21 @@ func WithPlanner() Option { return func(c *openConfig) { c.plannerSet = true } }
 func WithPlannerMix(nonzero, probs, expected float64) Option {
 	return func(c *openConfig) {
 		c.plannerSet = true
-		c.planner.Mix = engine.Workload{Nonzero: nonzero, Probs: probs, Expected: expected}
+		c.planner.Mix.Nonzero = nonzero
+		c.planner.Mix.Probs = probs
+		c.planner.Mix.Expected = expected
+	}
+}
+
+// WithPlannerTopK adds a top-k query share to the planner's expected mix
+// (same relative-weight semantics as WithPlannerMix, composable with
+// it in either order). With weight 0 — the default — top-k queries still
+// work; they ride the π backend the rest of the mix selects. Implies
+// WithPlanner.
+func WithPlannerTopK(weight float64) Option {
+	return func(c *openConfig) {
+		c.plannerSet = true
+		c.planner.Mix.TopK = weight
 	}
 }
 

@@ -44,7 +44,7 @@ func TestOpenAutoDiscrete(t *testing.T) {
 	if got := h.Backend(); got != unn.BackendBrute {
 		t.Fatalf("auto backend = %s, want brute", got)
 	}
-	want := unn.CapNonzero | unn.CapProbs | unn.CapExpected
+	want := unn.CapNonzero | unn.CapProbs | unn.CapExpected | unn.CapTopK
 	if got := h.Capabilities(); got != want {
 		t.Fatalf("capabilities = %v, want %v", got, want)
 	}
@@ -532,7 +532,7 @@ func TestOpenWithPlanner(t *testing.T) {
 		t.Fatalf("Explain missing the plan header:\n%s", expl)
 	}
 	st := h.Stats()
-	if st.Nonzero.Count == 0 || st.Expected.Count == 0 {
+	if st.Kind(unn.QueryKindNonzero).Count == 0 || st.Kind(unn.QueryKindExpected).Count == 0 {
 		t.Fatalf("Stats counters empty after queries: %+v", st)
 	}
 	// WithPlanner replaces the backend choice: pinning a backend too is a
