@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build vet fmtcheck test race bench bench-allocs bench-json benchdiff snapshot-roundtrip fuzz-short examples clean
+.PHONY: verify build vet fmtcheck test test-serial race bench bench-allocs bench-json benchdiff snapshot-roundtrip fuzz-short examples clean
 
 # The tier-1 gate: everything CI runs.
-verify: build vet fmtcheck test race
+verify: build vet fmtcheck test test-serial race
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ fmtcheck:
 test:
 	$(GO) test ./...
 
+# Single-proc leg: the batch executor's worker pools, tile scheduler and
+# Serve coalescing must behave identically when the runtime offers no
+# parallelism (degenerate pool sizes, inline sequential paths).
+# -count=1 because the test cache does not key on GOMAXPROCS.
+test-serial:
+	GOMAXPROCS=1 $(GO) test -count=1 ./internal/engine ./internal/kernel
+
 # Race-check the concurrent machinery: the sharded execution layer, the
 # dynamic mutation path, the async Serve stream, and the planner's
 # composite indexes (incl. the Stats latency counters batch workers hit).
@@ -30,13 +37,14 @@ bench:
 	$(GO) test ./internal/engine -run xxx \
 		-bench 'EngineBatch|EngineSequential|ShardedBatch|UnshardedBatch' -benchtime 5x
 
-# Zero-alloc gate for the flat-kernel query path: the E16/E17
-# single-query benchmarks drive QueryNonzeroInto with a pooled scratch
-# and report allocs/op; any nonzero steady-state figure fails the
-# target (the one-time pool fill amortizes to 0 over the fixed
+# Zero-alloc gate for the flat-kernel query path and the tiled batch
+# executor: the E16/E17 single-query benchmarks drive QueryNonzeroInto
+# and the E23 benchmark drives BatchNonzeroInto, both with pooled
+# scratch, and report allocs/op; any nonzero steady-state figure fails
+# the target (the one-time pool fill amortizes to 0 over the fixed
 # iteration count).
 bench-allocs:
-	@out="$$($(GO) test . -run xxx -bench 'SingleNonzero' -benchtime 200x)"; \
+	@out="$$($(GO) test . -run xxx -bench 'SingleNonzero|E23_BatchTiled' -benchtime 200x)"; \
 	echo "$$out"; \
 	bad="$$(echo "$$out" | awk '/allocs\/op/ && $$(NF-1)+0 != 0')"; \
 	if [ -n "$$bad" ]; then \
@@ -48,28 +56,32 @@ bench-allocs:
 snapshot-roundtrip:
 	$(GO) test . -run TestSnapshotRoundTripGate -count=1 -v
 
-# Short fuzz pass over the two decode/parity surfaces with seeded
-# corpora: the flat-kernel vs reference-path parity fuzzer and the
-# snapshot container decoder (which must reject arbitrary corruption
-# with an error, never a panic or an attacker-sized allocation).
+# Short fuzz pass over the decode/parity surfaces with seeded corpora:
+# the flat-kernel vs reference-path parity fuzzer, the tiled-kernel vs
+# scalar-kernel parity fuzzer, and the snapshot container decoder
+# (which must reject arbitrary corruption with an error, never a panic
+# or an attacker-sized allocation).
 fuzz-short:
 	$(GO) test ./internal/kernel -run xxx -fuzz FuzzKernelParity -fuzztime 30s
+	$(GO) test ./internal/kernel -run xxx -fuzz FuzzTileParity -fuzztime 30s
 	$(GO) test ./internal/engine -run xxx -fuzz FuzzSnapshotDecode -fuzztime 30s
 
 # Machine-readable perf trajectory: one JSON record per backend/size
 # (E16) plus the shard-scaling (E17), streaming-mutation (E18),
-# planner-vs-auto (E19), mutation-batching (E20), snapshot (E21) and
-# top-k (E22) sweeps.
+# planner-vs-auto (E19), mutation-batching (E20), snapshot (E21),
+# top-k (E22) and batch-tiling (E23) sweeps.
 bench-json:
 	$(GO) run ./cmd/unnbench -quick -json BENCH_engine.json >/dev/null
 
 # Compare the fresh BENCH_engine.json against a previous run's artifact
 # (OLD=path, fetched by CI from the last uploaded BENCH_engine), warning
-# on >20% regressions in the E17/E18/E19/E20/E21/E22 throughput metrics
-# — and, within the fresh file, on the E19 planner dropping below the
-# rule-based auto, on E21 snapshot restore dropping below 10× the cold
-# build, on snapshot parity breaking, and on an E22 top-k query costing
-# more than 1.5× its own configuration's π baseline.
+# on >20% regressions in the E17–E23 throughput metrics — and, within
+# the fresh file, on the E19 planner dropping below the rule-based
+# auto, on E21 snapshot restore dropping below 10× the cold build, on
+# snapshot parity breaking, on an E22 top-k query costing more than
+# 1.5× its own configuration's π baseline, and on the E23 tiled batch
+# executor dropping below 1.5× the scalar path on the hot workload or
+# breaking batch parity.
 OLD ?= prev/BENCH_engine.json
 benchdiff:
 	@if [ -f "$(OLD)" ]; then \

@@ -411,7 +411,7 @@ func benchmarkE19(b *testing.B, planner bool) {
 
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 22 {
+	if len(experiments.All) != 23 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }
@@ -577,6 +577,35 @@ func BenchmarkE22_TopK_n2000_k8(b *testing.B) {
 
 func BenchmarkE22_Probs_n2000_k8(b *testing.B) {
 	benchmarkE22(b, false)
+}
+
+// BenchmarkE23_BatchTiled drives the batch-fused tiled executor through
+// the allocation-aware entry point on the E17 sharded workload: one
+// 256-query batch per iteration, destination slots recycled across
+// iterations. `make bench-allocs` greps this benchmark alongside the
+// SingleNonzero ones — the tiled path's acceptance bar is 0 allocs/op
+// steady state (pooled tile scratch, sort-based in-batch dedup, no
+// per-batch maps or closures).
+func BenchmarkE23_BatchTiled_n2000_k8(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithBackend(unn.BackendBrute), unn.WithShards(8),
+		unn.WithWorkers(1), unn.WithBatchTile(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(256, 2000, 24)
+	var dst [][]int
+	if dst, err = h.BatchNonzeroInto(qs, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = h.BatchNonzeroInto(qs, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchmarkE22(b *testing.B, topk bool) {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchdiff -old prev/BENCH_engine.json -new BENCH_engine.json
-//	benchdiff -threshold 0.2 -exp E17,E18,E19,E20,E21 -fail ...
+//	benchdiff -threshold 0.2 -exp E17,E18,E19,E20,E21,E22,E23 -fail ...
 //
 // Records are matched by (exp, backend, n, shards); within a matched
 // pair every populated per-op cost (query_ns_op, batch_ns_op,
@@ -22,7 +22,11 @@
 // steady state. A third set guards the E21 snapshot layer: within the
 // new file, snapshot restore must stay ≥10× faster than the cold build
 // it replaces and the parity checksum must read ok; against the
-// baseline, snapshot_bytes must not grow beyond the threshold.
+// baseline, snapshot_bytes must not grow beyond the threshold. A
+// fourth set guards the E23 tiled batch executor: on the hot-skew
+// workload the tiled path must stay ≥1.5× faster than the scalar batch
+// at the same (n, shards), its answers bit-identical (parity ok), and
+// its steady-state allocations zero.
 // Benchmark noise makes hard failures
 // counterproductive, so the exit status stays 0 unless -fail is given.
 package main
@@ -65,7 +69,7 @@ func main() {
 		oldPath   = flag.String("old", "", "previous BENCH_engine.json (the baseline)")
 		newPath   = flag.String("new", "BENCH_engine.json", "fresh BENCH_engine.json")
 		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
-		exps      = flag.String("exp", "E17,E18,E19,E20,E21,E22", "comma-separated experiments to compare")
+		exps      = flag.String("exp", "E17,E18,E19,E20,E21,E22,E23", "comma-separated experiments to compare")
 		failFlag  = flag.Bool("fail", false, "exit non-zero when regressions are found")
 	)
 	flag.Parse()
@@ -130,6 +134,9 @@ func main() {
 	if want["E22"] {
 		regressions += checkTopKInvariant(newRecs, *threshold)
 	}
+	if want["E23"] {
+		regressions += checkBatchTileInvariant(newRecs)
+	}
 	fmt.Printf("benchdiff: %d metrics compared, %d regressions beyond %.0f%% (%s)\n",
 		compared, regressions, 100**threshold, *exps)
 	if *failFlag && regressions > 0 {
@@ -175,8 +182,9 @@ func checkPlannerInvariant(recs map[key]experiments.BenchRecord, threshold float
 
 // checkAllocFree enforces the flat-kernel invariant on the fresh file:
 // every measured allocs_per_query on the kernel-served NN≠0 rows —
-// E17 sharded rows and the E16 brute / two-stage rows — must stay at
-// zero steady state. The bar is 0.5, not literally 0: the measurement
+// E17 sharded rows, the E16 brute / two-stage rows, and the E23 tiled
+// batch rows (measured through BatchNonzeroInto) — must stay at zero
+// steady state. The bar is 0.5, not literally 0: the measurement
 // amortizes one post-GC scratch-pool refill over its rounds, so an
 // allocation-free path reads ≪ 0.5 and a path that re-grew a real
 // per-query allocation reads ≥ 1. Rows with allocs_per_query = -1
@@ -193,6 +201,7 @@ func checkAllocFree(recs map[key]experiments.BenchRecord, want map[string]bool) 
 			continue
 		}
 		measured := strings.EqualFold(k.exp, "E17") ||
+			strings.EqualFold(k.exp, "E23") ||
 			(strings.EqualFold(k.exp, "E16") && allocFree[k.backend])
 		if measured && r.AllocsPerQuery > 0.5 {
 			violations++
@@ -284,6 +293,49 @@ func checkTopKInvariant(recs map[key]experiments.BenchRecord, threshold float64)
 			violations++
 			fmt.Printf("WARN: E22 %s n=%d k=%d top-k latency %.0fns exceeds %.1fx its π baseline (%.0fns)\n",
 				k.backend, k.n, k.shards, r.QueryNsOp, selectionSlack*(1+threshold), pr.QueryNsOp)
+		}
+	}
+	return violations
+}
+
+// checkBatchTileInvariant is the E23 intra-run bound on the fresh file:
+// on the hot-skew workload the tiled shard-affine batch executor must
+// stay ≥1.5× faster than the scalar batch path at the same (n, shards)
+// — the batch-tiling PR's acceptance bar is 2×; 1.5× is the regression
+// floor below which in-batch dedup has effectively stopped working —
+// and the tiled hot row's parity fingerprint must read ok (the tiled
+// executor is contractually bit-identical to the scalar batch). The
+// uniq rows are informational (the no-sharing bound hovers near 1×) and
+// are guarded only by the generic per-metric baseline comparison.
+func checkBatchTileInvariant(recs map[key]experiments.BenchRecord) int {
+	const minSpeedup = 1.5
+	scalars := map[key]experiments.BenchRecord{}
+	for k, r := range recs {
+		if strings.EqualFold(k.exp, "E23") && strings.HasSuffix(k.backend, "-hot-scalar") {
+			k.backend = strings.TrimSuffix(k.backend, "-scalar")
+			scalars[k] = r
+		}
+	}
+	violations := 0
+	for k, r := range recs {
+		if !strings.EqualFold(k.exp, "E23") || !strings.HasSuffix(k.backend, "-hot-tiled") {
+			continue
+		}
+		if r.Parity != "" && !strings.HasPrefix(r.Parity, "ok") {
+			violations++
+			fmt.Printf("WARN: E23 %s n=%d batch parity broken (%s): tiled executor disagrees with scalar batch\n",
+				k.backend, k.n, r.Parity)
+		}
+		sk := k
+		sk.backend = strings.TrimSuffix(k.backend, "-tiled")
+		sr, ok := scalars[sk]
+		if !ok || sr.BatchNsOp <= 0 || r.BatchNsOp <= 0 {
+			continue
+		}
+		if speedup := sr.BatchNsOp / r.BatchNsOp; speedup < minSpeedup {
+			violations++
+			fmt.Printf("WARN: E23 %s n=%d hot-batch speedup only %.2fx over the scalar path (want ≥%.1fx; %.0fns vs %.0fns)\n",
+				k.backend, k.n, speedup, minSpeedup, r.BatchNsOp, sr.BatchNsOp)
 		}
 	}
 	return violations

@@ -25,7 +25,11 @@
 // per-item ns/op, buffer hit fraction), the snapshot sweep (E21) times
 // restoring an engine from its versioned binary snapshot against the
 // cold build it replaces (snapshot_load_ns vs build_ns, snapshot_bytes,
-// and a parity checksum over NN≠0 answers), and records of the form
+// and a parity checksum over NN≠0 answers), the top-k sweep (E22) runs
+// the registry-added kind across the execution layers, and the
+// batch-tiling sweep (E23) pits the tiled shard-affine batch executor
+// (multi-query kernels + in-batch dedup) against the scalar batch path
+// on hot-skew and unique workloads. Records of the form
 //
 //	{"backend": "montecarlo", "n": 1000, "queries": 256, "workers": 8,
 //	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...,
@@ -103,6 +107,11 @@ func main() {
 			fatal(err)
 		}
 		recs = append(recs, topkRecs...)
+		tileRecs, tileTab := experiments.BatchTileBench(opt)
+		if _, err := tileTab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		recs = append(recs, tileRecs...)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

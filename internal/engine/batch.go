@@ -37,6 +37,14 @@ type Options struct {
 	// ServeBuffer is the capacity of the answer channel returned by
 	// Serve — the backpressure window of the stream. Default 2×Workers.
 	ServeBuffer int
+	// BatchTile is the tile width of the batch executor: how many queries
+	// share one pass over the backend's SoA rows (and one shard-affine
+	// schedule) in Batch* calls for tileable kinds. 0 selects the default
+	// (8), negative disables tiling (every batch slot runs the scalar
+	// single-query path), larger values clamp to 64. Tiling also enables
+	// in-batch deduplication: batch queries sharing a cache key (or, with
+	// caching off, exact coordinates) compute once.
+	BatchTile int
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +98,14 @@ type cellIdentifier interface {
 type engineStats struct {
 	count [numKinds]atomic.Uint64
 	ns    [numKinds]atomic.Uint64
+	// Batch traffic: every Batch* call counts once (batches) with its
+	// slot count (batchQueries); the tiled executor additionally records
+	// its schedule's slot capacity and occupied lanes (tileSlots /
+	// tileLanes — their ratio is the mean tile occupancy).
+	batches      atomic.Uint64
+	batchQueries atomic.Uint64
+	tileSlots    atomic.Uint64
+	tileLanes    atomic.Uint64
 }
 
 func (s *engineStats) record(kind Capability, d time.Duration) {
@@ -99,6 +115,31 @@ func (s *engineStats) record(kind Capability, d time.Duration) {
 	}
 	s.count[i].Add(1)
 	s.ns[i].Add(uint64(d.Nanoseconds()))
+}
+
+// countBatch records one Batch* call of n queries.
+func (s *engineStats) countBatch(n int) {
+	s.batches.Add(1)
+	s.batchQueries.Add(uint64(n))
+}
+
+// recordBatchKind attributes a tiled batch's wall time to its kind: n
+// queries answered in d total, so the per-kind mean stays a per-query
+// latency comparable with the scalar path's.
+func (s *engineStats) recordBatchKind(kind Capability, n int, d time.Duration) {
+	i := kindSlot(kind)
+	if i < 0 {
+		return
+	}
+	s.count[i].Add(uint64(n))
+	s.ns[i].Add(uint64(d.Nanoseconds()))
+}
+
+// recordTiles records one tiled schedule's slot capacity and occupied
+// lanes.
+func (s *engineStats) recordTiles(slots, lanes int) {
+	s.tileSlots.Add(uint64(slots))
+	s.tileLanes.Add(uint64(lanes))
 }
 
 // KindStats is the latency record of one query kind.
@@ -138,8 +179,35 @@ type Stats struct {
 	CacheHits    uint64
 	CacheMisses  uint64
 	CacheQuantum float64
+	// Batches / BatchQueries count Batch* calls and their total slots
+	// (MeanBatchSize is their ratio).
+	Batches      uint64
+	BatchQueries uint64
+	// TileSlots / TileLanes describe the tiled executor's schedules: slot
+	// capacity (Σ tile widths) vs occupied lanes. TileOccupancy is their
+	// ratio; ragged final tiles and narrow compute sets lower it.
+	TileSlots uint64
+	TileLanes uint64
 	// ShardQueries is nil for unsharded backends.
 	ShardQueries []ShardKindCounts
+}
+
+// MeanBatchSize returns the mean number of queries per Batch* call
+// (0 when no batches were served).
+func (s Stats) MeanBatchSize() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchQueries) / float64(s.Batches)
+}
+
+// TileOccupancy returns the fraction of the tiled executor's scheduled
+// lanes that carried a query (0 when no tiles ran).
+func (s Stats) TileOccupancy() float64 {
+	if s.TileSlots == 0 {
+		return 0
+	}
+	return float64(s.TileLanes) / float64(s.TileSlots)
 }
 
 // Kind returns the latency record of one registered query kind (the
@@ -219,6 +287,10 @@ func (e *Engine) Stats() Stats {
 		s.Kinds[i] = KindStats{Count: e.stats.count[i].Load(), TotalNs: e.stats.ns[i].Load()}
 	}
 	s.CacheHits, s.CacheMisses = e.CacheStats()
+	s.Batches = e.stats.batches.Load()
+	s.BatchQueries = e.stats.batchQueries.Load()
+	s.TileSlots = e.stats.tileSlots.Load()
+	s.TileLanes = e.stats.tileLanes.Load()
 	ix := e.ix
 	if h, ok := ix.(hintedIndex); ok {
 		ix = h.Index
@@ -537,15 +609,58 @@ func batch[T any](workers int, qs []geom.Point, fn func(geom.Point) (T, error)) 
 	return out, nil
 }
 
-// BatchNonzero answers a slice of NN≠0 queries in parallel; result i
-// corresponds to qs[i] and is identical to QueryNonzero(qs[i]).
+// BatchNonzero answers a slice of NN≠0 queries; result i corresponds
+// to qs[i] and is identical to QueryNonzero(qs[i]). With tiling enabled
+// (Options.BatchTile ≥ 0, the default) the batch runs through the tiled
+// executor: duplicate queries compute once, tileable backends scan
+// their rows once per tile of queries, and everything else falls back
+// to the scalar per-query path — answers are bit-identical either way.
 func (e *Engine) BatchNonzero(qs []geom.Point) ([][]int, error) {
 	if err := e.check(CapNonzero); err != nil {
 		return nil, err
 	}
+	e.stats.countBatch(len(qs))
+	if e.tileSize() > 0 && len(qs) > 0 {
+		out, err := e.batchNonzeroTiled(qs, make([][]int, len(qs)), true)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	return batch(e.opt.Workers, qs, func(q geom.Point) ([]int, error) {
 		return e.QueryNonzero(q)
 	})
+}
+
+// BatchNonzeroInto answers a slice of NN≠0 queries reusing dst's slots
+// — the batch analogue of QueryNonzeroInto: dst must have len(qs)
+// slots, slot i is truncated and reused for qs[i]'s answer, and in
+// steady state (warmed slots, tiling enabled, tileable backend) the
+// call performs no heap allocation. Like QueryNonzeroInto, computed
+// answers are not installed in the cache (hits are still served).
+func (e *Engine) BatchNonzeroInto(qs []geom.Point, dst [][]int) ([][]int, error) {
+	if err := e.check(CapNonzero); err != nil {
+		return dst, err
+	}
+	e.stats.countBatch(len(qs))
+	if len(qs) == 0 {
+		return dst, nil
+	}
+	if len(dst) < len(qs) {
+		dst = append(dst, make([][]int, len(qs)-len(dst))...)
+	}
+	if e.tileSize() > 0 {
+		return e.batchNonzeroTiled(qs, dst[:len(qs)], false)
+	}
+	fi, err := runIndexed(e.opt.Workers, len(qs), func(i int) error {
+		slot, err := e.QueryNonzeroInto(qs[i], dst[i][:0])
+		dst[i] = slot
+		return err
+	})
+	if err != nil {
+		return dst, fmt.Errorf("engine: batch query %d: %w", fi, err)
+	}
+	return dst, nil
 }
 
 // BatchProbs answers a slice of quantification queries in parallel;
@@ -555,6 +670,7 @@ func (e *Engine) BatchProbs(qs []geom.Point, eps float64) ([][]quantify.Prob, er
 	if err := e.check(CapProbs); err != nil {
 		return nil, err
 	}
+	e.stats.countBatch(len(qs))
 	return batch(e.opt.Workers, qs, func(q geom.Point) ([]quantify.Prob, error) {
 		return e.QueryProbs(q, eps)
 	})
@@ -566,6 +682,15 @@ func (e *Engine) BatchProbs(qs []geom.Point, eps float64) ([][]quantify.Prob, er
 func (e *Engine) BatchExpected(qs []geom.Point) ([]ExpectedResult, error) {
 	if err := e.check(CapExpected); err != nil {
 		return nil, err
+	}
+	e.stats.countBatch(len(qs))
+	if e.tileSize() > 0 && len(qs) > 0 {
+		if out, ok, err := e.batchExpectedTiled(qs); ok {
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
 	}
 	return batch(e.opt.Workers, qs, func(q geom.Point) (ExpectedResult, error) {
 		i, d, err := e.QueryExpected(q)
@@ -580,6 +705,7 @@ func (e *Engine) BatchTopK(qs []geom.Point, k int, eps float64) ([][]quantify.Pr
 	if err := e.check(CapTopK); err != nil {
 		return nil, err
 	}
+	e.stats.countBatch(len(qs))
 	return batch(e.opt.Workers, qs, func(q geom.Point) ([]quantify.Prob, error) {
 		return e.QueryTopK(q, k, eps)
 	})

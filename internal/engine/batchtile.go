@@ -1,0 +1,581 @@
+// The tiled batch executor: BatchNonzero / BatchExpected rebuilt around
+// the multi-query kernels (kernel/tile.go) and a shard-affine schedule.
+//
+// A batch runs in three phases:
+//
+//  1. Dedup ("in-batch singleflight"): every query is keyed by the same
+//     cache key its single-query path would use (exact float bits when
+//     the cache is off, so duplicate points still collapse), duplicates
+//     alias their lowest-index representative, and representatives probe
+//     the cache once. Only the remaining unique misses compute.
+//  2. Compute: the backend's tiled batcher — the sharded merge scans
+//     each shard's SoA rows once per tile of T queries, visiting shards
+//     in tile-min-lower-bound order with per-lane Lemma 2.1 pruning —
+//     or, for backends without one, the scalar appender per query.
+//     Answers land in their slots through a sink, so the output order
+//     is input order regardless of scheduling.
+//  3. Alias copy: duplicates copy their representative's slot.
+//
+// Determinism survives tiling because the two-smallest-Δ fold is
+// visit-order independent (see kernel.ScanTwoMin): a lane's scanned
+// shard set under the tile schedule is a superset of the rows that can
+// contribute — a shard skipped at lb ≥ m2(t) can neither shift the
+// final (m1, m2) (its Δ's are ≥ lb ≥ the final m2) nor pass the strict
+// δ < bound filter — so each lane's candidate set, sorted ascending, is
+// the scalar merge's bit for bit. DESIGN.md §11 has the full argument.
+//
+// Everything on the workers ≤ 1 path is allocation-free in steady
+// state: pooled scratch, sort-based dedup (no maps), pooled emitter
+// structs behind the sink interfaces (no closures).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unn/internal/geom"
+	"unn/internal/kernel"
+)
+
+// defaultBatchTile and maxBatchTile bound the tile width (lanes per
+// data pass). 8 lanes amortize the row stream without spilling the
+// per-lane state out of registers/L1; wider tiles help only on very
+// cheap rows.
+const (
+	defaultBatchTile = 8
+	maxBatchTile     = 64
+	// tileDeltaBudget caps the dense per-tile δ block (lanes × rows
+	// float64s, ≈32 MB): at large n the tile narrows so the staging
+	// block stays cache-resident instead of thrashing.
+	tileDeltaBudget = 4 << 20
+)
+
+// tileSize resolves Options.BatchTile: 0 selects the default, negative
+// disables tiling (the scalar per-query batch path), positive values
+// clamp to maxBatchTile.
+func (e *Engine) tileSize() int {
+	switch t := e.opt.BatchTile; {
+	case t == 0:
+		return defaultBatchTile
+	case t < 0:
+		return 0
+	case t > maxBatchTile:
+		return maxBatchTile
+	default:
+		return t
+	}
+}
+
+// errUntileable signals that a backend has no tiled path for the
+// request (no SoA mirror, unsupported dataset shape); the executor
+// falls back to scalar per-query compute, keeping the dedup phase.
+var errUntileable = errors.New("engine: backend has no tiled batch path")
+
+// nonzeroSink receives one computed NN≠0 answer per unique query; qi is
+// the index into the compute subset handed to the batcher. ids is only
+// valid during the call (tile scratch) — implementations copy.
+// Implementations must tolerate concurrent calls for distinct qi.
+type nonzeroSink interface {
+	emitNonzero(qi int, ids []int)
+}
+
+// expectedSink receives one computed expected-distance answer per
+// unique query.
+type expectedSink interface {
+	emitExpected(qi int, gi int, d float64)
+}
+
+// tiledNonzeroBatcher is the backend contract behind the tiled
+// executor: answer every query in qs (emitting into sink, indices into
+// qs) using tiles of at most tile lanes and up to workers goroutines.
+// Returns the schedule's slot capacity (Σ tile widths) and occupied
+// lanes for the occupancy counters. errUntileable requests scalar
+// fallback.
+type tiledNonzeroBatcher interface {
+	batchTiledNonzero(qs []geom.Point, tile, workers int, sink nonzeroSink) (slots, lanes int, err error)
+}
+
+// tiledExpectedBatcher is the expected-distance analogue.
+type tiledExpectedBatcher interface {
+	batchTiledExpected(qs []geom.Point, tile, workers int, sink expectedSink) (slots, lanes int, err error)
+}
+
+// keyRef pairs a query's dedup key with its input index; sorting groups
+// duplicates with the lowest index first in each group.
+type keyRef struct {
+	key cacheKey
+	idx int
+}
+
+func cmpKeyRef(a, b keyRef) int {
+	switch {
+	case a.key.kind != b.key.kind:
+		return int(a.key.kind) - int(b.key.kind)
+	case a.key.x != b.key.x:
+		return cmpU64(a.key.x, b.key.x)
+	case a.key.y != b.key.y:
+		return cmpU64(a.key.y, b.key.y)
+	case a.key.eps != b.key.eps:
+		return cmpU64(a.key.eps, b.key.eps)
+	case a.key.k != b.key.k:
+		return cmpU64(a.key.k, b.key.k)
+	default:
+		return a.idx - b.idx
+	}
+}
+
+func cmpU64(a, b uint64) int {
+	if a < b {
+		return -1
+	}
+	return 1
+}
+
+// batchScratch is the executor's pooled per-batch arena: the dedup
+// tables and the emitter structs (pointers to these fields convert to
+// the sink interfaces without allocating).
+type batchScratch struct {
+	refs  []keyRef
+	alias []int // alias[i] ≥ 0: input i copies representative alias[i]
+	comp  []int // input indices to compute, ascending
+	keys  []cacheKey
+	pts   []geom.Point
+	nzEm  nonzeroEmitter
+	exEm  expectedEmitter
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func getBatchScratch() *batchScratch   { return batchPool.Get().(*batchScratch) }
+func putBatchScratch(bs *batchScratch) { batchPool.Put(bs) }
+
+// batchKey builds a query's dedup key: the cache key when caching is on
+// (so batch dedup collapses exactly what the cache would share — same
+// quantum cell, same cell identity), else the exact coordinate bits (so
+// cache-off batches still collapse repeated points).
+func (e *Engine) batchKey(spec *kindSpec, req Request) cacheKey {
+	if e.cache != nil {
+		return e.requestKey(spec, req)
+	}
+	return cacheKey{kind: spec.cacheKind, x: math.Float64bits(req.Q.X), y: math.Float64bits(req.Q.Y)}
+}
+
+// hitSink receives cache hits during dedup: v is the cached boxed
+// value, rep the input index of the group's representative. An
+// interface (implemented by the pooled emitters) instead of a func so
+// the steady state builds no closure.
+type hitSink interface {
+	hit(rep int, v any)
+}
+
+// dedup keys qs (phase 1): duplicates alias their representative,
+// representatives probe the cache once through sink, and the misses
+// land in bs.comp/bs.keys ascending by input index.
+func (e *Engine) dedup(spec *kindSpec, qs []geom.Point, bs *batchScratch, sink hitSink) {
+	refs := bs.refs[:0]
+	for i, q := range qs {
+		refs = append(refs, keyRef{key: e.batchKey(spec, Request{Kind: spec.cap, Q: q}), idx: i})
+	}
+	slices.SortFunc(refs, cmpKeyRef)
+	bs.refs = refs
+
+	alias := bs.alias
+	if cap(alias) < len(qs) {
+		alias = make([]int, len(qs))
+	}
+	alias = alias[:len(qs)]
+	for i := range alias {
+		alias[i] = -1
+	}
+	comp := bs.comp[:0]
+	keys := bs.keys[:0]
+	for gs := 0; gs < len(refs); {
+		ge := gs + 1
+		for ge < len(refs) && refs[ge].key == refs[gs].key {
+			ge++
+		}
+		rep := refs[gs].idx // lowest input index of the group (cmp ties on idx)
+		cached := false
+		if e.cache != nil {
+			if v, ok := e.cache.getKey(refs[gs].key); ok {
+				sink.hit(rep, v)
+				cached = true
+			}
+		}
+		if !cached {
+			comp = append(comp, rep)
+			keys = append(keys, refs[gs].key)
+		}
+		for j := gs + 1; j < ge; j++ {
+			alias[refs[j].idx] = rep
+		}
+		gs = ge
+	}
+	// Compute order must be ascending input order so a wholesale backend
+	// failure maps to the lowest failing input index; regroup (comp was
+	// emitted in key order) by sorting the (key, rep) pairs on rep.
+	if !slices.IsSorted(comp) {
+		pairs := refs[:0]
+		for ci, qi := range comp {
+			pairs = append(pairs, keyRef{key: keys[ci], idx: qi})
+		}
+		slices.SortFunc(pairs, cmpRefIdx)
+		comp, keys = comp[:0], keys[:0]
+		for _, p := range pairs {
+			comp = append(comp, p.idx)
+			keys = append(keys, p.key)
+		}
+	}
+	bs.alias, bs.comp, bs.keys = alias, comp, keys
+}
+
+func cmpRefIdx(a, b keyRef) int { return a.idx - b.idx }
+
+// nonzeroEmitter is the executor's nonzeroSink: it copies each computed
+// answer into its output slot (reusing the slot's capacity) and, when
+// caching, installs an owned copy under the query's key.
+type nonzeroEmitter struct {
+	e       *Engine
+	out     [][]int
+	comp    []int
+	keys    []cacheKey
+	install bool
+	gen     uint64
+}
+
+func (em *nonzeroEmitter) emitNonzero(ci int, ids []int) {
+	qi := em.comp[ci]
+	em.out[qi] = append(em.out[qi][:0], ids...)
+	if em.install {
+		owned := make([]int, len(ids))
+		copy(owned, ids)
+		em.e.cache.putKey(em.keys[ci], owned, em.gen)
+	}
+}
+
+// expectedEmitter is the executor's expectedSink.
+type expectedEmitter struct {
+	e       *Engine
+	out     []ExpectedResult
+	comp    []int
+	keys    []cacheKey
+	install bool
+	gen     uint64
+}
+
+func (em *expectedEmitter) emitExpected(ci int, gi int, d float64) {
+	qi := em.comp[ci]
+	em.out[qi] = ExpectedResult{I: gi, Dist: d}
+	if em.install {
+		em.e.cache.putKey(em.keys[ci], expectedAnswer{gi, d}, em.gen)
+	}
+}
+
+// unwrapped strips the quantum-hint wrapper (unexported interfaces do
+// not promote through it).
+func (e *Engine) unwrapped() Index {
+	ix := e.ix
+	for {
+		h, ok := ix.(hintedIndex)
+		if !ok {
+			return ix
+		}
+		ix = h.Index
+	}
+}
+
+// batchNonzeroTiled is the tiled NN≠0 batch body: out must have
+// len(qs) slots (reused in place — the Into contract). install selects
+// cache installation for computed answers (the allocating entry points;
+// the Into path skips it like QueryNonzeroInto does).
+func (e *Engine) batchNonzeroTiled(qs []geom.Point, out [][]int, install bool) ([][]int, error) {
+	t0 := time.Now()
+	defer func() { e.stats.recordBatchKind(CapNonzero, len(qs), time.Since(t0)) }()
+	bs := getBatchScratch()
+	defer putBatchScratch(bs)
+
+	var gen uint64
+	if e.cache != nil {
+		gen = e.cache.generation()
+	}
+	em := &bs.nzEm
+	*em = nonzeroEmitter{e: e, out: out, install: install && e.cache != nil, gen: gen}
+	e.dedup(&kindTable[slotNonzero], qs, bs, em)
+	em.comp, em.keys = bs.comp, bs.keys
+
+	if len(bs.comp) > 0 {
+		pts := bs.pts[:0]
+		for _, qi := range bs.comp {
+			pts = append(pts, qs[qi])
+		}
+		bs.pts = pts
+		ran := false
+		if tb, ok := e.unwrapped().(tiledNonzeroBatcher); ok {
+			slots, lanes, err := tb.batchTiledNonzero(pts, e.tileSize(), e.opt.Workers, em)
+			switch {
+			case err == nil:
+				e.stats.recordTiles(slots, lanes)
+				ran = true
+			case !errors.Is(err, errUntileable):
+				return out, fmt.Errorf("engine: batch query %d: %w", bs.comp[0], err)
+			}
+		}
+		if !ran {
+			fi, err := runIndexed(e.opt.Workers, len(pts), func(ci int) error {
+				return e.fallbackNonzero(pts[ci], ci, em)
+			})
+			if err != nil {
+				return out, fmt.Errorf("engine: batch query %d: %w", bs.comp[fi], err)
+			}
+		}
+	}
+
+	for i, r := range bs.alias {
+		if r >= 0 {
+			out[i] = append(out[i][:0], out[r]...)
+		}
+	}
+	return out, nil
+}
+
+// hit fills a representative's slot from a cached entry (hitSink).
+func (em *nonzeroEmitter) hit(rep int, v any) {
+	em.out[rep] = append(em.out[rep][:0], v.([]int)...)
+}
+
+// fallbackNonzero computes one unique query on the scalar path — the
+// raw appender (or backend call), NOT queryValue: the batch records its
+// stats once, and double-recording per fallback query would skew the
+// cost model's measured latencies.
+func (e *Engine) fallbackNonzero(q geom.Point, ci int, em *nonzeroEmitter) error {
+	qi := em.comp[ci]
+	if e.appender != nil {
+		slot, err := e.appender.appendNonzero(q, em.out[qi][:0])
+		em.out[qi] = slot
+		if err != nil {
+			return err
+		}
+		if em.install {
+			owned := make([]int, len(slot))
+			copy(owned, slot)
+			e.cache.putKey(em.keys[ci], owned, em.gen)
+		}
+		return nil
+	}
+	ids, err := e.ix.QueryNonzero(q)
+	if err != nil {
+		return err
+	}
+	em.out[qi] = append(em.out[qi][:0], ids...)
+	if em.install {
+		// ids is freshly backend-owned: installable without a copy.
+		e.cache.putKey(em.keys[ci], ids, em.gen)
+	}
+	return nil
+}
+
+// batchExpectedTiled is the tiled expected-distance batch body; ok is
+// false when the backend has no tiled expected path (the caller then
+// runs the scalar batch unchanged).
+func (e *Engine) batchExpectedTiled(qs []geom.Point) ([]ExpectedResult, bool, error) {
+	tb, ok := e.unwrapped().(tiledExpectedBatcher)
+	if !ok {
+		return nil, false, nil
+	}
+	t0 := time.Now()
+	out := make([]ExpectedResult, len(qs))
+	bs := getBatchScratch()
+	defer putBatchScratch(bs)
+
+	var gen uint64
+	if e.cache != nil {
+		gen = e.cache.generation()
+	}
+	em := &bs.exEm
+	*em = expectedEmitter{e: e, out: out, install: e.cache != nil, gen: gen}
+	e.dedup(&kindTable[slotExpected], qs, bs, em)
+	em.comp, em.keys = bs.comp, bs.keys
+
+	if len(bs.comp) > 0 {
+		pts := bs.pts[:0]
+		for _, qi := range bs.comp {
+			pts = append(pts, qs[qi])
+		}
+		bs.pts = pts
+		slots, lanes, err := tb.batchTiledExpected(pts, e.tileSize(), e.opt.Workers, em)
+		switch {
+		case err == nil:
+			e.stats.recordTiles(slots, lanes)
+		case errors.Is(err, errUntileable):
+			return nil, false, nil
+		default:
+			return nil, true, fmt.Errorf("engine: batch query %d: %w", bs.comp[0], err)
+		}
+	}
+
+	for i, r := range bs.alias {
+		if r >= 0 {
+			out[i] = out[r]
+		}
+	}
+	e.stats.recordBatchKind(CapExpected, len(qs), time.Since(t0))
+	return out, true, nil
+}
+
+// hit fills a representative's slot from a cached entry (hitSink).
+func (em *expectedEmitter) hit(rep int, v any) {
+	ans := v.(expectedAnswer)
+	em.out[rep] = ExpectedResult{I: ans.i, Dist: ans.d}
+}
+
+// runIndexed runs fn(0..n-1) across up to workers goroutines with the
+// scalar batch's error semantics: the returned index is the position of
+// the lowest failing call (feeding is in order and stops on failure, so
+// the recorded minimum is global). Sequential when workers ≤ 1.
+func runIndexed(workers, n int, fn func(int) error) (int, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return i, err
+			}
+		}
+		return -1, nil
+	}
+	var (
+		wg     sync.WaitGroup
+		next   = make(chan int)
+		mu     sync.Mutex
+		errIdx = -1
+		errVal error
+		failed atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, errVal = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return errIdx, errVal
+}
+
+// tileScratch is the pooled per-worker tile arena shared by the
+// backends' tiled batchers: kernel scratch (per-lane state + δ block),
+// the tile's shard table with per-lane lower bounds, and the lane
+// staging slices.
+type tileScratch struct {
+	sc      kernel.Scratch
+	parts   []boundedShard
+	order   []int     // shard visit order (positions into parts)
+	lbs     []float64 // lane-major [T][S] per-lane shard lower bounds
+	scanned []bool    // lane-major [T][S]: lane t scanned shard si
+	act     []int     // active lanes for the current shard
+	qx, qy  []float64
+	qi      []int   // lane → index into the batcher's qs
+	pack    []int64 // affinity schedule: nearest-shard ≪ 32 | query index
+	outs    [][]int // per-lane answer staging (the monolithic brute tiles)
+	best    []int
+	bestD   []float64
+}
+
+var tilePool = sync.Pool{New: func() any { return new(tileScratch) }}
+
+func getTileScratch() *tileScratch   { return tilePool.Get().(*tileScratch) }
+func putTileScratch(ts *tileScratch) { tilePool.Put(ts) }
+
+// lanes sizes the per-lane staging slices for T lanes.
+func (ts *tileScratch) lanes(T int) {
+	if cap(ts.qx) < T {
+		ts.qx = make([]float64, T)
+		ts.qy = make([]float64, T)
+		ts.qi = make([]int, T)
+	}
+	ts.qx, ts.qy, ts.qi = ts.qx[:T], ts.qy[:T], ts.qi[:T]
+}
+
+// growFloats / growInts / growBools resize pooled slices without
+// retaining stale values.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// clampTile narrows tile so the dense δ staging block (tile × rows)
+// stays within tileDeltaBudget; at least one lane always runs.
+func clampTile(tile, rows int) int {
+	if tile < 1 {
+		tile = 1
+	}
+	if rows > 0 {
+		if c := tileDeltaBudget / rows; c < tile {
+			tile = max(c, 1)
+		}
+	}
+	return tile
+}
+
+// parallelTiles runs run(ti, ts) for each of nTiles tiles across up to
+// workers goroutines, each worker leasing one tileScratch. The caller
+// handles the sequential (workers ≤ 1) path inline to keep it
+// closure-free.
+func parallelTiles(workers, nTiles int, run func(ti int, ts *tileScratch)) {
+	if workers > nTiles {
+		workers = nTiles
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ts := getTileScratch()
+			defer putTileScratch(ts)
+			for ti := range next {
+				run(ti, ts)
+			}
+		}()
+	}
+	for ti := 0; ti < nTiles; ti++ {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+}

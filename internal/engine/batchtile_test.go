@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"unn/internal/constructions"
+	"unn/internal/geom"
+)
+
+// tileParityIndex builds one backend/shard-count case for the tiled
+// batch parity tests.
+func tileParityIndex(t *testing.T, backend Backend, ds *Dataset, shards int) Index {
+	t.Helper()
+	var ix Index
+	var err error
+	if shards == 0 {
+		ix, err = Build(backend, ds, BuildOptions{})
+	} else {
+		ix, err = BuildSharded(backend, ds, BuildOptions{}, ShardOptions{Shards: shards})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestBatchTileParity is the tiled executor's contract: for every
+// backend family (tileable or fallback), shard count, worker count and
+// tile width, BatchNonzero through the tiled path is bit-identical to
+// the scalar batch, BatchExpected matches exactly, and BatchProbs stays
+// within 1e-12 — including batches with duplicate queries, whose
+// answers must equal their singleton counterparts.
+func TestBatchTileParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x71e5))
+	discrete := FromDiscrete(constructions.RandomDiscrete(rng, 60, 3, 40, 1.0, 1))
+	disks := FromDisks(constructions.RandomDisks(rng, 60, 40, 0.5, 2.0))
+	squares := FromSquares(randSquares(rng, 60, 40))
+	cases := []struct {
+		name    string
+		backend Backend
+		ds      *Dataset
+		shards  int
+	}{
+		{"brute/discrete/mono", BackendBrute, discrete, 0},
+		{"brute/disks/mono", BackendBrute, disks, 0},
+		{"brute/discrete/k1", BackendBrute, discrete, 1},
+		{"brute/discrete/k4", BackendBrute, discrete, 4},
+		{"brute/discrete/k8", BackendBrute, discrete, 8},
+		{"brute/disks/k4", BackendBrute, disks, 4},
+		{"twostage-discrete/k4", BackendTwoStageDiscrete, discrete, 4},
+		{"twostage-linf/k4", BackendTwoStageLinf, squares, 4},
+		{"diagram/mono", BackendDiagram, disks, 0}, // no flat mirror: fallback path
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ix := tileParityIndex(t, tc.backend, tc.ds, tc.shards)
+			qrng := rand.New(rand.NewSource(0x9a17))
+			qs := randQueries(qrng, 53, 40) // odd count: ragged final tiles
+			// Splice in duplicates so the dedup phase is always exercised.
+			qs[7], qs[31], qs[50] = qs[3], qs[3], qs[12]
+			scalar := NewEngine(ix, Options{Workers: 1, BatchTile: -1})
+			want, err := scalar.BatchNonzero(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps := ix.Capabilities()
+			var wantExp []ExpectedResult
+			if caps.Has(CapExpected) {
+				if wantExp, err = scalar.BatchExpected(qs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, tile := range []int{1, 7, 16} {
+				for _, workers := range []int{1, 4} {
+					eng := NewEngine(ix, Options{Workers: workers, BatchTile: tile})
+					got, err := eng.BatchNonzero(qs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range qs {
+						if !eqIDs(want[i], got[i]) {
+							t.Fatalf("tile=%d workers=%d q[%d]=%v: nonzero %v, want %v",
+								tile, workers, i, qs[i], got[i], want[i])
+						}
+					}
+					if caps.Has(CapExpected) {
+						gotExp, err := eng.BatchExpected(qs)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i := range qs {
+							if gotExp[i] != wantExp[i] {
+								t.Fatalf("tile=%d workers=%d q[%d]: expected %+v, want %+v",
+									tile, workers, i, gotExp[i], wantExp[i])
+							}
+						}
+					}
+				}
+			}
+			if caps.Has(CapProbs) {
+				wantP, err := scalar.BatchProbs(qs[:8], 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotP, err := NewEngine(ix, Options{Workers: 1, BatchTile: 16}).BatchProbs(qs[:8], 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range wantP {
+					if len(wantP[i]) != len(gotP[i]) {
+						t.Fatalf("probs q[%d]: %d entries, want %d", i, len(gotP[i]), len(wantP[i]))
+					}
+					for j := range wantP[i] {
+						if gotP[i][j].I != wantP[i][j].I || math.Abs(gotP[i][j].P-wantP[i][j].P) > 1e-12 {
+							t.Fatalf("probs q[%d][%d]: %+v, want %+v", i, j, gotP[i][j], wantP[i][j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchNonzeroIntoReuse: the allocation-aware batch entry point
+// reuses its destination slots across calls and still matches the
+// allocating path.
+func TestBatchNonzeroIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1470))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 48, 3, 30, 1.0, 1))
+	ix := tileParityIndex(t, BackendBrute, ds, 4)
+	eng := NewEngine(ix, Options{Workers: 1})
+	qs := randQueries(rng, 33, 30)
+	want, err := eng.BatchNonzero(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst [][]int
+	for round := 0; round < 3; round++ {
+		dst, err = eng.BatchNonzeroInto(qs, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if !eqIDs(want[i], dst[i]) {
+				t.Fatalf("round %d q[%d]: %v, want %v", round, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// shardVisitTotal sums the per-shard NN≠0 visit counters.
+func shardVisitTotal(e *Engine) uint64 {
+	total := uint64(0)
+	for _, sk := range e.Stats().ShardQueries {
+		total += sk.Counts[slotNonzero]
+	}
+	return total
+}
+
+// TestBatchDedupSingleflight is the in-batch singleflight regression:
+// duplicate queries in one batch compute once. With caching off the
+// dedup keys are exact coordinates — a batch of 64 copies costs exactly
+// the shard visits of one query; with caching on, same-cache-cell
+// queries collapse to a single miss.
+func TestBatchDedupSingleflight(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xded0))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 60, 3, 40, 1.0, 1))
+	ix := tileParityIndex(t, BackendBrute, ds, 4)
+	eng := NewEngine(ix, Options{Workers: 1})
+	q := geom.Pt(11, 23)
+
+	before := shardVisitTotal(eng)
+	if _, err := eng.QueryNonzero(q); err != nil {
+		t.Fatal(err)
+	}
+	perQuery := shardVisitTotal(eng) - before
+
+	dupes := make([]geom.Point, 64)
+	for i := range dupes {
+		dupes[i] = q
+	}
+	before = shardVisitTotal(eng)
+	res, err := eng.BatchNonzero(dupes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shardVisitTotal(eng) - before; got != perQuery {
+		t.Fatalf("64-duplicate batch cost %d shard visits, want %d (one computation)", got, perQuery)
+	}
+	for i := 1; i < len(res); i++ {
+		if !slices.Equal(res[i], res[0]) {
+			t.Fatalf("duplicate %d diverged: %v vs %v", i, res[i], res[0])
+		}
+	}
+
+	// With a quantized cache, queries sharing a cell are one miss.
+	cached := NewEngine(ix, Options{Workers: 1, CacheSize: 256, CacheQuantum: 1.0})
+	cell := make([]geom.Point, 16)
+	for i := range cell {
+		cell[i] = geom.Pt(5.1+float64(i)*1e-3, 7.2) // all inside one 1.0-quantum cell
+	}
+	if _, err := cached.BatchNonzero(cell); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cached.CacheStats(); misses != 1 {
+		t.Fatalf("same-cell batch recorded %d cache misses, want 1", misses)
+	}
+}
+
+// TestBatchStatsCounters: the batch counters surface through Stats —
+// batches served, mean batch size, and a sane tile occupancy.
+func TestBatchStatsCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x57a7))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 48, 3, 30, 1.0, 1))
+	ix := tileParityIndex(t, BackendBrute, ds, 4)
+	eng := NewEngine(ix, Options{Workers: 1, BatchTile: 8})
+	qs := randQueries(rng, 13, 30)
+	if _, err := eng.BatchNonzero(qs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.BatchNonzero(qs[5:]); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Batches != 2 || st.BatchQueries != 13 {
+		t.Fatalf("batches=%d queries=%d, want 2/13", st.Batches, st.BatchQueries)
+	}
+	if got := st.MeanBatchSize(); got != 6.5 {
+		t.Fatalf("MeanBatchSize = %v, want 6.5", got)
+	}
+	if st.TileSlots == 0 || st.TileLanes == 0 {
+		t.Fatalf("tile counters empty: slots=%d lanes=%d", st.TileSlots, st.TileLanes)
+	}
+	if occ := st.TileOccupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("TileOccupancy = %v, want (0, 1]", occ)
+	}
+	// The scalar batch path still counts the batch, without tiles.
+	scalar := NewEngine(ix, Options{Workers: 1, BatchTile: -1})
+	if _, err := scalar.BatchNonzero(qs); err != nil {
+		t.Fatal(err)
+	}
+	if st := scalar.Stats(); st.Batches != 1 || st.TileSlots != 0 {
+		t.Fatalf("scalar path: batches=%d tileSlots=%d, want 1/0", st.Batches, st.TileSlots)
+	}
+}
+
+// TestServeCoalescesQueries mirrors the mutation-coalescing test for
+// queries: a backlog of same-kind queries on the stream is served as
+// one batch through the tiled executor (visible in Stats.Batches), and
+// every Answer still matches its single-query counterpart by Seq.
+func TestServeCoalescesQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5e12))
+	ds := FromDiscrete(constructions.RandomDiscrete(rng, 48, 3, 30, 1.0, 1))
+	ix := tileParityIndex(t, BackendBrute, ds, 4)
+	eng := NewEngine(ix, Options{Workers: 1})
+	qs := randQueries(rng, 24, 30)
+
+	in := make(chan Query, len(qs))
+	for i, q := range qs {
+		in <- Query{Seq: uint64(i), Kind: CapNonzero, Q: q}
+	}
+	close(in)
+	got := make([][]int, len(qs))
+	for a := range eng.Serve(t.Context(), in) {
+		if a.Err != nil {
+			t.Fatalf("seq %d: %v", a.Seq, a.Err)
+		}
+		got[a.Seq] = a.Nonzero
+	}
+	for i, q := range qs {
+		want, err := eng.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eqIDs(want, got[i]) {
+			t.Fatalf("seq %d q=%v: %v, want %v", i, q, got[i], want)
+		}
+	}
+	if st := eng.Stats(); st.Batches == 0 {
+		t.Fatalf("prefilled stream served no coalesced batches (batches=%d)", st.Batches)
+	}
+}

@@ -56,6 +56,12 @@ type kindSpec struct {
 	// a cell).
 	cacheKind      uint8
 	usesEps, usesK bool
+	// tileable marks kinds the tiled batch executor can serve
+	// (batchtile.go): the kind has multi-query kernels and a sink-based
+	// batcher contract, so Batch* calls and Serve coalescing may group
+	// its queries into tiles. Non-tileable kinds always take the scalar
+	// per-query batch path.
+	tileable bool
 	// run is the raw backend dispatch (no cache, no stats).
 	run func(ix Index, req Request) (any, error)
 	// fill writes the (possibly cached) payload into a Result.
@@ -77,7 +83,7 @@ const (
 // appending is fine, reordering would silently remap Stats slots.
 var kindTable = [numKinds]kindSpec{
 	{
-		cap: CapNonzero, name: "nonzero", op: OpQueryNonzero, cacheKind: kindNonzero,
+		cap: CapNonzero, name: "nonzero", op: OpQueryNonzero, cacheKind: kindNonzero, tileable: true,
 		run:    func(ix Index, req Request) (any, error) { return ix.QueryNonzero(req.Q) },
 		fill:   func(r *Result, v any) { r.Nonzero = v.([]int) },
 		weight: func(w Workload) float64 { return w.Nonzero },
@@ -89,7 +95,7 @@ var kindTable = [numKinds]kindSpec{
 		weight: func(w Workload) float64 { return w.Probs },
 	},
 	{
-		cap: CapExpected, name: "expected", op: OpQueryExpected, cacheKind: kindExpected,
+		cap: CapExpected, name: "expected", op: OpQueryExpected, cacheKind: kindExpected, tileable: true,
 		run: func(ix Index, req Request) (any, error) {
 			i, d, err := ix.QueryExpected(req.Q)
 			return expectedAnswer{i, d}, err

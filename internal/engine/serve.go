@@ -77,6 +77,11 @@ type Answer struct {
 // touched shard, one cache flush — while still emitting one Answer per
 // op with the exact sequential semantics. A query encountered mid-drain
 // ends the run and is answered right after it.
+// Runs of queued same-kind tileable queries coalesce symmetrically
+// (mirroring the mutation coalescing): the run becomes one Batch* call
+// through the tiled executor — shared data passes, in-batch dedup —
+// while still emitting one Answer per query; answers are identical to
+// the uncoalesced path's.
 func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 	buf := e.opt.ServeBuffer
 	if buf <= 0 {
@@ -84,6 +89,7 @@ func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 	}
 	out := make(chan Answer, buf)
 	_, canBatch := e.ix.(BatchMutable)
+	canTile := e.tileSize() > 0
 	var wg sync.WaitGroup
 	for w := 0; w < e.opt.Workers; w++ {
 		wg.Add(1)
@@ -111,6 +117,25 @@ func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 							if !send(a) {
 								return
 							}
+						}
+						if leftover != nil && !send(e.answer(*leftover)) {
+							return
+						}
+						if closed {
+							return
+						}
+						continue
+					}
+					if canTile && isTileableQuery(qr.Kind) {
+						run, leftover, closed := drainQueries(in, qr)
+						if len(run) > 1 {
+							for _, a := range e.answerQueryRun(run) {
+								if !send(a) {
+									return
+								}
+							}
+						} else if !send(e.answer(qr)) {
+							return
 						}
 						if leftover != nil && !send(e.answer(*leftover)) {
 							return
@@ -164,6 +189,75 @@ func drainMutations(in <-chan Query, first Query) (ops []Query, leftover *Query,
 		}
 	}
 	return ops, nil, false
+}
+
+// isTileableQuery reports whether kind is a registered query kind the
+// tiled batch executor can serve (the Serve-loop coalescing predicate).
+func isTileableQuery(kind Capability) bool {
+	spec := kindByCap(kind)
+	return spec != nil && spec.tileable
+}
+
+// drainQueries greedily extends the run started by first with
+// immediately available queries of the same kind, without ever
+// blocking: the first differently-kinded request ends the run (returned
+// as leftover — possibly a mutation op), as does an empty channel or
+// its closure (closed). The coalesced kinds ignore Eps/K, so matching
+// on Kind alone preserves per-query semantics.
+func drainQueries(in <-chan Query, first Query) (run []Query, leftover *Query, closed bool) {
+	run = []Query{first}
+	for len(run) < serveCoalesce {
+		select {
+		case qr, ok := <-in:
+			if !ok {
+				return run, nil, true
+			}
+			if qr.Kind == first.Kind {
+				run = append(run, qr)
+				continue
+			}
+			return run, &qr, false
+		default:
+			return run, nil, false
+		}
+	}
+	return run, nil, false
+}
+
+// answerQueryRun answers one coalesced query run through the batch
+// entry point (the tiled executor: shared data passes, in-batch dedup).
+// A batch error falls back to per-query answers so each query reports
+// its own error, exactly the uncoalesced semantics.
+func (e *Engine) answerQueryRun(run []Query) []Answer {
+	pts := make([]geom.Point, len(run))
+	for i, qr := range run {
+		pts[i] = qr.Q
+	}
+	as := make([]Answer, len(run))
+	switch run[0].Kind {
+	case CapNonzero:
+		res, err := e.BatchNonzero(pts)
+		if err != nil {
+			break
+		}
+		for i, qr := range run {
+			as[i] = Answer{Seq: qr.Seq, Kind: qr.Kind, Nonzero: res[i]}
+		}
+		return as
+	case CapExpected:
+		res, err := e.BatchExpected(pts)
+		if err != nil {
+			break
+		}
+		for i, qr := range run {
+			as[i] = Answer{Seq: qr.Seq, Kind: qr.Kind, Expected: res[i]}
+		}
+		return as
+	}
+	for i, qr := range run {
+		as[i] = e.answer(qr)
+	}
+	return as
 }
 
 // answerMutations applies one coalesced run. The batch path validates

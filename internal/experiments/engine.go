@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"runtime"
@@ -86,9 +88,18 @@ type BenchRecord struct {
 	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
 	// Parity fingerprints answer equivalence between the live and the
 	// restored engine on the E21 row: "ok:<fnv32a over NN≠0 answers>"
-	// when live and restored hash identically (and Explain matches),
-	// otherwise the mismatch kind.
+	// when live and restored hash identically (and Explain matches).
+	// E23 reuses it for tiled-vs-scalar batch parity. Otherwise the
+	// mismatch kind.
 	Parity string `json:"parity,omitempty"`
+	// Batches, MeanBatchSize and TileOccupancy surface the tiled batch
+	// executor's counters on E23 tiled rows: batches the engine served
+	// during the sweep, mean queries per batch, and the fraction of tile
+	// lanes occupied by real queries (ragged final tiles lower it).
+	// 0 outside E23.
+	Batches       uint64  `json:"batches,omitempty"`
+	MeanBatchSize float64 `json:"mean_batch_size,omitempty"`
+	TileOccupancy float64 `json:"tile_occupancy,omitempty"`
 }
 
 // WriteBenchJSON renders records as indented JSON (the BENCH_engine.json
@@ -987,5 +998,209 @@ func TopKBench(opt Options) ([]BenchRecord, *Table) {
 // E22TopK is the Table-only driver registered in All.
 func E22TopK(opt Options) *Table {
 	_, t := TopKBench(opt)
+	return t
+}
+
+// BatchTileBench (E23) measures the batch-fused tiled executor against
+// the scalar batch path on one shared sharded index. Two workloads per
+// the bench/history methodology: "hot" draws 2048 queries from 256
+// distinct points — the service-skew case where in-batch dedup
+// (singleflight) computes each distinct query once — and "uniq" uses
+// 2048 distinct queries, the honest no-sharing bound where only kernel
+// tiling and shard-affine scheduling help. Timings are A/B interleaved
+// (scalar and tiled alternate within each attempt, best of 3) so the
+// pairs share thermal and GC conditions. The acceptance bar of the
+// batch-tiling PR is tiled ≥2× scalar on the hot pair (cmd/benchdiff
+// enforces ≥1.5× as the regression floor) with 0 allocs/op steady
+// state through BatchNonzeroInto and bit-identical answers.
+func BatchTileBench(opt Options) ([]BenchRecord, *Table) {
+	t := &Table{
+		ID:     "E23",
+		Title:  "batch-fused tiled kernels with shard-affine scheduling",
+		Claim:  "in-batch dedup + tiled shard-affine execution: hot-skew batches ≥2× the scalar batch path",
+		Header: []string{"workload", "n", "tile", "scalarQ", "tiledQ", "speedup", "allocs", "occupancy", "parity"},
+	}
+	rng := rand.New(rand.NewSource(opt.seed()))
+	n := 100_000
+	if opt.Quick {
+		n = 10_000
+	}
+	const (
+		shards = 8
+		tile   = 16
+		nq     = 2048
+		nHot   = 256
+	)
+	side := float64(n)
+	ds := engine.FromDiscrete(constructions.RandomDiscrete(rng, n, 2, side, 2.0, 1))
+	var ix engine.Index
+	var err error
+	build := timeIt(func() {
+		ix, err = engine.BuildSharded(engine.BackendBrute, ds, engine.BuildOptions{},
+			engine.ShardOptions{Shards: shards})
+	})
+	if err != nil {
+		t.Note("build: %v", err)
+		return nil, t
+	}
+
+	hotPts := make([]geom.Point, nHot)
+	for i := range hotPts {
+		hotPts[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+	hot := make([]geom.Point, nq)
+	for i := range hot {
+		hot[i] = hotPts[rng.Intn(nHot)]
+	}
+	uniq := make([]geom.Point, nq)
+	for i := range uniq {
+		uniq[i] = geom.Pt(rng.Float64()*side, rng.Float64()*side)
+	}
+
+	// Same index, same worker pool; the only difference is BatchTile.
+	scalar := engine.NewEngine(ix, engine.Options{BatchTile: -1})
+	tiled := engine.NewEngine(ix, engine.Options{BatchTile: tile})
+	engines := []*engine.Engine{scalar, tiled}
+	workloads := []struct {
+		name string
+		qs   []geom.Point
+	}{{"hot", hot}, {"uniq", uniq}}
+
+	var best [2][2]time.Duration // [workload][scalar|tiled]
+	for wi := range best {
+		best[wi][0], best[wi][1] = 1<<62-1, 1<<62-1
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		for wi, wl := range workloads {
+			for ei, eng := range engines {
+				d := timeIt(func() {
+					if _, e := eng.BatchNonzero(wl.qs); e != nil && err == nil {
+						err = e
+					}
+				})
+				if d < best[wi][ei] {
+					best[wi][ei] = d
+				}
+			}
+		}
+	}
+	if err != nil {
+		t.Note("batch: %v", err)
+		return nil, t
+	}
+
+	// Parity: the tiled executor must be bit-identical to the scalar
+	// batch on the headline workload.
+	wantRes, err1 := scalar.BatchNonzero(hot)
+	gotRes, err2 := tiled.BatchNonzero(hot)
+	parity := "mismatch"
+	if err1 == nil && err2 == nil {
+		parity = fmt.Sprintf("ok:%08x", batchFingerprint(wantRes))
+		for i := range wantRes {
+			if !slices.Equal(wantRes[i], gotRes[i]) {
+				parity = fmt.Sprintf("mismatch@%d", i)
+				break
+			}
+		}
+	}
+
+	// Steady-state allocations per query through the reuse entry point,
+	// on a fresh single-worker tiled engine (the zero-alloc contract is
+	// stated for the sequential path; the parallel path shares the same
+	// pooled scratch).
+	allocs := allocsPerBatchQuery(engine.NewEngine(ix, engine.Options{Workers: 1, BatchTile: tile}), hot)
+
+	st := tiled.Stats()
+	var recs []BenchRecord
+	for wi, wl := range workloads {
+		scalarPer := best[wi][0] / time.Duration(nq)
+		tiledPer := best[wi][1] / time.Duration(nq)
+		speedup := "n/a"
+		if tiledPer > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(scalarPer)/float64(tiledPer))
+		}
+		rowParity := ""
+		if wl.name == "hot" {
+			rowParity = parity
+		}
+		recs = append(recs,
+			BenchRecord{
+				Exp:            "E23",
+				Backend:        fmt.Sprintf("sharded%d-%s-scalar", shards, wl.name),
+				N:              n,
+				Queries:        nq,
+				Workers:        scalar.Workers(),
+				Shards:         shards,
+				BuildNs:        build.Nanoseconds(),
+				BatchNsOp:      float64(scalarPer.Nanoseconds()),
+				AllocsPerQuery: -1,
+			},
+			BenchRecord{
+				Exp:            "E23",
+				Backend:        fmt.Sprintf("sharded%d-%s-tiled", shards, wl.name),
+				N:              n,
+				Queries:        nq,
+				Workers:        tiled.Workers(),
+				Shards:         shards,
+				BuildNs:        build.Nanoseconds(),
+				BatchNsOp:      float64(tiledPer.Nanoseconds()),
+				AllocsPerQuery: allocs,
+				Parity:         rowParity,
+				Batches:        st.Batches,
+				MeanBatchSize:  st.MeanBatchSize(),
+				TileOccupancy:  st.TileOccupancy(),
+			})
+		t.AddRow(wl.name, itoa(n), itoa(tile), dtoa(scalarPer), dtoa(tiledPer), speedup,
+			allocsCell(allocs), ftoa(st.TileOccupancy()), rowParity)
+	}
+	t.Note("hot: %d queries drawn from %d distinct points (service skew) — in-batch dedup computes each once", nq, nHot)
+	t.Note("uniq: %d distinct queries — the honest no-sharing bound for pure tiling + shard affinity", nq)
+	t.Note("A/B interleaved best-of-3 on one shared sharded index; scalar disables the tiled executor (BatchTile=-1)")
+	return recs, t
+}
+
+// batchFingerprint folds a batch's NN≠0 answers into one FNV-1a hash —
+// the E23 parity fingerprint recorded in BENCH_engine.json.
+func batchFingerprint(res [][]int) uint32 {
+	h := fnv.New32a()
+	var b [8]byte
+	for _, ids := range res {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(ids)))
+		h.Write(b[:])
+		for _, id := range ids {
+			binary.LittleEndian.PutUint64(b[:], uint64(id))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum32()
+}
+
+// allocsPerBatchQuery measures steady-state heap allocations per query
+// through the batch reuse entry point (BatchNonzeroInto with a recycled
+// destination), the batch analogue of allocsPerQuery: warm up to the
+// pools' high-water marks, GC to empty them, then charge the refill
+// amortized over the measured rounds.
+func allocsPerBatchQuery(eng *engine.Engine, qs []geom.Point) float64 {
+	const rounds = 4
+	var dst [][]int
+	var err error
+	for warm := 0; warm < 2; warm++ {
+		if dst, err = eng.BatchNonzeroInto(qs, dst); err != nil {
+			return -1
+		}
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for r := 0; r < rounds; r++ {
+		dst, _ = eng.BatchNonzeroInto(qs, dst)
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(rounds*len(qs))
+}
+
+// E23BatchTile is the Table-only driver registered in All.
+func E23BatchTile(opt Options) *Table {
+	_, t := BatchTileBench(opt)
 	return t
 }

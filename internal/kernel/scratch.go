@@ -1,6 +1,9 @@
 package kernel
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
 
 // Scratch is the reusable per-query arena: every buffer a query kernel
 // needs to stage candidates, per-row distances, or probabilities lives
@@ -17,6 +20,35 @@ type Scratch struct {
 	Dists []float64
 	// Probs stages probability values for the π merge.
 	Probs []float64
+	// Tile lanes for the multi-query kernels (tile.go): per-lane
+	// two-smallest-Δ state and the lane-major dense δ block
+	// (TileDists[t*stride+i] is lane t's δ_i). Sized by TileLanes.
+	TileM1, TileM2 []float64
+	TileArg        []int
+	TileDists      []float64
+}
+
+// TileLanes returns the tile kernels' per-lane state sized for T lanes
+// over n rows, with every lane's two-smallest-Δ state initialized
+// (m1 = m2 = +Inf, arg1 = -1) exactly as the scalar scan starts. The
+// δ block is uninitialized — the kernels write each staged entry before
+// the filter reads it.
+func (s *Scratch) TileLanes(T, n int) (m1, m2 []float64, arg1 []int, deltas []float64) {
+	if cap(s.TileM1) < T {
+		s.TileM1 = make([]float64, T)
+		s.TileM2 = make([]float64, T)
+		s.TileArg = make([]int, T)
+	}
+	m1, m2, arg1 = s.TileM1[:T], s.TileM2[:T], s.TileArg[:T]
+	for t := 0; t < T; t++ {
+		inf := math.Inf(1)
+		m1[t], m2[t], arg1[t] = inf, inf, -1
+	}
+	if cap(s.TileDists) < T*n {
+		s.TileDists = make([]float64, T*n)
+	}
+	deltas = s.TileDists[:T*n]
+	return m1, m2, arg1, deltas
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

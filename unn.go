@@ -324,6 +324,16 @@ func WithBackend(b Backend) Option { return func(c *openConfig) { c.backend = b 
 // 1 forces sequential batches).
 func WithWorkers(n int) Option { return func(c *openConfig) { c.run.Workers = n } }
 
+// WithBatchTile sets the batch executor's tile width: how many queries
+// of a batch share one pass over the backend's SoA rows (and one
+// shard-affine schedule). 0 selects the default (8), a negative value
+// disables tiling — every batch slot then runs the scalar single-query
+// path — and widths above 64 clamp. Tiling amortizes the data stream
+// across the tile's lanes and enables in-batch deduplication (queries
+// sharing a cache cell — or exact coordinates when caching is off —
+// compute once per batch); answers are bit-identical either way.
+func WithBatchTile(t int) Option { return func(c *openConfig) { c.run.BatchTile = t } }
+
 // WithShards enables the sharded execution layer: the dataset is split
 // into k spatial shards, one backend instance is built per shard (in
 // parallel), and queries are answered by the merge planner with
