@@ -27,24 +27,27 @@ test-serial:
 	GOMAXPROCS=1 $(GO) test -count=1 ./internal/engine ./internal/kernel
 
 # Race-check the concurrent machinery: the sharded execution layer, the
-# dynamic mutation path, the async Serve stream, and the planner's
-# composite indexes (incl. the Stats latency counters batch workers hit).
+# dynamic mutation path, the async Serve stream, the planner's
+# composite indexes (incl. the Stats latency counters batch workers hit),
+# and the adaptive replanning loop's concurrent replan-and-swap churn.
 race:
-	$(GO) test -race ./internal/engine -run 'Shard|Serve|Batch|Dynamic|Planner|Planned|Stats'
+	$(GO) test -race ./internal/engine -run 'Shard|Serve|Batch|Dynamic|Planner|Planned|Stats|Adaptive|Replan|Observe'
 
 # Engine benchmarks: parallel batch vs sequential, sharded vs unsharded.
 bench:
 	$(GO) test ./internal/engine -run xxx \
 		-bench 'EngineBatch|EngineSequential|ShardedBatch|UnshardedBatch' -benchtime 5x
 
-# Zero-alloc gate for the flat-kernel query path and the tiled batch
-# executor: the E16/E17 single-query benchmarks drive QueryNonzeroInto
-# and the E23 benchmark drives BatchNonzeroInto, both with pooled
-# scratch, and report allocs/op; any nonzero steady-state figure fails
+# Zero-alloc gate for the flat-kernel query path, the tiled batch
+# executor, and the adaptive observation path: the E16/E17 single-query
+# benchmarks drive QueryNonzeroInto, the E23 benchmark drives
+# BatchNonzeroInto, and the E24 benchmark drives QueryNonzeroInto with
+# the adaptive loop's windowed observation enabled — all with pooled
+# scratch, reporting allocs/op; any nonzero steady-state figure fails
 # the target (the one-time pool fill amortizes to 0 over the fixed
 # iteration count).
 bench-allocs:
-	@out="$$($(GO) test . -run xxx -bench 'SingleNonzero|E23_BatchTiled' -benchtime 200x)"; \
+	@out="$$($(GO) test . -run xxx -bench 'SingleNonzero|E23_BatchTiled|E24_AdaptiveObserve' -benchtime 200x)"; \
 	echo "$$out"; \
 	bad="$$(echo "$$out" | awk '/allocs\/op/ && $$(NF-1)+0 != 0')"; \
 	if [ -n "$$bad" ]; then \

@@ -11,6 +11,7 @@ import (
 
 	"unn"
 	"unn/internal/constructions"
+	"unn/internal/engine"
 	"unn/internal/experiments"
 	"unn/internal/geom"
 	"unn/internal/nonzero"
@@ -411,7 +412,7 @@ func benchmarkE19(b *testing.B, planner bool) {
 
 // Guard: the experiment registry stays in sync with the benchmarks above.
 func TestExperimentRegistryCovered(t *testing.T) {
-	if len(experiments.All) != 23 {
+	if len(experiments.All) != 24 {
 		t.Fatalf("registry has %d experiments; update bench_test.go", len(experiments.All))
 	}
 }
@@ -627,5 +628,78 @@ func benchmarkE22(b *testing.B, topk bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkE24_Adaptive measures post-drift steady-state serving on an
+// adaptive handle: the setup flips an E[d]-heavy stream at a
+// planner-built sharded handle until the loop detects the drift and
+// swaps a replanned fleet in, then the measured loop serves E[d]
+// queries off the swapped plan (the regime the E24 claim is about —
+// the frozen counterpart keeps the brute scan the π-era plan left on
+// every shard).
+func BenchmarkE24_Adaptive(b *testing.B) {
+	rng := rand.New(rand.NewSource(0xe24))
+	pts := constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1)
+	h, err := unn.OpenDiscrete(pts, unn.WithAdaptivePlanner(), unn.WithShards(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := randQueries(512, 2000, 24)
+	for w := 0; w < 64 && h.Stats().Replans == 0; w++ {
+		for _, q := range qs {
+			if _, _, err := h.QueryExpected(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if h.Stats().Replans == 0 {
+		b.Fatal("adaptive loop never replanned under the E[d]-heavy stream")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.QueryExpected(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE24_AdaptiveObserve pins the observation path's allocation
+// contract: with the adaptive loop enabled, the per-query overhead is
+// one atomic countdown add, and the window tick folds the counters into
+// the EWMA profiles entirely on the stack — so the NN≠0 hot path must
+// stay 0 allocs/op even while the loop observes (`make bench-allocs`
+// greps this benchmark). Drift thresholds sit at the ceiling so a
+// replan (which does allocate, off the query path) cannot fire
+// mid-measurement.
+func BenchmarkE24_AdaptiveObserve_n2000_k8(b *testing.B) {
+	rng := rand.New(rand.NewSource(0xe24))
+	ds := engine.FromDiscrete(constructions.RandomDiscrete(rng, 2000, 2, 2000, 2.0, 1))
+	ix, _, err := engine.BuildPlanned(ds, engine.BuildOptions{},
+		engine.ShardOptions{Shards: 8}, engine.PlannerOptions{NoProbe: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.NewEngine(ix, engine.Options{AdaptiveReplan: &engine.AdaptiveOptions{
+		Window: 64,
+		Drift:  engine.DriftThresholds{ErrFactor: 1e9, MixDelta: 1},
+	}})
+	qs := randQueries(256, 2000, 24)
+	buf := make([]int, 0, 64)
+	for _, q := range qs {
+		out, err := eng.QueryNonzeroInto(q, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eng.QueryNonzeroInto(qs[i%len(qs)], buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
 	}
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchdiff -old prev/BENCH_engine.json -new BENCH_engine.json
-//	benchdiff -threshold 0.2 -exp E17,E18,E19,E20,E21,E22,E23 -fail ...
+//	benchdiff -threshold 0.2 -exp E17,E18,E19,E20,E21,E22,E23,E24 -fail ...
 //
 // Records are matched by (exp, backend, n, shards); within a matched
 // pair every populated per-op cost (query_ns_op, batch_ns_op,
@@ -26,7 +26,12 @@
 // fourth set guards the E23 tiled batch executor: on the hot-skew
 // workload the tiled path must stay ≥1.5× faster than the scalar batch
 // at the same (n, shards), its answers bit-identical (parity ok), and
-// its steady-state allocations zero.
+// its steady-state allocations zero. A fifth set guards the E24
+// adaptive replanning loop: under the mid-stream mix flip the adaptive
+// engine must have replanned at least once, serve the drifted workload
+// ≥1.3× faster than the frozen plan at the same (n, shards), and its
+// post-swap answers must fingerprint identically to the monolithic
+// oracle (parity ok).
 // Benchmark noise makes hard failures
 // counterproductive, so the exit status stays 0 unless -fail is given.
 package main
@@ -69,7 +74,7 @@ func main() {
 		oldPath   = flag.String("old", "", "previous BENCH_engine.json (the baseline)")
 		newPath   = flag.String("new", "BENCH_engine.json", "fresh BENCH_engine.json")
 		threshold = flag.Float64("threshold", 0.20, "relative slowdown that counts as a regression")
-		exps      = flag.String("exp", "E17,E18,E19,E20,E21,E22,E23", "comma-separated experiments to compare")
+		exps      = flag.String("exp", "E17,E18,E19,E20,E21,E22,E23,E24", "comma-separated experiments to compare")
 		failFlag  = flag.Bool("fail", false, "exit non-zero when regressions are found")
 	)
 	flag.Parse()
@@ -137,6 +142,9 @@ func main() {
 	if want["E23"] {
 		regressions += checkBatchTileInvariant(newRecs)
 	}
+	if want["E24"] {
+		regressions += checkAdaptiveInvariant(newRecs)
+	}
 	fmt.Printf("benchdiff: %d metrics compared, %d regressions beyond %.0f%% (%s)\n",
 		compared, regressions, 100**threshold, *exps)
 	if *failFlag && regressions > 0 {
@@ -182,9 +190,10 @@ func checkPlannerInvariant(recs map[key]experiments.BenchRecord, threshold float
 
 // checkAllocFree enforces the flat-kernel invariant on the fresh file:
 // every measured allocs_per_query on the kernel-served NN≠0 rows —
-// E17 sharded rows, the E16 brute / two-stage rows, and the E23 tiled
-// batch rows (measured through BatchNonzeroInto) — must stay at zero
-// steady state. The bar is 0.5, not literally 0: the measurement
+// E17 sharded rows, the E16 brute / two-stage rows, the E23 tiled
+// batch rows (measured through BatchNonzeroInto), and the E24 adaptive
+// row (QueryNonzeroInto with the adaptive loop's windowed observation
+// enabled) — must stay at zero steady state. The bar is 0.5, not literally 0: the measurement
 // amortizes one post-GC scratch-pool refill over its rounds, so an
 // allocation-free path reads ≪ 0.5 and a path that re-grew a real
 // per-query allocation reads ≥ 1. Rows with allocs_per_query = -1
@@ -202,6 +211,7 @@ func checkAllocFree(recs map[key]experiments.BenchRecord, want map[string]bool) 
 		}
 		measured := strings.EqualFold(k.exp, "E17") ||
 			strings.EqualFold(k.exp, "E23") ||
+			strings.EqualFold(k.exp, "E24") ||
 			(strings.EqualFold(k.exp, "E16") && allocFree[k.backend])
 		if measured && r.AllocsPerQuery > 0.5 {
 			violations++
@@ -336,6 +346,55 @@ func checkBatchTileInvariant(recs map[key]experiments.BenchRecord) int {
 			violations++
 			fmt.Printf("WARN: E23 %s n=%d hot-batch speedup only %.2fx over the scalar path (want ≥%.1fx; %.0fns vs %.0fns)\n",
 				k.backend, k.n, speedup, minSpeedup, r.BatchNsOp, sr.BatchNsOp)
+		}
+	}
+	return violations
+}
+
+// checkAdaptiveInvariant is the E24 intra-run bound on the fresh file:
+// after the mid-stream mix flip the adaptive engine must (a) have
+// replanned at least once — a zero replan count means the drift
+// detector slept through a flipped workload — (b) serve the drifted
+// query list ≥1.3× faster than the frozen control at the same
+// (n, shards) — the adaptive-replanning PR's acceptance bar — and (c)
+// carry an ok parity fingerprint: the epoch-fenced swap is contractually
+// answer-preserving (NN≠0 bit-identical, π/E[d] within 1e-12 of the
+// monolithic oracle), so a mismatch is a correctness bug whatever the
+// timings say.
+func checkAdaptiveInvariant(recs map[key]experiments.BenchRecord) int {
+	const minSpeedup = 1.3
+	frozen := map[key]experiments.BenchRecord{}
+	for k, r := range recs {
+		if strings.EqualFold(k.exp, "E24") && strings.HasSuffix(k.backend, "-frozen") {
+			k.backend = strings.TrimSuffix(k.backend, "-frozen")
+			frozen[k] = r
+		}
+	}
+	violations := 0
+	for k, r := range recs {
+		if !strings.EqualFold(k.exp, "E24") || !strings.HasSuffix(k.backend, "-adaptive") {
+			continue
+		}
+		if r.Replans == 0 {
+			violations++
+			fmt.Printf("WARN: E24 %s n=%d never replanned under the flipped mix (drift detector asleep)\n",
+				k.backend, k.n)
+		}
+		if r.Parity != "" && !strings.HasPrefix(r.Parity, "ok") {
+			violations++
+			fmt.Printf("WARN: E24 %s n=%d replan parity broken (%s): swapped fleet disagrees with the oracle\n",
+				k.backend, k.n, r.Parity)
+		}
+		fk := k
+		fk.backend = strings.TrimSuffix(k.backend, "-adaptive")
+		fr, ok := frozen[fk]
+		if !ok || fr.QueryNsOp <= 0 || r.QueryNsOp <= 0 {
+			continue
+		}
+		if speedup := fr.QueryNsOp / r.QueryNsOp; speedup < minSpeedup {
+			violations++
+			fmt.Printf("WARN: E24 %s n=%d post-drift speedup only %.2fx over the frozen plan (want ≥%.1fx; %.0fns vs %.0fns)\n",
+				k.backend, k.n, speedup, minSpeedup, r.QueryNsOp, fr.QueryNsOp)
 		}
 	}
 	return violations

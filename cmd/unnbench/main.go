@@ -29,7 +29,11 @@
 // the registry-added kind across the execution layers, and the
 // batch-tiling sweep (E23) pits the tiled shard-affine batch executor
 // (multi-query kernels + in-batch dedup) against the scalar batch path
-// on hot-skew and unique workloads. Records of the form
+// on hot-skew and unique workloads, and the drift sweep (E24) flips the
+// query mix mid-stream and pits the adaptive replanning loop (observe →
+// drift-detect → per-shard replan → atomic swap) against the frozen
+// build-time plan (replans, replan_reason, and an exactness parity
+// fingerprint against a monolithic oracle). Records of the form
 //
 //	{"backend": "montecarlo", "n": 1000, "queries": 256, "workers": 8,
 //	 "build_ns": ..., "query_ns_op": ..., "batch_ns_op": ...,
@@ -112,6 +116,11 @@ func main() {
 			fatal(err)
 		}
 		recs = append(recs, tileRecs...)
+		adaptRecs, adaptTab := experiments.AdaptiveBench(opt)
+		if _, err := adaptTab.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		recs = append(recs, adaptRecs...)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			fatal(err)

@@ -143,4 +143,41 @@ func main() {
 	perBatched := time.Since(t0) / time.Duration(len(burst))
 	fmt.Printf("64-insert convoy via BatchMutate: %v per mutation (singles above: %v)\n",
 		perBatched, perMutation)
+
+	// The evening shift: the dispatch workload itself changes — the day
+	// was "who could be nearby" (NN≠0), the night runs "who do we expect
+	// closest" (E[d]). An adaptive-planner handle watches its own
+	// traffic: per-shard visit counters become shard temperatures, and
+	// when the observed mix drifts from the plan it re-plans every shard
+	// for what that shard actually serves, swapping the new backends in
+	// without a restart.
+	ah, err := unn.OpenDiscrete(fleet, unn.WithAdaptivePlanner(), unn.WithShards(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Downtown stays hot after dark: queries skew toward one corner, so
+	// some shards run far warmer than others.
+	for i := 0; i < 2500; i++ {
+		q := unn.Pt(rng.Float64()*side/3, rng.Float64()*side/3)
+		if i%8 == 0 {
+			q = unn.Pt(rng.Float64()*side, rng.Float64()*side)
+		}
+		if _, _, err := ah.QueryExpected(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := ah.Stats()
+	fmt.Printf("adaptive dispatch: %d replans", st.Replans)
+	if st.LastReplanReason != "" {
+		fmt.Printf(" (last: %s)", st.LastReplanReason)
+	}
+	fmt.Println()
+	fmt.Print("shard temperatures (visits/window): ")
+	for i, temp := range st.ShardTemps {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("%.0f", temp)
+	}
+	fmt.Println()
 }

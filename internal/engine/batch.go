@@ -45,6 +45,15 @@ type Options struct {
 	// in-batch deduplication: batch queries sharing a cache key (or, with
 	// caching off, exact coordinates) compute once.
 	BatchTile int
+	// AdaptiveReplan enables the continuous adaptive replanning loop
+	// (adaptive.go) when the wrapped index is a planner-built sharded
+	// fleet: the engine windows its per-kind latency counters into
+	// workload profiles, detects drift from the installed plan, and
+	// replans each shard with its own observed mix off the query path.
+	// nil disables the loop (the plan stays frozen); a pointer to the
+	// zero value enables it with defaults. Ignored for indexes the loop
+	// cannot steer (unsharded, or sharded without stored planner state).
+	AdaptiveReplan *AdaptiveOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +87,14 @@ type Engine struct {
 	appender nonzeroAppender
 	cells    cellIdentifier
 	stats    engineStats
+	// obsMu guards obs, the delta-window observer behind ObserveInto:
+	// each call folds only the samples recorded since the previous one,
+	// so repeated calls never re-count.
+	obsMu sync.Mutex
+	obs   Observer
+	// adapt is the adaptive replanning controller (nil unless
+	// Options.AdaptiveReplan selected it and the index supports it).
+	adapt *adaptivePlanner
 }
 
 // cellIdentifier is the optional backend interface behind the
@@ -190,6 +207,16 @@ type Stats struct {
 	TileLanes uint64
 	// ShardQueries is nil for unsharded backends.
 	ShardQueries []ShardKindCounts
+	// ShardTemps is the per-shard EWMA temperature (visits per
+	// observation window, summed over kinds) maintained by the adaptive
+	// replanning loop — hot shards justify expensive structures, cold
+	// shards demote to brute. nil unless the engine runs adaptive.
+	ShardTemps []float64
+	// Replans counts completed adaptive plan swaps (automatic and
+	// manual); LastReplanReason is the drift reason of the most recent
+	// one. Zero/empty unless the engine runs adaptive.
+	Replans          uint64
+	LastReplanReason string
 }
 
 // MeanBatchSize returns the mean number of queries per Batch* call
@@ -247,6 +274,11 @@ func NewEngine(ix Index, opt Options) *Engine {
 	if ci, ok := ux.(cellIdentifier); ok {
 		e.cells = ci
 	}
+	if opt.AdaptiveReplan != nil {
+		if sx, ok := ux.(*ShardedIndex); ok && sx.popt != nil {
+			e.adapt = newAdaptivePlanner(e, sx, *opt.AdaptiveReplan)
+		}
+	}
 	return e
 }
 
@@ -298,15 +330,22 @@ func (e *Engine) Stats() Stats {
 	if sq, ok := ix.(interface{ shardQueryStats() []ShardKindCounts }); ok {
 		s.ShardQueries = sq.shardQueryStats()
 	}
+	if e.adapt != nil {
+		s.ShardTemps = e.adapt.shardTemps()
+		s.Replans, s.LastReplanReason = e.adapt.replanStats()
+	}
 	return s
 }
 
 // ObserveInto folds the measured per-kind latencies back into a cost
-// model — the feedback loop from serving traffic to planning. The
-// backend attributed per kind is read from the wrapped index (composite
-// indexes report their per-kind part); kinds with no recorded queries,
-// or whose serving backend is not a plain named backend (e.g. a sharded
-// fleet), are skipped.
+// model — the feedback loop from serving traffic to planning. Each call
+// consumes one delta window (cost.Observer): only the samples recorded
+// since the previous call contribute, so calling it on a schedule never
+// folds the same cumulative counters in twice. The backend attributed
+// per kind is read from the wrapped index (composite indexes report
+// their per-kind part); kinds with no new queries, or whose serving
+// backend is not a plain named backend (e.g. a sharded fleet), are
+// skipped.
 func (e *Engine) ObserveInto(model *CostModel) {
 	n := 0
 	if l, ok := e.ix.(interface{ Len() int }); ok {
@@ -316,8 +355,11 @@ func (e *Engine) ObserveInto(model *CostModel) {
 		return
 	}
 	st := e.Stats()
+	e.obsMu.Lock()
+	win := e.obs.Window(st.Kinds)
+	e.obsMu.Unlock()
 	for i := range kindTable {
-		ks := st.Kinds[i]
+		ks := win[i]
 		if ks.Count == 0 {
 			continue
 		}
@@ -353,8 +395,14 @@ func (e *Engine) kindBackend(kind Capability) (Backend, bool) {
 // Explain describes how this engine answers each query kind: the
 // planner's decision (with cost estimates) for planned indexes, the
 // routing rule for composites, shard assignments for sharded fleets, and
-// a capability summary for plain backends.
+// a capability summary for plain backends. Engines running the adaptive
+// replanning loop append its state (window, replan count, last reason,
+// shard temperatures).
 func (e *Engine) Explain() string {
+	return e.explainIndex() + e.explainAdaptive()
+}
+
+func (e *Engine) explainIndex() string {
 	if ex, ok := e.ix.(interface{ Explain() string }); ok {
 		return ex.Explain()
 	}
@@ -373,6 +421,13 @@ func (e *Engine) Explain() string {
 		}
 	}
 	return sb.String()
+}
+
+func (e *Engine) explainAdaptive() string {
+	if e.adapt == nil {
+		return ""
+	}
+	return e.adapt.explain()
 }
 
 // check returns ErrUnsupported early so callers get a uniform
@@ -444,7 +499,7 @@ func (e *Engine) queryValue(spec *kindSpec, req Request) (any, error) {
 	if err := e.check(spec.cap); err != nil {
 		return nil, err
 	}
-	defer func(t0 time.Time) { e.stats.record(spec.cap, time.Since(t0)) }(time.Now())
+	defer func(t0 time.Time) { e.stats.record(spec.cap, time.Since(t0)); e.noteQueries(1) }(time.Now())
 	var gen uint64
 	var key cacheKey
 	if e.cache != nil {
@@ -487,7 +542,7 @@ func (e *Engine) QueryNonzeroInto(q geom.Point, dst []int) ([]int, error) {
 	if err := e.check(CapNonzero); err != nil {
 		return dst, err
 	}
-	defer func(t0 time.Time) { e.stats.record(CapNonzero, time.Since(t0)) }(time.Now())
+	defer func(t0 time.Time) { e.stats.record(CapNonzero, time.Since(t0)); e.noteQueries(1) }(time.Now())
 	if e.cache != nil {
 		if v, ok := e.cache.getKey(e.nonzeroKey(q)); ok {
 			return append(dst, v.([]int)...), nil

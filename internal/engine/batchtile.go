@@ -295,7 +295,7 @@ func (e *Engine) unwrapped() Index {
 // the Into path skips it like QueryNonzeroInto does).
 func (e *Engine) batchNonzeroTiled(qs []geom.Point, out [][]int, install bool) ([][]int, error) {
 	t0 := time.Now()
-	defer func() { e.stats.recordBatchKind(CapNonzero, len(qs), time.Since(t0)) }()
+	defer func() { e.stats.recordBatchKind(CapNonzero, len(qs), time.Since(t0)); e.noteQueries(len(qs)) }()
 	bs := getBatchScratch()
 	defer putBatchScratch(bs)
 
@@ -424,6 +424,7 @@ func (e *Engine) batchExpectedTiled(qs []geom.Point) ([]ExpectedResult, bool, er
 		}
 	}
 	e.stats.recordBatchKind(CapExpected, len(qs), time.Since(t0))
+	e.noteQueries(len(qs))
 	return out, true, nil
 }
 

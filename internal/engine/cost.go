@@ -470,3 +470,89 @@ func LoadCalibration(path string) (Calibration, error) {
 	}
 	return CalibrationFromJSON(data)
 }
+
+// Observer turns cumulative per-kind latency counters into delta
+// windows: each Window call returns only the samples that arrived since
+// the previous call and advances the mark. The engine's counters are
+// monotone, so folding the same snapshot twice yields an empty window —
+// the fix for the old one-shot ObserveInto, which re-blended the full
+// cumulative means into the cost model on every call. The zero value is
+// ready to use (the first window is everything recorded so far).
+type Observer struct {
+	last [numKinds]KindStats
+}
+
+// Window diffs cum (a cumulative per-kind snapshot, e.g. Stats.Kinds)
+// against the previous call and advances. A counter that moved
+// backwards (a fresh engine reusing the observer) restarts that kind's
+// window from the new snapshot.
+func (o *Observer) Window(cum [numKinds]KindStats) [numKinds]KindStats {
+	var win [numKinds]KindStats
+	for i := range cum {
+		c, l := cum[i], o.last[i]
+		if c.Count >= l.Count && c.TotalNs >= l.TotalNs {
+			win[i] = KindStats{Count: c.Count - l.Count, TotalNs: c.TotalNs - l.TotalNs}
+		}
+		o.last[i] = c
+	}
+	return win
+}
+
+// DriftThresholds bounds how far the observed workload may wander from
+// the installed plan before the adaptive loop fires a replan
+// (adaptive.go). The zero value selects the defaults.
+type DriftThresholds struct {
+	// ErrFactor fires when a kind's observed mean latency is more than
+	// this factor away — in either direction — from the reference mean
+	// adopted when the plan was installed. Default 4.
+	ErrFactor float64
+	// MixDelta fires when the total-variation distance between the
+	// observed per-kind query mix and the plan's assumed mix exceeds
+	// this fraction (0..1). Default 0.35.
+	MixDelta float64
+}
+
+func (t DriftThresholds) withDefaults() DriftThresholds {
+	if t.ErrFactor <= 1 {
+		t.ErrFactor = 4
+	}
+	if t.MixDelta <= 0 {
+		t.MixDelta = 0.35
+	}
+	return t
+}
+
+// driftShareFloor is the observed share below which a kind's latency
+// estimate error is ignored: a kind that barely runs contributes noise,
+// not signal, and replanning for it cannot pay for the builds.
+const driftShareFloor = 0.05
+
+// detectDrift compares one observation window against the installed
+// plan. mean[i] is the smoothed per-query latency of kind i (0 when the
+// kind has no samples), mix[i] its observed share of the window,
+// ref[i] the reference latency adopted at plan-install time, and
+// planMix[i] the share the plan was optimized for. It returns a short
+// human-readable reason when drift fired and "" otherwise; the no-drift
+// path allocates nothing, so the adaptive tick can run it inline on the
+// query path.
+func detectDrift(mean, mix, ref, planMix [numKinds]float64, th DriftThresholds) string {
+	th = th.withDefaults()
+	tv := 0.0
+	for i := range mix {
+		tv += math.Abs(mix[i] - planMix[i])
+	}
+	tv /= 2
+	if tv > th.MixDelta {
+		return fmt.Sprintf("workload mix shifted (TV distance %.2f > %.2f)", tv, th.MixDelta)
+	}
+	for i := range mean {
+		if mix[i] < driftShareFloor || mean[i] <= 0 || ref[i] <= 0 {
+			continue
+		}
+		r := mean[i] / ref[i]
+		if r > th.ErrFactor || r < 1/th.ErrFactor {
+			return fmt.Sprintf("%s latency %.1fx its planned estimate", kindTable[i].name, r)
+		}
+	}
+	return ""
+}

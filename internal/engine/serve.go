@@ -82,6 +82,12 @@ type Answer struct {
 // through the tiled executor — shared data passes, in-batch dedup —
 // while still emitting one Answer per query; answers are identical to
 // the uncoalesced path's.
+//
+// Served traffic is observed like any other: both the single-query and
+// the coalesced batch paths record into the engine's per-kind latency
+// counters and per-shard visit counters, so a stream served through
+// Serve drives the adaptive replanning loop (Options.AdaptiveReplan)
+// exactly as direct Query*/Batch* calls do.
 func (e *Engine) Serve(ctx context.Context, in <-chan Query) <-chan Answer {
 	buf := e.opt.ServeBuffer
 	if buf <= 0 {

@@ -126,6 +126,35 @@ type shard struct {
 	// the shard struct, so they survive in-place rebuilds and reset when
 	// rebalancing replaces the shard.
 	visits [numKinds]atomic.Uint64
+	// rates is the windowed per-kind EWMA of visits — the shard's workload
+	// profile, maintained by the adaptive replanning loop (adaptive.go):
+	// each observation window folds the visit delta since the previous
+	// window into an exponential moving average. Stored as float64 bits so
+	// the single writer (the adaptive tick, which runs under the query
+	// read lock) never tears against Stats readers. The sum over kinds is
+	// the shard's temperature. Like visits, rates survive in-place
+	// rebuilds and reset when rebalancing replaces the shard.
+	rates [numKinds]atomic.Uint64
+	// lastVisits is the adaptive tick's private snapshot of visits at the
+	// previous window boundary (only the tick reads or writes it).
+	lastVisits [numKinds]uint64
+}
+
+// rate returns the shard's EWMA visit rate for one kind slot.
+func (s *shard) rate(i int) float64 { return math.Float64frombits(s.rates[i].Load()) }
+
+// setRate stores the shard's EWMA visit rate for one kind slot.
+func (s *shard) setRate(i int, v float64) { s.rates[i].Store(math.Float64bits(v)) }
+
+// temp is the shard's temperature: its EWMA visit rate summed over
+// kinds — visits per observation window. Hot shards justify expensive
+// structures; cold shards demote to brute (see adaptive.go).
+func (s *shard) temp() float64 {
+	t := 0.0
+	for i := 0; i < numKinds; i++ {
+		t += s.rate(i)
+	}
+	return t
 }
 
 // ShardedIndex is the sharded execution layer: it splits a Dataset into
@@ -579,7 +608,14 @@ func (sx *ShardedIndex) Explain() string {
 		if s.ix != nil {
 			name = s.ix.Name()
 		}
-		fmt.Fprintf(&sb, "  shard %d: %d items → %s\n", si, len(s.ids), name)
+		if t := s.temp(); t > 0 {
+			// Adaptive fleets annotate each shard with its temperature
+			// (EWMA visits per observation window); cold fleets print the
+			// historical line so goldens stay stable.
+			fmt.Fprintf(&sb, "  shard %d: %d items → %s (temp %.1f)\n", si, len(s.ids), name, t)
+		} else {
+			fmt.Fprintf(&sb, "  shard %d: %d items → %s\n", si, len(s.ids), name)
+		}
 	}
 	if sx.buf != nil {
 		name := "(empty)"
@@ -605,6 +641,18 @@ func (sx *ShardedIndex) shardQueryStats() []ShardKindCounts {
 		for k := range s.visits {
 			out[si].Counts[k] = s.visits[k].Load()
 		}
+	}
+	return out
+}
+
+// shardTemps snapshots the per-shard temperatures (EWMA visits per
+// observation window, summed over kinds) in shard order.
+func (sx *ShardedIndex) shardTemps() []float64 {
+	sx.mu.RLock()
+	defer sx.mu.RUnlock()
+	out := make([]float64, len(sx.shards))
+	for si, s := range sx.shards {
+		out[si] = s.temp()
 	}
 	return out
 }

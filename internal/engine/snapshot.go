@@ -102,6 +102,12 @@ type snapCoef struct {
 type snapShard struct {
 	Items int
 	Index *snapIndexMeta
+	// Rates is the shard's observed per-kind EWMA visit rates (registry
+	// slot order) — the adaptive loop's workload profile, whose sum is
+	// the shard temperature. Present since format version 3, and only
+	// for shards that saw traffic under an adaptive engine; absent rows
+	// restore cold.
+	Rates []float64 `json:",omitempty"`
 }
 
 // snapPlanner is the BuildPlanned configuration (PlannerOptions minus
@@ -124,6 +130,21 @@ type snapRun struct {
 	CacheQuantum float64 // configured knob (negative = adaptive)
 	QuantumBits  uint64  // resolved effective quantum (float64 bits)
 	Adaptive     bool
+	// Replan is the adaptive replanning loop's configuration and history
+	// (format version 3; absent on older files and for engines without
+	// the loop, which restore with it disabled).
+	Replan *snapReplan `json:",omitempty"`
+}
+
+// snapReplan persists Options.AdaptiveReplan plus the loop's replan
+// history, so a restored handle resumes the loop warm.
+type snapReplan struct {
+	Window     int
+	ErrFactor  float64
+	MixDelta   float64
+	Cooldown   int
+	Replans    uint64 `json:",omitempty"`
+	LastReason string `json:",omitempty"`
 }
 
 // snapMeta is the JSON meta section.
@@ -171,6 +192,17 @@ func WriteSnapshot(w io.Writer, e *Engine) error {
 		QuantumBits:  e.quantum.Load(),
 		Adaptive:     e.adaptive,
 	}}
+	if ap := e.adapt; ap != nil {
+		replans, reason := ap.replanStats()
+		meta.Run.Replan = &snapReplan{
+			Window:     ap.opt.Window,
+			ErrFactor:  ap.opt.Drift.ErrFactor,
+			MixDelta:   ap.opt.Drift.MixDelta,
+			Cooldown:   ap.opt.Cooldown,
+			Replans:    replans,
+			LastReason: reason,
+		}
+	}
 	var sw snapshot.Writer
 	var err error
 	if sx, ok := e.ix.(*ShardedIndex); ok {
@@ -242,6 +274,12 @@ func exportSharded(sw *snapshot.Writer, meta *snapMeta, sx *ShardedIndex) error 
 
 	for si, s := range sx.shards {
 		sm := snapShard{Items: len(s.ids)}
+		if t := s.temp(); t > 0 {
+			sm.Rates = make([]float64, numKinds)
+			for i := 0; i < numKinds; i++ {
+				sm.Rates[i] = s.rate(i)
+			}
+		}
 		var enc snapshot.Enc
 		encodeIDsBBox(&enc, s.ids, s.bbox)
 		flags := uint32(0)
@@ -679,6 +717,25 @@ func validateMetaRanges(meta *snapMeta) error {
 	if meta.Run.CacheSize < 0 || meta.Run.CacheSize > 1<<30 {
 		return errCorrupt("meta: CacheSize = %d out of range", meta.Run.CacheSize)
 	}
+	if rp := meta.Run.Replan; rp != nil {
+		if rp.Window < 0 || rp.Window > lim || rp.Cooldown < 0 || rp.Cooldown > lim {
+			return errCorrupt("meta: Replan window/cooldown out of range")
+		}
+		if math.IsNaN(rp.ErrFactor) || math.IsInf(rp.ErrFactor, 0) ||
+			math.IsNaN(rp.MixDelta) || math.IsInf(rp.MixDelta, 0) {
+			return errCorrupt("meta: Replan thresholds not finite")
+		}
+	}
+	for si := range meta.Shards {
+		if len(meta.Shards[si].Rates) > numKinds {
+			return errCorrupt("meta: shard %d has %d rate slots", si, len(meta.Shards[si].Rates))
+		}
+		for _, r := range meta.Shards[si].Rates {
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return errCorrupt("meta: shard %d rate %v out of range", si, r)
+			}
+		}
+	}
 	return nil
 }
 
@@ -707,6 +764,17 @@ func restoreEngine(ix Index, run snapRun) *Engine {
 	}
 	if ci, ok := ux.(cellIdentifier); ok {
 		e.cells = ci
+	}
+	if rp := run.Replan; rp != nil {
+		if sx, ok := ux.(*ShardedIndex); ok && sx.popt != nil {
+			e.opt.AdaptiveReplan = &AdaptiveOptions{
+				Window:   rp.Window,
+				Drift:    DriftThresholds{ErrFactor: rp.ErrFactor, MixDelta: rp.MixDelta},
+				Cooldown: rp.Cooldown,
+			}
+			e.adapt = newAdaptivePlanner(e, sx, *e.opt.AdaptiveReplan)
+			e.adapt.restoreState(rp.Replans, rp.LastReason)
+		}
 	}
 	return e
 }
@@ -944,6 +1012,17 @@ func restoreSharded(sr *snapshot.Reader, meta *snapMeta, dd *decodedDataset) (*S
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	// Re-seed the adaptive workload profiles (temperatures) so a
+	// restored fleet resumes warm. lastVisits stays 0 alongside the
+	// freshly zeroed visit counters.
+	for si, s := range sx.shards {
+		for i, r := range meta.Shards[si].Rates {
+			if i >= numKinds {
+				break
+			}
+			s.setRate(i, r)
+		}
 	}
 
 	if meta.HasBuffer {

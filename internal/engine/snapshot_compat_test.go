@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"unn/internal/geom"
+	"unn/internal/snapshot"
 )
 
 // The golden mirror of testdata/gen_fixtures.go: the Explain output and
@@ -34,14 +35,19 @@ type compatQuery struct {
 	}
 }
 
-// TestSnapshotCompatV1 restores the checked-in version-1 fixtures with
-// the current (version-2) reader and asserts the restored engines still
-// report the recorded Explain, capabilities, cache quantum and answers
-// — the guarantee that bumping the format version keeps old files
-// readable, and that a v1 plan (no top-k entries) restores to exactly
-// the engine its writer meant: the three original kinds, nothing more.
-func TestSnapshotCompatV1(t *testing.T) {
-	for _, name := range []string{"engine_v1_sharded_planned", "engine_v1_plain_kd"} {
+// TestSnapshotCompat restores the checked-in version-1 and version-2
+// fixtures with the current (version-3) reader and asserts the restored
+// engines still report the recorded Explain, capabilities, cache
+// quantum and answers — the guarantee that bumping the format version
+// keeps old files readable: a v1 plan (no top-k entries) restores to
+// exactly the engine its writer meant (the three original kinds,
+// nothing more), and a v2 file (no adaptive state) restores with cold
+// shard temperatures and the replanning loop disabled.
+func TestSnapshotCompat(t *testing.T) {
+	for _, name := range []string{
+		"engine_v1_sharded_planned", "engine_v1_plain_kd",
+		"engine_v2_sharded_planned", "engine_v2_plain_kd",
+	} {
 		t.Run(name, func(t *testing.T) {
 			raw, err := os.ReadFile(filepath.Join("testdata", name+".snap"))
 			if err != nil {
@@ -57,7 +63,7 @@ func TestSnapshotCompatV1(t *testing.T) {
 			}
 			eng, err := ReadSnapshot(bytes.NewReader(raw))
 			if err != nil {
-				t.Fatalf("reading v1 snapshot: %v", err)
+				t.Fatalf("reading fixture snapshot: %v", err)
 			}
 			if got := eng.Explain(); got != want.Explain {
 				t.Errorf("Explain diverged:\n--- golden ---\n%s--- restored ---\n%s", want.Explain, got)
@@ -109,6 +115,20 @@ func TestSnapshotCompatV1(t *testing.T) {
 				t.Error("restored v1 planned engine gained CapTopK")
 			}
 
+			// Pre-v3 files carry no adaptive state: the restored engine
+			// must report cold temperatures and no replan history, with the
+			// loop disabled.
+			st := eng.Stats()
+			if st.ShardTemps != nil {
+				t.Errorf("restored pre-v3 engine has shard temps %v", st.ShardTemps)
+			}
+			if st.Replans != 0 || st.LastReplanReason != "" {
+				t.Errorf("restored pre-v3 engine has replan history (%d, %q)", st.Replans, st.LastReplanReason)
+			}
+			if _, err := eng.Replan(); err == nil {
+				t.Error("restored pre-v3 engine accepted Replan (loop should be disabled)")
+			}
+
 			// Re-snapshotting writes the current version, and the rewritten
 			// file restores to the same engine again.
 			var buf bytes.Buffer
@@ -117,13 +137,13 @@ func TestSnapshotCompatV1(t *testing.T) {
 			}
 			eng2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
 			if err != nil {
-				t.Fatalf("re-reading v2 rewrite: %v", err)
+				t.Fatalf("re-reading current-version rewrite: %v", err)
 			}
 			if got, wantE := eng2.Explain(), eng.Explain(); got != wantE {
-				t.Errorf("v2 rewrite Explain diverged:\n--- v1 restore ---\n%s--- v2 restore ---\n%s", wantE, got)
+				t.Errorf("rewrite Explain diverged:\n--- fixture restore ---\n%s--- rewrite restore ---\n%s", wantE, got)
 			}
 			if eng2.Capabilities() != eng.Capabilities() {
-				t.Errorf("v2 rewrite capabilities = %v, want %v", eng2.Capabilities(), eng.Capabilities())
+				t.Errorf("rewrite capabilities = %v, want %v", eng2.Capabilities(), eng.Capabilities())
 			}
 		})
 	}
@@ -131,16 +151,24 @@ func TestSnapshotCompatV1(t *testing.T) {
 
 // TestSnapshotVersionBounds pins the reader's version window: below
 // MinVersion and above Version are rejected with the range in the
-// error, and the checked-in v1 fixture really is version 1 on disk.
+// error, and the checked-in fixtures really carry their frozen versions
+// on disk.
 func TestSnapshotVersionBounds(t *testing.T) {
 	raw, err := os.ReadFile(filepath.Join("testdata", "engine_v1_plain_kd.snap"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v := uint16(raw[4]) | uint16(raw[5])<<8; v != 1 {
-		t.Fatalf("fixture header version = %d, want 1", v)
+		t.Fatalf("v1 fixture header version = %d, want 1", v)
 	}
-	for _, v := range []uint16{0, 3, math.MaxUint16} {
+	raw2, err := os.ReadFile(filepath.Join("testdata", "engine_v2_plain_kd.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := uint16(raw2[4]) | uint16(raw2[5])<<8; v != 2 {
+		t.Fatalf("v2 fixture header version = %d, want 2", v)
+	}
+	for _, v := range []uint16{0, snapshot.Version + 1, math.MaxUint16} {
 		bad := append([]byte(nil), raw...)
 		bad[4], bad[5] = byte(v), byte(v>>8)
 		if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {

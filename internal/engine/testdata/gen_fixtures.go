@@ -90,7 +90,7 @@ func main() {
 		panic(err)
 	}
 	eng := engine.NewEngine(ix, engine.Options{Workers: 2, CacheSize: 32, CacheQuantum: 0.25})
-	emit(dir, "engine_v1_sharded_planned", eng)
+	emit(dir, "engine_v2_sharded_planned", eng)
 
 	// Configuration 2: plain named backend with a kd-tree payload — the
 	// zero-copy slab restore path.
@@ -102,7 +102,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	emit(dir, "engine_v1_plain_kd", engine.NewEngine(dix, engine.Options{Workers: 1}))
+	emit(dir, "engine_v2_plain_kd", engine.NewEngine(dix, engine.Options{Workers: 1}))
 }
 
 func emit(dir, name string, eng *engine.Engine) {

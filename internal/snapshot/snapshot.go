@@ -40,10 +40,13 @@ const Magic = "UNNS"
 
 // Version is the current format version. Version 2 added per-kind plan
 // entries for registered query kinds beyond the original three (the
-// top-k kind); the container layout is unchanged, so readers accept
-// both versions — the engine layer treats missing per-kind entries as
-// "kind not planned", which is exactly what a version-1 writer meant.
-const Version = 2
+// top-k kind). Version 3 added the adaptive replanning state: per-shard
+// observed visit rates (shard temperatures) and the replan
+// configuration/history in the run meta. The container layout is
+// unchanged across all three, so readers accept every version — the
+// engine layer treats the absent fields as "never observed / loop
+// disabled", which is exactly what an older writer meant.
+const Version = 3
 
 // MinVersion is the oldest format version readers still accept.
 const MinVersion = 1

@@ -309,6 +309,7 @@ type openConfig struct {
 	run         engine.Options
 	shard       engine.ShardOptions
 	planner     engine.PlannerOptions
+	replanSet   bool  // WithAdaptivePlanner given (implies plannerSet)
 	plannerSet  bool  // WithPlanner (or a planner shaping option) given
 	shardsSet   bool  // WithShards given (its k must then be ≥ 1)
 	splitSet    bool  // WithShardGrid given (meaningless without WithShards)
@@ -433,6 +434,28 @@ func WithPlannerTopK(weight float64) Option {
 	return func(c *openConfig) {
 		c.plannerSet = true
 		c.planner.Mix.TopK = weight
+	}
+}
+
+// WithAdaptivePlanner turns the cost-based planner into a continuous
+// loop: the handle windows its per-kind latency counters and per-shard
+// visit counters into EWMA workload profiles, detects drift from the
+// installed plan (a shifted query mix, or latencies wandering from the
+// estimates the plan was bought on), and then re-plans every shard with
+// that shard's *own* observed mix — hot shards amortize over a larger
+// horizon and buy expensive structures, cold shards fall back to the
+// cheap-to-build oracle — building off the query path and installing
+// the new backends with an epoch-fenced atomic swap (in-flight queries
+// never see a torn shard). Stats reports the shard temperatures, replan
+// count and last drift reason; Handle.Replan triggers one cycle
+// manually. Implies WithPlanner and requires WithShards (the loop
+// steers per-shard plans). Snapshots persist the temperatures and
+// replan history, so a restored handle resumes the loop warm.
+func WithAdaptivePlanner() Option {
+	return func(c *openConfig) {
+		c.plannerSet = true
+		c.replanSet = true
+		c.run.AdaptiveReplan = &engine.AdaptiveOptions{}
 	}
 }
 
@@ -592,8 +615,20 @@ func (h *Handle) Stats() Stats { return h.Engine.Stats() }
 // estimated build and query costs and the beaten alternatives; for
 // rule-based auto handles the routing rule; for sharded handles the
 // per-shard composition (with each shard's own plan under WithPlanner);
-// for plain backends a capability summary.
+// for plain backends a capability summary. Adaptive handles
+// (WithAdaptivePlanner) append the loop's state: window size, replan
+// count, last drift reason, and the hottest shard's temperature.
 func (h *Handle) Explain() string { return h.Engine.Explain() }
+
+// Replan triggers one replan-and-swap cycle synchronously on an
+// adaptive handle (WithAdaptivePlanner) — the manual counterpart of the
+// automatic drift trigger: every shard re-plans with its observed mix
+// and temperature-scaled horizon, and the new backends install under
+// the epoch fence. It reports whether a new plan was installed; false
+// with a nil error means a concurrent mutation raced the build (the
+// fence aborted the swap — retry when the stream settles) or there was
+// nothing to replan. Errors on handles without the adaptive loop.
+func (h *Handle) Replan() (bool, error) { return h.Engine.Replan() }
 
 func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
 	cfg := openConfig{backend: BackendAuto}
@@ -620,6 +655,9 @@ func openDataset(ds *engine.Dataset, opts []Option) (*Handle, error) {
 	}
 	if cfg.plannerSet && cfg.adaptiveSet {
 		return nil, fmt.Errorf("unn: WithPlanner already plans every shard by cost; drop WithShardAdaptive")
+	}
+	if cfg.replanSet && !cfg.shardsSet {
+		return nil, fmt.Errorf("unn: WithAdaptivePlanner requires WithShards(k): the loop replans per shard")
 	}
 	var (
 		ix  engine.Index

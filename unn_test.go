@@ -622,3 +622,55 @@ func TestOpenPlannerSharded(t *testing.T) {
 		t.Fatalf("sharded planner Explain missing shard lines:\n%s", expl)
 	}
 }
+
+// TestAdaptivePlannerHandle covers the public adaptive-loop surface:
+// the option demands sharding, a manual Replan installs a fresh plan
+// without changing any answer, and Stats/Explain report the loop.
+func TestAdaptivePlannerHandle(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xada))
+	pts := testDiscretes(t, rng, 60, 2, 50)
+	if _, err := unn.OpenDiscrete(pts, unn.WithAdaptivePlanner()); err == nil {
+		t.Fatal("WithAdaptivePlanner without WithShards was accepted")
+	}
+	h, err := unn.OpenDiscrete(pts, unn.WithAdaptivePlanner(), unn.WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := unn.OpenDiscrete(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := h.Replan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("manual Replan on a quiescent handle did not install")
+	}
+	st := h.Stats()
+	if st.Replans != 1 || st.LastReplanReason == "" {
+		t.Fatalf("Stats after Replan = (%d, %q)", st.Replans, st.LastReplanReason)
+	}
+	if len(st.ShardTemps) != 3 {
+		t.Fatalf("ShardTemps = %v, want 3 entries", st.ShardTemps)
+	}
+	if expl := h.Explain(); !strings.Contains(expl, "adaptive:") {
+		t.Fatalf("Explain missing the adaptive block:\n%s", expl)
+	}
+	for i := 0; i < 12; i++ {
+		q := unn.Pt(rng.Float64()*50, rng.Float64()*50)
+		want, _ := mono.QueryNonzero(q)
+		got, err := h.QueryNonzero(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+			t.Fatalf("q=%v post-replan nonzero %v, want %v", q, got, want)
+		}
+	}
+	// The loop without the planner knob still implies planning (the
+	// option sets it), and a plain non-adaptive handle refuses Replan.
+	if _, err := mono.Replan(); err == nil {
+		t.Fatal("Replan on a non-adaptive handle did not error")
+	}
+}
